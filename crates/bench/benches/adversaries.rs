@@ -1,0 +1,38 @@
+//! Micro-benchmark: how quickly the paper's adversaries produce verified
+//! counterexamples (experiments E-C3/E-C4/E-TH1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frr_core::impossibility::{k44_counterexample, k7_counterexample, r_tolerance_counterexample};
+use frr_graph::generators;
+use frr_routing::pattern::ShortestPathPattern;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_adversaries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversaries");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let k7 = generators::complete(7);
+    let p7 = ShortestPathPattern::new(&k7);
+    group.bench_function("k7_counterexample/shortest-path", |b| {
+        b.iter(|| black_box(k7_counterexample(&k7, &p7)))
+    });
+
+    let k44 = generators::complete_bipartite(4, 4);
+    let p44 = ShortestPathPattern::new(&k44);
+    group.bench_function("k44_counterexample/shortest-path", |b| {
+        b.iter(|| black_box(k44_counterexample(&k44, &p44)))
+    });
+
+    let k8 = generators::complete(8);
+    let p8 = ShortestPathPattern::new(&k8);
+    group.bench_function("price_of_locality_r1/shortest-path", |b| {
+        b.iter(|| black_box(r_tolerance_counterexample(1, &p8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversaries);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Micro-benchmark: the §VIII classification pipeline (experiments E-F7/E-F8)
+//! on individual topologies of different shapes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frr_core::classify::{classify_with_budget, ClassifyBudget};
+use frr_graph::generators;
+use frr_topologies::builtin_topologies;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classification");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    let budget = ClassifyBudget::default();
+
+    for t in builtin_topologies().into_iter().take(3) {
+        group.bench_function(format!("classify/{}", t.name), |b| {
+            b.iter(|| black_box(classify_with_budget(&t.graph, budget)))
+        });
+    }
+    let dense = generators::complete(8);
+    group.bench_function("classify/K8", |b| {
+        b.iter(|| black_box(classify_with_budget(&dense, budget)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classification);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Micro-benchmark: planarity / outerplanarity tests and forbidden-minor
+//! search — the structural primitives behind the zoo classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frr_graph::minors::{forbidden, has_minor_with_budget};
+use frr_graph::outerplanar::is_outerplanar;
+use frr_graph::planarity::is_planar;
+use frr_graph::{generators, Graph};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planarity_minors");
+    group.sample_size(15);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    let grid = generators::grid(10, 10);
+    group.bench_function("planarity/grid10x10", |b| {
+        b.iter(|| black_box(is_planar(&grid)))
+    });
+    let mop = generators::maximal_outerplanar(60);
+    group.bench_function("outerplanarity/mop60", |b| {
+        b.iter(|| black_box(is_outerplanar(&mop)))
+    });
+    let wheel: Graph = generators::wheel(20);
+    group.bench_function("minor/k5m1-in-wheel20", |b| {
+        b.iter(|| black_box(has_minor_with_budget(&wheel, &forbidden::k5_minus1(), 20_000)))
+    });
+    let petersen = generators::petersen();
+    group.bench_function("minor/k5-in-petersen", |b| {
+        b.iter(|| black_box(has_minor_with_budget(&petersen, &generators::complete(5), 50_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_structure);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Micro-benchmark: packet-forwarding simulation throughput on representative
+//! topologies (supports experiment E-F7/E-F8 runtimes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frr_graph::{generators, Node};
+use frr_routing::failure::FailureSet;
+use frr_routing::pattern::ShortestPathPattern;
+use frr_routing::simulator::route;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_sim");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    for (name, g) in [
+        ("cycle64", generators::cycle(64)),
+        ("grid8x8", generators::grid(8, 8)),
+        ("k16", generators::complete(16)),
+    ] {
+        let pattern = ShortestPathPattern::new(&g);
+        let failures = FailureSet::from_edges(g.edges().into_iter().take(3));
+        let t = Node(g.node_count() - 1);
+        group.bench_function(format!("route/{name}"), |b| {
+            b.iter(|| black_box(route(&g, &failures, &pattern, Node(0), t, 100_000)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

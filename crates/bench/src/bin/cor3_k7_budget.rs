@@ -1,0 +1,31 @@
+//! Experiment E-C3 — Corollary 3: K7 (and K7 minus one link) defeats every
+//! pattern with at most 15 link failures.
+
+use frr_bench::pattern_portfolio;
+use frr_core::impossibility::k7_counterexample;
+use frr_graph::generators;
+use frr_routing::adversary::verify_counterexample;
+
+fn main() {
+    for (name, g) in [
+        ("K7", generators::complete(7)),
+        ("K7^-1", generators::complete_minus(7, 1)),
+    ] {
+        println!("=== {name}: source-destination impossibility (budget: 15 failures) ===");
+        for pattern in pattern_portfolio(&g) {
+            match k7_counterexample(&g, pattern.as_ref()) {
+                Some(ce) => println!(
+                    "  {:<34} defeated with |F| = {:>2} (≤ 15), {} -> {}, outcome {:?}, verified = {}",
+                    pattern.name(),
+                    ce.failures.len(),
+                    ce.source,
+                    ce.destination,
+                    ce.outcome,
+                    verify_counterexample(&g, pattern.as_ref(), &ce)
+                ),
+                None => println!("  {:<34} NOT defeated (unexpected)", pattern.name()),
+            }
+        }
+        println!();
+    }
+}

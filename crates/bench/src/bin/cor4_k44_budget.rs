@@ -1,0 +1,31 @@
+//! Experiment E-C4 — Corollary 4: K4,4 (and K4,4 minus one link) defeats every
+//! pattern with at most 11 link failures.
+
+use frr_bench::pattern_portfolio;
+use frr_core::impossibility::k44_counterexample;
+use frr_graph::generators;
+use frr_routing::adversary::verify_counterexample;
+
+fn main() {
+    for (name, g) in [
+        ("K4,4", generators::complete_bipartite(4, 4)),
+        ("K4,4^-1", generators::complete_bipartite_minus(4, 4, 1)),
+    ] {
+        println!("=== {name}: source-destination impossibility (budget: 11 failures) ===");
+        for pattern in pattern_portfolio(&g) {
+            match k44_counterexample(&g, pattern.as_ref()) {
+                Some(ce) => println!(
+                    "  {:<34} defeated with |F| = {:>2} (≤ 11), {} -> {}, outcome {:?}, verified = {}",
+                    pattern.name(),
+                    ce.failures.len(),
+                    ce.source,
+                    ce.destination,
+                    ce.outcome,
+                    verify_counterexample(&g, pattern.as_ref(), &ce)
+                ),
+                None => println!("  {:<34} NOT defeated (unexpected)", pattern.name()),
+            }
+        }
+        println!();
+    }
+}

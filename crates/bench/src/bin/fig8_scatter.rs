@@ -1,0 +1,48 @@
+//! Experiment E-F8 — regenerates Figure 8: one row per topology with its size
+//! `n`, density `|E|/n` and classification for the destination-only and
+//! source–destination models (the paper plots these as a scatter).
+
+use frr_bench::ZooClassification;
+use frr_core::classify::ClassifyBudget;
+use frr_topologies::{full_zoo, ZooConfig};
+
+fn main() {
+    let zoo = full_zoo(&ZooConfig::default());
+    let zc = ZooClassification::classify_all(&zoo, ClassifyBudget::default());
+
+    println!("# Figure 8 data: name nodes density dest_only source_destination");
+    for (name, c) in &zc.per_topology {
+        // The paper omits the 12 largest/densest outliers for readability; we
+        // print everything and mark the would-be-omitted rows.
+        let omitted = if c.nodes > 100 || c.density > 3.0 { " (outlier)" } else { "" };
+        println!(
+            "{name:<16} {:>4} {:>6.2} {:<12} {:<12}{omitted}",
+            c.nodes,
+            c.density,
+            c.destination_only.label(),
+            c.source_destination.label()
+        );
+    }
+    // Aggregate view: mean density per class, which captures the figure's
+    // visual message (sparse => possible, dense => impossible).
+    for (label, extract) in [
+        ("destination-only", Box::new(|c: &frr_core::classify::Classification| c.destination_only)
+            as Box<dyn Fn(&frr_core::classify::Classification) -> frr_core::classify::Feasibility>),
+        ("source-destination", Box::new(|c: &frr_core::classify::Classification| c.source_destination)),
+    ] {
+        println!("\nmean density by class ({label}):");
+        for class in ["Possible", "Sometimes", "Unknown", "Impossible"] {
+            let ds: Vec<f64> = zc
+                .per_topology
+                .values()
+                .filter(|c| extract(c).label() == class)
+                .map(|c| c.density)
+                .collect();
+            if ds.is_empty() {
+                println!("  {class:<11} -");
+            } else {
+                println!("  {class:<11} {:.2}", ds.iter().sum::<f64>() / ds.len() as f64);
+            }
+        }
+    }
+}

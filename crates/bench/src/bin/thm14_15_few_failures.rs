@@ -1,0 +1,62 @@
+//! Experiment E-TH14/15 — bounded-failure impossibility on large complete and
+//! complete bipartite graphs via the simulation argument: report the paper's
+//! failure budget next to the size of the failure set actually constructed.
+
+use frr_core::impossibility::{
+    bipartite_few_failures_counterexample, complete_few_failures_counterexample,
+};
+use frr_graph::generators;
+use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern};
+
+fn main() {
+    println!("=== Theorem 14: K_n fails within O(n) failures (paper budget 6n-33) ===");
+    println!("{:<5} {:<10} {:<36} {:>10} {:>10}", "n", "|E|", "pattern", "paper", "measured");
+    for n in [8usize, 9, 10, 12, 14, 16] {
+        let g = generators::complete(n);
+        for pattern in patterns(&g) {
+            match complete_few_failures_counterexample(&g, pattern.as_ref()) {
+                Some(res) => println!(
+                    "{:<5} {:<10} {:<36} {:>10} {:>10}",
+                    n,
+                    g.edge_count(),
+                    pattern.name(),
+                    res.paper_budget,
+                    res.counterexample.failures.len()
+                ),
+                None => println!("{:<5} {:<10} {:<36} not defeated", n, g.edge_count(), pattern.name()),
+            }
+        }
+    }
+
+    println!();
+    println!("=== Theorem 15: K_a,b fails within O(a+b) failures (paper budget 3a+4b-21) ===");
+    println!("{:<8} {:<10} {:<36} {:>10} {:>10}", "a,b", "|E|", "pattern", "paper", "measured");
+    for (a, b) in [(4usize, 4usize), (5, 4), (5, 5), (6, 5), (7, 6)] {
+        let g = generators::complete_bipartite(a, b);
+        for pattern in patterns(&g) {
+            match bipartite_few_failures_counterexample(&g, a, b, pattern.as_ref()) {
+                Some(res) => println!(
+                    "{:<8} {:<10} {:<36} {:>10} {:>10}",
+                    format!("{a},{b}"),
+                    g.edge_count(),
+                    pattern.name(),
+                    res.paper_budget,
+                    res.counterexample.failures.len()
+                ),
+                None => println!(
+                    "{:<8} {:<10} {:<36} not defeated",
+                    format!("{a},{b}"),
+                    g.edge_count(),
+                    pattern.name()
+                ),
+            }
+        }
+    }
+}
+
+fn patterns(g: &frr_graph::Graph) -> Vec<Box<dyn ForwardingPattern>> {
+    vec![
+        Box::new(RotorPattern::clockwise_with_shortcut(g)),
+        Box::new(ShortestPathPattern::new(g)),
+    ]
+}

@@ -1,0 +1,36 @@
+//! Experiment E-TH1 — the price of locality (Theorem 1 / Corollary 1): the
+//! structured adversary constructs, for every pattern in the portfolio, a
+//! failure set on `K_{3+5r}` that keeps source and destination `r`-connected
+//! yet defeats the pattern.
+
+use frr_bench::pattern_portfolio;
+use frr_core::impossibility::r_tolerance_counterexample;
+use frr_graph::generators;
+use frr_routing::adversary::verify_counterexample;
+
+fn main() {
+    println!("=== Theorem 1: no r-tolerance on K_{{3+5r}} ===");
+    for r in 1..=2usize {
+        let n = 3 + 5 * r;
+        let g = generators::complete(n);
+        println!("\n-- r = {r}, graph K{n} ({} links), promise: {r} link-disjoint s-t paths survive --", g.edge_count());
+        for pattern in pattern_portfolio(&g) {
+            match r_tolerance_counterexample(r, pattern.as_ref()) {
+                Some(ce) => {
+                    let verified = verify_counterexample(&g, pattern.as_ref(), &ce);
+                    let still_r_connected =
+                        ce.failures.keeps_r_connected(&g, ce.source, ce.destination, r);
+                    println!(
+                        "  {:<34} defeated: |F| = {:>3}, outcome {:?}, verified = {verified}, promise held = {still_r_connected}",
+                        pattern.name(),
+                        ce.failures.len(),
+                        ce.outcome
+                    );
+                }
+                None => println!("  {:<34} NOT defeated by the structured family", pattern.name()),
+            }
+        }
+    }
+    println!("\n(Theorem 2: see the `theorem2_supergraph_is_r_tolerant_while_its_minor_is_not` test:");
+    println!(" the supergraph of K_{{3+5r}} admits an r-tolerant pattern while the minor does not.)");
+}

@@ -1,0 +1,117 @@
+//! # frr-bench
+//!
+//! Shared helpers for the experiment binaries and Criterion benchmarks that
+//! regenerate every table and figure of the DSN'22 paper (see
+//! `EXPERIMENTS.md` at the workspace root for the experiment index and the
+//! recorded results).
+
+use frr_core::classify::{classify_with_budget, Classification, ClassifyBudget, Feasibility};
+use frr_graph::Graph;
+use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern};
+use frr_topologies::Topology;
+use std::collections::BTreeMap;
+
+/// The candidate-pattern portfolio the impossibility experiments probe.
+pub fn pattern_portfolio(g: &Graph) -> Vec<Box<dyn ForwardingPattern>> {
+    vec![
+        Box::new(RotorPattern::clockwise_with_shortcut(g)),
+        Box::new(ShortestPathPattern::new(g)),
+        Box::new(frr_core::algorithms::Distance2Pattern::new()),
+    ]
+}
+
+/// Classification of a whole topology collection, with per-class counts per
+/// routing model — the data behind Fig. 7.
+#[derive(Debug, Clone, Default)]
+pub struct ZooClassification {
+    /// Per-topology classifications, keyed by name.
+    pub per_topology: BTreeMap<String, Classification>,
+}
+
+impl ZooClassification {
+    /// Classifies every topology in the collection.
+    pub fn classify_all(topologies: &[Topology], budget: ClassifyBudget) -> Self {
+        let mut per_topology = BTreeMap::new();
+        for t in topologies {
+            per_topology.insert(t.name.clone(), classify_with_budget(&t.graph, budget));
+        }
+        ZooClassification { per_topology }
+    }
+
+    /// Percentage (0–100) of topologies in each Fig. 7 class for a model,
+    /// selected by `extract`.
+    pub fn percentages<F>(&self, extract: F) -> BTreeMap<&'static str, f64>
+    where
+        F: Fn(&Classification) -> Feasibility,
+    {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for c in self.per_topology.values() {
+            *counts.entry(extract(c).label()).or_insert(0) += 1;
+        }
+        let total = self.per_topology.len().max(1) as f64;
+        counts
+            .into_iter()
+            .map(|(label, count)| (label, 100.0 * count as f64 / total))
+            .collect()
+    }
+
+    /// Mean "sometimes" destination fraction over topologies classified as
+    /// Sometimes for the given model (the paper reports 21.3% on average).
+    pub fn mean_sometimes_fraction<F>(&self, extract: F) -> f64
+    where
+        F: Fn(&Classification) -> Feasibility,
+    {
+        let fractions: Vec<f64> = self
+            .per_topology
+            .values()
+            .filter_map(|c| match extract(c) {
+                Feasibility::Sometimes(frac) => Some(frac),
+                _ => None,
+            })
+            .collect();
+        if fractions.is_empty() {
+            0.0
+        } else {
+            fractions.iter().sum::<f64>() / fractions.len() as f64
+        }
+    }
+}
+
+/// Formats a percentage table (class → %) as an aligned text block.
+pub fn format_percentages(title: &str, rows: &BTreeMap<&'static str, f64>) -> String {
+    let mut out = format!("{title}\n");
+    for class in ["Possible", "Sometimes", "Unknown", "Impossible"] {
+        let value = rows.get(class).copied().unwrap_or(0.0);
+        out.push_str(&format!("  {class:<11} {value:6.1}%\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frr_graph::generators;
+    use frr_topologies::builtin_topologies;
+
+    #[test]
+    fn portfolio_has_three_patterns() {
+        let g = generators::complete(5);
+        assert_eq!(pattern_portfolio(&g).len(), 3);
+    }
+
+    #[test]
+    fn classify_builtin_topologies_and_summarize() {
+        let topologies = builtin_topologies();
+        let zc = ZooClassification::classify_all(&topologies, ClassifyBudget::default());
+        assert_eq!(zc.per_topology.len(), topologies.len());
+        let touring = zc.percentages(|c| c.touring);
+        let total: f64 = touring.values().sum();
+        assert!((total - 100.0).abs() < 1e-6);
+        let text = format_percentages("touring", &touring);
+        assert!(text.contains("Possible"));
+        // The ring-of-rings and access-tree networks are outerplanar, so the
+        // touring-possible share must be strictly positive.
+        assert!(touring.get("Possible").copied().unwrap_or(0.0) > 0.0);
+        let _ = zc.mean_sometimes_fraction(|c| c.destination_only);
+    }
+}

@@ -1,0 +1,28 @@
+//! The paper's positive results: perfectly resilient and `r`-tolerant
+//! forwarding patterns, one module per family of constructions.
+//!
+//! | Module | Paper result | Graphs |
+//! |--------|--------------|--------|
+//! | [`distance`] | [2, Thm 6.1] distance-2 pattern, Thm 4 bipartite distance-3 pattern, Thms 3/5 `r`-tolerance | `K_{2r+1}`, `K_{2r-1,2r-1}`, any graph under a distance promise |
+//! | [`small_complete`] | Algorithm 1 (Thm 8), Thm 9 | `K5`, `K3,3` and their minors, source–destination model |
+//! | [`small_dest`] | Thms 12/13 (incl. the Fig. 4 table) | `K5^{-2}`, `K3,3^{-2}` and their minors, destination-only model |
+//! | [`outerplanar`] | Cor. 5/6, [2, §6.2] | outerplanar graphs (touring) and graphs whose destination-removed remainder is outerplanar (destination-only) |
+//! | [`cyclic`] | Thm 17, Chiesa-style baseline | `2k`-connected complete / complete bipartite graphs, `k`-connected graphs |
+//! | [`table`] | — | the priority-table machinery shared by the explicit constructions |
+
+pub mod cyclic;
+pub mod distance;
+pub mod outerplanar;
+pub mod small_complete;
+pub mod small_dest;
+pub mod table;
+
+pub use cyclic::{ArborescenceFailoverPattern, HamiltonianTouringPattern};
+pub use distance::{
+    r_tolerant_bipartite_pattern, r_tolerant_complete_pattern, BipartiteDistance3Pattern,
+    Distance2Pattern,
+};
+pub use outerplanar::{OuterplanarDestinationPattern, OuterplanarTouringPattern};
+pub use small_complete::{K33SourcePattern, K5SourcePattern};
+pub use small_dest::{K33Minus2DestPattern, K5Minus2DestPattern};
+pub use table::PriorityTablePattern;

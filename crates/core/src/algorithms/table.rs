@@ -1,0 +1,216 @@
+//! Priority-table forwarding patterns.
+//!
+//! Several of the paper's explicit constructions (the `K3,3` source pattern of
+//! Theorem 9, the `K5^{-2}` table of Fig. 4, …) are stated as tables of the
+//! form "at node *v*, with in-port *p*, try these out-ports in this order and
+//! use the first alive one".  [`PriorityTablePattern`] is that representation,
+//! parameterised by the packet's source/destination so that one object can
+//! serve every `(s, t)` pair of a graph.
+
+use frr_graph::{Graph, Node};
+use frr_routing::model::{LocalContext, RoutingModel};
+use frr_routing::pattern::ForwardingPattern;
+use std::collections::BTreeMap;
+
+/// A per-(node, in-port) priority list of out-ports.
+///
+/// The key `None` stands for the empty in-port `⊥` (the packet originates at
+/// the node).  At forwarding time the first *alive* out-port of the list is
+/// used; if the list is missing or fully dead the packet is dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PriorityTable {
+    rules: BTreeMap<(Node, Option<Node>), Vec<Node>>,
+}
+
+impl PriorityTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        PriorityTable::default()
+    }
+
+    /// Sets the priority list for `(node, inport)`; replaces any previous one.
+    pub fn set(&mut self, node: Node, inport: Option<Node>, priorities: Vec<Node>) {
+        self.rules.insert((node, inport), priorities);
+    }
+
+    /// The priority list for `(node, inport)`, if configured.
+    pub fn get(&self, node: Node, inport: Option<Node>) -> Option<&[Node]> {
+        self.rules.get(&(node, inport)).map(|v| v.as_slice())
+    }
+
+    /// Number of configured rules (the paper's routing-table size measure).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` if no rule is configured.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// A forwarding pattern backed by per-`(source, destination)` priority tables.
+///
+/// The table generator closure is evaluated lazily the first time a given
+/// `(s, t)` pair is routed and is expected to be deterministic.  A
+/// destination-only pattern simply ignores the source argument in its
+/// generator.
+pub struct PriorityTablePattern {
+    model: RoutingModel,
+    name: String,
+    deliver_to_adjacent_destination: bool,
+    generator: Box<dyn Fn(&Graph, Node, Node) -> PriorityTable + Send + Sync>,
+    graph: Graph,
+    cache: parking_lot_free_cache::Cache,
+}
+
+/// A tiny interior-mutability cache that avoids recomputing tables for every
+/// packet while keeping the pattern usable behind a shared reference.
+mod parking_lot_free_cache {
+    use super::PriorityTable;
+    use frr_graph::Node;
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+
+    /// Not `Sync`: the simulator and checkers are single-threaded per pattern,
+    /// and the benchmark harness builds one pattern per worker thread.
+    #[derive(Default)]
+    pub struct Cache {
+        inner: RefCell<BTreeMap<(Node, Node), PriorityTable>>,
+    }
+
+    impl Cache {
+        pub fn get_or_insert_with<F: FnOnce() -> PriorityTable>(
+            &self,
+            key: (Node, Node),
+            make: F,
+        ) -> PriorityTable {
+            let mut map = self.inner.borrow_mut();
+            map.entry(key).or_insert_with(make).clone()
+        }
+    }
+}
+
+impl PriorityTablePattern {
+    /// Creates a priority-table pattern.
+    ///
+    /// * `deliver_to_adjacent_destination` — if `true`, a node always forwards
+    ///   straight to the destination when it is an alive neighbor, before
+    ///   consulting the table (the "highest priority" rule used by all the
+    ///   paper's constructions).
+    /// * `generator` — builds the table for a concrete `(source, destination)`
+    ///   pair; it must be deterministic.
+    pub fn new<F>(
+        graph: &Graph,
+        model: RoutingModel,
+        name: impl Into<String>,
+        deliver_to_adjacent_destination: bool,
+        generator: F,
+    ) -> Self
+    where
+        F: Fn(&Graph, Node, Node) -> PriorityTable + Send + Sync + 'static,
+    {
+        PriorityTablePattern {
+            model,
+            name: name.into(),
+            deliver_to_adjacent_destination,
+            generator: Box::new(generator),
+            graph: graph.clone(),
+            cache: Default::default(),
+        }
+    }
+
+    /// The table used for a concrete `(source, destination)` pair.
+    pub fn table_for(&self, source: Node, destination: Node) -> PriorityTable {
+        self.cache.get_or_insert_with((source, destination), || {
+            (self.generator)(&self.graph, source, destination)
+        })
+    }
+}
+
+impl ForwardingPattern for PriorityTablePattern {
+    fn model(&self) -> RoutingModel {
+        self.model
+    }
+
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        if self.deliver_to_adjacent_destination && ctx.destination_is_alive_neighbor() {
+            return Some(ctx.destination);
+        }
+        let table = self.table_for(ctx.source, ctx.destination);
+        let priorities = table.get(ctx.node, ctx.inport)?;
+        priorities.iter().copied().find(|&u| ctx.is_alive(u))
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frr_graph::generators;
+    use frr_routing::failure::FailureSet;
+    use frr_routing::simulator::{route, Outcome};
+
+    #[test]
+    fn priority_table_basic_ops() {
+        let mut t = PriorityTable::new();
+        assert!(t.is_empty());
+        t.set(Node(0), None, vec![Node(1), Node(2)]);
+        t.set(Node(0), Some(Node(1)), vec![Node(2)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(Node(0), None), Some([Node(1), Node(2)].as_slice()));
+        assert_eq!(t.get(Node(0), Some(Node(2))), None);
+    }
+
+    #[test]
+    fn table_pattern_routes_first_alive_priority() {
+        let g = generators::complete(3);
+        // A simple pattern: at every node, with any in-port, try neighbors in
+        // ascending order (skipping the in-port logic entirely).
+        let p = PriorityTablePattern::new(
+            &g,
+            RoutingModel::DestinationOnly,
+            "ascending-table",
+            true,
+            |g, _s, _t| {
+                let mut table = PriorityTable::new();
+                for v in g.nodes() {
+                    let prios = g.neighbors_vec(v);
+                    table.set(v, None, prios.clone());
+                    for u in g.neighbors_vec(v) {
+                        table.set(v, Some(u), prios.clone());
+                    }
+                }
+                table
+            },
+        );
+        assert_eq!(p.name(), "ascending-table");
+        assert_eq!(p.model(), RoutingModel::DestinationOnly);
+        // Direct delivery via the adjacent-destination rule.
+        let r = route(&g, &FailureSet::new(), &p, Node(0), Node(2), 100);
+        assert_eq!(r.outcome, Outcome::Delivered);
+        assert_eq!(r.hops, 1);
+        // With the direct link failed the table detours via node 1.
+        let f = FailureSet::from_pairs(&[(0, 2)]);
+        let r = route(&g, &f, &p, Node(0), Node(2), 100);
+        assert_eq!(r.outcome, Outcome::Delivered);
+        assert_eq!(r.path, vec![Node(0), Node(1), Node(2)]);
+    }
+
+    #[test]
+    fn missing_rule_drops_packet() {
+        let g = generators::path(3);
+        let p = PriorityTablePattern::new(
+            &g,
+            RoutingModel::DestinationOnly,
+            "empty-table",
+            false,
+            |_, _, _| PriorityTable::new(),
+        );
+        let r = route(&g, &FailureSet::new(), &p, Node(0), Node(2), 100);
+        assert_eq!(r.outcome, Outcome::Stuck);
+    }
+}

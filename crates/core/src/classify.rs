@@ -1,0 +1,348 @@
+//! The §VIII classification engine: given a network, decide for each routing
+//! model whether perfect resilience is possible, impossible, possible for some
+//! destinations only ("sometimes"), or unknown.
+//!
+//! The decision procedure mirrors the paper's methodology:
+//!
+//! * **Touring** — possible iff the graph is outerplanar (Corollary 6, an
+//!   exact characterization).
+//! * **Destination-only** — impossible if a `K5^{-1}` or `K3,3^{-1}` minor is
+//!   found (Theorems 10/11; any non-planar graph qualifies immediately),
+//!   possible if the graph is outerplanar, *sometimes* if some destination's
+//!   removal leaves an outerplanar remainder (Corollary 5), otherwise unknown.
+//! * **Source–destination** — impossible if a `K7^{-1}` or `K4,4^{-1}` minor
+//!   is found (Theorems 6/7), possible if the graph is outerplanar or has at
+//!   most five nodes (Theorem 8) or is bipartite within `K3,3` (Theorem 9),
+//!   *sometimes* / unknown as above.
+
+use frr_graph::minors::{forbidden, has_minor_with_budget, MinorAnswer};
+use frr_graph::outerplanar::is_outerplanar;
+use frr_graph::planarity::is_planar;
+use frr_graph::{Graph, Node};
+use std::fmt;
+
+/// Feasibility of perfect resilience in one routing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Feasibility {
+    /// Perfect resilience is possible for every destination.
+    Possible,
+    /// Perfect resilience is possible for the given fraction of destinations
+    /// (the paper's "sometimes" class); the fraction is in `(0, 1]`.
+    Sometimes(f64),
+    /// Perfect resilience is impossible (a forbidden minor was found, or the
+    /// touring characterization rules it out).
+    Impossible,
+    /// The analysis could not decide within its budget.
+    Unknown,
+}
+
+impl Feasibility {
+    /// The class label used in the paper's Fig. 7 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Feasibility::Possible => "Possible",
+            Feasibility::Sometimes(_) => "Sometimes",
+            Feasibility::Impossible => "Impossible",
+            Feasibility::Unknown => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for Feasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Feasibility::Sometimes(frac) => write!(f, "Sometimes({:.1}%)", frac * 100.0),
+            other => write!(f, "{}", other.label()),
+        }
+    }
+}
+
+/// Work budgets for the (NP-hard) minor searches and the per-destination
+/// outerplanarity sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifyBudget {
+    /// Budget per minor search (see [`frr_graph::minors::has_minor_with_budget`]).
+    pub minor_budget: u64,
+    /// Maximum number of destinations probed for the "sometimes" fraction;
+    /// larger graphs are sampled deterministically (every `ceil(n/k)`-th node).
+    pub max_destination_probes: usize,
+}
+
+impl Default for ClassifyBudget {
+    fn default() -> Self {
+        ClassifyBudget {
+            minor_budget: 50_000,
+            max_destination_probes: 150,
+        }
+    }
+}
+
+/// The classification of one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of links.
+    pub edges: usize,
+    /// Density `|E| / |V|` (the x/y measure of the paper's Fig. 8).
+    pub density: f64,
+    /// Whether the network is planar.
+    pub planar: bool,
+    /// Whether the network is outerplanar.
+    pub outerplanar: bool,
+    /// Feasibility of perfectly resilient touring (§VII).
+    pub touring: Feasibility,
+    /// Feasibility of destination-only perfect resilience (§V).
+    pub destination_only: Feasibility,
+    /// Feasibility of source–destination perfect resilience (§IV).
+    pub source_destination: Feasibility,
+}
+
+/// Classifies a network with the default budget.
+pub fn classify(g: &Graph) -> Classification {
+    classify_with_budget(g, ClassifyBudget::default())
+}
+
+/// Classifies a network with an explicit budget.
+pub fn classify_with_budget(g: &Graph, budget: ClassifyBudget) -> Classification {
+    let planar = is_planar(g);
+    let outerplanar = planar && is_outerplanar(g);
+
+    let touring = if outerplanar {
+        Feasibility::Possible
+    } else {
+        Feasibility::Impossible
+    };
+
+    // The "sometimes" fraction is shared by both header-based models and is
+    // only needed when the graph is not outerplanar, and only consulted when
+    // no forbidden minor settles the class.
+    let mut sometimes_fraction: Option<f64> = None;
+    let mut sometimes = |g: &Graph| -> f64 {
+        *sometimes_fraction.get_or_insert_with(|| tourable_fraction(g, budget.max_destination_probes))
+    };
+
+    let destination_only = if outerplanar {
+        Feasibility::Possible
+    } else if !planar {
+        // Non-planar ⇒ K5 or K3,3 minor ⇒ K5^{-1} or K3,3^{-1} minor.
+        Feasibility::Impossible
+    } else {
+        let k5m1 = has_minor_with_budget(g, &forbidden::k5_minus1(), budget.minor_budget);
+        let k33m1 = has_minor_with_budget(g, &forbidden::k33_minus1(), budget.minor_budget);
+        if k5m1.is_yes() || k33m1.is_yes() {
+            Feasibility::Impossible
+        } else {
+            let frac = sometimes(g);
+            if frac > 0.0 {
+                Feasibility::Sometimes(frac)
+            } else if k5m1 == MinorAnswer::No && k33m1 == MinorAnswer::No {
+                // No forbidden minor, not outerplanar, no good destination:
+                // the paper's methodology cannot decide this case either.
+                Feasibility::Unknown
+            } else {
+                Feasibility::Unknown
+            }
+        }
+    };
+
+    let source_destination = if outerplanar || g.node_count() <= 5 {
+        // Outerplanar graphs and all graphs on at most five nodes are possible
+        // (Corollary 6 ⊆ Theorem 8's minors, respectively Theorem 8 itself).
+        Feasibility::Possible
+    } else if fits_in_k33(g) {
+        // Theorem 9: K3,3 and its subgraphs.
+        Feasibility::Possible
+    } else {
+        let forbidden_found = if planar {
+            // K7^{-1} and K4,4^{-1} are non-planar, so planar graphs never
+            // contain them.
+            false
+        } else {
+            has_minor_with_budget(g, &forbidden::k7_minus1(), budget.minor_budget).is_yes()
+                || has_minor_with_budget(g, &forbidden::k44_minus1(), budget.minor_budget).is_yes()
+        };
+        if forbidden_found {
+            Feasibility::Impossible
+        } else {
+            let frac = sometimes(g);
+            if frac > 0.0 {
+                Feasibility::Sometimes(frac)
+            } else {
+                Feasibility::Unknown
+            }
+        }
+    };
+
+    Classification {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        density: g.density(),
+        planar,
+        outerplanar,
+        touring,
+        destination_only,
+        source_destination,
+    }
+}
+
+/// Fraction of probed destinations `t` such that `G − t` is outerplanar,
+/// probing at most `max_probes` destinations (deterministic stride sampling).
+fn tourable_fraction(g: &Graph, max_probes: usize) -> f64 {
+    let n = g.node_count();
+    if n == 0 || max_probes == 0 {
+        return 0.0;
+    }
+    let stride = n.div_ceil(max_probes).max(1);
+    let probes: Vec<Node> = (0..n).step_by(stride).map(Node).collect();
+    let good = probes
+        .iter()
+        .filter(|&&t| is_outerplanar(&g.isolating(t)))
+        .count();
+    good as f64 / probes.len() as f64
+}
+
+/// `true` if `g` is a subgraph of `K3,3` under *some* bipartition of at most
+/// 3 + 3 nodes (cheap check used by the source–destination classification).
+fn fits_in_k33(g: &Graph) -> bool {
+    if g.node_count() > 6 || g.edge_count() > 9 {
+        return false;
+    }
+    // Try all 2-colorings of the (≤ 6) nodes with parts of size ≤ 3.
+    let n = g.node_count();
+    'outer: for mask in 0u32..(1 << n) {
+        let part_a = mask.count_ones() as usize;
+        if part_a > 3 || n - part_a > 3 {
+            continue;
+        }
+        for e in g.edges() {
+            let ua = mask & (1 << e.u().index()) != 0;
+            let va = mask & (1 << e.v().index()) != 0;
+            if ua == va {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frr_graph::generators;
+
+    #[test]
+    fn outerplanar_graphs_are_possible_everywhere() {
+        for g in [
+            generators::cycle(8),
+            generators::path(10),
+            generators::maximal_outerplanar(9),
+            generators::star(6),
+        ] {
+            let c = classify(&g);
+            assert!(c.outerplanar);
+            assert_eq!(c.touring, Feasibility::Possible);
+            assert_eq!(c.destination_only, Feasibility::Possible);
+            assert_eq!(c.source_destination, Feasibility::Possible);
+        }
+    }
+
+    #[test]
+    fn k5_and_k33_are_possible_with_source_but_not_without() {
+        let k5 = generators::complete(5);
+        let c = classify(&k5);
+        assert_eq!(c.source_destination, Feasibility::Possible, "Theorem 8");
+        assert_eq!(c.destination_only, Feasibility::Impossible, "Theorem 10 domain");
+        assert_eq!(c.touring, Feasibility::Impossible);
+
+        let k33 = generators::complete_bipartite(3, 3);
+        let c = classify(&k33);
+        assert_eq!(c.source_destination, Feasibility::Possible, "Theorem 9");
+        assert_eq!(c.destination_only, Feasibility::Impossible, "Theorem 11 domain");
+    }
+
+    #[test]
+    fn k7_and_k44_are_impossible_even_with_source() {
+        for g in [
+            generators::complete(7),
+            generators::complete_minus(7, 1),
+            generators::complete_bipartite(4, 4),
+            generators::complete_bipartite_minus(4, 4, 1),
+        ] {
+            let c = classify(&g);
+            assert_eq!(c.source_destination, Feasibility::Impossible);
+            assert_eq!(c.destination_only, Feasibility::Impossible);
+            assert_eq!(c.touring, Feasibility::Impossible);
+        }
+    }
+
+    #[test]
+    fn wheel_is_sometimes_for_destination_routing() {
+        // The wheel W5 is planar, not outerplanar, contains no K5^-1 / K3,3^-1
+        // minor, and removing any node leaves an outerplanar remainder.
+        let g = generators::wheel(5);
+        let c = classify(&g);
+        assert!(c.planar && !c.outerplanar);
+        assert_eq!(c.touring, Feasibility::Impossible);
+        match c.destination_only {
+            Feasibility::Sometimes(frac) => assert!((frac - 1.0).abs() < 1e-9),
+            other => panic!("expected Sometimes, got {other}"),
+        }
+    }
+
+    #[test]
+    fn k4_is_sometimes_for_destination_but_possible_with_source() {
+        let g = generators::complete(4);
+        let c = classify(&g);
+        assert_eq!(c.touring, Feasibility::Impossible, "Lemma 3");
+        assert_eq!(c.source_destination, Feasibility::Possible, "Theorem 8");
+        match c.destination_only {
+            // K4 has no K5^-1 / K3,3^-1 minor and every node removal leaves a
+            // triangle: every destination is servable (Theorem 12 territory).
+            Feasibility::Sometimes(frac) => assert!((frac - 1.0).abs() < 1e-9),
+            other => panic!("expected Sometimes for K4, got {other}"),
+        }
+    }
+
+    #[test]
+    fn grid_is_planar_sometimes_or_unknown() {
+        let g = generators::grid(3, 3);
+        let c = classify(&g);
+        assert!(c.planar && !c.outerplanar);
+        assert_ne!(c.touring, Feasibility::Possible);
+        // The 3x3 grid contains no K5^-1 (needs a degree-3 core of 5 nodes
+        // with 9 links) — the classifier must not call it Impossible for the
+        // source-destination model (it is planar).
+        assert_ne!(c.source_destination, Feasibility::Impossible);
+    }
+
+    #[test]
+    fn density_and_counts_are_reported() {
+        let g = generators::complete(6);
+        let c = classify(&g);
+        assert_eq!(c.nodes, 6);
+        assert_eq!(c.edges, 15);
+        assert!((c.density - 2.5).abs() < 1e-12);
+        assert!(!c.planar);
+    }
+
+    #[test]
+    fn feasibility_labels() {
+        assert_eq!(Feasibility::Possible.label(), "Possible");
+        assert_eq!(Feasibility::Sometimes(0.5).label(), "Sometimes");
+        assert_eq!(Feasibility::Impossible.label(), "Impossible");
+        assert_eq!(Feasibility::Unknown.label(), "Unknown");
+        assert_eq!(format!("{}", Feasibility::Sometimes(0.25)), "Sometimes(25.0%)");
+        assert_eq!(format!("{}", Feasibility::Unknown), "Unknown");
+    }
+
+    #[test]
+    fn fits_in_k33_detection() {
+        assert!(fits_in_k33(&generators::complete_bipartite(3, 3)));
+        assert!(fits_in_k33(&generators::complete_bipartite(2, 3)));
+        assert!(fits_in_k33(&generators::cycle(6)));
+        assert!(!fits_in_k33(&generators::complete(4)));
+        assert!(!fits_in_k33(&generators::complete_bipartite(3, 4)));
+    }
+}

@@ -1,0 +1,243 @@
+//! Spanning trees and arc-disjoint arborescences for the failover baselines.
+//!
+//! The related-work baseline of the paper (Chiesa et al., §I-B.1) routes along
+//! arc-disjoint spanning arborescences rooted at the destination: a packet
+//! follows one arborescence until it hits a failed link and then switches to
+//! the next.  For complete graphs these arborescences are obtained here from
+//! link-disjoint Hamiltonian cycles (each cycle yields two arc-disjoint
+//! directed paths towards the root); for general graphs a greedy edge-disjoint
+//! spanning-tree extractor provides a best-effort decomposition.
+
+use crate::graph::{Edge, Graph, Node};
+use std::collections::VecDeque;
+
+/// An arborescence rooted at `root`: `parent[v]` is the next hop of `v` on its
+/// directed path towards the root (`None` for the root itself and for nodes
+/// outside the arborescence).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arborescence {
+    /// The root (destination) of the arborescence.
+    pub root: Node,
+    /// Next hop towards the root, indexed by node.
+    pub parent: Vec<Option<Node>>,
+}
+
+impl Arborescence {
+    /// Next hop of `v` towards the root, or `None` if `v` is the root or not
+    /// covered.
+    pub fn next_hop(&self, v: Node) -> Option<Node> {
+        self.parent[v.index()]
+    }
+
+    /// The directed arcs `(v, parent(v))` of the arborescence.
+    pub fn arcs(&self) -> Vec<(Node, Node)> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, p)| p.map(|p| (Node(v), p)))
+            .collect()
+    }
+
+    /// `true` if every node of `g` reaches the root by following `parent`
+    /// pointers (no cycles, no dead ends).
+    pub fn spans(&self, g: &Graph) -> bool {
+        for v in g.nodes() {
+            let mut cur = v;
+            let mut steps = 0;
+            while cur != self.root {
+                match self.parent[cur.index()] {
+                    Some(p) => cur = p,
+                    None => return false,
+                }
+                steps += 1;
+                if steps > g.node_count() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Builds a BFS spanning arborescence of `g` rooted (towards) `root`, or
+/// `None` if `g` is not connected.
+pub fn bfs_arborescence(g: &Graph, root: Node) -> Option<Arborescence> {
+    let n = g.node_count();
+    let mut parent = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    seen[root.index()] = true;
+    queue.push_back(root);
+    let mut count = 1;
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+                count += 1;
+            }
+        }
+    }
+    if count == n {
+        Some(Arborescence { root, parent })
+    } else {
+        None
+    }
+}
+
+/// Converts link-disjoint Hamiltonian cycles into arc-disjoint arborescences
+/// rooted at `root`: each cycle is cut open at `root` and oriented both ways,
+/// yielding two directed Hamiltonian paths ending at `root` per cycle.
+///
+/// # Panics
+///
+/// Panics if a cycle does not contain `root`.
+pub fn arborescences_from_hamiltonian_cycles(
+    cycles: &[Vec<Node>],
+    n: usize,
+    root: Node,
+) -> Vec<Arborescence> {
+    let mut out = Vec::with_capacity(2 * cycles.len());
+    for cycle in cycles {
+        let pos = cycle
+            .iter()
+            .position(|&v| v == root)
+            .expect("every Hamiltonian cycle contains the root");
+        let len = cycle.len();
+        // Clockwise: each node forwards to its successor on the cycle;
+        // the node just before the root completes the path.
+        let mut forward = vec![None; n];
+        let mut backward = vec![None; n];
+        for i in 0..len {
+            let v = cycle[(pos + i) % len];
+            if v != root {
+                // predecessor direction: v points to the previous node on the
+                // cycle walk starting at root (towards the root).
+                let prev = cycle[(pos + i + len - 1) % len];
+                backward[v.index()] = Some(prev);
+            }
+            let w = cycle[(pos + len - i) % len];
+            if w != root {
+                let nxt = cycle[(pos + len - i + 1) % len];
+                forward[w.index()] = Some(nxt);
+            }
+        }
+        out.push(Arborescence { root, parent: backward });
+        out.push(Arborescence { root, parent: forward });
+    }
+    out
+}
+
+/// Greedily extracts up to `k` edge-disjoint spanning trees of `g` as
+/// arborescences rooted at `root` (best-effort: stops when the remaining graph
+/// is no longer connected).
+pub fn edge_disjoint_spanning_arborescences(g: &Graph, root: Node, k: usize) -> Vec<Arborescence> {
+    let mut remaining = g.clone();
+    let mut out = Vec::new();
+    for _ in 0..k {
+        match bfs_arborescence(&remaining, root) {
+            Some(a) => {
+                for (v, p) in a.arcs() {
+                    remaining.remove_edge(v, p);
+                }
+                out.push(a);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Checks that the arborescences are pairwise arc-disjoint (the same
+/// undirected link may be used by two arborescences only in opposite
+/// directions).
+pub fn are_arc_disjoint(arborescences: &[Arborescence]) -> bool {
+    let mut seen: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    for a in arborescences {
+        for (v, p) in a.arcs() {
+            if !seen.insert((v.index(), p.index())) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that the arborescences use pairwise disjoint undirected links.
+pub fn are_edge_disjoint(arborescences: &[Arborescence]) -> bool {
+    let mut seen: std::collections::BTreeSet<Edge> = std::collections::BTreeSet::new();
+    for a in arborescences {
+        for (v, p) in a.arcs() {
+            if !seen.insert(Edge::new(v, p)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::hamiltonian::walecki_decomposition;
+
+    #[test]
+    fn bfs_arborescence_spans_connected_graphs() {
+        let g = generators::complete(6);
+        let a = bfs_arborescence(&g, Node(3)).unwrap();
+        assert!(a.spans(&g));
+        assert_eq!(a.next_hop(Node(3)), None);
+        assert_eq!(a.arcs().len(), 5);
+        // Disconnected graph: no spanning arborescence.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(bfs_arborescence(&g, Node(0)).is_none());
+    }
+
+    #[test]
+    fn hamiltonian_cycles_give_arc_disjoint_arborescences() {
+        let n = 7;
+        let g = generators::complete(n);
+        let cycles = walecki_decomposition(n);
+        let root = Node(0);
+        let arbs = arborescences_from_hamiltonian_cycles(&cycles, n, root);
+        assert_eq!(arbs.len(), 2 * cycles.len());
+        assert!(are_arc_disjoint(&arbs));
+        for a in &arbs {
+            assert!(a.spans(&g), "every arborescence must span the graph");
+            assert_eq!(a.root, root);
+        }
+    }
+
+    #[test]
+    fn greedy_spanning_trees_are_edge_disjoint() {
+        // Greedy extraction is best-effort: it must return at least one
+        // spanning tree on a connected graph and everything it returns must be
+        // a valid, pairwise edge-disjoint spanning tree.
+        let g = generators::complete(6);
+        let arbs = edge_disjoint_spanning_arborescences(&g, Node(0), 3);
+        assert!(!arbs.is_empty());
+        assert!(are_edge_disjoint(&arbs));
+        for a in &arbs {
+            assert!(a.spans(&g));
+        }
+        // A cycle supports exactly one spanning tree.
+        let c = generators::cycle(5);
+        let arbs = edge_disjoint_spanning_arborescences(&c, Node(0), 4);
+        assert_eq!(arbs.len(), 1);
+        // A tree supports exactly one spanning tree.
+        let t = generators::star(5);
+        let arbs = edge_disjoint_spanning_arborescences(&t, Node(0), 4);
+        assert_eq!(arbs.len(), 1);
+    }
+
+    #[test]
+    fn arc_disjoint_checker_detects_overlap() {
+        let g = generators::complete(4);
+        let a = bfs_arborescence(&g, Node(0)).unwrap();
+        assert!(are_arc_disjoint(&[a.clone()]));
+        assert!(!are_arc_disjoint(&[a.clone(), a.clone()]));
+        assert!(!are_edge_disjoint(&[a.clone(), a]));
+    }
+}

@@ -1,0 +1,450 @@
+//! Connectivity primitives: components, Menger-style `s–t` edge connectivity,
+//! global edge connectivity, bridges, articulation points, biconnected
+//! components and the block–cut tree.
+//!
+//! The paper's `r`-tolerance promise (Definition 1) is defined in terms of
+//! *link* connectivity: `s` and `t` are `r`-connected if there are `r`
+//! pairwise link-disjoint paths between them, which by Menger's theorem equals
+//! the `s–t` minimum cut computed here via unit-capacity max-flow.
+
+use crate::graph::{Edge, Graph, Node};
+use std::collections::VecDeque;
+
+/// Returns `true` if the graph is connected.
+///
+/// The empty graph and the single-node graph are considered connected;
+/// isolated nodes in larger graphs make it disconnected.
+pub fn is_connected(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    let order = crate::traversal::bfs_order(g, Node(0));
+    order.len() == n
+}
+
+/// Connected components as sorted node lists, ordered by their smallest node.
+pub fn connected_components(g: &Graph) -> Vec<Vec<Node>> {
+    let n = g.node_count();
+    let mut comp = vec![usize::MAX; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        comp[start] = id;
+        queue.push_back(Node(start));
+        while let Some(v) = queue.pop_front() {
+            members.push(v);
+            for u in g.neighbors(v) {
+                if comp[u.index()] == usize::MAX {
+                    comp[u.index()] = id;
+                    queue.push_back(u);
+                }
+            }
+        }
+        members.sort_unstable();
+        components.push(members);
+    }
+    components
+}
+
+/// The (sorted) connected component containing `v`.
+pub fn component_of(g: &Graph, v: Node) -> Vec<Node> {
+    let mut order = crate::traversal::bfs_order(g, v);
+    order.sort_unstable();
+    order
+}
+
+/// Returns `true` if `s` and `t` are in the same connected component.
+pub fn same_component(g: &Graph, s: Node, t: Node) -> bool {
+    s == t || crate::traversal::distance(g, s, t).is_some()
+}
+
+/// The `s–t` edge connectivity (size of a minimum `s–t` link cut), i.e. the
+/// maximum number of pairwise link-disjoint `s–t` paths (Menger's theorem).
+///
+/// Computed via Edmonds–Karp max-flow on the bidirected unit-capacity graph.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+pub fn st_edge_connectivity(g: &Graph, s: Node, t: Node) -> usize {
+    assert_ne!(s, t, "s-t connectivity requires distinct endpoints");
+    let n = g.node_count();
+    // Arc list with residual capacities: each undirected edge becomes two
+    // arcs of capacity 1 each (standard reduction for undirected max-flow).
+    let mut arc_to: Vec<usize> = Vec::new();
+    let mut arc_cap: Vec<i32> = Vec::new();
+    let mut head: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let add_arc = |u: usize, v: usize, cap: i32, arc_to: &mut Vec<usize>, arc_cap: &mut Vec<i32>, head: &mut Vec<Vec<usize>>| {
+        head[u].push(arc_to.len());
+        arc_to.push(v);
+        arc_cap.push(cap);
+    };
+    for e in g.edges() {
+        let (u, v) = (e.u().index(), e.v().index());
+        // arcs are stored in pairs so that `idx ^ 1` is the reverse arc
+        add_arc(u, v, 1, &mut arc_to, &mut arc_cap, &mut head);
+        add_arc(v, u, 1, &mut arc_to, &mut arc_cap, &mut head);
+    }
+    let (s, t) = (s.index(), t.index());
+    let mut flow = 0usize;
+    loop {
+        // BFS for an augmenting path.
+        let mut prev_arc: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = VecDeque::new();
+        visited[s] = true;
+        queue.push_back(s);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &a in &head[v] {
+                if arc_cap[a] > 0 && !visited[arc_to[a]] {
+                    visited[arc_to[a]] = true;
+                    prev_arc[arc_to[a]] = Some(a);
+                    if arc_to[a] == t {
+                        break 'bfs;
+                    }
+                    queue.push_back(arc_to[a]);
+                }
+            }
+        }
+        if !visited[t] {
+            break;
+        }
+        // Augment by 1 along the path.
+        let mut v = t;
+        while v != s {
+            let a = prev_arc[v].expect("augmenting path exists");
+            arc_cap[a] -= 1;
+            arc_cap[a ^ 1] += 1;
+            // the arc a goes from `from` to v; recover `from` via reverse arc
+            v = arc_to[a ^ 1];
+        }
+        flow += 1;
+    }
+    flow
+}
+
+/// Returns `true` if `s` and `t` are connected by at least `r` pairwise
+/// link-disjoint paths (the paper's `r`-connectivity promise).
+pub fn are_r_connected(g: &Graph, s: Node, t: Node, r: usize) -> bool {
+    if r == 0 {
+        return true;
+    }
+    if s == t {
+        return true;
+    }
+    st_edge_connectivity(g, s, t) >= r
+}
+
+/// Global edge connectivity: the minimum over all `s–t` pairs of the `s–t`
+/// edge connectivity (0 for disconnected or single-node graphs).
+pub fn edge_connectivity(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n < 2 {
+        return 0;
+    }
+    if !is_connected(g) {
+        return 0;
+    }
+    // λ(G) = min over t != s0 of λ(s0, t) for any fixed s0.
+    let s0 = Node(0);
+    (1..n)
+        .map(|t| st_edge_connectivity(g, s0, Node(t)))
+        .min()
+        .unwrap_or(0)
+}
+
+/// Returns `true` if the graph is `k`-edge-connected.
+pub fn is_k_edge_connected(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    edge_connectivity(g) >= k
+}
+
+/// Internal DFS machinery shared by bridges / articulation points /
+/// biconnected components (iterative Tarjan low-link computation).
+struct LowLink {
+    disc: Vec<usize>,
+    low: Vec<usize>,
+    parent: Vec<Option<Node>>,
+    bridges: Vec<Edge>,
+    articulation: Vec<bool>,
+    /// Edge stack partitioned into biconnected components.
+    components: Vec<Vec<Edge>>,
+}
+
+fn lowlink(g: &Graph) -> LowLink {
+    let n = g.node_count();
+    let mut res = LowLink {
+        disc: vec![usize::MAX; n],
+        low: vec![usize::MAX; n],
+        parent: vec![None; n],
+        bridges: Vec::new(),
+        articulation: vec![false; n],
+        components: Vec::new(),
+    };
+    let mut timer = 0usize;
+    let mut edge_stack: Vec<Edge> = Vec::new();
+
+    for root in g.nodes() {
+        if res.disc[root.index()] != usize::MAX {
+            continue;
+        }
+        let mut root_children = 0usize;
+        // stack of (node, neighbor iterator index)
+        let mut stack: Vec<(Node, usize)> = vec![(root, 0)];
+        res.disc[root.index()] = timer;
+        res.low[root.index()] = timer;
+        timer += 1;
+
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let neighbors = g.neighbors_vec(v);
+            if *idx < neighbors.len() {
+                let u = neighbors[*idx];
+                *idx += 1;
+                if res.disc[u.index()] == usize::MAX {
+                    // tree edge
+                    res.parent[u.index()] = Some(v);
+                    if v == root {
+                        root_children += 1;
+                    }
+                    edge_stack.push(Edge::new(v, u));
+                    res.disc[u.index()] = timer;
+                    res.low[u.index()] = timer;
+                    timer += 1;
+                    stack.push((u, 0));
+                } else if Some(u) != res.parent[v.index()] && res.disc[u.index()] < res.disc[v.index()] {
+                    // back edge
+                    edge_stack.push(Edge::new(v, u));
+                    res.low[v.index()] = res.low[v.index()].min(res.disc[u.index()]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    res.low[p.index()] = res.low[p.index()].min(res.low[v.index()]);
+                    if res.low[v.index()] > res.disc[p.index()] {
+                        res.bridges.push(Edge::new(p, v));
+                    }
+                    if res.low[v.index()] >= res.disc[p.index()] {
+                        // p is an articulation point (root handled separately);
+                        // pop the biconnected component.
+                        if p != root {
+                            res.articulation[p.index()] = true;
+                        }
+                        let mut comp = Vec::new();
+                        while let Some(&e) = edge_stack.last() {
+                            if res.disc[e.u().index()] >= res.disc[v.index()]
+                                || res.disc[e.v().index()] >= res.disc[v.index()]
+                            {
+                                comp.push(e);
+                                edge_stack.pop();
+                            } else {
+                                break;
+                            }
+                        }
+                        // the edge (p, v) itself
+                        if let Some(&e) = edge_stack.last() {
+                            if e == Edge::new(p, v) {
+                                comp.push(e);
+                                edge_stack.pop();
+                            }
+                        }
+                        if !comp.is_empty() {
+                            res.components.push(comp);
+                        }
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            res.articulation[root.index()] = true;
+        }
+        // Any leftover edges on the stack form the last component of this root.
+        if !edge_stack.is_empty() {
+            res.components.push(std::mem::take(&mut edge_stack));
+        }
+    }
+    res
+}
+
+/// All bridge links (links whose removal disconnects their component).
+pub fn bridges(g: &Graph) -> Vec<Edge> {
+    let mut b = lowlink(g).bridges;
+    b.sort_unstable();
+    b
+}
+
+/// All articulation points (cut vertices).
+pub fn articulation_points(g: &Graph) -> Vec<Node> {
+    let ll = lowlink(g);
+    g.nodes().filter(|v| ll.articulation[v.index()]).collect()
+}
+
+/// Biconnected components as edge lists (every edge belongs to exactly one
+/// component; isolated nodes yield no component).
+pub fn biconnected_components(g: &Graph) -> Vec<Vec<Edge>> {
+    let mut comps = lowlink(g).components;
+    for c in &mut comps {
+        c.sort_unstable();
+        c.dedup();
+    }
+    comps.retain(|c| !c.is_empty());
+    comps
+}
+
+/// A block of the block–cut tree: either a biconnected component (as a set of
+/// nodes and its edge list) or a bridge edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Nodes of the block, sorted.
+    pub nodes: Vec<Node>,
+    /// Edges of the block, sorted.
+    pub edges: Vec<Edge>,
+}
+
+/// The blocks (biconnected components, including single-edge bridges) of the
+/// graph.  Cut vertices appear in several blocks.
+pub fn blocks(g: &Graph) -> Vec<Block> {
+    biconnected_components(g)
+        .into_iter()
+        .map(|edges| {
+            let mut nodes: Vec<Node> = edges
+                .iter()
+                .flat_map(|e| [e.u(), e.v()])
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            Block { nodes, edges }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn connectivity_basic() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+        assert!(is_connected(&generators::cycle(5)));
+        assert!(!is_connected(&Graph::from_edges(4, &[(0, 1), (2, 3)])));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![Node(0), Node(1), Node(2)]);
+        assert_eq!(comps[1], vec![Node(3), Node(4)]);
+        assert_eq!(comps[2], vec![Node(5)]);
+        assert_eq!(component_of(&g, Node(4)), vec![Node(3), Node(4)]);
+        assert!(same_component(&g, Node(0), Node(2)));
+        assert!(!same_component(&g, Node(0), Node(5)));
+        assert!(same_component(&g, Node(5), Node(5)));
+    }
+
+    #[test]
+    fn st_connectivity_on_known_graphs() {
+        let k5 = generators::complete(5);
+        assert_eq!(st_edge_connectivity(&k5, Node(0), Node(4)), 4);
+        let c6 = generators::cycle(6);
+        assert_eq!(st_edge_connectivity(&c6, Node(0), Node(3)), 2);
+        let p4 = generators::path(4);
+        assert_eq!(st_edge_connectivity(&p4, Node(0), Node(3)), 1);
+        let k33 = generators::complete_bipartite(3, 3);
+        assert_eq!(st_edge_connectivity(&k33, Node(0), Node(3)), 3);
+        assert_eq!(st_edge_connectivity(&k33, Node(0), Node(1)), 3);
+        // disconnected pair
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(st_edge_connectivity(&g, Node(0), Node(3)), 0);
+    }
+
+    #[test]
+    fn r_connected_promise() {
+        let k5 = generators::complete(5);
+        assert!(are_r_connected(&k5, Node(0), Node(1), 4));
+        assert!(!are_r_connected(&k5, Node(0), Node(1), 5));
+        assert!(are_r_connected(&k5, Node(2), Node(2), 10));
+        assert!(are_r_connected(&k5, Node(0), Node(1), 0));
+    }
+
+    #[test]
+    fn global_edge_connectivity() {
+        assert_eq!(edge_connectivity(&generators::complete(5)), 4);
+        assert_eq!(edge_connectivity(&generators::cycle(7)), 2);
+        assert_eq!(edge_connectivity(&generators::path(4)), 1);
+        assert_eq!(edge_connectivity(&generators::petersen()), 3);
+        assert_eq!(edge_connectivity(&Graph::from_edges(4, &[(0, 1), (2, 3)])), 0);
+        assert!(is_k_edge_connected(&generators::complete(6), 5));
+        assert!(!is_k_edge_connected(&generators::cycle(6), 3));
+        assert!(is_k_edge_connected(&generators::cycle(6), 0));
+    }
+
+    #[test]
+    fn bridges_and_articulation_points() {
+        // Two triangles joined by a bridge: 0-1-2-0, 3-4-5-3, bridge 2-3.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(bridges(&g), vec![Edge::new(Node(2), Node(3))]);
+        assert_eq!(articulation_points(&g), vec![Node(2), Node(3)]);
+        // A cycle has no bridges and no articulation points.
+        assert!(bridges(&generators::cycle(5)).is_empty());
+        assert!(articulation_points(&generators::cycle(5)).is_empty());
+        // A path: every internal node is an articulation point, every edge a bridge.
+        let p = generators::path(4);
+        assert_eq!(bridges(&p).len(), 3);
+        assert_eq!(articulation_points(&p), vec![Node(1), Node(2)]);
+        // Star: hub is the articulation point.
+        let s = generators::star(4);
+        assert_eq!(articulation_points(&s), vec![Node(0)]);
+        assert_eq!(bridges(&s).len(), 4);
+    }
+
+    #[test]
+    fn biconnected_components_partition_edges() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]);
+        let comps = biconnected_components(&g);
+        assert_eq!(comps.len(), 3);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.edge_count());
+        // Each edge appears in exactly one component.
+        let mut all: Vec<Edge> = comps.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), g.edge_count());
+    }
+
+    #[test]
+    fn blocks_of_wheel_is_single_block() {
+        let w = generators::wheel(5);
+        let b = blocks(&w);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].nodes.len(), 6);
+        assert_eq!(b[0].edges.len(), 10);
+    }
+
+    #[test]
+    fn blocks_share_cut_vertices() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let b = blocks(&g);
+        assert_eq!(b.len(), 2);
+        assert!(b.iter().all(|blk| blk.nodes.contains(&Node(2))));
+    }
+
+    #[test]
+    fn complete_graph_is_single_block_no_cut_vertices() {
+        let k5 = generators::complete(5);
+        assert!(articulation_points(&k5).is_empty());
+        assert!(bridges(&k5).is_empty());
+        assert_eq!(blocks(&k5).len(), 1);
+    }
+}

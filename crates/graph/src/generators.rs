@@ -1,0 +1,446 @@
+//! Generators for the graph families used throughout the paper.
+//!
+//! The negative results revolve around complete graphs `K_n`, complete
+//! bipartite graphs `K_{a,b}` and their `-c`-link variants (`K_n^{-c}`,
+//! `K_{a,b}^{-c}`); the positive results revolve around outerplanar graphs;
+//! the Topology-Zoo case study needs trees, rings, meshes and random graphs.
+
+use crate::graph::{Graph, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(Node(u), Node(v));
+        }
+    }
+    g
+}
+
+/// The complete graph `K_n` with `c` links removed (`K_n^{-c}`).
+///
+/// Removed links are chosen deterministically among links *not* incident to
+/// node `0`: the paper's `K_7^{-1}` / `K_5^{-1}` constructions remove links
+/// between non-source, non-destination nodes, and keeping node `0` untouched
+/// makes the variants convenient as "source keeps full degree" instances.
+/// When more links must be removed than exist outside node `0`, the remaining
+/// removals fall back to links incident to node `0`.
+///
+/// # Panics
+///
+/// Panics if `c` exceeds the number of links of `K_n`.
+pub fn complete_minus(n: usize, c: usize) -> Graph {
+    let mut g = complete(n);
+    assert!(c <= g.edge_count(), "cannot remove {c} links from K_{n}");
+    let mut removed = 0;
+    let edges = g.edges();
+    for e in edges.iter().filter(|e| e.u() != Node(0)) {
+        if removed == c {
+            break;
+        }
+        g.remove_edge(e.u(), e.v());
+        removed += 1;
+    }
+    if removed < c {
+        for e in edges.iter().filter(|e| e.u() == Node(0)) {
+            if removed == c {
+                break;
+            }
+            g.remove_edge(e.u(), e.v());
+            removed += 1;
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}`: part `A = {0..a}`, part `B = {a..a+b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.add_edge(Node(u), Node(v));
+        }
+    }
+    g
+}
+
+/// `K_{a,b}` with `c` links removed (`K_{a,b}^{-c}`), removed deterministically
+/// starting from the link between the last node of each part.
+///
+/// # Panics
+///
+/// Panics if `c > a * b`.
+pub fn complete_bipartite_minus(a: usize, b: usize, c: usize) -> Graph {
+    assert!(c <= a * b, "cannot remove {c} links from K_{{{a},{b}}}");
+    let mut g = complete_bipartite(a, b);
+    let mut removed = 0;
+    'outer: for u in (0..a).rev() {
+        for v in ((a)..(a + b)).rev() {
+            if removed == c {
+                break 'outer;
+            }
+            g.remove_edge(Node(u), Node(v));
+            removed += 1;
+        }
+    }
+    g
+}
+
+/// The path graph `P_n` with nodes `0-1-…-(n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(Node(i - 1), Node(i));
+    }
+    g
+}
+
+/// The cycle graph `C_n` (requires `n >= 3`).
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut g = path(n);
+    g.add_edge(Node(n - 1), Node(0));
+    g
+}
+
+/// The star `K_{1,n}`: node `0` is the hub.
+pub fn star(n: usize) -> Graph {
+    let mut g = Graph::new(n + 1);
+    for i in 1..=n {
+        g.add_edge(Node(0), Node(i));
+    }
+    g
+}
+
+/// The wheel `W_n`: a cycle on nodes `1..=n` plus hub `0` connected to all
+/// (requires `n >= 3`).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 3, "a wheel needs a rim of at least 3 nodes");
+    let mut g = Graph::new(n + 1);
+    for i in 1..=n {
+        g.add_edge(Node(0), Node(i));
+        let next = if i == n { 1 } else { i + 1 };
+        g.add_edge(Node(i), Node(next));
+    }
+    g
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let id = |r: usize, c: usize| Node(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (classic non-planar, non-Hamiltonian 3-regular graph).
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5 {
+        // outer pentagon
+        g.add_edge(Node(i), Node((i + 1) % 5));
+        // spokes
+        g.add_edge(Node(i), Node(i + 5));
+        // inner pentagram
+        g.add_edge(Node(5 + i), Node(5 + (i + 2) % 5));
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1usize << bit);
+            if u < v {
+                g.add_edge(Node(u), Node(v));
+            }
+        }
+    }
+    g
+}
+
+/// A "fan" maximal outerplanar graph: a path `1-2-…-(n-1)` plus node `0`
+/// connected to every path node.  Outerplanar for every `n`.
+pub fn fan(n: usize) -> Graph {
+    assert!(n >= 2, "a fan needs at least 2 nodes");
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(Node(0), Node(i));
+        if i + 1 < n {
+            g.add_edge(Node(i), Node(i + 1));
+        }
+    }
+    g
+}
+
+/// A maximal outerplanar graph on `n >= 3` nodes: the cycle `0-1-…-(n-1)-0`
+/// triangulated with chords from node `0` ("fan triangulation").
+pub fn maximal_outerplanar(n: usize) -> Graph {
+    assert!(n >= 3, "a maximal outerplanar graph needs at least 3 nodes");
+    let mut g = cycle(n);
+    for i in 2..(n - 1) {
+        g.add_edge(Node(0), Node(i));
+    }
+    g
+}
+
+/// The ladder graph: two paths of length `n` joined by rungs (`2n` nodes).
+pub fn ladder(n: usize) -> Graph {
+    let mut g = Graph::new(2 * n);
+    for i in 0..n {
+        if i + 1 < n {
+            g.add_edge(Node(i), Node(i + 1));
+            g.add_edge(Node(n + i), Node(n + i + 1));
+        }
+        g.add_edge(Node(i), Node(n + i));
+    }
+    g
+}
+
+/// A uniformly random labelled tree on `n` nodes (random Prüfer sequence).
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    if n <= 1 {
+        return g;
+    }
+    if n == 2 {
+        g.add_edge(Node(0), Node(1));
+        return g;
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &p in &prufer {
+        degree[p] += 1;
+    }
+    let mut leaves: std::collections::BTreeSet<usize> =
+        (0..n).filter(|&v| degree[v] == 1).collect();
+    for &p in &prufer {
+        let leaf = *leaves.iter().next().expect("a leaf always exists");
+        leaves.remove(&leaf);
+        g.add_edge(Node(leaf), Node(p));
+        degree[p] -= 1;
+        if degree[p] == 1 {
+            leaves.insert(p);
+        }
+    }
+    let mut it = leaves.iter();
+    let u = *it.next().expect("two leaves remain");
+    let v = *it.next().expect("two leaves remain");
+    g.add_edge(Node(u), Node(v));
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(Node(u), Node(v));
+            }
+        }
+    }
+    g
+}
+
+/// A connected random graph: a random spanning tree plus `extra` additional
+/// random links (clamped to the number of available non-tree pairs).
+pub fn random_connected<R: Rng>(n: usize, extra: usize, rng: &mut R) -> Graph {
+    let mut g = random_tree(n, rng);
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(Node(u), Node(v)) {
+                candidates.push((u, v));
+            }
+        }
+    }
+    candidates.shuffle(rng);
+    for &(u, v) in candidates.iter().take(extra) {
+        g.add_edge(Node(u), Node(v));
+    }
+    g
+}
+
+/// The graph used by Theorem 2's construction: the Theorem 1 gadget `K_{3+5r}`
+/// extended with a fresh super-source `s'` connected to the old source by
+/// `r - 1` internally disjoint length-2 paths plus a direct `s'–t` link.
+///
+/// Node layout: `0..3+5r` is the complete gadget (node `0` = old source `s`,
+/// node `1` = destination `t`), node `3+5r` is `s'`, and the following `r - 1`
+/// nodes are the middle nodes of the `s'–s` paths.
+pub fn theorem2_supergraph(r: usize) -> Graph {
+    assert!(r >= 2, "Theorem 2 is stated for r >= 2");
+    let base = 3 + 5 * r;
+    let mut g = complete(base);
+    for _ in 0..r {
+        g.add_node();
+    }
+    let s_prime = Node(base);
+    // r - 1 disjoint length-2 paths from s' to the old source (node 0).
+    for i in 0..(r - 1) {
+        let mid = Node(base + 1 + i);
+        g.add_edge(s_prime, mid);
+        g.add_edge(mid, Node(0));
+    }
+    // Direct link s'–t (t = node 1).
+    g.add_edge(s_prime, Node(1));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_graph_counts() {
+        for n in 0..8 {
+            let g = complete(n);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n * n.saturating_sub(1) / 2);
+        }
+    }
+
+    #[test]
+    fn complete_minus_removes_exactly_c() {
+        let g = complete_minus(7, 1);
+        assert_eq!(g.edge_count(), 20);
+        let g = complete_minus(5, 2);
+        assert_eq!(g.edge_count(), 8);
+        // Node 0 keeps full degree while possible.
+        assert_eq!(g.degree(Node(0)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove")]
+    fn complete_minus_rejects_too_many() {
+        let _ = complete_minus(4, 7);
+    }
+
+    #[test]
+    fn complete_bipartite_counts() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 12);
+        // no intra-part links
+        assert!(!g.has_edge(Node(0), Node(1)));
+        assert!(g.has_edge(Node(0), Node(3)));
+    }
+
+    #[test]
+    fn complete_bipartite_minus_counts() {
+        let g = complete_bipartite_minus(4, 4, 1);
+        assert_eq!(g.edge_count(), 15);
+        let g = complete_bipartite_minus(3, 3, 2);
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn path_cycle_star_wheel() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(star(4).edge_count(), 4);
+        let w = wheel(5);
+        assert_eq!(w.node_count(), 6);
+        assert_eq!(w.edge_count(), 10);
+        assert_eq!(w.degree(Node(0)), 5);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn petersen_is_3_regular() {
+        let g = petersen();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 15);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn hypercube_counts() {
+        let g = hypercube(3);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 12);
+        assert!(g.nodes().all(|v| g.degree(v) == 3));
+    }
+
+    #[test]
+    fn fan_and_maximal_outerplanar_counts() {
+        let g = fan(6);
+        assert_eq!(g.edge_count(), 5 + 4);
+        let g = maximal_outerplanar(6);
+        // maximal outerplanar graphs have 2n - 3 edges
+        assert_eq!(g.edge_count(), 2 * 6 - 3);
+    }
+
+    #[test]
+    fn ladder_counts() {
+        let g = ladder(4);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 3 + 3 + 4);
+    }
+
+    #[test]
+    fn random_tree_is_tree() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..30 {
+            let g = random_tree(n, &mut rng);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            assert!(crate::connectivity::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(gnp(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 2..20 {
+            let g = random_connected(n, 3, &mut rng);
+            assert!(crate::connectivity::is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn theorem2_supergraph_shape() {
+        let r = 2;
+        let g = theorem2_supergraph(r);
+        let base = 3 + 5 * r;
+        assert_eq!(g.node_count(), base + r);
+        let s_prime = Node(base);
+        // s' connects to t and to r-1 middle nodes.
+        assert_eq!(g.degree(s_prime), 1 + (r - 1));
+        assert!(g.has_edge(s_prime, Node(1)));
+    }
+}

@@ -1,0 +1,538 @@
+//! The undirected simple [`Graph`] type and its building blocks.
+//!
+//! Nodes are dense indices `0..n` wrapped in the [`Node`] newtype; links are
+//! undirected [`Edge`]s stored in normalized form (`min ≤ max`).  All
+//! iteration orders are deterministic (sorted), which keeps every experiment
+//! in the workspace reproducible.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A node (router) identifier.
+///
+/// Nodes are dense indices into the graph; `Node(3)` is the fourth node.
+///
+/// ```
+/// use frr_graph::Node;
+/// let v = Node(2);
+/// assert_eq!(v.index(), 2);
+/// assert_eq!(format!("{v}"), "v2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Node(pub usize);
+
+impl Node {
+    /// Returns the underlying dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for Node {
+    fn from(value: usize) -> Self {
+        Node(value)
+    }
+}
+
+impl From<Node> for usize {
+    fn from(value: Node) -> Self {
+        value.0
+    }
+}
+
+/// An undirected link between two nodes, stored in normalized order.
+///
+/// ```
+/// use frr_graph::{Edge, Node};
+/// let e = Edge::new(Node(4), Node(1));
+/// assert_eq!(e.endpoints(), (Node(1), Node(4)));
+/// assert!(e.is_incident(Node(4)));
+/// assert_eq!(e.other(Node(1)), Some(Node(4)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    u: Node,
+    v: Node,
+}
+
+impl Edge {
+    /// Creates a new undirected edge; endpoint order does not matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` (self-loops are not representable).
+    pub fn new(u: Node, v: Node) -> Self {
+        assert_ne!(u, v, "self-loops are not supported");
+        if u <= v {
+            Edge { u, v }
+        } else {
+            Edge { u: v, v: u }
+        }
+    }
+
+    /// The two endpoints in normalized (ascending) order.
+    #[inline]
+    pub fn endpoints(self) -> (Node, Node) {
+        (self.u, self.v)
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn u(self) -> Node {
+        self.u
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn v(self) -> Node {
+        self.v
+    }
+
+    /// Returns `true` if `x` is one of the endpoints.
+    #[inline]
+    pub fn is_incident(self, x: Node) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Returns the endpoint different from `x`, or `None` if `x` is not an
+    /// endpoint of this edge.
+    #[inline]
+    pub fn other(self, x: Node) -> Option<Node> {
+        if x == self.u {
+            Some(self.v)
+        } else if x == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.u, self.v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.u, self.v)
+    }
+}
+
+impl From<(usize, usize)> for Edge {
+    fn from((u, v): (usize, usize)) -> Self {
+        Edge::new(Node(u), Node(v))
+    }
+}
+
+impl From<(Node, Node)> for Edge {
+    fn from((u, v): (Node, Node)) -> Self {
+        Edge::new(u, v)
+    }
+}
+
+/// An undirected simple graph over nodes `0..n`.
+///
+/// The structure is intentionally small and deterministic: adjacency is kept
+/// in sorted sets, so every iterator in the crate returns nodes and edges in
+/// ascending order.  This is what makes the routing tables and experiment
+/// outputs of the workspace reproducible run-to-run.
+///
+/// ```
+/// use frr_graph::{Graph, Node};
+///
+/// let mut g = Graph::new(4);
+/// g.add_edge(Node(0), Node(1));
+/// g.add_edge(Node(1), Node(2));
+/// g.add_edge(Node(2), Node(3));
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// assert_eq!(g.degree(Node(1)), 2);
+/// assert!(g.has_edge(Node(2), Node(1)));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<usize>>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Creates a graph with `n` nodes and the given edges.
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= n` or is a self-loop.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(Node(u), Node(v));
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Density `|E| / |V|` as used in the paper's Fig. 8 (0 for empty graphs).
+    pub fn density(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Adds a new isolated node and returns its identifier.
+    pub fn add_node(&mut self) -> Node {
+        self.adjacency.push(BTreeSet::new());
+        Node(self.adjacency.len() - 1)
+    }
+
+    /// Adds an undirected edge. Returns `true` if the edge was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or if `u == v`.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
+        assert!(u.0 < self.node_count(), "node {u} out of range");
+        assert!(v.0 < self.node_count(), "node {v} out of range");
+        assert_ne!(u, v, "self-loops are not supported");
+        let inserted = self.adjacency[u.0].insert(v.0);
+        self.adjacency[v.0].insert(u.0);
+        inserted
+    }
+
+    /// Removes an undirected edge. Returns `true` if the edge existed.
+    pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
+        if u.0 >= self.node_count() || v.0 >= self.node_count() {
+            return false;
+        }
+        let removed = self.adjacency[u.0].remove(&v.0);
+        self.adjacency[v.0].remove(&u.0);
+        removed
+    }
+
+    /// Returns `true` if `{u, v}` is an edge of the graph.
+    #[inline]
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        u.0 < self.node_count() && self.adjacency[u.0].contains(&v.0)
+    }
+
+    /// Returns `true` if the (normalized) edge is present.
+    #[inline]
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.has_edge(e.u(), e.v())
+    }
+
+    /// Degree of node `v` (number of incident non-failed links).
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        self.adjacency[v.0].len()
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes (0 for the empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).min().unwrap_or(0)
+    }
+
+    /// Iterator over all nodes in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        (0..self.node_count()).map(Node)
+    }
+
+    /// Neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: Node) -> impl Iterator<Item = Node> + '_ {
+        self.adjacency[v.0].iter().map(|&u| Node(u))
+    }
+
+    /// Neighbors of `v` collected into a vector (ascending order).
+    pub fn neighbors_vec(&self, v: Node) -> Vec<Node> {
+        self.neighbors(v).collect()
+    }
+
+    /// All edges in ascending normalized order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for u in 0..self.node_count() {
+            for &v in &self.adjacency[u] {
+                if u < v {
+                    out.push(Edge::new(Node(u), Node(v)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Edges incident to `v` in ascending order of the other endpoint.
+    pub fn incident_edges(&self, v: Node) -> Vec<Edge> {
+        self.neighbors(v).map(|u| Edge::new(u, v)).collect()
+    }
+
+    /// Degree sequence in descending order.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adjacency.iter().map(|a| a.len()).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+
+    /// Nodes with degree zero.
+    pub fn isolated_nodes(&self) -> Vec<Node> {
+        self.nodes().filter(|&v| self.degree(v) == 0).collect()
+    }
+
+    /// Returns a copy of the graph with the given links removed
+    /// (the paper's `G \ F`).
+    ///
+    /// Links not present in the graph are silently ignored.
+    pub fn without_edges<'a, I>(&self, failed: I) -> Graph
+    where
+        I: IntoIterator<Item = &'a Edge>,
+    {
+        let mut g = self.clone();
+        for e in failed {
+            g.remove_edge(e.u(), e.v());
+        }
+        g
+    }
+
+    /// Returns a copy of the graph where `v` is isolated (all incident links
+    /// removed) but the node index space is unchanged.
+    pub fn isolating(&self, v: Node) -> Graph {
+        let mut g = self.clone();
+        for u in self.neighbors_vec(v) {
+            g.remove_edge(u, v);
+        }
+        g
+    }
+
+    /// Complement graph on the same node set.
+    pub fn complement(&self) -> Graph {
+        let n = self.node_count();
+        let mut g = Graph::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !self.has_edge(Node(u), Node(v)) {
+                    g.add_edge(Node(u), Node(v));
+                }
+            }
+        }
+        g
+    }
+
+    /// Returns `true` if `other` has the same node count and an edge set that
+    /// is a subset of this graph's edge set.
+    pub fn is_supergraph_of(&self, other: &Graph) -> bool {
+        other.node_count() == self.node_count()
+            && other
+                .edges()
+                .iter()
+                .all(|e| self.has_edge(e.u(), e.v()))
+    }
+
+    /// A short human-readable summary such as `"Graph(n=5, m=10)"`.
+    pub fn summary(&self) -> String {
+        format!("Graph(n={}, m={})", self.node_count(), self.edge_count())
+    }
+
+    /// Renders the graph in Graphviz DOT format (useful for debugging
+    /// counterexamples produced by the adversaries).
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = format!("graph {name} {{\n");
+        for v in self.nodes() {
+            out.push_str(&format!("  {};\n", v.0));
+        }
+        for e in self.edges() {
+            out.push_str(&format!("  {} -- {};\n", e.u().0, e.v().0));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}, edges=[", self.node_count(), self.edge_count())?;
+        for (i, e) in self.edges().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_roundtrip_and_display() {
+        let v = Node(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(usize::from(v), 7);
+        assert_eq!(Node::from(7usize), v);
+        assert_eq!(format!("{v}"), "v7");
+        assert_eq!(format!("{v:?}"), "v7");
+    }
+
+    #[test]
+    fn edge_normalization() {
+        let e = Edge::new(Node(5), Node(2));
+        assert_eq!(e.u(), Node(2));
+        assert_eq!(e.v(), Node(5));
+        assert_eq!(e, Edge::new(Node(2), Node(5)));
+        assert_eq!(Edge::from((5usize, 2usize)), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(Node(1), Node(1));
+    }
+
+    #[test]
+    fn edge_incidence_helpers() {
+        let e = Edge::new(Node(1), Node(4));
+        assert!(e.is_incident(Node(1)));
+        assert!(e.is_incident(Node(4)));
+        assert!(!e.is_incident(Node(2)));
+        assert_eq!(e.other(Node(1)), Some(Node(4)));
+        assert_eq!(e.other(Node(4)), Some(Node(1)));
+        assert_eq!(e.other(Node(3)), None);
+    }
+
+    #[test]
+    fn graph_basic_mutation() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.add_edge(Node(0), Node(1)));
+        assert!(!g.add_edge(Node(1), Node(0)), "duplicate edge must be ignored");
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(Node(0), Node(1)));
+        assert!(g.remove_edge(Node(0), Node(1)));
+        assert!(!g.remove_edge(Node(0), Node(1)));
+        assert_eq!(g.edge_count(), 0);
+        let v = g.add_node();
+        assert_eq!(v, Node(3));
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn graph_from_edges_and_queries() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(Node(0)), 2);
+        assert_eq!(g.neighbors_vec(Node(0)), vec![Node(1), Node(3)]);
+        assert_eq!(g.degree_sequence(), vec![2, 2, 2, 2]);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.min_degree(), 2);
+        assert!((g.density() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            g.edges(),
+            vec![
+                Edge::new(Node(0), Node(1)),
+                Edge::new(Node(0), Node(3)),
+                Edge::new(Node(1), Node(2)),
+                Edge::new(Node(2), Node(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn without_edges_models_failures() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let f = vec![Edge::new(Node(0), Node(1)), Edge::new(Node(2), Node(3))];
+        let gf = g.without_edges(&f);
+        assert_eq!(gf.edge_count(), 2);
+        assert!(!gf.has_edge(Node(0), Node(1)));
+        assert!(gf.has_edge(Node(1), Node(2)));
+        // The original graph is untouched.
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn isolating_removes_all_incident_links() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let gi = g.isolating(Node(0));
+        assert_eq!(gi.degree(Node(0)), 0);
+        assert_eq!(gi.edge_count(), 1);
+        assert_eq!(gi.node_count(), 4);
+    }
+
+    #[test]
+    fn complement_of_path() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = g.complement();
+        assert_eq!(c.edge_count(), 1);
+        assert!(c.has_edge(Node(0), Node(2)));
+    }
+
+    #[test]
+    fn supergraph_check() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let h = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.is_supergraph_of(&h));
+        assert!(!h.is_supergraph_of(&g));
+    }
+
+    #[test]
+    fn incident_edges_and_dot() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+        assert_eq!(
+            g.incident_edges(Node(0)),
+            vec![Edge::new(Node(0), Node(1)), Edge::new(Node(0), Node(2))]
+        );
+        let dot = g.to_dot("g");
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("0 -- 2"));
+    }
+
+    #[test]
+    fn isolated_nodes_listing() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        assert_eq!(g.isolated_nodes(), vec![Node(2), Node(3)]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Hamiltonian-cycle machinery: Walecki decompositions of complete graphs,
+//! Laskar–Auerbach decompositions of balanced complete bipartite graphs, and
+//! a backtracking Hamiltonian-cycle finder for small graphs.
+//!
+//! Theorem 17 of the paper builds `k`-resilient touring patterns from `k`
+//! link-disjoint Hamiltonian cycles; these exist in `2k`-connected complete
+//! and complete bipartite graphs by the classical results of Walecki and of
+//! Laskar & Auerbach, reproduced constructively here.
+
+use crate::graph::{Edge, Graph, Node};
+use std::collections::BTreeSet;
+
+/// A Hamiltonian cycle as a cyclic node sequence (the closing edge from the
+/// last node back to the first is implied).
+pub type HamiltonianCycle = Vec<Node>;
+
+/// Walecki decomposition of the complete graph `K_n` for odd `n = 2k + 1`
+/// into `k` pairwise link-disjoint Hamiltonian cycles covering every link.
+///
+/// # Panics
+///
+/// Panics if `n` is even or `n < 3`.
+pub fn walecki_decomposition(n: usize) -> Vec<HamiltonianCycle> {
+    assert!(n >= 3 && n % 2 == 1, "Walecki decomposition needs odd n >= 3, got {n}");
+    let k = (n - 1) / 2;
+    let m = n - 1; // nodes 0..m on the "circle", node m = n-1 is the hub
+    let hub = Node(m);
+    let mut cycles = Vec::with_capacity(k);
+    for j in 0..k {
+        let mut cycle = vec![hub];
+        // Zigzag: j, j+1, j-1, j+2, j-2, ...
+        cycle.push(Node(j));
+        for step in 1..=(m / 2) {
+            cycle.push(Node((j + step) % m));
+            if cycle.len() < n {
+                cycle.push(Node((j + m - step) % m));
+            }
+        }
+        debug_assert_eq!(cycle.len(), n);
+        cycles.push(cycle);
+    }
+    cycles
+}
+
+/// Laskar–Auerbach decomposition of the balanced complete bipartite graph
+/// `K_{n,n}` for even `n` into `n / 2` link-disjoint Hamiltonian cycles
+/// covering every link.  Part `A` is `0..n`, part `B` is `n..2n`.
+///
+/// # Panics
+///
+/// Panics if `n` is odd or `n < 2`.
+pub fn laskar_auerbach_decomposition(n: usize) -> Vec<HamiltonianCycle> {
+    assert!(n >= 2 && n % 2 == 0, "Laskar-Auerbach needs even n >= 2, got {n}");
+    let mut cycles = Vec::with_capacity(n / 2);
+    for j in 0..(n / 2) {
+        let mut cycle = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            cycle.push(Node(i));
+            cycle.push(Node(n + (i + 2 * j) % n));
+        }
+        cycles.push(cycle);
+    }
+    cycles
+}
+
+/// Validates that `cycles` are Hamiltonian cycles of `g`, pairwise
+/// link-disjoint; if `must_cover` is set they must additionally cover every
+/// link of `g`.
+pub fn validate_disjoint_hamiltonian_cycles(
+    g: &Graph,
+    cycles: &[HamiltonianCycle],
+    must_cover: bool,
+) -> Result<(), String> {
+    let n = g.node_count();
+    let mut used: BTreeSet<Edge> = BTreeSet::new();
+    for (ci, cycle) in cycles.iter().enumerate() {
+        if cycle.len() != n {
+            return Err(format!("cycle {ci} has {} nodes, expected {n}", cycle.len()));
+        }
+        let distinct: BTreeSet<Node> = cycle.iter().copied().collect();
+        if distinct.len() != n {
+            return Err(format!("cycle {ci} repeats a node"));
+        }
+        for i in 0..n {
+            let e = Edge::new(cycle[i], cycle[(i + 1) % n]);
+            if !g.contains_edge(e) {
+                return Err(format!("cycle {ci} uses non-existent link {e}"));
+            }
+            if !used.insert(e) {
+                return Err(format!("link {e} used by two cycles"));
+            }
+        }
+    }
+    if must_cover && used.len() != g.edge_count() {
+        return Err(format!(
+            "cycles cover {} links but the graph has {}",
+            used.len(),
+            g.edge_count()
+        ));
+    }
+    Ok(())
+}
+
+/// Finds a Hamiltonian cycle of `g` by backtracking (intended for small
+/// graphs, `n ≤ ~20`), or `None` if there is none.
+pub fn hamiltonian_cycle(g: &Graph) -> Option<HamiltonianCycle> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(vec![Node(0)]);
+    }
+    if n == 2 {
+        return None; // a simple graph on two nodes has no cycle
+    }
+    let mut path = vec![Node(0)];
+    let mut used = vec![false; n];
+    used[0] = true;
+    fn backtrack(g: &Graph, path: &mut Vec<Node>, used: &mut Vec<bool>) -> bool {
+        let n = g.node_count();
+        if path.len() == n {
+            return g.has_edge(*path.last().expect("non-empty"), path[0]);
+        }
+        let last = *path.last().expect("non-empty");
+        for u in g.neighbors_vec(last) {
+            if !used[u.index()] {
+                used[u.index()] = true;
+                path.push(u);
+                if backtrack(g, path, used) {
+                    return true;
+                }
+                path.pop();
+                used[u.index()] = false;
+            }
+        }
+        false
+    }
+    if backtrack(g, &mut path, &mut used) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// Extracts up to `k` pairwise link-disjoint Hamiltonian cycles from `g` by
+/// repeatedly finding one (backtracking) and removing its links.  Best-effort:
+/// returns as many cycles as it could find (possibly fewer than `k`).
+pub fn disjoint_hamiltonian_cycles(g: &Graph, k: usize) -> Vec<HamiltonianCycle> {
+    let mut remaining = g.clone();
+    let mut cycles = Vec::new();
+    for _ in 0..k {
+        match hamiltonian_cycle(&remaining) {
+            Some(c) => {
+                let n = c.len();
+                for i in 0..n {
+                    remaining.remove_edge(c[i], c[(i + 1) % n]);
+                }
+                cycles.push(c);
+            }
+            None => break,
+        }
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn walecki_small_cases() {
+        for n in [3usize, 5, 7, 9, 11] {
+            let g = generators::complete(n);
+            let cycles = walecki_decomposition(n);
+            assert_eq!(cycles.len(), (n - 1) / 2);
+            validate_disjoint_hamiltonian_cycles(&g, &cycles, true)
+                .unwrap_or_else(|e| panic!("Walecki failed for n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn walecki_rejects_even() {
+        let _ = walecki_decomposition(6);
+    }
+
+    #[test]
+    fn laskar_auerbach_small_cases() {
+        for n in [2usize, 4, 6, 8] {
+            let g = generators::complete_bipartite(n, n);
+            let cycles = laskar_auerbach_decomposition(n);
+            assert_eq!(cycles.len(), n / 2);
+            validate_disjoint_hamiltonian_cycles(&g, &cycles, true)
+                .unwrap_or_else(|e| panic!("Laskar-Auerbach failed for n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn laskar_auerbach_rejects_odd() {
+        let _ = laskar_auerbach_decomposition(3);
+    }
+
+    #[test]
+    fn backtracking_hamiltonian_cycle() {
+        assert!(hamiltonian_cycle(&generators::cycle(6)).is_some());
+        assert!(hamiltonian_cycle(&generators::complete(5)).is_some());
+        assert!(hamiltonian_cycle(&generators::path(5)).is_none());
+        assert!(hamiltonian_cycle(&generators::star(4)).is_none());
+        // The Petersen graph is famously non-Hamiltonian.
+        assert!(hamiltonian_cycle(&generators::petersen()).is_none());
+        // Validate a found cycle.
+        let g = generators::complete_bipartite(3, 3);
+        let c = hamiltonian_cycle(&g).unwrap();
+        validate_disjoint_hamiltonian_cycles(&g, &[c], false).unwrap();
+    }
+
+    #[test]
+    fn greedy_disjoint_cycles() {
+        let g = generators::complete(7);
+        let cycles = disjoint_hamiltonian_cycles(&g, 2);
+        assert_eq!(cycles.len(), 2);
+        validate_disjoint_hamiltonian_cycles(&g, &cycles, false).unwrap();
+        // Asking for more than possible returns what exists.
+        let g = generators::cycle(6);
+        let cycles = disjoint_hamiltonian_cycles(&g, 5);
+        assert_eq!(cycles.len(), 1);
+    }
+
+    #[test]
+    fn validator_catches_errors() {
+        let g = generators::complete(5);
+        // wrong length
+        assert!(validate_disjoint_hamiltonian_cycles(&g, &[vec![Node(0), Node(1)]], false).is_err());
+        // repeated node
+        assert!(validate_disjoint_hamiltonian_cycles(
+            &g,
+            &[vec![Node(0), Node(1), Node(2), Node(3), Node(3)]],
+            false
+        )
+        .is_err());
+        // non-existent edge
+        let p = generators::path(5);
+        assert!(validate_disjoint_hamiltonian_cycles(
+            &p,
+            &[vec![Node(0), Node(1), Node(2), Node(3), Node(4)]],
+            false
+        )
+        .is_err());
+        // duplicate edge across cycles
+        let c = vec![Node(0), Node(1), Node(2), Node(3), Node(4)];
+        assert!(validate_disjoint_hamiltonian_cycles(&g, &[c.clone(), c], false).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Outerplanarity testing and outerplanar embeddings (rotation systems).
+//!
+//! Outerplanar graphs are the exactly-tourable graphs of the paper
+//! (Corollary 6): a graph admits a perfectly resilient touring pattern iff it
+//! is outerplanar, and the positive side is realized by the right-hand rule
+//! on an outerplanar embedding ([2, §6.2]).  The embedding computed here
+//! (a rotation system in which every node lies on the outer face) is what
+//! `frr-core`'s outerplanar touring and destination-routing algorithms
+//! consume.
+
+use crate::connectivity::blocks;
+use crate::graph::{Graph, Node};
+use crate::ops::induced_subgraph;
+use crate::planarity::is_planar;
+use std::collections::BTreeMap;
+
+/// Returns `true` if the graph is outerplanar (has a planar embedding with
+/// every node on the outer face).
+///
+/// Uses the classical apex characterization: `G` is outerplanar iff `G` plus
+/// a new node adjacent to every node of `G` is planar, together with the
+/// edge-count bound `|E| ≤ 2|V| − 3`.
+pub fn is_outerplanar(g: &Graph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    if n >= 2 && g.edge_count() > 2 * n - 3 {
+        return false;
+    }
+    let mut apex_graph = g.clone();
+    let apex = apex_graph.add_node();
+    for v in g.nodes() {
+        apex_graph.add_edge(apex, v);
+    }
+    is_planar(&apex_graph)
+}
+
+/// An outerplanar embedding: for every node, the cyclic order of its
+/// neighbors (rotation), consistent with a planar drawing in which every node
+/// lies on the outer face.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OuterplanarEmbedding {
+    /// `rotation[v]` lists the neighbors of `v` in cyclic (counterclockwise)
+    /// order.
+    pub rotation: Vec<Vec<Node>>,
+}
+
+impl OuterplanarEmbedding {
+    /// The neighbor that follows `from` in the cyclic rotation at `v`,
+    /// skipping any neighbor for which `alive` returns `false`.
+    ///
+    /// Returns `None` if `v` has no alive neighbor at all, and returns `from`
+    /// itself if it is the only alive neighbor.
+    pub fn next_after<F>(&self, v: Node, from: Node, alive: F) -> Option<Node>
+    where
+        F: Fn(Node) -> bool,
+    {
+        let rot = &self.rotation[v.index()];
+        let pos = rot.iter().position(|&u| u == from)?;
+        for step in 1..=rot.len() {
+            let cand = rot[(pos + step) % rot.len()];
+            if alive(cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    /// The first alive neighbor in rotation order (used when a packet starts
+    /// at `v` with an empty in-port).
+    pub fn first_alive<F>(&self, v: Node, alive: F) -> Option<Node>
+    where
+        F: Fn(Node) -> bool,
+    {
+        self.rotation[v.index()].iter().copied().find(|&u| alive(u))
+    }
+}
+
+/// Computes an outerplanar embedding of `g`, or `None` if `g` is not
+/// outerplanar.
+///
+/// The embedding is built per block: the unique Hamiltonian outer cycle of
+/// each biconnected block is recovered by peeling degree-2 nodes, the block's
+/// nodes are placed on a circle in that order, chords become straight lines
+/// inside, and the rotations of the blocks sharing a cut vertex are
+/// concatenated.
+pub fn outerplanar_embedding(g: &Graph) -> Option<OuterplanarEmbedding> {
+    if !is_outerplanar(g) {
+        return None;
+    }
+    let n = g.node_count();
+    let mut rotation: Vec<Vec<Node>> = vec![Vec::new(); n];
+
+    for block in blocks(g) {
+        if block.nodes.len() == 2 {
+            // A bridge edge: each endpoint simply lists the other.
+            let (a, b) = (block.nodes[0], block.nodes[1]);
+            rotation[a.index()].push(b);
+            rotation[b.index()].push(a);
+            continue;
+        }
+        let (h, map) = induced_subgraph(g, &block.nodes);
+        let cycle = outer_cycle_biconnected(&h)?;
+        let pos: BTreeMap<usize, usize> = cycle
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.index(), i))
+            .collect();
+        let len = cycle.len();
+        for v in h.nodes() {
+            let pv = pos[&v.index()];
+            let mut ns = h.neighbors_vec(v);
+            // Sort neighbors by their clockwise circular distance from v.
+            ns.sort_by_key(|u| (pos[&u.index()] + len - pv) % len);
+            let original_v = map[v.index()];
+            for u in ns {
+                rotation[original_v.index()].push(map[u.index()]);
+            }
+        }
+    }
+    Some(OuterplanarEmbedding { rotation })
+}
+
+/// Recovers the unique Hamiltonian outer cycle of a biconnected outerplanar
+/// graph (≥ 3 nodes), or `None` if the graph is not outerplanar.
+///
+/// Works by repeatedly removing a degree-2 node `v` with neighbors `a`, `b`
+/// and (re-)inserting the edge `a–b`; on the way back `v` is spliced between
+/// `a` and `b` on the cycle.
+pub fn outer_cycle_biconnected(h: &Graph) -> Option<Vec<Node>> {
+    let n = h.node_count();
+    if n < 3 {
+        return None;
+    }
+    let mut work = h.clone();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut active_count = n;
+    let mut peeled: Vec<(Node, Node, Node)> = Vec::new();
+
+    while active_count > 3 {
+        let v = work
+            .nodes()
+            .find(|&v| active[v.index()] && work.degree(v) == 2)?;
+        let ns = work.neighbors_vec(v);
+        let (a, b) = (ns[0], ns[1]);
+        peeled.push((v, a, b));
+        work.remove_edge(v, a);
+        work.remove_edge(v, b);
+        work.add_edge(a, b);
+        active[v.index()] = false;
+        active_count -= 1;
+    }
+
+    // Base case: the three remaining active nodes must form a triangle.
+    let remaining: Vec<Node> = h.nodes().filter(|v| active[v.index()]).collect();
+    if remaining.len() != 3 {
+        return None;
+    }
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            if !work.has_edge(remaining[i], remaining[j]) {
+                return None;
+            }
+        }
+    }
+    let mut cycle = remaining;
+
+    // Unwind: splice each peeled node back between its two neighbors, which
+    // must be adjacent on the (unique) outer cycle.
+    for &(v, a, b) in peeled.iter().rev() {
+        let pa = cycle.iter().position(|&x| x == a)?;
+        let pb = cycle.iter().position(|&x| x == b)?;
+        let len = cycle.len();
+        if (pa + 1) % len == pb {
+            cycle.insert(pb, v);
+        } else if (pb + 1) % len == pa {
+            cycle.insert(pa, v);
+        } else {
+            // a and b are not adjacent on the outer cycle: not outerplanar.
+            return None;
+        }
+    }
+    Some(cycle)
+}
+
+/// Returns the fraction of nodes `t` such that `G` with `t` removed is
+/// outerplanar — the paper's "sometimes" measure (§VIII, footnote 7): for such
+/// destinations the neighbors of `t` can be toured, so destination-based
+/// perfect resilience holds for `t`.
+pub fn tourable_destination_fraction(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let good = g
+        .nodes()
+        .filter(|&t| {
+            let (h, _) = crate::ops::delete_node(g, t);
+            is_outerplanar(&h)
+        })
+        .count();
+    good as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn small_and_sparse_graphs_are_outerplanar() {
+        assert!(is_outerplanar(&Graph::new(0)));
+        assert!(is_outerplanar(&Graph::new(1)));
+        assert!(is_outerplanar(&generators::path(10)));
+        assert!(is_outerplanar(&generators::cycle(12)));
+        assert!(is_outerplanar(&generators::star(8)));
+        assert!(is_outerplanar(&generators::complete(3)));
+        assert!(is_outerplanar(&generators::fan(9)));
+        assert!(is_outerplanar(&generators::maximal_outerplanar(11)));
+        assert!(is_outerplanar(&generators::complete_bipartite(2, 2)));
+        assert!(is_outerplanar(&generators::complete_bipartite(1, 7)));
+    }
+
+    #[test]
+    fn forbidden_minors_are_not_outerplanar() {
+        assert!(!is_outerplanar(&generators::complete(4)));
+        assert!(!is_outerplanar(&generators::complete_bipartite(2, 3)));
+        assert!(!is_outerplanar(&generators::complete(5)));
+        assert!(!is_outerplanar(&generators::wheel(5)));
+        assert!(!is_outerplanar(&generators::grid(3, 3)));
+        assert!(!is_outerplanar(&generators::petersen()));
+    }
+
+    #[test]
+    fn k4_minus_edge_is_outerplanar() {
+        let mut g = generators::complete(4);
+        g.remove_edge(Node(0), Node(2));
+        assert!(is_outerplanar(&g));
+    }
+
+    #[test]
+    fn outer_cycle_of_cycle_and_fan() {
+        let c = generators::cycle(6);
+        let cyc = outer_cycle_biconnected(&c).unwrap();
+        assert_eq!(cyc.len(), 6);
+        for i in 0..6 {
+            assert!(c.has_edge(cyc[i], cyc[(i + 1) % 6]));
+        }
+        let f = generators::maximal_outerplanar(7);
+        let cyc = outer_cycle_biconnected(&f).unwrap();
+        assert_eq!(cyc.len(), 7);
+        for i in 0..7 {
+            assert!(f.has_edge(cyc[i], cyc[(i + 1) % 7]));
+        }
+    }
+
+    #[test]
+    fn outer_cycle_rejects_k4() {
+        assert!(outer_cycle_biconnected(&generators::complete(4)).is_none());
+    }
+
+    #[test]
+    fn embedding_covers_all_neighbors() {
+        let g = generators::maximal_outerplanar(8);
+        let emb = outerplanar_embedding(&g).unwrap();
+        for v in g.nodes() {
+            let mut rot = emb.rotation[v.index()].clone();
+            rot.sort_unstable();
+            assert_eq!(rot, g.neighbors_vec(v), "rotation at {v} must list all neighbors");
+        }
+    }
+
+    #[test]
+    fn embedding_of_graph_with_cut_vertices() {
+        // Two triangles and a pendant path joined at cut vertices.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6)],
+        );
+        assert!(is_outerplanar(&g));
+        let emb = outerplanar_embedding(&g).unwrap();
+        for v in g.nodes() {
+            let mut rot = emb.rotation[v.index()].clone();
+            rot.sort_unstable();
+            assert_eq!(rot, g.neighbors_vec(v));
+        }
+    }
+
+    #[test]
+    fn embedding_none_for_non_outerplanar() {
+        assert!(outerplanar_embedding(&generators::complete(4)).is_none());
+        assert!(outerplanar_embedding(&generators::complete_bipartite(2, 3)).is_none());
+    }
+
+    #[test]
+    fn next_after_skips_dead_neighbors() {
+        let g = generators::cycle(4);
+        let emb = outerplanar_embedding(&g).unwrap();
+        // At node 0 the neighbors are 1 and 3 in some rotation order.
+        let next = emb.next_after(Node(0), Node(1), |_| true).unwrap();
+        assert_eq!(next, Node(3));
+        // If 3 is dead we bounce back to 1.
+        let next = emb.next_after(Node(0), Node(1), |u| u != Node(3)).unwrap();
+        assert_eq!(next, Node(1));
+        // If everything is dead there is no next hop.
+        assert_eq!(emb.next_after(Node(0), Node(1), |_| false), None);
+        assert_eq!(emb.first_alive(Node(0), |_| true), Some(Node(1)));
+        assert_eq!(emb.first_alive(Node(0), |_| false), None);
+    }
+
+    #[test]
+    fn wheel_rim_is_sometimes_tourable() {
+        // Removing the hub of a wheel leaves a cycle (outerplanar); removing a
+        // rim node leaves a fan (outerplanar).  So every destination works.
+        let w = generators::wheel(5);
+        assert!(!is_outerplanar(&w));
+        assert!((tourable_destination_fraction(&w) - 1.0).abs() < 1e-12);
+        // For K5, removing any node leaves K4, which is not outerplanar.
+        assert_eq!(tourable_destination_fraction(&generators::complete(5)), 0.0);
+    }
+}

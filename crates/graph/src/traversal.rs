@@ -1,0 +1,231 @@
+//! Breadth-first / depth-first traversal and shortest-path helpers.
+
+use crate::graph::{Graph, Node};
+use std::collections::VecDeque;
+
+/// Breadth-first search from `start`; returns the visit order.
+pub fn bfs_order(g: &Graph, start: Node) -> Vec<Node> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for u in g.neighbors(v) {
+            if !visited[u.index()] {
+                visited[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Depth-first search from `start` (iterative, neighbors explored in
+/// ascending order); returns the visit order.
+pub fn dfs_order(g: &Graph, start: Node) -> Vec<Node> {
+    let mut visited = vec![false; g.node_count()];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(v) = stack.pop() {
+        if visited[v.index()] {
+            continue;
+        }
+        visited[v.index()] = true;
+        order.push(v);
+        // Push in reverse so that the smallest neighbor is visited first.
+        let mut ns = g.neighbors_vec(v);
+        ns.reverse();
+        for u in ns {
+            if !visited[u.index()] {
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+/// Unweighted single-source shortest-path distances (`None` = unreachable).
+pub fn distances_from(g: &Graph, start: Node) -> Vec<Option<usize>> {
+    let mut dist = vec![None; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[start.index()] = Some(0);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()].expect("queued nodes have a distance");
+        for u in g.neighbors(v) {
+            if dist[u.index()].is_none() {
+                dist[u.index()] = Some(d + 1);
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Unweighted distance between two nodes (`None` = disconnected).
+pub fn distance(g: &Graph, s: Node, t: Node) -> Option<usize> {
+    distances_from(g, s)[t.index()]
+}
+
+/// A shortest path from `s` to `t` as a node sequence (`None` if disconnected).
+pub fn shortest_path(g: &Graph, s: Node, t: Node) -> Option<Vec<Node>> {
+    let mut parent: Vec<Option<Node>> = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[s.index()] = true;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        if v == t {
+            break;
+        }
+        for u in g.neighbors(v) {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                parent[u.index()] = Some(v);
+                queue.push_back(u);
+            }
+        }
+    }
+    if !seen[t.index()] {
+        return None;
+    }
+    let mut path = vec![t];
+    let mut cur = t;
+    while cur != s {
+        cur = parent[cur.index()].expect("parents form a path back to s");
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// The eccentricity-maximum over all reachable pairs (diameter of the
+/// component containing the most distant pair); `None` for graphs without
+/// edges.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    let mut best = None;
+    for v in g.nodes() {
+        for d in distances_from(g, v).into_iter().flatten() {
+            best = Some(best.map_or(d, |b: usize| b.max(d)));
+        }
+    }
+    best.filter(|&d| d > 0)
+}
+
+/// Finds any cycle in the graph, returned as a node sequence
+/// `c_0, c_1, …, c_{k-1}` (with the closing edge `c_{k-1}–c_0` implied), or
+/// `None` if the graph is a forest.
+pub fn find_cycle(g: &Graph) -> Option<Vec<Node>> {
+    let n = g.node_count();
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    let mut parent: Vec<Option<Node>> = vec![None; n];
+    for root in g.nodes() {
+        if state[root.index()] != 0 {
+            continue;
+        }
+        // Iterative DFS keeping the parent pointer to avoid the trivial
+        // back-edge to the immediate parent.
+        let mut stack = vec![(root, None::<Node>, g.neighbors_vec(root), 0usize)];
+        state[root.index()] = 1;
+        while let Some((v, par, ns, idx)) = stack.pop() {
+            if idx < ns.len() {
+                let u = ns[idx];
+                stack.push((v, par, ns.clone(), idx + 1));
+                if Some(u) == par {
+                    continue;
+                }
+                match state[u.index()] {
+                    0 => {
+                        state[u.index()] = 1;
+                        parent[u.index()] = Some(v);
+                        stack.push((u, Some(v), g.neighbors_vec(u), 0));
+                    }
+                    1 => {
+                        // Found a cycle: walk back from v to u.
+                        let mut cyc = vec![v];
+                        let mut cur = v;
+                        while cur != u {
+                            cur = parent[cur.index()].expect("path back to u exists");
+                            cyc.push(cur);
+                        }
+                        cyc.reverse();
+                        return Some(cyc);
+                    }
+                    _ => {}
+                }
+            } else {
+                state[v.index()] = 2;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_dfs_cover_component() {
+        let g = generators::cycle(5);
+        assert_eq!(bfs_order(&g, Node(0)).len(), 5);
+        assert_eq!(dfs_order(&g, Node(0)).len(), 5);
+        let g = generators::path(4);
+        assert_eq!(bfs_order(&g, Node(0)), vec![Node(0), Node(1), Node(2), Node(3)]);
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = generators::path(5);
+        let d = distances_from(&g, Node(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+        assert_eq!(distance(&g, Node(0), Node(4)), Some(4));
+    }
+
+    #[test]
+    fn distance_unreachable() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(distance(&g, Node(0), Node(3)), None);
+        assert_eq!(shortest_path(&g, Node(0), Node(3)), None);
+    }
+
+    #[test]
+    fn shortest_path_is_shortest() {
+        let g = generators::cycle(6);
+        let p = shortest_path(&g, Node(0), Node(3)).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], Node(0));
+        assert_eq!(p[3], Node(3));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&generators::complete(5)), Some(1));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&Graph::new(3)), None);
+    }
+
+    #[test]
+    fn find_cycle_detects_and_rejects() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        assert!(find_cycle(&generators::random_tree(10, &mut rng)).is_none());
+        assert!(find_cycle(&generators::path(6)).is_none());
+        let cyc = find_cycle(&generators::cycle(5)).unwrap();
+        assert_eq!(cyc.len(), 5);
+        // consecutive nodes (cyclically) must be adjacent
+        let g = generators::cycle(5);
+        for i in 0..cyc.len() {
+            assert!(g.has_edge(cyc[i], cyc[(i + 1) % cyc.len()]));
+        }
+        let cyc = find_cycle(&generators::complete(4)).unwrap();
+        assert!(cyc.len() >= 3);
+    }
+}

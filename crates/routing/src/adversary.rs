@@ -1,0 +1,321 @@
+//! Generic adversaries that search for failure scenarios defeating a pattern.
+//!
+//! The paper's impossibility proofs are adversary arguments: given *any*
+//! candidate forwarding pattern, the adversary constructs a failure set under
+//! which the pattern loops or strands the packet even though source and
+//! destination remain connected.  `frr-core` implements the paper's
+//! *constructive* adversaries (K7, K4,4, the `K_{3+5r}` price-of-locality
+//! gadget, …); this module provides the model-agnostic ones — exhaustive and
+//! randomized search — used to cross-check them and to probe patterns on
+//! arbitrary graphs.
+
+use crate::failure::{random_failure_set, AllFailureSets, FailureSet};
+use crate::pattern::ForwardingPattern;
+use crate::simulator::{route, state_space_bound, Outcome};
+use frr_graph::connectivity::same_component;
+use frr_graph::{Graph, Node};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A concrete failure scenario on which a pattern fails: the failure set keeps
+/// `source` and `destination` connected, yet the packet is not delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The failed links.
+    pub failures: FailureSet,
+    /// Packet source (or tour start node).
+    pub source: Node,
+    /// Packet destination (equal to the start node for touring scenarios).
+    pub destination: Node,
+    /// How the simulation ended.
+    pub outcome: Outcome,
+    /// The walk the packet took.
+    pub path: Vec<Node>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} -> {} fails ({:?}) under F = {} after visiting {} nodes",
+            self.source,
+            self.destination,
+            self.outcome,
+            self.failures,
+            self.path.len()
+        )
+    }
+}
+
+/// An adversary: a strategy for finding a [`Counterexample`] against a
+/// forwarding pattern on a given network.
+pub trait Adversary {
+    /// Searches for a failure scenario defeating `pattern` on `g`.
+    fn find_counterexample<P: ForwardingPattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+    ) -> Option<Counterexample>;
+
+    /// Human-readable name for experiment output.
+    fn name(&self) -> String;
+}
+
+/// Exhaustive adversary: enumerates failure sets (optionally bounded in size)
+/// and all source/destination pairs.  Only suitable for small graphs.
+#[derive(Debug, Clone)]
+pub struct BruteForceAdversary {
+    /// Maximum number of failed links to consider (`None` = unbounded).
+    pub max_failures: Option<usize>,
+    /// Maximum number of failure sets to try before giving up.
+    pub max_sets: u64,
+}
+
+impl Default for BruteForceAdversary {
+    fn default() -> Self {
+        BruteForceAdversary {
+            max_failures: None,
+            max_sets: 2_000_000,
+        }
+    }
+}
+
+impl BruteForceAdversary {
+    /// An exhaustive adversary bounded to failure sets of at most `max` links.
+    pub fn with_max_failures(max: usize) -> Self {
+        BruteForceAdversary {
+            max_failures: Some(max),
+            ..Default::default()
+        }
+    }
+}
+
+impl Adversary for BruteForceAdversary {
+    fn find_counterexample<P: ForwardingPattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+    ) -> Option<Counterexample> {
+        let max_hops = state_space_bound(g);
+        let mut budget = self.max_sets;
+        for failures in AllFailureSets::with_max_failures(g, self.max_failures) {
+            if budget == 0 {
+                return None;
+            }
+            budget -= 1;
+            let surviving = failures.surviving_graph(g);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s == t || !same_component(&surviving, s, t) {
+                        continue;
+                    }
+                    let result = route(g, &failures, pattern, s, t, max_hops);
+                    if !result.outcome.is_delivered() {
+                        return Some(Counterexample {
+                            failures,
+                            source: s,
+                            destination: t,
+                            outcome: result.outcome,
+                            path: result.path,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> String {
+        match self.max_failures {
+            Some(k) => format!("brute-force(|F| <= {k})"),
+            None => "brute-force".to_string(),
+        }
+    }
+}
+
+/// Randomized adversary: samples failure sets of random sizes and random
+/// source/destination pairs; reproducible via its seed.
+#[derive(Debug, Clone)]
+pub struct RandomAdversary {
+    /// Number of scenarios to sample.
+    pub trials: usize,
+    /// Maximum number of failed links per scenario.
+    pub max_failures: usize,
+    /// RNG seed (the adversary is deterministic given its seed).
+    pub seed: u64,
+}
+
+impl RandomAdversary {
+    /// A randomized adversary with the given budget and seed.
+    pub fn new(trials: usize, max_failures: usize, seed: u64) -> Self {
+        RandomAdversary {
+            trials,
+            max_failures,
+            seed,
+        }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn find_counterexample<P: ForwardingPattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+    ) -> Option<Counterexample> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let max_hops = state_space_bound(g);
+        let nodes: Vec<Node> = g.nodes().collect();
+        if nodes.len() < 2 {
+            return None;
+        }
+        for _ in 0..self.trials {
+            let k = rng.gen_range(0..=self.max_failures.min(g.edge_count()));
+            let failures = random_failure_set(g, k, &mut rng);
+            let surviving = failures.surviving_graph(g);
+            let s = nodes[rng.gen_range(0..nodes.len())];
+            let t = nodes[rng.gen_range(0..nodes.len())];
+            if s == t || !same_component(&surviving, s, t) {
+                continue;
+            }
+            let result = route(g, &failures, pattern, s, t, max_hops);
+            if !result.outcome.is_delivered() {
+                return Some(Counterexample {
+                    failures,
+                    source: s,
+                    destination: t,
+                    outcome: result.outcome,
+                    path: result.path,
+                });
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> String {
+        format!("random(trials={}, |F| <= {})", self.trials, self.max_failures)
+    }
+}
+
+/// Verifies that a counterexample is genuine: the failure set keeps source and
+/// destination connected, yet routing with `pattern` does not deliver.
+pub fn verify_counterexample<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    ce: &Counterexample,
+) -> bool {
+    if !ce.failures.keeps_connected(g, ce.source, ce.destination) {
+        return false;
+    }
+    let result = route(
+        g,
+        &ce.failures,
+        pattern,
+        ce.source,
+        ce.destination,
+        state_space_bound(g),
+    );
+    !result.outcome.is_delivered()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RoutingModel;
+    use crate::pattern::{FnPattern, RotorPattern, ShortestPathPattern};
+    use frr_graph::generators;
+
+    #[test]
+    fn brute_force_finds_nothing_against_resilient_pattern() {
+        let g = generators::cycle(5);
+        let p = RotorPattern::clockwise_with_shortcut(&g);
+        let adv = BruteForceAdversary::default();
+        assert!(adv.find_counterexample(&g, &p).is_none());
+        assert!(adv.name().contains("brute-force"));
+    }
+
+    #[test]
+    fn brute_force_defeats_naive_pattern_on_k4() {
+        // A pattern ignoring the in-port: always forwards to the smallest
+        // alive neighbor that is not the packet's previous node cannot be
+        // expressed without the in-port, so use a plainly broken one instead:
+        // always forward to the smallest alive neighbor.
+        let g = generators::complete(4);
+        let p = FnPattern::new(RoutingModel::DestinationOnly, "smallest-alive", |ctx| {
+            if ctx.destination_is_alive_neighbor() {
+                return Some(ctx.destination);
+            }
+            ctx.alive_neighbors().first().copied()
+        });
+        let adv = BruteForceAdversary::default();
+        let ce = adv.find_counterexample(&g, &p).expect("the naive pattern must fail");
+        assert!(verify_counterexample(&g, &p, &ce));
+        assert_eq!(ce.outcome, Outcome::Loop);
+    }
+
+    #[test]
+    fn brute_force_respects_failure_bound() {
+        let g = generators::cycle(6);
+        let p = ShortestPathPattern::new(&g);
+        // With at most 1 failure a ring is survivable by this pattern.
+        let adv = BruteForceAdversary::with_max_failures(1);
+        assert!(adv.find_counterexample(&g, &p).is_none());
+        assert!(adv.name().contains("<= 1"));
+    }
+
+    #[test]
+    fn random_adversary_is_reproducible_and_effective() {
+        let g = generators::cycle(6);
+        let p = FnPattern::new(RoutingModel::DestinationOnly, "drop-unless-adjacent", |ctx| {
+            if ctx.destination_is_alive_neighbor() {
+                Some(ctx.destination)
+            } else {
+                None
+            }
+        });
+        let adv = RandomAdversary::new(500, 2, 42);
+        let ce1 = adv.find_counterexample(&g, &p).expect("must find a violation");
+        let ce2 = adv.find_counterexample(&g, &p).expect("must find a violation");
+        assert_eq!(ce1, ce2, "same seed must give the same counterexample");
+        assert!(verify_counterexample(&g, &p, &ce1));
+        assert!(adv.name().contains("random"));
+    }
+
+    #[test]
+    fn counterexample_display_is_informative() {
+        let ce = Counterexample {
+            failures: FailureSet::from_pairs(&[(0, 1)]),
+            source: Node(0),
+            destination: Node(2),
+            outcome: Outcome::Loop,
+            path: vec![Node(0), Node(1), Node(0)],
+        };
+        let text = format!("{ce}");
+        assert!(text.contains("v0"));
+        assert!(text.contains("Loop"));
+    }
+
+    #[test]
+    fn verify_rejects_bogus_counterexamples() {
+        let g = generators::cycle(4);
+        let p = RotorPattern::clockwise_with_shortcut(&g);
+        // Claimed failure disconnects s and t entirely: not a valid counterexample.
+        let ce = Counterexample {
+            failures: FailureSet::from_pairs(&[(0, 1), (0, 3)]),
+            source: Node(0),
+            destination: Node(2),
+            outcome: Outcome::Stuck,
+            path: vec![Node(0)],
+        };
+        assert!(!verify_counterexample(&g, &p, &ce));
+        // Claimed scenario on which the pattern actually succeeds.
+        let ce = Counterexample {
+            failures: FailureSet::from_pairs(&[(0, 1)]),
+            source: Node(0),
+            destination: Node(2),
+            outcome: Outcome::Loop,
+            path: vec![Node(0)],
+        };
+        assert!(!verify_counterexample(&g, &p, &ce));
+    }
+}

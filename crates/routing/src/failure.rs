@@ -1,0 +1,313 @@
+//! Failure sets `F ⊆ E` and their enumeration / sampling.
+//!
+//! The adversary of the paper chooses an arbitrary set of links to fail; the
+//! only promise is that source and destination (or, for `r`-tolerance, `r`
+//! link-disjoint paths between them) survive.  This module provides the
+//! container plus exhaustive enumeration (for the small named graphs of the
+//! paper, whose entire failure-set power set fits in memory-free iteration)
+//! and reproducible random sampling (for larger networks).
+
+use frr_graph::connectivity::{are_r_connected, same_component};
+use frr_graph::{Edge, Graph, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of failed (undirected) links.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureSet {
+    failed: BTreeSet<Edge>,
+}
+
+impl FailureSet {
+    /// The empty failure set.
+    pub fn new() -> Self {
+        FailureSet::default()
+    }
+
+    /// A failure set from explicit edges.
+    pub fn from_edges<I: IntoIterator<Item = Edge>>(edges: I) -> Self {
+        FailureSet {
+            failed: edges.into_iter().collect(),
+        }
+    }
+
+    /// A failure set from `(u, v)` index pairs.
+    pub fn from_pairs(pairs: &[(usize, usize)]) -> Self {
+        FailureSet {
+            failed: pairs.iter().map(|&(u, v)| Edge::new(Node(u), Node(v))).collect(),
+        }
+    }
+
+    /// Number of failed links.
+    pub fn len(&self) -> usize {
+        self.failed.len()
+    }
+
+    /// `true` if no link failed.
+    pub fn is_empty(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// `true` if the link `{u, v}` failed.
+    pub fn contains(&self, u: Node, v: Node) -> bool {
+        if u == v {
+            return false;
+        }
+        self.failed.contains(&Edge::new(u, v))
+    }
+
+    /// `true` if the edge failed.
+    pub fn contains_edge(&self, e: Edge) -> bool {
+        self.failed.contains(&e)
+    }
+
+    /// Adds a failed link; returns `true` if newly inserted.
+    pub fn insert(&mut self, e: Edge) -> bool {
+        self.failed.insert(e)
+    }
+
+    /// Iterates over the failed links in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.failed.iter()
+    }
+
+    /// The far endpoints of failed links incident to `v` — the local view
+    /// `F ∩ E(v)` a node is allowed to condition on.
+    pub fn failed_neighbors_of(&self, v: Node) -> BTreeSet<Node> {
+        self.failed
+            .iter()
+            .filter_map(|e| e.other(v))
+            .collect()
+    }
+
+    /// The surviving graph `G \ F`.
+    pub fn surviving_graph(&self, g: &Graph) -> Graph {
+        g.without_edges(self.failed.iter())
+    }
+
+    /// `true` if `s` and `t` are still connected in `G \ F`.
+    pub fn keeps_connected(&self, g: &Graph, s: Node, t: Node) -> bool {
+        same_component(&self.surviving_graph(g), s, t)
+    }
+
+    /// `true` if `s` and `t` are still `r`-connected (link-disjoint paths) in
+    /// `G \ F` — the paper's `r`-tolerance promise.
+    pub fn keeps_r_connected(&self, g: &Graph, s: Node, t: Node, r: usize) -> bool {
+        are_r_connected(&self.surviving_graph(g), s, t, r)
+    }
+}
+
+impl fmt::Display for FailureSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.failed.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Edge> for FailureSet {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        FailureSet::from_edges(iter)
+    }
+}
+
+impl Extend<Edge> for FailureSet {
+    fn extend<T: IntoIterator<Item = Edge>>(&mut self, iter: T) {
+        self.failed.extend(iter);
+    }
+}
+
+/// Iterator over **all** failure sets of a graph (the power set of its link
+/// set), optionally capped at a maximum number of failed links.
+///
+/// Intended for the paper's small named graphs: the iteration count is
+/// `2^m` (or `Σ_{i≤max} C(m,i)`), so callers should keep `m ≲ 20`.
+pub struct AllFailureSets {
+    edges: Vec<Edge>,
+    next_mask: u64,
+    end_mask: u64,
+    max_failures: Option<usize>,
+}
+
+impl AllFailureSets {
+    /// Enumerates every failure set of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has more than 62 links (the enumeration would not
+    /// terminate in any reasonable time anyway).
+    pub fn new(g: &Graph) -> Self {
+        Self::with_max_failures(g, None)
+    }
+
+    /// Enumerates every failure set of `g` with at most `max` failed links.
+    pub fn with_max_failures(g: &Graph, max: Option<usize>) -> Self {
+        let edges = g.edges();
+        assert!(edges.len() <= 62, "exhaustive enumeration needs at most 62 links");
+        AllFailureSets {
+            next_mask: 0,
+            end_mask: 1u64 << edges.len(),
+            edges,
+            max_failures: max,
+        }
+    }
+}
+
+impl Iterator for AllFailureSets {
+    type Item = FailureSet;
+
+    fn next(&mut self) -> Option<FailureSet> {
+        while self.next_mask < self.end_mask {
+            let mask = self.next_mask;
+            self.next_mask += 1;
+            let count = mask.count_ones() as usize;
+            if let Some(max) = self.max_failures {
+                if count > max {
+                    continue;
+                }
+            }
+            let set = FailureSet::from_edges(
+                self.edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &e)| e),
+            );
+            return Some(set);
+        }
+        None
+    }
+}
+
+/// Samples a uniformly random failure set of exactly `k` links (or all links
+/// if `k ≥ m`).
+pub fn random_failure_set<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> FailureSet {
+    let mut edges = g.edges();
+    edges.shuffle(rng);
+    FailureSet::from_edges(edges.into_iter().take(k))
+}
+
+/// Samples a random failure set of exactly `k` links that keeps `s` and `t`
+/// connected, retrying up to `attempts` times; `None` if no such set was
+/// found.
+pub fn random_connected_failure_set<R: Rng>(
+    g: &Graph,
+    k: usize,
+    s: Node,
+    t: Node,
+    attempts: usize,
+    rng: &mut R,
+) -> Option<FailureSet> {
+    for _ in 0..attempts {
+        let f = random_failure_set(g, k, rng);
+        if f.keeps_connected(g, s, t) {
+            return Some(f);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frr_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn basic_container_behaviour() {
+        let mut f = FailureSet::new();
+        assert!(f.is_empty());
+        assert!(f.insert(Edge::new(Node(0), Node(1))));
+        assert!(!f.insert(Edge::new(Node(1), Node(0))));
+        assert_eq!(f.len(), 1);
+        assert!(f.contains(Node(0), Node(1)));
+        assert!(!f.contains(Node(0), Node(2)));
+        assert!(!f.contains(Node(1), Node(1)));
+        assert_eq!(format!("{f}"), "{v0-v1}");
+        let g = FailureSet::from_pairs(&[(0, 1)]);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn local_view_extraction() {
+        let f = FailureSet::from_pairs(&[(0, 1), (0, 2), (3, 4)]);
+        let local = f.failed_neighbors_of(Node(0));
+        assert_eq!(local, [Node(1), Node(2)].into_iter().collect());
+        assert!(f.failed_neighbors_of(Node(5)).is_empty());
+    }
+
+    #[test]
+    fn surviving_graph_and_connectivity_promises() {
+        let g = generators::cycle(5);
+        let f = FailureSet::from_pairs(&[(0, 1)]);
+        let gs = f.surviving_graph(&g);
+        assert_eq!(gs.edge_count(), 4);
+        assert!(f.keeps_connected(&g, Node(0), Node(1)));
+        let f2 = FailureSet::from_pairs(&[(0, 1), (1, 2)]);
+        assert!(!f2.keeps_connected(&g, Node(1), Node(3)));
+        // r-connectivity promise on K5.
+        let k5 = generators::complete(5);
+        let f3 = FailureSet::from_pairs(&[(0, 1)]);
+        assert!(f3.keeps_r_connected(&k5, Node(0), Node(1), 3));
+        assert!(!f3.keeps_r_connected(&k5, Node(0), Node(1), 4));
+    }
+
+    #[test]
+    fn exhaustive_enumeration_counts() {
+        let g = generators::cycle(4);
+        assert_eq!(AllFailureSets::new(&g).count(), 16);
+        assert_eq!(
+            AllFailureSets::with_max_failures(&g, Some(1)).count(),
+            1 + 4
+        );
+        assert_eq!(
+            AllFailureSets::with_max_failures(&g, Some(2)).count(),
+            1 + 4 + 6
+        );
+        // The first element is the empty set.
+        assert!(AllFailureSets::new(&g).next().unwrap().is_empty());
+    }
+
+    #[test]
+    fn random_failure_sets_are_reproducible() {
+        let g = generators::complete(6);
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        assert_eq!(random_failure_set(&g, 4, &mut rng1), random_failure_set(&g, 4, &mut rng2));
+        let f = random_failure_set(&g, 100, &mut rng1);
+        assert_eq!(f.len(), g.edge_count());
+    }
+
+    #[test]
+    fn random_connected_failure_sets_keep_the_promise() {
+        let g = generators::complete(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let f = random_connected_failure_set(&g, 8, Node(0), Node(5), 100, &mut rng)
+                .expect("K6 with 8 failures usually keeps 0 and 5 connected");
+            assert!(f.keeps_connected(&g, Node(0), Node(5)));
+            assert_eq!(f.len(), 8);
+        }
+        // Impossible request: single edge graph, keep endpoints connected while failing it.
+        let g = generators::path(2);
+        assert!(random_connected_failure_set(&g, 1, Node(0), Node(1), 50, &mut rng).is_none());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let edges = vec![Edge::new(Node(0), Node(1)), Edge::new(Node(1), Node(2))];
+        let f: FailureSet = edges.clone().into_iter().collect();
+        assert_eq!(f.len(), 2);
+        let mut f2 = FailureSet::new();
+        f2.extend(edges);
+        assert_eq!(f, f2);
+    }
+}

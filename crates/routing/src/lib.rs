@@ -1,0 +1,54 @@
+//! # frr-routing
+//!
+//! The routing substrate ("data plane") for the `fastreroute` workspace: the
+//! machinery the DSN'22 paper reasons about, implemented as a deterministic
+//! in-memory simulator.
+//!
+//! * [`model`] — the three routing models of the paper (source–destination,
+//!   destination-only, touring) and the local information a node may use,
+//! * [`failure`] — failure sets `F ⊆ E`, their enumeration and sampling,
+//! * [`pattern`] — the [`pattern::ForwardingPattern`] trait (a static,
+//!   pre-configured, purely local forwarding function per node) plus generic
+//!   table/rotor/shortest-path baselines,
+//! * [`simulator`] — deterministic packet forwarding with exact loop
+//!   detection over `(node, in-port)` states,
+//! * [`resilience`] — exhaustive and sampled resilience checkers (perfect
+//!   resilience, `r`-tolerance, bounded failures, touring),
+//! * [`adversary`] — generic brute-force and randomized adversaries that
+//!   search for failure scenarios defeating a given pattern,
+//! * [`metrics`] — delivery-rate / stretch statistics for the benchmark
+//!   harness.
+//!
+//! # Example
+//!
+//! ```
+//! use frr_graph::{generators, Node};
+//! use frr_routing::prelude::*;
+//!
+//! let g = generators::cycle(5);
+//! let pattern = RotorPattern::clockwise(&g);
+//! let failures = FailureSet::new();
+//! let result = route(&g, &failures, &pattern, Node(0), Node(3), 100);
+//! assert!(result.outcome.is_delivered());
+//! ```
+
+pub mod adversary;
+pub mod failure;
+pub mod metrics;
+pub mod model;
+pub mod pattern;
+pub mod resilience;
+pub mod simulator;
+
+/// Convenience prelude bringing the most frequently used items into scope.
+pub mod prelude {
+    pub use crate::adversary::{Adversary, BruteForceAdversary, Counterexample, RandomAdversary};
+    pub use crate::failure::FailureSet;
+    pub use crate::metrics::DeliveryStats;
+    pub use crate::model::{LocalContext, RoutingModel};
+    pub use crate::pattern::{FnPattern, ForwardingPattern, RotorPattern, ShortestPathPattern};
+    pub use crate::resilience::{
+        is_perfectly_resilient, is_perfectly_resilient_touring, is_r_tolerant,
+    };
+    pub use crate::simulator::{route, tour, Outcome, RouteResult, TourResult};
+}

@@ -1,0 +1,376 @@
+//! Forwarding patterns: the static, purely local forwarding functions of the
+//! paper, as a trait plus generic baseline implementations.
+//!
+//! A [`ForwardingPattern`] is pre-computed offline with full knowledge of the
+//! network `G` but *without* knowledge of the failures; at packet time it may
+//! only read the [`LocalContext`] (in-port, incident failed links and —
+//! depending on the routing model — source and destination).
+
+use crate::model::{LocalContext, RoutingModel};
+use frr_graph::traversal::distances_from;
+use frr_graph::{Graph, Node};
+
+/// A static local forwarding function (one rule set per node).
+///
+/// Implementations must be deterministic and must only depend on the
+/// information in the [`LocalContext`] that their [`RoutingModel`] permits;
+/// the simulator and the resilience checkers rely on determinism for exact
+/// loop detection.
+pub trait ForwardingPattern {
+    /// The routing model this pattern is designed for (metadata used by the
+    /// classification and experiment harnesses).
+    fn model(&self) -> RoutingModel;
+
+    /// The out-port (neighbor) to forward the packet to, or `None` to drop it.
+    ///
+    /// Returning a neighbor whose link has failed counts as a forwarding
+    /// fault; the simulator reports it as [`crate::simulator::Outcome::Stuck`].
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node>;
+
+    /// A short human-readable name used in experiment output.
+    fn name(&self) -> String {
+        "unnamed".to_string()
+    }
+}
+
+impl<P: ForwardingPattern + ?Sized> ForwardingPattern for &P {
+    fn model(&self) -> RoutingModel {
+        (**self).model()
+    }
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        (**self).next_hop(ctx)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<P: ForwardingPattern + ?Sized> ForwardingPattern for Box<P> {
+    fn model(&self) -> RoutingModel {
+        (**self).model()
+    }
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        (**self).next_hop(ctx)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// A forwarding pattern defined by a closure — handy for tests, for the
+/// adversary experiments (which probe arbitrary candidate patterns), and for
+/// one-off constructions.
+pub struct FnPattern<F> {
+    model: RoutingModel,
+    name: String,
+    func: F,
+}
+
+impl<F> FnPattern<F>
+where
+    F: Fn(&LocalContext<'_>) -> Option<Node>,
+{
+    /// Wraps `func` as a forwarding pattern for `model`.
+    pub fn new(model: RoutingModel, name: impl Into<String>, func: F) -> Self {
+        FnPattern {
+            model,
+            name: name.into(),
+            func,
+        }
+    }
+}
+
+impl<F> ForwardingPattern for FnPattern<F>
+where
+    F: Fn(&LocalContext<'_>) -> Option<Node>,
+{
+    fn model(&self) -> RoutingModel {
+        self.model
+    }
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        (self.func)(ctx)
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// The classic "rotor" / circular-port-sweep pattern: each node stores a fixed
+/// cyclic order of its neighbors and forwards to the first alive neighbor
+/// *after* the in-port in that order (starting packets go to the first alive
+/// neighbor).  Optionally short-cuts directly to the destination when it is an
+/// alive neighbor.
+///
+/// This is the natural memory-less baseline: on outerplanar graphs with the
+/// rotation taken from an outerplanar embedding it is exactly the right-hand
+/// rule, and on general graphs it is the pattern family the paper's
+/// impossibility adversaries defeat.
+#[derive(Debug, Clone)]
+pub struct RotorPattern {
+    rotation: Vec<Vec<Node>>,
+    destination_shortcut: bool,
+    model: RoutingModel,
+    name: String,
+}
+
+impl RotorPattern {
+    /// Builds a rotor pattern from an explicit rotation system.
+    pub fn from_rotation(rotation: Vec<Vec<Node>>, destination_shortcut: bool) -> Self {
+        RotorPattern {
+            rotation,
+            destination_shortcut,
+            model: if destination_shortcut {
+                RoutingModel::DestinationOnly
+            } else {
+                RoutingModel::Touring
+            },
+            name: if destination_shortcut {
+                "rotor+shortcut".to_string()
+            } else {
+                "rotor".to_string()
+            },
+        }
+    }
+
+    /// The "clockwise" rotor: every node sweeps its neighbors in ascending
+    /// identifier order, without a destination shortcut (a touring pattern).
+    pub fn clockwise(g: &Graph) -> Self {
+        let rotation = g.nodes().map(|v| g.neighbors_vec(v)).collect();
+        Self::from_rotation(rotation, false)
+    }
+
+    /// The "clockwise" rotor with a destination shortcut (a destination-only
+    /// pattern).
+    pub fn clockwise_with_shortcut(g: &Graph) -> Self {
+        let rotation = g.nodes().map(|v| g.neighbors_vec(v)).collect();
+        Self::from_rotation(rotation, true)
+    }
+
+    /// Overrides the reported name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The rotation (cyclic neighbor order) at every node.
+    pub fn rotation(&self) -> &[Vec<Node>] {
+        &self.rotation
+    }
+}
+
+impl ForwardingPattern for RotorPattern {
+    fn model(&self) -> RoutingModel {
+        self.model
+    }
+
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        if self.destination_shortcut && ctx.destination_is_alive_neighbor() {
+            return Some(ctx.destination);
+        }
+        let rot = &self.rotation[ctx.node.index()];
+        if rot.is_empty() {
+            return None;
+        }
+        let start = match ctx.inport {
+            Some(inport) => rot.iter().position(|&u| u == inport).map(|p| p + 1).unwrap_or(0),
+            None => 0,
+        };
+        for step in 0..rot.len() {
+            let cand = rot[(start + step) % rot.len()];
+            if ctx.is_alive(cand) {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// A destination-based shortest-path pattern with rotor fallback: every node
+/// stores, per destination, the next hop on a shortest path of the *failure
+/// free* network; if that primary port is down (or would bounce the packet
+/// straight back), the node falls back to sweeping its remaining neighbors in
+/// ascending order after the in-port.
+///
+/// This models a conventional statically-configured IP fast-reroute table and
+/// serves as the "plausible but imperfect" baseline in the experiments.
+#[derive(Debug, Clone)]
+pub struct ShortestPathPattern {
+    /// `primary[v][t]` = next hop from `v` towards destination `t` (failure
+    /// free), `None` if unreachable or `v == t`.
+    primary: Vec<Vec<Option<Node>>>,
+    rotor: RotorPattern,
+}
+
+impl ShortestPathPattern {
+    /// Precomputes shortest-path next hops for every (node, destination) pair.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut primary = vec![vec![None; n]; n];
+        for t in g.nodes() {
+            let dist = distances_from(g, t);
+            for v in g.nodes() {
+                if v == t {
+                    continue;
+                }
+                if let Some(dv) = dist[v.index()] {
+                    // Choose the smallest neighbor strictly closer to t.
+                    primary[v.index()][t.index()] = g
+                        .neighbors(v)
+                        .find(|u| dist[u.index()].map(|du| du + 1 == dv).unwrap_or(false));
+                }
+            }
+        }
+        ShortestPathPattern {
+            primary,
+            rotor: RotorPattern::clockwise_with_shortcut(g),
+        }
+    }
+}
+
+impl ForwardingPattern for ShortestPathPattern {
+    fn model(&self) -> RoutingModel {
+        RoutingModel::DestinationOnly
+    }
+
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        if ctx.destination_is_alive_neighbor() {
+            return Some(ctx.destination);
+        }
+        if let Some(primary) = self.primary[ctx.node.index()][ctx.destination.index()] {
+            if ctx.is_alive(primary) && ctx.inport != Some(primary) {
+                return Some(primary);
+            }
+        }
+        self.rotor.next_hop(ctx)
+    }
+
+    fn name(&self) -> String {
+        "shortest-path+rotor-fallback".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureSet;
+    use frr_graph::generators;
+    use std::collections::BTreeSet;
+
+    fn ctx<'a>(
+        g: &'a Graph,
+        node: Node,
+        inport: Option<Node>,
+        s: Node,
+        t: Node,
+        failed: &'a BTreeSet<Node>,
+    ) -> LocalContext<'a> {
+        LocalContext {
+            node,
+            inport,
+            source: s,
+            destination: t,
+            failed_neighbors: failed,
+            graph: g,
+        }
+    }
+
+    #[test]
+    fn fn_pattern_delegates() {
+        let g = generators::path(3);
+        let p = FnPattern::new(RoutingModel::DestinationOnly, "to-right", |ctx| {
+            ctx.alive_neighbors().last().copied()
+        });
+        assert_eq!(p.model(), RoutingModel::DestinationOnly);
+        assert_eq!(p.name(), "to-right");
+        let empty = BTreeSet::new();
+        let c = ctx(&g, Node(0), None, Node(0), Node(2), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(1)));
+        // Trait impls for references and boxes.
+        assert_eq!((&p).next_hop(&c), Some(Node(1)));
+        let boxed: Box<dyn ForwardingPattern> = Box::new(p);
+        assert_eq!(boxed.next_hop(&c), Some(Node(1)));
+        assert_eq!(boxed.name(), "to-right");
+    }
+
+    #[test]
+    fn rotor_sweeps_after_inport() {
+        let g = generators::complete(4);
+        let p = RotorPattern::clockwise(&g);
+        assert_eq!(p.model(), RoutingModel::Touring);
+        let empty = BTreeSet::new();
+        // At node 0 with neighbors [1,2,3]: starting packet goes to 1.
+        let c = ctx(&g, Node(0), None, Node(0), Node(3), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(1)));
+        // Arriving from 1 goes to 2; from 3 wraps to 1.
+        let c = ctx(&g, Node(0), Some(Node(1)), Node(0), Node(3), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(2)));
+        let c = ctx(&g, Node(0), Some(Node(3)), Node(0), Node(3), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(1)));
+        // Failed link to 2 is skipped.
+        let failures = FailureSet::from_pairs(&[(0, 2)]);
+        let failed = failures.failed_neighbors_of(Node(0));
+        let c = ctx(&g, Node(0), Some(Node(1)), Node(0), Node(3), &failed);
+        assert_eq!(p.next_hop(&c), Some(Node(3)));
+        // All links failed: no next hop.
+        let failures = FailureSet::from_pairs(&[(0, 1), (0, 2), (0, 3)]);
+        let failed = failures.failed_neighbors_of(Node(0));
+        let c = ctx(&g, Node(0), Some(Node(1)), Node(0), Node(3), &failed);
+        assert_eq!(p.next_hop(&c), None);
+    }
+
+    #[test]
+    fn rotor_shortcut_prefers_destination() {
+        let g = generators::complete(4);
+        let p = RotorPattern::clockwise_with_shortcut(&g);
+        assert_eq!(p.model(), RoutingModel::DestinationOnly);
+        let empty = BTreeSet::new();
+        let c = ctx(&g, Node(0), Some(Node(1)), Node(1), Node(3), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(3)));
+        // If the destination link failed, fall back to the sweep.
+        let failures = FailureSet::from_pairs(&[(0, 3)]);
+        let failed = failures.failed_neighbors_of(Node(0));
+        let c = ctx(&g, Node(0), Some(Node(1)), Node(1), Node(3), &failed);
+        assert_eq!(p.next_hop(&c), Some(Node(2)));
+    }
+
+    #[test]
+    fn rotor_on_isolated_node_returns_none() {
+        let g = Graph::new(2);
+        let p = RotorPattern::clockwise(&g);
+        let empty = BTreeSet::new();
+        let c = ctx(&g, Node(0), None, Node(0), Node(1), &empty);
+        assert_eq!(p.next_hop(&c), None);
+    }
+
+    #[test]
+    fn shortest_path_pattern_uses_primary_then_falls_back() {
+        let g = generators::cycle(5);
+        let p = ShortestPathPattern::new(&g);
+        assert_eq!(p.model(), RoutingModel::DestinationOnly);
+        assert!(p.name().contains("shortest-path"));
+        let empty = BTreeSet::new();
+        // From 0 to 2 the shortest path goes via 1.
+        let c = ctx(&g, Node(0), None, Node(0), Node(2), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(1)));
+        // If the link 0-1 failed, fall back towards 4.
+        let failures = FailureSet::from_pairs(&[(0, 1)]);
+        let failed = failures.failed_neighbors_of(Node(0));
+        let c = ctx(&g, Node(0), None, Node(0), Node(2), &failed);
+        assert_eq!(p.next_hop(&c), Some(Node(4)));
+        // Destination adjacent: deliver directly.
+        let c = ctx(&g, Node(1), Some(Node(0)), Node(0), Node(2), &empty);
+        assert_eq!(p.next_hop(&c), Some(Node(2)));
+    }
+
+    #[test]
+    fn with_name_overrides_reported_name() {
+        let g = generators::cycle(4);
+        let p = RotorPattern::clockwise(&g).with_name("my-rotor");
+        assert_eq!(p.name(), "my-rotor");
+        assert_eq!(p.rotation().len(), 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Bundled real-world topologies.
+//!
+//! These are small, well-documented research and ISP backbones whose structure
+//! is public knowledge (they also appear in the Internet Topology Zoo).  They
+//! anchor the synthetic zoo with genuinely real instances.
+
+use frr_graph::Graph;
+
+/// A named topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Human-readable name.
+    pub name: String,
+    /// The network graph.
+    pub graph: Graph,
+    /// `true` for bundled real networks, `false` for synthetic ones.
+    pub real: bool,
+}
+
+impl Topology {
+    /// Creates a topology from a name and an edge list over `n` nodes.
+    pub fn from_edges(name: &str, n: usize, edges: &[(usize, usize)], real: bool) -> Self {
+        Topology {
+            name: name.to_string(),
+            graph: Graph::from_edges(n, edges),
+            real,
+        }
+    }
+}
+
+/// The bundled real topologies.
+pub fn builtin_topologies() -> Vec<Topology> {
+    vec![
+        // Abilene / Internet2 research backbone (11 PoPs).
+        Topology::from_edges(
+            "Abilene",
+            11,
+            &[
+                (0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 6), (5, 7),
+                (6, 8), (7, 8), (7, 9), (8, 10), (9, 10),
+            ],
+            true,
+        ),
+        // NSFNET T1 backbone (14 nodes, 21 links).
+        Topology::from_edges(
+            "Nsfnet",
+            14,
+            &[
+                (0, 1), (0, 2), (0, 7), (1, 2), (1, 3), (2, 5), (3, 4), (3, 10),
+                (4, 5), (4, 6), (5, 9), (5, 13), (6, 7), (7, 8), (8, 9), (8, 11),
+                (9, 12), (10, 11), (10, 13), (11, 12), (12, 13),
+            ],
+            true,
+        ),
+        // GÉANT-like European research ring with chords (compacted).
+        Topology::from_edges(
+            "GeantLite",
+            16,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8),
+                (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14), (14, 15),
+                (15, 0), (0, 8), (2, 10), (4, 12), (1, 5), (9, 13),
+            ],
+            true,
+        ),
+        // ARPANET circa 1972 (classic 21-node mesh).
+        Topology::from_edges(
+            "Arpanet1972",
+            21,
+            &[
+                (0, 1), (0, 3), (1, 2), (2, 4), (3, 4), (3, 5), (4, 6), (5, 7),
+                (6, 8), (7, 9), (8, 10), (9, 11), (10, 12), (11, 13), (12, 14),
+                (13, 15), (14, 16), (15, 17), (16, 18), (17, 19), (18, 20),
+                (19, 20), (2, 6), (5, 9), (10, 14), (13, 17),
+            ],
+            true,
+        ),
+        // A national ring-of-rings operator (tree of rings, outerplanar).
+        Topology::from_edges(
+            "RingOfRings",
+            12,
+            &[
+                (0, 1), (1, 2), (2, 3), (3, 0),
+                (3, 4), (4, 5), (5, 6), (6, 3),
+                (6, 7), (7, 8), (8, 9), (9, 6),
+                (9, 10), (10, 11), (11, 9),
+            ],
+            true,
+        ),
+        // A star-of-stars access network (tree).
+        Topology::from_edges(
+            "AccessTree",
+            13,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 6), (2, 7), (3, 8),
+                (3, 9), (4, 10), (5, 11), (6, 12),
+            ],
+            true,
+        ),
+        // A dual-homed metro aggregation (contains K2,3 minors).
+        Topology::from_edges(
+            "MetroDualHomed",
+            10,
+            &[
+                (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5),
+                (2, 6), (3, 7), (4, 8), (5, 9),
+            ],
+            true,
+        ),
+        // A small fully meshed IXP core with stub customers (contains K5).
+        Topology::from_edges(
+            "IxpCore",
+            9,
+            &[
+                (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3),
+                (2, 4), (3, 4), (0, 5), (1, 6), (2, 7), (3, 8),
+            ],
+            true,
+        ),
+        // The Netrail-like topology of the paper's Fig. 6: a small dual-core
+        // network containing a K2,3 minor (so neither tourable nor
+        // outerplanar) whose destination-based routing is still possible for
+        // some destinations ("sometimes").
+        Topology::from_edges(
+            "NetrailLike",
+            7,
+            &[
+                (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 5), (3, 6),
+            ],
+            true,
+        ),
+        // A 4x4 metro grid (planar, not outerplanar).
+        Topology {
+            name: "MetroGrid4x4".to_string(),
+            graph: frr_graph::generators::grid(4, 4),
+            real: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frr_graph::connectivity::is_connected;
+
+    #[test]
+    fn builtin_topologies_are_connected_and_sane() {
+        let all = builtin_topologies();
+        assert_eq!(all.len(), 10);
+        for t in &all {
+            assert!(t.real);
+            assert!(t.graph.node_count() >= 3, "{} too small", t.name);
+            assert!(is_connected(&t.graph), "{} must be connected", t.name);
+            assert!(
+                t.graph.density() <= 3.0,
+                "{} denser than any Topology-Zoo instance",
+                t.name
+            );
+        }
+    }
+
+    #[test]
+    fn builtin_mix_covers_the_interesting_classes() {
+        use frr_graph::outerplanar::is_outerplanar;
+        use frr_graph::planarity::is_planar;
+        let all = builtin_topologies();
+        let outerplanar = all.iter().filter(|t| is_outerplanar(&t.graph)).count();
+        let planar_only = all
+            .iter()
+            .filter(|t| is_planar(&t.graph) && !is_outerplanar(&t.graph))
+            .count();
+        let nonplanar = all.iter().filter(|t| !is_planar(&t.graph)).count();
+        assert!(outerplanar >= 2, "need tree/ring-like instances");
+        assert!(planar_only >= 2, "need planar meshes");
+        assert!(nonplanar >= 1, "need at least one dense core");
+    }
+}

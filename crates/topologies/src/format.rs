@@ -1,0 +1,131 @@
+//! A tiny text format for exchanging topologies.
+//!
+//! One header line `nodes <n>` followed by one `u v` pair per line (0-based
+//! node indices, `#` comments and blank lines ignored).  Round-trips through
+//! [`to_edge_list`] / [`parse_edge_list`].
+
+use frr_graph::{Graph, Node};
+use std::fmt;
+
+/// Error parsing an edge-list document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTopologyError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTopologyError {}
+
+/// Serializes a graph to the edge-list format.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = format!("nodes {}\n", g.node_count());
+    for e in g.edges() {
+        out.push_str(&format!("{} {}\n", e.u().index(), e.v().index()));
+    }
+    out
+}
+
+/// Parses a graph from the edge-list format.
+///
+/// # Errors
+///
+/// Returns a [`ParseTopologyError`] for missing/invalid headers, malformed
+/// lines, out-of-range endpoints or self-loops.
+pub fn parse_edge_list(text: &str) -> Result<Graph, ParseTopologyError> {
+    let mut graph: Option<Graph> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("nodes ") {
+            let n: usize = rest.trim().parse().map_err(|_| ParseTopologyError {
+                line: line_no,
+                message: format!("invalid node count '{rest}'"),
+            })?;
+            graph = Some(Graph::new(n));
+            continue;
+        }
+        let g = graph.as_mut().ok_or(ParseTopologyError {
+            line: line_no,
+            message: "edge line before 'nodes <n>' header".to_string(),
+        })?;
+        let mut parts = line.split_whitespace();
+        let (u, v) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(u), Some(v), None) => (u, v),
+            _ => {
+                return Err(ParseTopologyError {
+                    line: line_no,
+                    message: format!("expected 'u v', got '{line}'"),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<usize, ParseTopologyError> {
+            s.parse().map_err(|_| ParseTopologyError {
+                line: line_no,
+                message: format!("invalid node id '{s}'"),
+            })
+        };
+        let (u, v) = (parse(u)?, parse(v)?);
+        if u >= g.node_count() || v >= g.node_count() {
+            return Err(ParseTopologyError {
+                line: line_no,
+                message: format!("node id out of range in '{line}'"),
+            });
+        }
+        if u == v {
+            return Err(ParseTopologyError {
+                line: line_no,
+                message: "self-loops are not supported".to_string(),
+            });
+        }
+        g.add_edge(Node(u), Node(v));
+    }
+    graph.ok_or(ParseTopologyError {
+        line: 0,
+        message: "missing 'nodes <n>' header".to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frr_graph::generators;
+
+    #[test]
+    fn round_trip() {
+        let g = generators::petersen();
+        let text = to_edge_list(&g);
+        let parsed = parse_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let g = parse_edge_list("# a triangle\nnodes 3\n\n0 1\n1 2\n# chord\n0 2\n").unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_edge_list("").is_err());
+        assert!(parse_edge_list("0 1\n").is_err());
+        assert!(parse_edge_list("nodes x\n").is_err());
+        assert!(parse_edge_list("nodes 3\n0\n").is_err());
+        assert!(parse_edge_list("nodes 3\n0 9\n").is_err());
+        assert!(parse_edge_list("nodes 3\n1 1\n").is_err());
+        assert!(parse_edge_list("nodes 3\n0 a\n").is_err());
+        let err = parse_edge_list("nodes 3\n0 9\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(format!("{err}").contains("line 2"));
+    }
+}

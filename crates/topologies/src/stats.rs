@@ -1,0 +1,111 @@
+//! Summary statistics over a set of topologies (the numbers quoted in the
+//! paper's §VIII prose: counts, size/density ranges, planarity mix).
+
+use crate::builtin::Topology;
+use frr_graph::outerplanar::is_outerplanar;
+use frr_graph::planarity::is_planar;
+
+/// Aggregate statistics over a topology collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooStats {
+    /// Number of topologies.
+    pub count: usize,
+    /// Smallest / largest node count.
+    pub node_range: (usize, usize),
+    /// Smallest / largest link count.
+    pub edge_range: (usize, usize),
+    /// Median density `|E| / |V|`.
+    pub median_density: f64,
+    /// Fraction of outerplanar topologies.
+    pub outerplanar_fraction: f64,
+    /// Fraction of planar but not outerplanar topologies.
+    pub planar_not_outerplanar_fraction: f64,
+    /// Fraction of non-planar topologies.
+    pub nonplanar_fraction: f64,
+}
+
+/// Computes the statistics.
+pub fn zoo_stats(topologies: &[Topology]) -> ZooStats {
+    let count = topologies.len();
+    if count == 0 {
+        return ZooStats {
+            count: 0,
+            node_range: (0, 0),
+            edge_range: (0, 0),
+            median_density: 0.0,
+            outerplanar_fraction: 0.0,
+            planar_not_outerplanar_fraction: 0.0,
+            nonplanar_fraction: 0.0,
+        };
+    }
+    let nodes: Vec<usize> = topologies.iter().map(|t| t.graph.node_count()).collect();
+    let edges: Vec<usize> = topologies.iter().map(|t| t.graph.edge_count()).collect();
+    let mut densities: Vec<f64> = topologies.iter().map(|t| t.graph.density()).collect();
+    densities.sort_by(|a, b| a.partial_cmp(b).expect("densities are finite"));
+    let mut outerplanar = 0usize;
+    let mut planar_only = 0usize;
+    let mut nonplanar = 0usize;
+    for t in topologies {
+        if is_outerplanar(&t.graph) {
+            outerplanar += 1;
+        } else if is_planar(&t.graph) {
+            planar_only += 1;
+        } else {
+            nonplanar += 1;
+        }
+    }
+    ZooStats {
+        count,
+        node_range: (
+            nodes.iter().copied().min().unwrap_or(0),
+            nodes.iter().copied().max().unwrap_or(0),
+        ),
+        edge_range: (
+            edges.iter().copied().min().unwrap_or(0),
+            edges.iter().copied().max().unwrap_or(0),
+        ),
+        median_density: densities[densities.len() / 2],
+        outerplanar_fraction: outerplanar as f64 / count as f64,
+        planar_not_outerplanar_fraction: planar_only as f64 / count as f64,
+        nonplanar_fraction: nonplanar as f64 / count as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin::builtin_topologies;
+    use crate::zoo::{synthetic_zoo, ZooConfig};
+
+    #[test]
+    fn stats_over_builtin_topologies() {
+        let stats = zoo_stats(&builtin_topologies());
+        assert_eq!(stats.count, 10);
+        assert!(stats.node_range.0 >= 3);
+        assert!(stats.node_range.1 <= 30);
+        assert!(stats.outerplanar_fraction > 0.0);
+        assert!(stats.nonplanar_fraction > 0.0);
+        let sum = stats.outerplanar_fraction
+            + stats.planar_not_outerplanar_fraction
+            + stats.nonplanar_fraction;
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_over_empty_collection() {
+        let stats = zoo_stats(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.median_density, 0.0);
+    }
+
+    #[test]
+    fn synthetic_zoo_is_mostly_planar_like_the_real_one() {
+        let zoo = synthetic_zoo(&ZooConfig {
+            count: 60,
+            ..Default::default()
+        });
+        let stats = zoo_stats(&zoo);
+        assert!(stats.outerplanar_fraction + stats.planar_not_outerplanar_fraction > 0.5);
+        assert!(stats.median_density < 2.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Topology-Zoo audit: classify a (reduced, for example-speed) zoo per routing
+//! model and print a Fig. 7 style summary plus the most interesting rows.
+//!
+//! Run with `cargo run --release --example zoo_audit`.
+
+use fastreroute::prelude::*;
+use frr_core::classify::ClassifyBudget;
+
+fn main() {
+    // 10 real + 60 synthetic topologies keep the example snappy; the
+    // `fig7_zoo` benchmark binary runs the full 260-network study.
+    let mut zoo = builtin_topologies();
+    zoo.extend(synthetic_zoo(&ZooConfig {
+        count: 60,
+        ..Default::default()
+    }));
+    println!("auditing {} topologies...", zoo.len());
+
+    let mut rows = Vec::new();
+    for t in &zoo {
+        rows.push((t.name.clone(), classify(&t.graph)));
+    }
+
+    for (label, pick) in [
+        ("Touring", Box::new(|c: &Classification| c.touring) as Box<dyn Fn(&Classification) -> Feasibility>),
+        ("Destination only", Box::new(|c: &Classification| c.destination_only)),
+        ("Source-Destination", Box::new(|c: &Classification| c.source_destination)),
+    ] {
+        let total = rows.len() as f64;
+        let count = |class: &str| {
+            rows.iter().filter(|(_, c)| pick(c).label() == class).count() as f64 / total * 100.0
+        };
+        println!(
+            "{label:<20} Possible {:5.1}%  Sometimes {:5.1}%  Unknown {:5.1}%  Impossible {:5.1}%",
+            count("Possible"),
+            count("Sometimes"),
+            count("Unknown"),
+            count("Impossible")
+        );
+    }
+
+    println!("\nmost interesting rows (planar but impossible, or dense but sometimes):");
+    for (name, c) in &rows {
+        let dest = c.destination_only.label();
+        if (c.planar && dest == "Impossible") || (c.density > 1.8 && dest == "Sometimes") {
+            println!(
+                "  {name:<16} n={:<4} density={:<5.2} planar={} dest-only={} src-dest={}",
+                c.nodes, c.density, c.planar, c.destination_only, c.source_destination
+            );
+        }
+    }
+
+    let budget = ClassifyBudget::default();
+    println!("\n(classification budget: {} minor-search steps per forbidden minor)", budget.minor_budget);
+}

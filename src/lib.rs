@@ -1,0 +1,58 @@
+//! # fastreroute
+//!
+//! Static fast rerouting with purely local failover rules — a full
+//! reproduction of *"On the Price of Locality in Static Fast Rerouting"*
+//! (Foerster, Hirvonen, Pignolet, Schmid, Tredan — DSN 2022) as a Rust
+//! workspace.
+//!
+//! This facade crate re-exports the four library crates:
+//!
+//! * [`graph`] (`frr-graph`) — the graph substrate: generators, connectivity,
+//!   planarity / outerplanarity, minors, Hamiltonian decompositions,
+//! * [`routing`] (`frr-routing`) — the data plane: forwarding patterns,
+//!   failure sets, the packet simulator, resilience checkers and adversaries,
+//! * [`core`] (`frr-core`) — the paper's algorithms, impossibility
+//!   constructions, and the §VIII classification engine,
+//! * [`topologies`] (`frr-topologies`) — bundled real topologies and the
+//!   synthetic Topology Zoo.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fastreroute::prelude::*;
+//!
+//! // A 5-node full mesh: perfect resilience is achievable when forwarding
+//! // rules may match the packet source (Algorithm 1 / Theorem 8) ...
+//! let g = generators::complete(5);
+//! let pattern = K5SourcePattern::new(&g);
+//! let failures = FailureSet::from_pairs(&[(0, 4), (1, 4), (2, 4)]);
+//! let result = route(&g, &failures, &pattern, Node(0), Node(4), 1_000);
+//! assert!(result.outcome.is_delivered());
+//!
+//! // ... and the classification engine reports the landscape per model.
+//! let classes = classify(&g);
+//! assert_eq!(classes.source_destination.label(), "Possible");
+//! assert_eq!(classes.destination_only.label(), "Impossible");
+//! ```
+
+pub use frr_core as core;
+pub use frr_graph as graph;
+pub use frr_routing as routing;
+pub use frr_topologies as topologies;
+
+/// One-stop prelude for examples and applications.
+pub mod prelude {
+    pub use frr_core::algorithms::{
+        ArborescenceFailoverPattern, BipartiteDistance3Pattern, Distance2Pattern,
+        HamiltonianTouringPattern, K33Minus2DestPattern, K33SourcePattern, K5Minus2DestPattern,
+        K5SourcePattern, OuterplanarDestinationPattern, OuterplanarTouringPattern,
+    };
+    pub use frr_core::classify::{classify, Classification, Feasibility};
+    pub use frr_core::impossibility::{
+        complete_few_failures_counterexample, k44_counterexample, k7_counterexample,
+        r_tolerance_counterexample,
+    };
+    pub use frr_graph::{generators, Edge, Graph, Node};
+    pub use frr_routing::prelude::*;
+    pub use frr_topologies::{builtin_topologies, full_zoo, synthetic_zoo, Topology, ZooConfig};
+}
