@@ -2,7 +2,9 @@
 //! constructive patterns (experiments E-ALG / E-F9 positive cells).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use frr_core::algorithms::{K33SourcePattern, K5Minus2DestPattern, K5SourcePattern, OuterplanarTouringPattern};
+use frr_core::algorithms::{
+    K33SourcePattern, K5Minus2DestPattern, K5SourcePattern, OuterplanarTouringPattern,
+};
 use frr_graph::generators;
 use frr_routing::resilience::{is_perfectly_resilient, is_perfectly_resilient_touring};
 use std::hint::black_box;

@@ -25,11 +25,23 @@ fn bench_structure(c: &mut Criterion) {
     });
     let wheel: Graph = generators::wheel(20);
     group.bench_function("minor/k5m1-in-wheel20", |b| {
-        b.iter(|| black_box(has_minor_with_budget(&wheel, &forbidden::k5_minus1(), 20_000)))
+        b.iter(|| {
+            black_box(has_minor_with_budget(
+                &wheel,
+                &forbidden::k5_minus1(),
+                20_000,
+            ))
+        })
     });
     let petersen = generators::petersen();
     group.bench_function("minor/k5-in-petersen", |b| {
-        b.iter(|| black_box(has_minor_with_budget(&petersen, &generators::complete(5), 50_000)))
+        b.iter(|| {
+            black_box(has_minor_with_budget(
+                &petersen,
+                &generators::complete(5),
+                50_000,
+            ))
+        })
     });
     group.finish();
 }

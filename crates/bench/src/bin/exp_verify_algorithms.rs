@@ -70,7 +70,12 @@ fn main() {
     let k44 = generators::complete_bipartite(4, 4);
     report(
         "Theorem 17 on K4,4 (k = 2, one failure)",
-        is_k_resilient_touring(&k44, &HamiltonianTouringPattern::for_complete_bipartite(4), 1).is_ok(),
+        is_k_resilient_touring(
+            &k44,
+            &HamiltonianTouringPattern::for_complete_bipartite(4),
+            1,
+        )
+        .is_ok(),
         "Laskar-Auerbach decomposition, all single failures",
     );
 }

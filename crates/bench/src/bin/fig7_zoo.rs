@@ -7,19 +7,28 @@ use frr_topologies::{full_zoo, ZooConfig};
 
 fn main() {
     let zoo = full_zoo(&ZooConfig::default());
-    println!("classifying {} topologies (10 bundled + 250 synthetic)...", zoo.len());
+    println!(
+        "classifying {} topologies (10 bundled + 250 synthetic)...",
+        zoo.len()
+    );
     let zc = ZooClassification::classify_all(&zoo, ClassifyBudget::default());
 
     println!();
     println!("=== Figure 7: perfect-resilience classification of the zoo ===");
-    print!("{}", format_percentages("Touring", &zc.percentages(|c| c.touring)));
+    print!(
+        "{}",
+        format_percentages("Touring", &zc.percentages(|c| c.touring))
+    );
     print!(
         "{}",
         format_percentages("Destination only", &zc.percentages(|c| c.destination_only))
     );
     print!(
         "{}",
-        format_percentages("Source-Destination", &zc.percentages(|c| c.source_destination))
+        format_percentages(
+            "Source-Destination",
+            &zc.percentages(|c| c.source_destination)
+        )
     );
     println!();
     println!(

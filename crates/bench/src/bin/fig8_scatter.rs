@@ -14,7 +14,11 @@ fn main() {
     for (name, c) in &zc.per_topology {
         // The paper omits the 12 largest/densest outliers for readability; we
         // print everything and mark the would-be-omitted rows.
-        let omitted = if c.nodes > 100 || c.density > 3.0 { " (outlier)" } else { "" };
+        let omitted = if c.nodes > 100 || c.density > 3.0 {
+            " (outlier)"
+        } else {
+            ""
+        };
         println!(
             "{name:<16} {:>4} {:>6.2} {:<12} {:<12}{omitted}",
             c.nodes,
@@ -26,9 +30,17 @@ fn main() {
     // Aggregate view: mean density per class, which captures the figure's
     // visual message (sparse => possible, dense => impossible).
     for (label, extract) in [
-        ("destination-only", Box::new(|c: &frr_core::classify::Classification| c.destination_only)
-            as Box<dyn Fn(&frr_core::classify::Classification) -> frr_core::classify::Feasibility>),
-        ("source-destination", Box::new(|c: &frr_core::classify::Classification| c.source_destination)),
+        (
+            "destination-only",
+            Box::new(|c: &frr_core::classify::Classification| c.destination_only)
+                as Box<
+                    dyn Fn(&frr_core::classify::Classification) -> frr_core::classify::Feasibility,
+                >,
+        ),
+        (
+            "source-destination",
+            Box::new(|c: &frr_core::classify::Classification| c.source_destination),
+        ),
     ] {
         println!("\nmean density by class ({label}):");
         for class in ["Possible", "Sometimes", "Unknown", "Impossible"] {
@@ -41,7 +53,10 @@ fn main() {
             if ds.is_empty() {
                 println!("  {class:<11} -");
             } else {
-                println!("  {class:<11} {:.2}", ds.iter().sum::<f64>() / ds.len() as f64);
+                println!(
+                    "  {class:<11} {:.2}",
+                    ds.iter().sum::<f64>() / ds.len() as f64
+                );
             }
         }
     }

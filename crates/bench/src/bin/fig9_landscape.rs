@@ -16,7 +16,10 @@ use frr_routing::resilience::{is_perfectly_resilient, is_perfectly_resilient_tou
 
 fn main() {
     println!("=== Figure 9: feasibility landscape (paper verdict vs. this repo) ===");
-    println!("{:<9} {:>22} {:>22} {:>22}", "graph", "touring", "destination-only", "source-destination");
+    println!(
+        "{:<9} {:>22} {:>22} {:>22}",
+        "graph", "touring", "destination-only", "source-destination"
+    );
     for entry in figure9_entries() {
         let g = &entry.graph;
         // Touring cell.
@@ -32,7 +35,11 @@ fn main() {
                     defeated = false;
                 }
             }
-            if defeated { "Impossible (verified)" } else { "Impossible (partial)" }
+            if defeated {
+                "Impossible (verified)"
+            } else {
+                "Impossible (partial)"
+            }
         };
 
         // Destination-only cell: try the constructive patterns where they
@@ -56,7 +63,11 @@ fn main() {
                         all_defeated = false;
                     }
                 }
-                if all_defeated { "Impossible (portfolio)" } else { "undecided here" }
+                if all_defeated {
+                    "Impossible (portfolio)"
+                } else {
+                    "undecided here"
+                }
             }
         } else {
             "Impossible (portfolio)"
@@ -80,7 +91,11 @@ fn main() {
                     all_defeated = false;
                 }
             }
-            if all_defeated { "Impossible (portfolio)" } else { "open (paper: see Table I)" }
+            if all_defeated {
+                "Impossible (portfolio)"
+            } else {
+                "open (paper: see Table I)"
+            }
         };
 
         println!(

@@ -8,7 +8,7 @@ use frr_core::impossibility::r_tolerance_counterexample;
 use frr_core::landscape::table1_tolerance_rows;
 use frr_graph::{generators, Node};
 use frr_routing::pattern::ShortestPathPattern;
-use frr_routing::resilience::{is_r_tolerant, is_r_tolerant_sampled};
+use frr_routing::resilience::{is_r_tolerant, is_r_tolerant_sampled, SamplingBudget};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,7 +16,10 @@ fn main() {
     println!("=== Table I: r-tolerance landscape ===");
     println!(
         "{:<3} {:<28} {:<32} {:<30}",
-        "r", "K_{2r+1} possible (Thm 3)", "K_{2r-1,2r-1} possible (Thm 5)", "K_{5r+3} impossible (Thm 1)"
+        "r",
+        "K_{2r+1} possible (Thm 3)",
+        "K_{2r-1,2r-1} possible (Thm 5)",
+        "K_{5r+3} impossible (Thm 1)"
     );
     let mut rng = StdRng::seed_from_u64(1);
     for row in table1_tolerance_rows(3) {
@@ -30,7 +33,16 @@ fn main() {
                 .filter(|(s, t)| s != t)
                 .all(|(s, t)| is_r_tolerant(&kc, &pc, s, t, r).is_ok())
         } else {
-            is_r_tolerant_sampled(&kc, &pc, Node(0), Node(1), r, 12, 150, &mut rng).is_ok()
+            is_r_tolerant_sampled(
+                &kc,
+                &pc,
+                Node(0),
+                Node(1),
+                r,
+                SamplingBudget::new(12, 150),
+                &mut rng,
+            )
+            .is_ok()
         };
         // Positive: K_{2r-1,2r-1} with the bipartite distance-3 pattern.
         let part = row.bipartite_possible_part;
@@ -42,7 +54,16 @@ fn main() {
                 .filter(|(s, t)| s != t)
                 .all(|(s, t)| is_r_tolerant(&kb, &pb, s, t, r).is_ok())
         } else {
-            is_r_tolerant_sampled(&kb, &pb, Node(0), Node(part), r, 12, 150, &mut rng).is_ok()
+            is_r_tolerant_sampled(
+                &kb,
+                &pb,
+                Node(0),
+                Node(part),
+                r,
+                SamplingBudget::new(12, 150),
+                &mut rng,
+            )
+            .is_ok()
         };
         // Negative: K_{5r+3} defeated by the Theorem 1 adversary.
         let big = generators::complete(row.complete_impossible_nodes);
@@ -53,18 +74,32 @@ fn main() {
             "{:<3} K{:<3} {:<22} K{},{} {:<24} K{:<3} {:<24}",
             r,
             row.complete_possible_nodes,
-            if complete_ok { "verified r-tolerant" } else { "VERIFICATION FAILED" },
+            if complete_ok {
+                "verified r-tolerant"
+            } else {
+                "VERIFICATION FAILED"
+            },
             part,
             part,
-            if bipartite_ok { "verified r-tolerant" } else { "VERIFICATION FAILED" },
+            if bipartite_ok {
+                "verified r-tolerant"
+            } else {
+                "VERIFICATION FAILED"
+            },
             row.complete_impossible_nodes,
-            if defeated { "adversary defeats portfolio" } else { "adversary inconclusive" },
+            if defeated {
+                "adversary defeats portfolio"
+            } else {
+                "adversary inconclusive"
+            },
         );
     }
 
     println!();
     println!("=== Table I: bounded-failure landscape ===");
     println!("K_n possible for f < n-1 [Chiesa et al.]; impossible for f >= 6n-33 (Thm 14)");
-    println!("K_a,b possible for f < min(a,b)-1 [Chiesa et al.]; impossible for f >= 3a+4b-21 (Thm 15)");
+    println!(
+        "K_a,b possible for f < min(a,b)-1 [Chiesa et al.]; impossible for f >= 3a+4b-21 (Thm 15)"
+    );
     println!("(run `thm14_15_few_failures` for the constructed failure sets and measured sizes)");
 }

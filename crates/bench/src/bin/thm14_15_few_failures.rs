@@ -10,7 +10,10 @@ use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern}
 
 fn main() {
     println!("=== Theorem 14: K_n fails within O(n) failures (paper budget 6n-33) ===");
-    println!("{:<5} {:<10} {:<36} {:>10} {:>10}", "n", "|E|", "pattern", "paper", "measured");
+    println!(
+        "{:<5} {:<10} {:<36} {:>10} {:>10}",
+        "n", "|E|", "pattern", "paper", "measured"
+    );
     for n in [8usize, 9, 10, 12, 14, 16] {
         let g = generators::complete(n);
         for pattern in patterns(&g) {
@@ -23,14 +26,22 @@ fn main() {
                     res.paper_budget,
                     res.counterexample.failures.len()
                 ),
-                None => println!("{:<5} {:<10} {:<36} not defeated", n, g.edge_count(), pattern.name()),
+                None => println!(
+                    "{:<5} {:<10} {:<36} not defeated",
+                    n,
+                    g.edge_count(),
+                    pattern.name()
+                ),
             }
         }
     }
 
     println!();
     println!("=== Theorem 15: K_a,b fails within O(a+b) failures (paper budget 3a+4b-21) ===");
-    println!("{:<8} {:<10} {:<36} {:>10} {:>10}", "a,b", "|E|", "pattern", "paper", "measured");
+    println!(
+        "{:<8} {:<10} {:<36} {:>10} {:>10}",
+        "a,b", "|E|", "pattern", "paper", "measured"
+    );
     for (a, b) in [(4usize, 4usize), (5, 4), (5, 5), (6, 5), (7, 6)] {
         let g = generators::complete_bipartite(a, b);
         for pattern in patterns(&g) {

@@ -13,13 +13,17 @@ fn main() {
     for r in 1..=2usize {
         let n = 3 + 5 * r;
         let g = generators::complete(n);
-        println!("\n-- r = {r}, graph K{n} ({} links), promise: {r} link-disjoint s-t paths survive --", g.edge_count());
+        println!(
+            "\n-- r = {r}, graph K{n} ({} links), promise: {r} link-disjoint s-t paths survive --",
+            g.edge_count()
+        );
         for pattern in pattern_portfolio(&g) {
             match r_tolerance_counterexample(r, pattern.as_ref()) {
                 Some(ce) => {
                     let verified = verify_counterexample(&g, pattern.as_ref(), &ce);
                     let still_r_connected =
-                        ce.failures.keeps_r_connected(&g, ce.source, ce.destination, r);
+                        ce.failures
+                            .keeps_r_connected(&g, ce.source, ce.destination, r);
                     println!(
                         "  {:<34} defeated: |F| = {:>3}, outcome {:?}, verified = {verified}, promise held = {still_r_connected}",
                         pattern.name(),
@@ -27,10 +31,17 @@ fn main() {
                         ce.outcome
                     );
                 }
-                None => println!("  {:<34} NOT defeated by the structured family", pattern.name()),
+                None => println!(
+                    "  {:<34} NOT defeated by the structured family",
+                    pattern.name()
+                ),
             }
         }
     }
-    println!("\n(Theorem 2: see the `theorem2_supergraph_is_r_tolerant_while_its_minor_is_not` test:");
-    println!(" the supergraph of K_{{3+5r}} admits an r-tolerant pattern while the minor does not.)");
+    println!(
+        "\n(Theorem 2: see the `theorem2_supergraph_is_r_tolerant_while_its_minor_is_not` test:"
+    );
+    println!(
+        " the supergraph of K_{{3+5r}} admits an r-tolerant pattern while the minor does not.)"
+    );
 }

@@ -149,7 +149,7 @@ mod tests {
     use frr_graph::traversal::distance;
     use frr_graph::{generators, Node};
     use frr_routing::failure::AllFailureSets;
-    use frr_routing::resilience::{is_r_tolerant, is_r_tolerant_sampled};
+    use frr_routing::resilience::{is_r_tolerant, is_r_tolerant_sampled, SamplingBudget};
     use frr_routing::simulator::{route, state_space_bound};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -218,7 +218,10 @@ mod tests {
         for s in g.nodes() {
             for t in g.nodes() {
                 if s != t {
-                    assert!(is_r_tolerant(&g, &p, s, t, 2).is_ok(), "failed for {s}->{t}");
+                    assert!(
+                        is_r_tolerant(&g, &p, s, t, 2).is_ok(),
+                        "failed for {s}->{t}"
+                    );
                 }
             }
         }
@@ -231,7 +234,16 @@ mod tests {
         let g = generators::complete(7);
         let p = r_tolerant_complete_pattern();
         let mut rng = StdRng::seed_from_u64(7);
-        assert!(is_r_tolerant_sampled(&g, &p, Node(0), Node(6), 3, 12, 200, &mut rng).is_ok());
+        assert!(is_r_tolerant_sampled(
+            &g,
+            &p,
+            Node(0),
+            Node(6),
+            3,
+            SamplingBudget::new(12, 200),
+            &mut rng
+        )
+        .is_ok());
     }
 
     #[test]
@@ -242,7 +254,10 @@ mod tests {
         for s in g.nodes() {
             for t in g.nodes() {
                 if s != t {
-                    assert!(is_r_tolerant(&g, &p, s, t, 2).is_ok(), "failed for {s}->{t}");
+                    assert!(
+                        is_r_tolerant(&g, &p, s, t, 2).is_ok(),
+                        "failed for {s}->{t}"
+                    );
                 }
             }
         }
@@ -253,14 +268,35 @@ mod tests {
         let g = generators::complete_bipartite(5, 5);
         let p = r_tolerant_bipartite_pattern(&g);
         let mut rng = StdRng::seed_from_u64(11);
-        assert!(is_r_tolerant_sampled(&g, &p, Node(0), Node(9), 3, 10, 150, &mut rng).is_ok());
-        assert!(is_r_tolerant_sampled(&g, &p, Node(0), Node(1), 3, 10, 150, &mut rng).is_ok());
+        assert!(is_r_tolerant_sampled(
+            &g,
+            &p,
+            Node(0),
+            Node(9),
+            3,
+            SamplingBudget::new(10, 150),
+            &mut rng
+        )
+        .is_ok());
+        assert!(is_r_tolerant_sampled(
+            &g,
+            &p,
+            Node(0),
+            Node(1),
+            3,
+            SamplingBudget::new(10, 150),
+            &mut rng
+        )
+        .is_ok());
     }
 
     #[test]
     fn pattern_metadata() {
         let g = generators::complete_bipartite(2, 2);
-        assert_eq!(Distance2Pattern::new().model(), RoutingModel::SourceDestination);
+        assert_eq!(
+            Distance2Pattern::new().model(),
+            RoutingModel::SourceDestination
+        );
         assert!(Distance2Pattern::new().name().contains("distance-2"));
         let p = BipartiteDistance3Pattern::new(&g);
         assert_eq!(p.model(), RoutingModel::SourceDestination);

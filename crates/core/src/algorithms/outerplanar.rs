@@ -45,7 +45,9 @@ impl ForwardingPattern for OuterplanarTouringPattern {
 
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         match ctx.inport {
-            Some(from) => self.embedding.next_after(ctx.node, from, |u| ctx.is_alive(u)),
+            Some(from) => self
+                .embedding
+                .next_after(ctx.node, from, |u| ctx.is_alive(u)),
             None => self.embedding.first_alive(ctx.node, |u| ctx.is_alive(u)),
         }
     }
@@ -176,12 +178,18 @@ mod tests {
         // K4 and K2,3 are the forbidden touring minors, yet destination-based
         // routing is possible for every destination (removing a node leaves a
         // triangle / a small outerplanar graph).
-        for g in [generators::complete(4), generators::complete_bipartite(2, 3)] {
+        for g in [
+            generators::complete(4),
+            generators::complete_bipartite(2, 3),
+        ] {
             let p = OuterplanarDestinationPattern::new(&g);
             for t in g.nodes() {
                 assert!(p.supports(t));
                 if let Err(ce) = is_perfectly_resilient_for_destination(&g, &p, t) {
-                    panic!("Corollary 5 routing failed on {} for {t}: {ce}", g.summary());
+                    panic!(
+                        "Corollary 5 routing failed on {} for {t}: {ce}",
+                        g.summary()
+                    );
                 }
             }
         }

@@ -146,7 +146,7 @@ impl K33SourcePattern {
             RoutingModel::SourceDestination,
             "K3,3 source-destination (Thm 9)",
             true,
-            |g, s, t| k33_table(g, s, t),
+            k33_table,
         );
         K33SourcePattern { inner }
     }
@@ -311,9 +311,7 @@ mod tests {
             let g = generators::complete_bipartite_minus(3, 3, missing);
             let p = K33SourcePattern::new(&g);
             if let Err(ce) = is_perfectly_resilient(&g, &p) {
-                panic!(
-                    "Theorem 9 pattern failed on K3,3 minus {missing} links: {ce}"
-                );
+                panic!("Theorem 9 pattern failed on K3,3 minus {missing} links: {ce}");
             }
         }
     }

@@ -124,10 +124,7 @@ fn fig4_table(g: &Graph, t: Node) -> PriorityTable {
     let mut table = PriorityTable::new();
     let mut neighbors: Vec<Node> = g.neighbors_vec(t);
     neighbors.sort_unstable();
-    let mut others: Vec<Node> = g
-        .nodes()
-        .filter(|&v| v != t && !g.has_edge(v, t))
-        .collect();
+    let mut others: Vec<Node> = g.nodes().filter(|&v| v != t && !g.has_edge(v, t)).collect();
     others.sort_unstable();
     if neighbors.len() != 2 || others.len() != 2 {
         // Not the "two missing links at t" shape: leave the table empty (the
@@ -234,8 +231,9 @@ impl ForwardingPattern for K33Minus2DestPattern {
             if ctx.node == *relay {
                 // At the relay but the link to t is dead: t is unreachable —
                 // hand the packet back into the tour so it keeps circulating.
-                let alive =
-                    |u: Node| u != ctx.destination && ctx.is_alive(u) && self.graph.has_edge(ctx.node, u);
+                let alive = |u: Node| {
+                    u != ctx.destination && ctx.is_alive(u) && self.graph.has_edge(ctx.node, u)
+                };
                 return match ctx.inport {
                     Some(from) => ctx
                         .alive_neighbors()

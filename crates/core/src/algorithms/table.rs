@@ -49,6 +49,10 @@ impl PriorityTable {
     }
 }
 
+/// The lazy per-`(source, destination)` table generator used by
+/// [`PriorityTablePattern`].
+pub type TableGenerator = Box<dyn Fn(&Graph, Node, Node) -> PriorityTable + Send + Sync>;
+
 /// A forwarding pattern backed by per-`(source, destination)` priority tables.
 ///
 /// The table generator closure is evaluated lazily the first time a given
@@ -59,7 +63,7 @@ pub struct PriorityTablePattern {
     model: RoutingModel,
     name: String,
     deliver_to_adjacent_destination: bool,
-    generator: Box<dyn Fn(&Graph, Node, Node) -> PriorityTable + Send + Sync>,
+    generator: TableGenerator,
     graph: Graph,
     cache: parking_lot_free_cache::Cache,
 }

@@ -119,7 +119,8 @@ pub fn classify_with_budget(g: &Graph, budget: ClassifyBudget) -> Classification
     // no forbidden minor settles the class.
     let mut sometimes_fraction: Option<f64> = None;
     let mut sometimes = |g: &Graph| -> f64 {
-        *sometimes_fraction.get_or_insert_with(|| tourable_fraction(g, budget.max_destination_probes))
+        *sometimes_fraction
+            .get_or_insert_with(|| tourable_fraction(g, budget.max_destination_probes))
     };
 
     let destination_only = if outerplanar {
@@ -253,13 +254,21 @@ mod tests {
         let k5 = generators::complete(5);
         let c = classify(&k5);
         assert_eq!(c.source_destination, Feasibility::Possible, "Theorem 8");
-        assert_eq!(c.destination_only, Feasibility::Impossible, "Theorem 10 domain");
+        assert_eq!(
+            c.destination_only,
+            Feasibility::Impossible,
+            "Theorem 10 domain"
+        );
         assert_eq!(c.touring, Feasibility::Impossible);
 
         let k33 = generators::complete_bipartite(3, 3);
         let c = classify(&k33);
         assert_eq!(c.source_destination, Feasibility::Possible, "Theorem 9");
-        assert_eq!(c.destination_only, Feasibility::Impossible, "Theorem 11 domain");
+        assert_eq!(
+            c.destination_only,
+            Feasibility::Impossible,
+            "Theorem 11 domain"
+        );
     }
 
     #[test]
@@ -333,7 +342,10 @@ mod tests {
         assert_eq!(Feasibility::Sometimes(0.5).label(), "Sometimes");
         assert_eq!(Feasibility::Impossible.label(), "Impossible");
         assert_eq!(Feasibility::Unknown.label(), "Unknown");
-        assert_eq!(format!("{}", Feasibility::Sometimes(0.25)), "Sometimes(25.0%)");
+        assert_eq!(
+            format!("{}", Feasibility::Sometimes(0.25)),
+            "Sometimes(25.0%)"
+        );
         assert_eq!(format!("{}", Feasibility::Unknown), "Unknown");
     }
 

@@ -60,7 +60,10 @@ pub fn bipartite_few_failures_counterexample<P: ForwardingPattern + ?Sized>(
     b: usize,
     pattern: &P,
 ) -> Option<FewFailuresResult> {
-    assert!(a >= 4 && b >= 4, "Theorem 15 applies to K_{{a,b}} with a, b >= 4");
+    assert!(
+        a >= 4 && b >= 4,
+        "Theorem 15 applies to K_{{a,b}} with a, b >= 4"
+    );
     assert_eq!(g.node_count(), a + b);
     // Embedded K4,4: the first four nodes of each part; the destination role is
     // the first node of the second part.
@@ -125,7 +128,14 @@ fn run_simulation_argument<P: ForwardingPattern + ?Sized>(
 
     let mut failures = outer_set;
     failures.extend(mapped_failures);
-    let result = route(g, &failures, pattern, source, destination, state_space_bound(g));
+    let result = route(
+        g,
+        &failures,
+        pattern,
+        source,
+        destination,
+        state_space_bound(g),
+    );
     if result.outcome.is_delivered() {
         return None;
     }
@@ -164,11 +174,8 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for RestrictedPattern<'_, 
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         let translate = |v: Node| self.map[v.index()];
         let node = translate(ctx.node);
-        let mut failed: std::collections::BTreeSet<Node> = ctx
-            .failed_neighbors
-            .iter()
-            .map(|&u| translate(u))
-            .collect();
+        let mut failed: std::collections::BTreeSet<Node> =
+            ctx.failed_neighbors.iter().map(|&u| translate(u)).collect();
         failed.extend(self.outer.failed_neighbors_of(node));
         let big_ctx = LocalContext {
             node,
@@ -182,10 +189,7 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for RestrictedPattern<'_, 
         // Translate back; a hop that leaves the core cannot be represented in
         // the small graph (and is impossible for non-destination nodes, whose
         // outer links are all failed) — treat it as a drop.
-        self.map
-            .iter()
-            .position(|&v| v == hop)
-            .map(Node)
+        self.map.iter().position(|&v| v == hop).map(Node)
     }
 
     fn name(&self) -> String {
@@ -210,7 +214,11 @@ mod tests {
             ] {
                 let res = complete_few_failures_counterexample(&g, pattern.as_ref())
                     .unwrap_or_else(|| panic!("{} must be defeated on K{n}", pattern.name()));
-                assert!(verify_counterexample(&g, pattern.as_ref(), &res.counterexample));
+                assert!(verify_counterexample(
+                    &g,
+                    pattern.as_ref(),
+                    &res.counterexample
+                ));
                 assert_eq!(res.paper_budget, 6 * n - 33);
                 // Our construction isolates 6 core nodes from n − 7 virtual
                 // nodes (the paper counts n − 8): Θ(n) failures either way,
@@ -234,10 +242,12 @@ mod tests {
                 Box::new(ShortestPathPattern::new(&g)),
             ] {
                 let res = bipartite_few_failures_counterexample(&g, a, b, pattern.as_ref())
-                    .unwrap_or_else(|| {
-                        panic!("{} must be defeated on K{a},{b}", pattern.name())
-                    });
-                assert!(verify_counterexample(&g, pattern.as_ref(), &res.counterexample));
+                    .unwrap_or_else(|| panic!("{} must be defeated on K{a},{b}", pattern.name()));
+                assert!(verify_counterexample(
+                    &g,
+                    pattern.as_ref(),
+                    &res.counterexample
+                ));
                 assert_eq!(res.paper_budget, 3 * a + 4 * b - 21);
                 assert!(
                     res.counterexample.failures.len() <= res.paper_budget + 8,

@@ -239,7 +239,7 @@ mod tests {
     use crate::algorithms::Distance2Pattern;
     use frr_routing::adversary::verify_counterexample;
     use frr_routing::pattern::{RotorPattern, ShortestPathPattern};
-    use frr_routing::resilience::is_r_tolerant_sampled;
+    use frr_routing::resilience::{is_r_tolerant_sampled, SamplingBudget};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -258,7 +258,9 @@ mod tests {
             let ce = r_tolerance_counterexample(1, pattern.as_ref())
                 .unwrap_or_else(|| panic!("{} must be defeated on K8", pattern.name()));
             assert!(verify_counterexample(&g, pattern.as_ref(), &ce));
-            assert!(ce.failures.keeps_r_connected(&g, ce.source, ce.destination, 1));
+            assert!(ce
+                .failures
+                .keeps_r_connected(&g, ce.source, ce.destination, 1));
         }
     }
 
@@ -270,7 +272,8 @@ mod tests {
                 .unwrap_or_else(|| panic!("{} must be defeated on K13", pattern.name()));
             assert!(verify_counterexample(&g, pattern.as_ref(), &ce));
             assert!(
-                ce.failures.keeps_r_connected(&g, ce.source, ce.destination, 2),
+                ce.failures
+                    .keeps_r_connected(&g, ce.source, ce.destination, 2),
                 "the counterexample must respect the 2-connectivity promise"
             );
         }
@@ -285,7 +288,16 @@ mod tests {
         // Sampled r-tolerance check for the designated pair on the supergraph.
         let mut rng = StdRng::seed_from_u64(23);
         assert!(
-            is_r_tolerant_sampled(&g, &pattern, s_prime, t, r, 6, 300, &mut rng).is_ok(),
+            is_r_tolerant_sampled(
+                &g,
+                &pattern,
+                s_prime,
+                t,
+                r,
+                SamplingBudget::new(6, 300),
+                &mut rng
+            )
+            .is_ok(),
             "the supergraph pattern must be r-tolerant for (s', t)"
         );
         // ... while the K_{3+5r} minor admits no r-tolerant pattern: the

@@ -19,7 +19,9 @@ pub mod few_failures;
 pub mod locality_price;
 pub mod small_graphs;
 
-pub use few_failures::{bipartite_few_failures_counterexample, complete_few_failures_counterexample};
+pub use few_failures::{
+    bipartite_few_failures_counterexample, complete_few_failures_counterexample,
+};
 pub use locality_price::{r_tolerance_counterexample, theorem2_supergraph_pattern};
 pub use small_graphs::{
     k23_touring_counterexample, k33_minus1_destination_counterexample, k44_counterexample,
@@ -42,7 +44,8 @@ pub fn source_destination_adversary<P: ForwardingPattern + ?Sized>(
         return Some(ce);
     }
     if g.edge_count() <= 16 {
-        return BruteForceAdversary::with_max_failures(max_failures).find_counterexample(g, pattern);
+        return BruteForceAdversary::with_max_failures(max_failures)
+            .find_counterexample(g, pattern);
     }
     None
 }
@@ -58,10 +61,22 @@ pub fn destination_only_adversary<P: ForwardingPattern + ?Sized>(
 }
 
 /// A generic adversary for the touring model: exhaustive enumeration via the
-/// touring resilience checker (suitable for the small forbidden minors).
+/// touring resilience checker where affordable, otherwise a bounded-failure
+/// search (the paper's touring counterexamples embed `K4` / `K2,3` and need
+/// only a handful of failures — Lemmas 3/4).
 pub fn touring_adversary<P: ForwardingPattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Option<Counterexample> {
-    frr_routing::resilience::is_perfectly_resilient_touring(g, pattern).err()
+    use frr_routing::resilience::{
+        is_k_resilient_touring, is_perfectly_resilient_touring, BOUNDED_EDGE_LIMIT,
+        EXHAUSTIVE_EDGE_LIMIT,
+    };
+    if g.edge_count() <= EXHAUSTIVE_EDGE_LIMIT {
+        is_perfectly_resilient_touring(g, pattern).err()
+    } else if g.edge_count() <= BOUNDED_EDGE_LIMIT {
+        is_k_resilient_touring(g, pattern, 4).err()
+    } else {
+        None
+    }
 }

@@ -110,7 +110,10 @@ pub fn k7_counterexample_for_destination<P: ForwardingPattern + ?Sized>(
     pattern: &P,
     destination: Option<Node>,
 ) -> Option<Counterexample> {
-    assert!(g.node_count() == 7, "the K7 adversary expects a 7-node graph");
+    assert!(
+        g.node_count() == 7,
+        "the K7 adversary expects a 7-node graph"
+    );
     let nodes: Vec<Node> = g.nodes().collect();
     // Structured family from the proof of Lemma 5, over all role assignments.
     for &s in &nodes {
@@ -118,7 +121,11 @@ pub fn k7_counterexample_for_destination<P: ForwardingPattern + ?Sized>(
             if s == t || destination.is_some_and(|d| d != t) {
                 continue;
             }
-            let middle: Vec<Node> = nodes.iter().copied().filter(|&x| x != s && x != t).collect();
+            let middle: Vec<Node> = nodes
+                .iter()
+                .copied()
+                .filter(|&x| x != s && x != t)
+                .collect();
             for roles in permutations(&middle, 5) {
                 let failures = failures_keeping(g, &k7_alive_template(s, &roles, t));
                 if failures.len() > 15 {
@@ -171,7 +178,10 @@ pub fn k44_counterexample_for_destination<P: ForwardingPattern + ?Sized>(
     pattern: &P,
     destination: Option<Node>,
 ) -> Option<Counterexample> {
-    assert!(g.node_count() == 8, "the K4,4 adversary expects an 8-node graph");
+    assert!(
+        g.node_count() == 8,
+        "the K4,4 adversary expects an 8-node graph"
+    );
     let part_a: Vec<Node> = (0..4).map(Node).collect();
     let part_b: Vec<Node> = (4..8).map(Node).collect();
     for (s_part, t_part) in [(&part_a, &part_b), (&part_b, &part_a)] {
@@ -332,12 +342,15 @@ mod tests {
     fn lemmas_3_and_4_touring_impossibility() {
         let k4 = generators::complete(4);
         let k23 = generators::complete_bipartite(2, 3);
-        for g in [&k4] {
-            let p = RotorPattern::clockwise(g);
-            let ce = k4_touring_counterexample(&p).expect("K4 touring must fail");
-            assert!(!ce.failures.is_empty() || ce.failures.is_empty());
-        }
+        let p = RotorPattern::clockwise(&k4);
+        assert!(
+            k4_touring_counterexample(&p).is_some(),
+            "K4 touring must fail"
+        );
         let p = RotorPattern::clockwise(&k23);
-        assert!(k23_touring_counterexample(&p).is_some(), "K2,3 touring must fail");
+        assert!(
+            k23_touring_counterexample(&p).is_some(),
+            "K2,3 touring must fail"
+        );
     }
 }

@@ -38,19 +38,97 @@ pub fn figure9_entries() -> Vec<LandscapeEntry> {
     vec![
         e("K3", generators::complete(3), Possible, Possible, Possible),
         e("C5", generators::cycle(5), Possible, Possible, Possible),
-        e("K4", generators::complete(4), Impossible, Possible, Possible),
-        e("K2,3", generators::complete_bipartite(2, 3), Impossible, Possible, Possible),
-        e("K5^-2", generators::complete_minus(5, 2), Impossible, Possible, Possible),
-        e("K3,3^-2", generators::complete_bipartite_minus(3, 3, 2), Impossible, Possible, Possible),
-        e("K5^-1", generators::complete_minus(5, 1), Impossible, Impossible, Possible),
-        e("K3,3^-1", generators::complete_bipartite_minus(3, 3, 1), Impossible, Impossible, Possible),
-        e("K5", generators::complete(5), Impossible, Impossible, Possible),
-        e("K3,3", generators::complete_bipartite(3, 3), Impossible, Impossible, Possible),
-        e("K6", generators::complete(6), Impossible, Impossible, Feasibility::Unknown),
-        e("K7^-1", generators::complete_minus(7, 1), Impossible, Impossible, Impossible),
-        e("K4,4^-1", generators::complete_bipartite_minus(4, 4, 1), Impossible, Impossible, Impossible),
-        e("K7", generators::complete(7), Impossible, Impossible, Impossible),
-        e("K4,4", generators::complete_bipartite(4, 4), Impossible, Impossible, Impossible),
+        e(
+            "K4",
+            generators::complete(4),
+            Impossible,
+            Possible,
+            Possible,
+        ),
+        e(
+            "K2,3",
+            generators::complete_bipartite(2, 3),
+            Impossible,
+            Possible,
+            Possible,
+        ),
+        e(
+            "K5^-2",
+            generators::complete_minus(5, 2),
+            Impossible,
+            Possible,
+            Possible,
+        ),
+        e(
+            "K3,3^-2",
+            generators::complete_bipartite_minus(3, 3, 2),
+            Impossible,
+            Possible,
+            Possible,
+        ),
+        e(
+            "K5^-1",
+            generators::complete_minus(5, 1),
+            Impossible,
+            Impossible,
+            Possible,
+        ),
+        e(
+            "K3,3^-1",
+            generators::complete_bipartite_minus(3, 3, 1),
+            Impossible,
+            Impossible,
+            Possible,
+        ),
+        e(
+            "K5",
+            generators::complete(5),
+            Impossible,
+            Impossible,
+            Possible,
+        ),
+        e(
+            "K3,3",
+            generators::complete_bipartite(3, 3),
+            Impossible,
+            Impossible,
+            Possible,
+        ),
+        e(
+            "K6",
+            generators::complete(6),
+            Impossible,
+            Impossible,
+            Feasibility::Unknown,
+        ),
+        e(
+            "K7^-1",
+            generators::complete_minus(7, 1),
+            Impossible,
+            Impossible,
+            Impossible,
+        ),
+        e(
+            "K4,4^-1",
+            generators::complete_bipartite_minus(4, 4, 1),
+            Impossible,
+            Impossible,
+            Impossible,
+        ),
+        e(
+            "K7",
+            generators::complete(7),
+            Impossible,
+            Impossible,
+            Impossible,
+        ),
+        e(
+            "K4,4",
+            generators::complete_bipartite(4, 4),
+            Impossible,
+            Impossible,
+            Impossible,
+        ),
     ]
 }
 
@@ -91,7 +169,11 @@ pub fn verify_figure9_against_classifier() -> Vec<(String, Feasibility, Feasibil
         let c = classify(&entry.graph);
         for (model, expected, got) in [
             ("touring", entry.paper_touring, c.touring),
-            ("destination-only", entry.paper_destination_only, c.destination_only),
+            (
+                "destination-only",
+                entry.paper_destination_only,
+                c.destination_only,
+            ),
             (
                 "source-destination",
                 entry.paper_source_destination,

@@ -123,8 +123,14 @@ pub fn arborescences_from_hamiltonian_cycles(
                 forward[w.index()] = Some(nxt);
             }
         }
-        out.push(Arborescence { root, parent: backward });
-        out.push(Arborescence { root, parent: forward });
+        out.push(Arborescence {
+            root,
+            parent: backward,
+        });
+        out.push(Arborescence {
+            root,
+            parent: forward,
+        });
     }
     out
 }
@@ -236,7 +242,7 @@ mod tests {
     fn arc_disjoint_checker_detects_overlap() {
         let g = generators::complete(4);
         let a = bfs_arborescence(&g, Node(0)).unwrap();
-        assert!(are_arc_disjoint(&[a.clone()]));
+        assert!(are_arc_disjoint(std::slice::from_ref(&a)));
         assert!(!are_arc_disjoint(&[a.clone(), a.clone()]));
         assert!(!are_edge_disjoint(&[a.clone(), a]));
     }

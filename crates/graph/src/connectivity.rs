@@ -80,7 +80,12 @@ pub fn st_edge_connectivity(g: &Graph, s: Node, t: Node) -> usize {
     let mut arc_to: Vec<usize> = Vec::new();
     let mut arc_cap: Vec<i32> = Vec::new();
     let mut head: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let add_arc = |u: usize, v: usize, cap: i32, arc_to: &mut Vec<usize>, arc_cap: &mut Vec<i32>, head: &mut Vec<Vec<usize>>| {
+    let add_arc = |u: usize,
+                   v: usize,
+                   cap: i32,
+                   arc_to: &mut Vec<usize>,
+                   arc_cap: &mut Vec<i32>,
+                   head: &mut Vec<Vec<usize>>| {
         head[u].push(arc_to.len());
         arc_to.push(v);
         arc_cap.push(cap);
@@ -219,7 +224,9 @@ fn lowlink(g: &Graph) -> LowLink {
                     res.low[u.index()] = timer;
                     timer += 1;
                     stack.push((u, 0));
-                } else if Some(u) != res.parent[v.index()] && res.disc[u.index()] < res.disc[v.index()] {
+                } else if Some(u) != res.parent[v.index()]
+                    && res.disc[u.index()] < res.disc[v.index()]
+                {
                     // back edge
                     edge_stack.push(Edge::new(v, u));
                     res.low[v.index()] = res.low[v.index()].min(res.disc[u.index()]);
@@ -314,10 +321,7 @@ pub fn blocks(g: &Graph) -> Vec<Block> {
     biconnected_components(g)
         .into_iter()
         .map(|edges| {
-            let mut nodes: Vec<Node> = edges
-                .iter()
-                .flat_map(|e| [e.u(), e.v()])
-                .collect();
+            let mut nodes: Vec<Node> = edges.iter().flat_map(|e| [e.u(), e.v()]).collect();
             nodes.sort_unstable();
             nodes.dedup();
             Block { nodes, edges }
@@ -384,7 +388,10 @@ mod tests {
         assert_eq!(edge_connectivity(&generators::cycle(7)), 2);
         assert_eq!(edge_connectivity(&generators::path(4)), 1);
         assert_eq!(edge_connectivity(&generators::petersen()), 3);
-        assert_eq!(edge_connectivity(&Graph::from_edges(4, &[(0, 1), (2, 3)])), 0);
+        assert_eq!(
+            edge_connectivity(&Graph::from_edges(4, &[(0, 1), (2, 3)])),
+            0
+        );
         assert!(is_k_edge_connected(&generators::complete(6), 5));
         assert!(!is_k_edge_connected(&generators::cycle(6), 3));
         assert!(is_k_edge_connected(&generators::cycle(6), 0));

@@ -358,10 +358,7 @@ impl Graph {
     /// is a subset of this graph's edge set.
     pub fn is_supergraph_of(&self, other: &Graph) -> bool {
         other.node_count() == self.node_count()
-            && other
-                .edges()
-                .iter()
-                .all(|e| self.has_edge(e.u(), e.v()))
+            && other.edges().iter().all(|e| self.has_edge(e.u(), e.v()))
     }
 
     /// A short human-readable summary such as `"Graph(n=5, m=10)"`.
@@ -386,7 +383,12 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, m={}, edges=[", self.node_count(), self.edge_count())?;
+        write!(
+            f,
+            "Graph(n={}, m={}, edges=[",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for (i, e) in self.edges().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
@@ -449,7 +451,10 @@ mod tests {
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 0);
         assert!(g.add_edge(Node(0), Node(1)));
-        assert!(!g.add_edge(Node(1), Node(0)), "duplicate edge must be ignored");
+        assert!(
+            !g.add_edge(Node(1), Node(0)),
+            "duplicate edge must be ignored"
+        );
         assert_eq!(g.edge_count(), 1);
         assert!(g.has_edge(Node(0), Node(1)));
         assert!(g.remove_edge(Node(0), Node(1)));

@@ -21,7 +21,10 @@ pub type HamiltonianCycle = Vec<Node>;
 ///
 /// Panics if `n` is even or `n < 3`.
 pub fn walecki_decomposition(n: usize) -> Vec<HamiltonianCycle> {
-    assert!(n >= 3 && n % 2 == 1, "Walecki decomposition needs odd n >= 3, got {n}");
+    assert!(
+        n >= 3 && !n.is_multiple_of(2),
+        "Walecki decomposition needs odd n >= 3, got {n}"
+    );
     let k = (n - 1) / 2;
     let m = n - 1; // nodes 0..m on the "circle", node m = n-1 is the hub
     let hub = Node(m);
@@ -50,7 +53,10 @@ pub fn walecki_decomposition(n: usize) -> Vec<HamiltonianCycle> {
 ///
 /// Panics if `n` is odd or `n < 2`.
 pub fn laskar_auerbach_decomposition(n: usize) -> Vec<HamiltonianCycle> {
-    assert!(n >= 2 && n % 2 == 0, "Laskar-Auerbach needs even n >= 2, got {n}");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "Laskar-Auerbach needs even n >= 2, got {n}"
+    );
     let mut cycles = Vec::with_capacity(n / 2);
     for j in 0..(n / 2) {
         let mut cycle = Vec::with_capacity(2 * n);
@@ -75,7 +81,10 @@ pub fn validate_disjoint_hamiltonian_cycles(
     let mut used: BTreeSet<Edge> = BTreeSet::new();
     for (ci, cycle) in cycles.iter().enumerate() {
         if cycle.len() != n {
-            return Err(format!("cycle {ci} has {} nodes, expected {n}", cycle.len()));
+            return Err(format!(
+                "cycle {ci} has {} nodes, expected {n}",
+                cycle.len()
+            ));
         }
         let distinct: BTreeSet<Node> = cycle.iter().copied().collect();
         if distinct.len() != n {
@@ -233,7 +242,9 @@ mod tests {
     fn validator_catches_errors() {
         let g = generators::complete(5);
         // wrong length
-        assert!(validate_disjoint_hamiltonian_cycles(&g, &[vec![Node(0), Node(1)]], false).is_err());
+        assert!(
+            validate_disjoint_hamiltonian_cycles(&g, &[vec![Node(0), Node(1)]], false).is_err()
+        );
         // repeated node
         assert!(validate_disjoint_hamiltonian_cycles(
             &g,

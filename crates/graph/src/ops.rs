@@ -16,8 +16,7 @@ pub fn induced_subgraph(g: &Graph, keep: &[Node]) -> (Graph, Vec<Node>) {
     let mut sorted: Vec<Node> = keep.to_vec();
     sorted.sort_unstable();
     sorted.dedup();
-    let index_of: BTreeMap<Node, usize> =
-        sorted.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let index_of: BTreeMap<Node, usize> = sorted.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let mut h = Graph::new(sorted.len());
     for (i, &v) in sorted.iter().enumerate() {
         for u in g.neighbors(v) {
@@ -49,8 +48,7 @@ pub fn delete_node(g: &Graph, v: Node) -> (Graph, Vec<Node>) {
 pub fn contract_edge(g: &Graph, u: Node, v: Node) -> (Graph, Vec<Node>) {
     assert!(g.has_edge(u, v), "cannot contract a non-edge {u}-{v}");
     let keep: Vec<Node> = g.nodes().filter(|&x| x != v).collect();
-    let index_of: BTreeMap<Node, usize> =
-        keep.iter().enumerate().map(|(i, &x)| (x, i)).collect();
+    let index_of: BTreeMap<Node, usize> = keep.iter().enumerate().map(|(i, &x)| (x, i)).collect();
     let mut h = Graph::new(keep.len());
     let u_new = index_of[&u];
     for e in g.edges() {
@@ -127,59 +125,71 @@ pub fn subgraph_isomorphic(g: &Graph, h: &Graph, budget: &mut u64) -> Option<boo
         order.push(next);
     }
 
-    let g_nodes: Vec<Node> = g.nodes().collect();
-    let mut assignment: Vec<Option<Node>> = vec![None; hn];
-    let mut used = vec![false; g.node_count()];
-
-    fn extend(
-        g: &Graph,
-        h: &Graph,
-        order: &[Node],
-        depth: usize,
-        assignment: &mut Vec<Option<Node>>,
-        used: &mut Vec<bool>,
-        g_nodes: &[Node],
-        budget: &mut u64,
-    ) -> Option<bool> {
-        if depth == order.len() {
-            return Some(true);
-        }
-        if *budget == 0 {
-            return None;
-        }
-        let hv = order[depth];
-        let needed_degree = h.degree(hv);
-        for &gv in g_nodes {
-            if used[gv.index()] || g.degree(gv) < needed_degree {
-                continue;
-            }
-            // All already-assigned pattern neighbors must map to host neighbors.
-            let ok = h.neighbors(hv).all(|hu| match assignment[hu.index()] {
-                Some(gu) => g.has_edge(gv, gu),
-                None => true,
-            });
-            if !ok {
-                continue;
-            }
-            *budget = budget.saturating_sub(1);
-            assignment[hv.index()] = Some(gv);
-            used[gv.index()] = true;
-            match extend(g, h, order, depth + 1, assignment, used, g_nodes, budget) {
-                Some(true) => return Some(true),
-                Some(false) => {}
-                None => {
-                    assignment[hv.index()] = None;
-                    used[gv.index()] = false;
-                    return None;
-                }
-            }
-            assignment[hv.index()] = None;
-            used[gv.index()] = false;
-        }
-        Some(false)
+    // Backtracking state bundled so the recursion carries one context instead
+    // of eight loose arguments.
+    struct Embedding<'a> {
+        g: &'a Graph,
+        h: &'a Graph,
+        order: &'a [Node],
+        g_nodes: Vec<Node>,
+        assignment: Vec<Option<Node>>,
+        used: Vec<bool>,
     }
 
-    extend(g, h, &order, 0, &mut assignment, &mut used, &g_nodes, budget)
+    impl Embedding<'_> {
+        fn extend(&mut self, depth: usize, budget: &mut u64) -> Option<bool> {
+            if depth == self.order.len() {
+                return Some(true);
+            }
+            if *budget == 0 {
+                return None;
+            }
+            let hv = self.order[depth];
+            let needed_degree = self.h.degree(hv);
+            for i in 0..self.g_nodes.len() {
+                let gv = self.g_nodes[i];
+                if self.used[gv.index()] || self.g.degree(gv) < needed_degree {
+                    continue;
+                }
+                // All already-assigned pattern neighbors must map to host neighbors.
+                let ok = self
+                    .h
+                    .neighbors(hv)
+                    .all(|hu| match self.assignment[hu.index()] {
+                        Some(gu) => self.g.has_edge(gv, gu),
+                        None => true,
+                    });
+                if !ok {
+                    continue;
+                }
+                *budget = budget.saturating_sub(1);
+                self.assignment[hv.index()] = Some(gv);
+                self.used[gv.index()] = true;
+                match self.extend(depth + 1, budget) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => {
+                        self.assignment[hv.index()] = None;
+                        self.used[gv.index()] = false;
+                        return None;
+                    }
+                }
+                self.assignment[hv.index()] = None;
+                self.used[gv.index()] = false;
+            }
+            Some(false)
+        }
+    }
+
+    let mut state = Embedding {
+        g,
+        h,
+        order: &order,
+        g_nodes: g.nodes().collect(),
+        assignment: vec![None; hn],
+        used: vec![false; g.node_count()],
+    };
+    state.extend(0, budget)
 }
 
 #[cfg(test)]
@@ -262,7 +272,11 @@ mod tests {
         let mut budget = 1_000_000;
         // K3 is a subgraph of K4
         assert_eq!(
-            subgraph_isomorphic(&generators::complete(4), &generators::complete(3), &mut budget),
+            subgraph_isomorphic(
+                &generators::complete(4),
+                &generators::complete(3),
+                &mut budget
+            ),
             Some(true)
         );
         // C5 contains P4

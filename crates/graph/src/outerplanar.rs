@@ -267,7 +267,11 @@ mod tests {
         for v in g.nodes() {
             let mut rot = emb.rotation[v.index()].clone();
             rot.sort_unstable();
-            assert_eq!(rot, g.neighbors_vec(v), "rotation at {v} must list all neighbors");
+            assert_eq!(
+                rot,
+                g.neighbors_vec(v),
+                "rotation at {v} must list all neighbors"
+            );
         }
     }
 
@@ -276,7 +280,16 @@ mod tests {
         // Two triangles and a pendant path joined at cut vertices.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+            ],
         );
         assert!(is_outerplanar(&g));
         let emb = outerplanar_embedding(&g).unwrap();

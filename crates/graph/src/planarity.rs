@@ -74,7 +74,10 @@ fn dmp_biconnected_planar(h: &Graph) -> bool {
     let mut embedded_vertices: BTreeSet<Node> = initial_cycle.iter().copied().collect();
     let mut embedded_edges: BTreeSet<Edge> = BTreeSet::new();
     for i in 0..initial_cycle.len() {
-        let e = Edge::new(initial_cycle[i], initial_cycle[(i + 1) % initial_cycle.len()]);
+        let e = Edge::new(
+            initial_cycle[i],
+            initial_cycle[(i + 1) % initial_cycle.len()],
+        );
         embedded_edges.insert(e);
     }
     // Faces are stored as simple boundary cycles (vertex sequences).  The
@@ -251,8 +254,14 @@ fn split_face(face: &[Node], path: &[Node]) -> (Vec<Node>, Vec<Node>) {
     let a = path[0];
     let b = *path.last().expect("path has at least two vertices");
     let len = face.len();
-    let pos_a = face.iter().position(|&v| v == a).expect("a lies on the face");
-    let pos_b = face.iter().position(|&v| v == b).expect("b lies on the face");
+    let pos_a = face
+        .iter()
+        .position(|&v| v == a)
+        .expect("a lies on the face");
+    let pos_b = face
+        .iter()
+        .position(|&v| v == b)
+        .expect("b lies on the face");
     let interior: Vec<Node> = path[1..path.len() - 1].to_vec();
 
     // Arc from a to b going forward (inclusive of both endpoints).
@@ -315,7 +324,10 @@ mod tests {
     #[test]
     fn larger_complete_graphs_are_not_planar() {
         for n in 5..9 {
-            assert!(!is_planar(&generators::complete(n)), "K{n} must be non-planar");
+            assert!(
+                !is_planar(&generators::complete(n)),
+                "K{n} must be non-planar"
+            );
         }
         assert!(!is_planar(&generators::complete_bipartite(4, 4)));
         assert!(!is_planar(&generators::complete_bipartite(3, 4)));
@@ -384,9 +396,18 @@ mod tests {
         let octahedron = Graph::from_edges(
             6,
             &[
-                (0, 1), (0, 2), (0, 3), (0, 4),
-                (5, 1), (5, 2), (5, 3), (5, 4),
-                (1, 2), (2, 3), (3, 4), (4, 1),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
             ],
         );
         assert!(is_planar(&octahedron));

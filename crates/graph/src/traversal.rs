@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(bfs_order(&g, Node(0)).len(), 5);
         assert_eq!(dfs_order(&g, Node(0)).len(), 5);
         let g = generators::path(4);
-        assert_eq!(bfs_order(&g, Node(0)), vec![Node(0), Node(1), Node(2), Node(3)]);
+        assert_eq!(
+            bfs_order(&g, Node(0)),
+            vec![Node(0), Node(1), Node(2), Node(3)]
+        );
     }
 
     #[test]

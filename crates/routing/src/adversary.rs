@@ -193,7 +193,10 @@ impl Adversary for RandomAdversary {
     }
 
     fn name(&self) -> String {
-        format!("random(trials={}, |F| <= {})", self.trials, self.max_failures)
+        format!(
+            "random(trials={}, |F| <= {})",
+            self.trials, self.max_failures
+        )
     }
 }
 
@@ -248,7 +251,9 @@ mod tests {
             ctx.alive_neighbors().first().copied()
         });
         let adv = BruteForceAdversary::default();
-        let ce = adv.find_counterexample(&g, &p).expect("the naive pattern must fail");
+        let ce = adv
+            .find_counterexample(&g, &p)
+            .expect("the naive pattern must fail");
         assert!(verify_counterexample(&g, &p, &ce));
         assert_eq!(ce.outcome, Outcome::Loop);
     }
@@ -266,16 +271,24 @@ mod tests {
     #[test]
     fn random_adversary_is_reproducible_and_effective() {
         let g = generators::cycle(6);
-        let p = FnPattern::new(RoutingModel::DestinationOnly, "drop-unless-adjacent", |ctx| {
-            if ctx.destination_is_alive_neighbor() {
-                Some(ctx.destination)
-            } else {
-                None
-            }
-        });
+        let p = FnPattern::new(
+            RoutingModel::DestinationOnly,
+            "drop-unless-adjacent",
+            |ctx| {
+                if ctx.destination_is_alive_neighbor() {
+                    Some(ctx.destination)
+                } else {
+                    None
+                }
+            },
+        );
         let adv = RandomAdversary::new(500, 2, 42);
-        let ce1 = adv.find_counterexample(&g, &p).expect("must find a violation");
-        let ce2 = adv.find_counterexample(&g, &p).expect("must find a violation");
+        let ce1 = adv
+            .find_counterexample(&g, &p)
+            .expect("must find a violation");
+        let ce2 = adv
+            .find_counterexample(&g, &p)
+            .expect("must find a violation");
         assert_eq!(ce1, ce2, "same seed must give the same counterexample");
         assert!(verify_counterexample(&g, &p, &ce1));
         assert!(adv.name().contains("random"));

@@ -36,7 +36,10 @@ impl FailureSet {
     /// A failure set from `(u, v)` index pairs.
     pub fn from_pairs(pairs: &[(usize, usize)]) -> Self {
         FailureSet {
-            failed: pairs.iter().map(|&(u, v)| Edge::new(Node(u), Node(v))).collect(),
+            failed: pairs
+                .iter()
+                .map(|&(u, v)| Edge::new(Node(u), Node(v)))
+                .collect(),
         }
     }
 
@@ -76,10 +79,7 @@ impl FailureSet {
     /// The far endpoints of failed links incident to `v` — the local view
     /// `F ∩ E(v)` a node is allowed to condition on.
     pub fn failed_neighbors_of(&self, v: Node) -> BTreeSet<Node> {
-        self.failed
-            .iter()
-            .filter_map(|e| e.other(v))
-            .collect()
+        self.failed.iter().filter_map(|e| e.other(v)).collect()
     }
 
     /// The surviving graph `G \ F`.
@@ -150,7 +150,10 @@ impl AllFailureSets {
     /// Enumerates every failure set of `g` with at most `max` failed links.
     pub fn with_max_failures(g: &Graph, max: Option<usize>) -> Self {
         let edges = g.edges();
-        assert!(edges.len() <= 62, "exhaustive enumeration needs at most 62 links");
+        assert!(
+            edges.len() <= 62,
+            "exhaustive enumeration needs at most 62 links"
+        );
         AllFailureSets {
             next_mask: 0,
             end_mask: 1u64 << edges.len(),
@@ -281,7 +284,10 @@ mod tests {
         let g = generators::complete(6);
         let mut rng1 = StdRng::seed_from_u64(9);
         let mut rng2 = StdRng::seed_from_u64(9);
-        assert_eq!(random_failure_set(&g, 4, &mut rng1), random_failure_set(&g, 4, &mut rng2));
+        assert_eq!(
+            random_failure_set(&g, 4, &mut rng1),
+            random_failure_set(&g, 4, &mut rng2)
+        );
         let f = random_failure_set(&g, 100, &mut rng1);
         assert_eq!(f.len(), g.edge_count());
     }

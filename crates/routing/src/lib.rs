@@ -48,7 +48,7 @@ pub mod prelude {
     pub use crate::model::{LocalContext, RoutingModel};
     pub use crate::pattern::{FnPattern, ForwardingPattern, RotorPattern, ShortestPathPattern};
     pub use crate::resilience::{
-        is_perfectly_resilient, is_perfectly_resilient_touring, is_r_tolerant,
+        is_perfectly_resilient, is_perfectly_resilient_touring, is_r_tolerant, SamplingBudget,
     };
     pub use crate::simulator::{route, tour, Outcome, RouteResult, TourResult};
 }

@@ -197,13 +197,17 @@ mod tests {
         use crate::model::RoutingModel;
         use crate::pattern::FnPattern;
         let g = generators::complete(5);
-        let p = FnPattern::new(RoutingModel::DestinationOnly, "drop-unless-adjacent", |ctx| {
-            if ctx.destination_is_alive_neighbor() {
-                Some(ctx.destination)
-            } else {
-                None
-            }
-        });
+        let p = FnPattern::new(
+            RoutingModel::DestinationOnly,
+            "drop-unless-adjacent",
+            |ctx| {
+                if ctx.destination_is_alive_neighbor() {
+                    Some(ctx.destination)
+                } else {
+                    None
+                }
+            },
+        );
         let mut rng = StdRng::seed_from_u64(2);
         let stats = evaluate_random_workload(&g, &p, 400, 3, &mut rng);
         assert!(stats.stuck > 0, "the dropping pattern must lose packets");

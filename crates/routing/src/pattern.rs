@@ -172,7 +172,11 @@ impl ForwardingPattern for RotorPattern {
             return None;
         }
         let start = match ctx.inport {
-            Some(inport) => rot.iter().position(|&u| u == inport).map(|p| p + 1).unwrap_or(0),
+            Some(inport) => rot
+                .iter()
+                .position(|&u| u == inport)
+                .map(|p| p + 1)
+                .unwrap_or(0),
             None => 0,
         };
         for step in 0..rot.len() {
@@ -290,7 +294,8 @@ mod tests {
         let c = ctx(&g, Node(0), None, Node(0), Node(2), &empty);
         assert_eq!(p.next_hop(&c), Some(Node(1)));
         // Trait impls for references and boxes.
-        assert_eq!((&p).next_hop(&c), Some(Node(1)));
+        let by_ref = &p;
+        assert_eq!(ForwardingPattern::next_hop(&by_ref, &c), Some(Node(1)));
         let boxed: Box<dyn ForwardingPattern> = Box::new(p);
         assert_eq!(boxed.next_hop(&c), Some(Node(1)));
         assert_eq!(boxed.name(), "to-right");

@@ -166,22 +166,42 @@ pub fn is_r_tolerant<P: ForwardingPattern + ?Sized>(
     Ok(())
 }
 
-/// Sampled `r`-tolerance check for larger graphs: draws `trials` random
-/// failure sets of each size in `0..=max_failures`, keeps those under which
-/// `s` and `t` remain `r`-connected, and verifies delivery.
+/// Sampling effort for the randomized resilience checkers: for every failure
+/// count `k` in `0..=max_failures`, draw `trials` random failure sets of size
+/// `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingBudget {
+    /// Largest failure-set size to sample.
+    pub max_failures: usize,
+    /// Number of random failure sets drawn per size.
+    pub trials: usize,
+}
+
+impl SamplingBudget {
+    /// Creates a budget sampling `trials` sets for each size `0..=max_failures`.
+    pub fn new(max_failures: usize, trials: usize) -> Self {
+        SamplingBudget {
+            max_failures,
+            trials,
+        }
+    }
+}
+
+/// Sampled `r`-tolerance check for larger graphs: draws random failure sets
+/// according to `budget`, keeps those under which `s` and `t` remain
+/// `r`-connected, and verifies delivery.
 pub fn is_r_tolerant_sampled<P: ForwardingPattern + ?Sized, R: Rng>(
     g: &Graph,
     pattern: &P,
     s: Node,
     t: Node,
     r: usize,
-    max_failures: usize,
-    trials: usize,
+    budget: SamplingBudget,
     rng: &mut R,
 ) -> Result<(), Counterexample> {
     let max_hops = state_space_bound(g);
-    for k in 0..=max_failures {
-        for _ in 0..trials {
+    for k in 0..=budget.max_failures {
+        for _ in 0..budget.trials {
             let failures = random_failure_set(g, k, rng);
             if !failures.keeps_r_connected(g, s, t, r) {
                 continue;
@@ -352,7 +372,16 @@ mod tests {
         let g = generators::complete(5);
         let p = ShortestPathPattern::new(&g);
         let mut rng = StdRng::seed_from_u64(5);
-        assert!(is_r_tolerant_sampled(&g, &p, Node(0), Node(4), 4, 6, 50, &mut rng).is_ok());
+        assert!(is_r_tolerant_sampled(
+            &g,
+            &p,
+            Node(0),
+            Node(4),
+            4,
+            SamplingBudget::new(6, 50),
+            &mut rng
+        )
+        .is_ok());
     }
 
     #[test]

@@ -36,8 +36,19 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "Abilene",
             11,
             &[
-                (0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 6), (5, 7),
-                (6, 8), (7, 8), (7, 9), (8, 10), (9, 10),
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 8),
+                (7, 8),
+                (7, 9),
+                (8, 10),
+                (9, 10),
             ],
             true,
         ),
@@ -46,9 +57,27 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "Nsfnet",
             14,
             &[
-                (0, 1), (0, 2), (0, 7), (1, 2), (1, 3), (2, 5), (3, 4), (3, 10),
-                (4, 5), (4, 6), (5, 9), (5, 13), (6, 7), (7, 8), (8, 9), (8, 11),
-                (9, 12), (10, 11), (10, 13), (11, 12), (12, 13),
+                (0, 1),
+                (0, 2),
+                (0, 7),
+                (1, 2),
+                (1, 3),
+                (2, 5),
+                (3, 4),
+                (3, 10),
+                (4, 5),
+                (4, 6),
+                (5, 9),
+                (5, 13),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (8, 11),
+                (9, 12),
+                (10, 11),
+                (10, 13),
+                (11, 12),
+                (12, 13),
             ],
             true,
         ),
@@ -57,9 +86,27 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "GeantLite",
             16,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8),
-                (8, 9), (9, 10), (10, 11), (11, 12), (12, 13), (13, 14), (14, 15),
-                (15, 0), (0, 8), (2, 10), (4, 12), (1, 5), (9, 13),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 10),
+                (10, 11),
+                (11, 12),
+                (12, 13),
+                (13, 14),
+                (14, 15),
+                (15, 0),
+                (0, 8),
+                (2, 10),
+                (4, 12),
+                (1, 5),
+                (9, 13),
             ],
             true,
         ),
@@ -68,10 +115,32 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "Arpanet1972",
             21,
             &[
-                (0, 1), (0, 3), (1, 2), (2, 4), (3, 4), (3, 5), (4, 6), (5, 7),
-                (6, 8), (7, 9), (8, 10), (9, 11), (10, 12), (11, 13), (12, 14),
-                (13, 15), (14, 16), (15, 17), (16, 18), (17, 19), (18, 20),
-                (19, 20), (2, 6), (5, 9), (10, 14), (13, 17),
+                (0, 1),
+                (0, 3),
+                (1, 2),
+                (2, 4),
+                (3, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 8),
+                (7, 9),
+                (8, 10),
+                (9, 11),
+                (10, 12),
+                (11, 13),
+                (12, 14),
+                (13, 15),
+                (14, 16),
+                (15, 17),
+                (16, 18),
+                (17, 19),
+                (18, 20),
+                (19, 20),
+                (2, 6),
+                (5, 9),
+                (10, 14),
+                (13, 17),
             ],
             true,
         ),
@@ -80,10 +149,21 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "RingOfRings",
             12,
             &[
-                (0, 1), (1, 2), (2, 3), (3, 0),
-                (3, 4), (4, 5), (5, 6), (6, 3),
-                (6, 7), (7, 8), (8, 9), (9, 6),
-                (9, 10), (10, 11), (11, 9),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+                (9, 6),
+                (9, 10),
+                (10, 11),
+                (11, 9),
             ],
             true,
         ),
@@ -92,8 +172,18 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "AccessTree",
             13,
             &[
-                (0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 6), (2, 7), (3, 8),
-                (3, 9), (4, 10), (5, 11), (6, 12),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (1, 5),
+                (2, 6),
+                (2, 7),
+                (3, 8),
+                (3, 9),
+                (4, 10),
+                (5, 11),
+                (6, 12),
             ],
             true,
         ),
@@ -102,8 +192,18 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "MetroDualHomed",
             10,
             &[
-                (0, 2), (0, 3), (0, 4), (0, 5), (1, 2), (1, 3), (1, 4), (1, 5),
-                (2, 6), (3, 7), (4, 8), (5, 9),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7),
+                (4, 8),
+                (5, 9),
             ],
             true,
         ),
@@ -112,8 +212,20 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "IxpCore",
             9,
             &[
-                (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 3),
-                (2, 4), (3, 4), (0, 5), (1, 6), (2, 7), (3, 8),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (0, 5),
+                (1, 6),
+                (2, 7),
+                (3, 8),
             ],
             true,
         ),
@@ -125,7 +237,14 @@ pub fn builtin_topologies() -> Vec<Topology> {
             "NetrailLike",
             7,
             &[
-                (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4), (2, 5), (3, 6),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (3, 6),
             ],
             true,
         ),

@@ -42,7 +42,7 @@ pub fn synthetic_zoo(config: &ZooConfig) -> Vec<Topology> {
         let archetype = i % 10;
         let t = match archetype {
             // ~30%: tree-like access / national research networks.
-            0 | 1 | 2 => access_tree(&mut rng, config.max_nodes, i),
+            0..=2 => access_tree(&mut rng, config.max_nodes, i),
             // ~20%: ring backbones with a few chords.
             3 | 4 => ring_with_chords(&mut rng, config.max_nodes, i),
             // ~20%: sparse partial meshes (tree plus extra links).

@@ -16,8 +16,13 @@ fn main() {
         .find(|t| t.name == "Nsfnet")
         .expect("NSFNET is bundled");
     let g = &nsfnet.graph;
-    println!("topology: {} ({} nodes, {} links, density {:.2})",
-        nsfnet.name, g.node_count(), g.edge_count(), g.density());
+    println!(
+        "topology: {} ({} nodes, {} links, density {:.2})",
+        nsfnet.name,
+        g.node_count(),
+        g.edge_count(),
+        g.density()
+    );
 
     let classes = classify(g);
     println!(
@@ -37,7 +42,9 @@ fn main() {
 
     // Random failure workload: 2 and 4 simultaneous link failures.
     for failures_per_trial in [1usize, 2, 4] {
-        println!("\n-- {failures_per_trial} random link failure(s) per scenario, 2000 scenarios --");
+        println!(
+            "\n-- {failures_per_trial} random link failure(s) per scenario, 2000 scenarios --"
+        );
         for (name, stats) in [
             ("shortest-path + sweep fallback", {
                 let mut rng = StdRng::seed_from_u64(7);

@@ -22,7 +22,9 @@ fn main() {
             match r_tolerance_counterexample(r, pattern.as_ref()) {
                 Some(ce) => {
                     assert!(verify_counterexample(&g, pattern.as_ref(), &ce));
-                    assert!(ce.failures.keeps_r_connected(&g, ce.source, ce.destination, r));
+                    assert!(ce
+                        .failures
+                        .keeps_r_connected(&g, ce.source, ce.destination, r));
                     println!(
                         "  {:<34} trapped: {} -> {} still {r}-connected after {} failures, \
                          but the packet {:?}s after visiting {} nodes",
@@ -34,7 +36,10 @@ fn main() {
                         ce.path.len()
                     );
                 }
-                None => println!("  {:<34} survived the structured family (unusual)", pattern.name()),
+                None => println!(
+                    "  {:<34} survived the structured family (unusual)",
+                    pattern.name()
+                ),
             }
         }
         println!();

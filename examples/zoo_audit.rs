@@ -22,13 +22,26 @@ fn main() {
     }
 
     for (label, pick) in [
-        ("Touring", Box::new(|c: &Classification| c.touring) as Box<dyn Fn(&Classification) -> Feasibility>),
-        ("Destination only", Box::new(|c: &Classification| c.destination_only)),
-        ("Source-Destination", Box::new(|c: &Classification| c.source_destination)),
+        (
+            "Touring",
+            Box::new(|c: &Classification| c.touring) as Box<dyn Fn(&Classification) -> Feasibility>,
+        ),
+        (
+            "Destination only",
+            Box::new(|c: &Classification| c.destination_only),
+        ),
+        (
+            "Source-Destination",
+            Box::new(|c: &Classification| c.source_destination),
+        ),
     ] {
         let total = rows.len() as f64;
         let count = |class: &str| {
-            rows.iter().filter(|(_, c)| pick(c).label() == class).count() as f64 / total * 100.0
+            rows.iter()
+                .filter(|(_, c)| pick(c).label() == class)
+                .count() as f64
+                / total
+                * 100.0
         };
         println!(
             "{label:<20} Possible {:5.1}%  Sometimes {:5.1}%  Unknown {:5.1}%  Impossible {:5.1}%",
@@ -51,5 +64,8 @@ fn main() {
     }
 
     let budget = ClassifyBudget::default();
-    println!("\n(classification budget: {} minor-search steps per forbidden minor)", budget.minor_budget);
+    println!(
+        "\n(classification budget: {} minor-search steps per forbidden minor)",
+        budget.minor_budget
+    );
 }

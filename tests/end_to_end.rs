@@ -64,7 +64,10 @@ fn sometimes_classified_topologies_serve_their_supported_destinations() {
 
     let pattern = OuterplanarDestinationPattern::new(&netrail.graph);
     let supported = pattern.supported_destinations();
-    assert!(!supported.is_empty(), "Fig. 6 promises some destinations work");
+    assert!(
+        !supported.is_empty(),
+        "Fig. 6 promises some destinations work"
+    );
     for t in supported {
         assert!(
             is_perfectly_resilient_for_destination(&netrail.graph, &pattern, t).is_ok(),
@@ -125,9 +128,15 @@ fn zoo_classification_has_the_papers_qualitative_shape() {
         }
     }
     let total = zoo.len();
-    assert!(touring_possible * 100 / total >= 20, "roughly a third of the zoo should be outerplanar");
+    assert!(
+        touring_possible * 100 / total >= 20,
+        "roughly a third of the zoo should be outerplanar"
+    );
     assert!(touring_impossible > 0);
-    assert!(dest_possible_or_sometimes > touring_possible, "destination routing covers strictly more");
+    assert!(
+        dest_possible_or_sometimes > touring_possible,
+        "destination routing covers strictly more"
+    );
     assert!(
         srcdest_impossible * 100 / total <= 15,
         "source-destination impossibility must be rare (paper: 2.7%)"

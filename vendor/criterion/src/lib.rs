@@ -1,0 +1,267 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, exposing the API subset the `fastreroute` benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no access to crates.io (see `DESIGN.md`), so the
+//! workspace vendors this minimal harness.  It is a real benchmark runner —
+//! it warms up, then measures wall-clock time over the configured measurement
+//! window and reports mean / min / max per iteration — just without
+//! criterion's statistical machinery, HTML reports, or baselines.  Swapping
+//! back to upstream criterion requires only re-pointing the workspace
+//! dependency; no bench source changes.
+
+use std::time::{Duration, Instant};
+
+/// Per-run configuration and entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+}
+
+impl Criterion {
+    /// Applies `cargo bench`-style command-line arguments.
+    ///
+    /// Recognised: `--bench`/`--test`/`--profile-time <t>` (ignored flags
+    /// criterion also tolerates), `--list` (print benchmark names and exit),
+    /// and a positional `<filter>` substring.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--verbose" | "--quiet" | "--noplot" => {}
+                "--profile-time" | "--measurement-time" | "--warm-up-time" | "--sample-size"
+                | "--save-baseline" | "--baseline" => {
+                    let _ = args.next();
+                }
+                "--list" => self.list_only = true,
+                other if !other.starts_with('-') && self.filter.is_none() => {
+                    self.filter = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a standalone benchmark (no group configuration).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_named(id, f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample/timing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Registers and runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.bench_named(id, f);
+        self
+    }
+
+    fn bench_named<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.list_only {
+            println!("{full}: benchmark");
+            return;
+        }
+        if !self.criterion.matches(&full) {
+            return;
+        }
+
+        // Warm-up: run until the warm-up window elapses.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        while Instant::now() < warm_deadline {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+        }
+
+        // Measurement: collect up to `sample_size` samples inside the window.
+        // The deadline break is unconditional so a closure that never calls
+        // `Bencher::iter` cannot hang the harness.
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        while samples.len() < self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters > 0 {
+                samples.push(bencher.elapsed.as_secs_f64() / bencher.iters as f64);
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        if samples.is_empty() {
+            println!("{full:<50} no samples (closure never called Bencher::iter)");
+            return;
+        }
+
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{full:<50} time: [{} {} {}]  ({} samples)",
+            format_time(min),
+            format_time(mean),
+            format_time(max),
+            samples.len()
+        );
+    }
+
+    /// Ends the group (upstream criterion finalises reports here).
+    pub fn finish(self) {}
+}
+
+/// Times the closure passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures one batch of the benchmarked routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn format_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            list_only: false,
+        };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("x", |b| b.iter(|| ran = true));
+        group.finish();
+        assert!(!ran);
+    }
+}
