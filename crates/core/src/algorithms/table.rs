@@ -65,22 +65,28 @@ pub struct PriorityTablePattern {
     deliver_to_adjacent_destination: bool,
     generator: TableGenerator,
     graph: Graph,
-    cache: parking_lot_free_cache::Cache,
+    cache: table_cache::Cache,
 }
 
 /// A tiny interior-mutability cache that avoids recomputing tables for every
 /// packet while keeping the pattern usable behind a shared reference.
-mod parking_lot_free_cache {
+mod table_cache {
     use super::PriorityTable;
     use frr_graph::Node;
-    use std::cell::RefCell;
     use std::collections::BTreeMap;
+    use std::sync::{Arc, RwLock};
 
-    /// Not `Sync`: the simulator and checkers are single-threaded per pattern,
-    /// and the benchmark harness builds one pattern per worker thread.
+    /// `Sync` interior mutability, because `ForwardingPattern` requires it:
+    /// the resilience checkers shard failure-mask ranges across threads that
+    /// share one pattern, and `next_hop` consults this cache on every hop.
+    /// An `RwLock` keeps the hit path (a `BTreeMap` lookup plus an `Arc`
+    /// refcount bump) concurrent across workers; misses generate the table
+    /// *outside* any lock (the generator is deterministic, so a racing
+    /// double-compute is harmless — first insert wins) and take the write
+    /// lock only to publish.
     #[derive(Default)]
     pub struct Cache {
-        inner: RefCell<BTreeMap<(Node, Node), PriorityTable>>,
+        inner: RwLock<BTreeMap<(Node, Node), Arc<PriorityTable>>>,
     }
 
     impl Cache {
@@ -88,9 +94,13 @@ mod parking_lot_free_cache {
             &self,
             key: (Node, Node),
             make: F,
-        ) -> PriorityTable {
-            let mut map = self.inner.borrow_mut();
-            map.entry(key).or_insert_with(make).clone()
+        ) -> Arc<PriorityTable> {
+            if let Some(table) = self.inner.read().expect("table cache poisoned").get(&key) {
+                return Arc::clone(table);
+            }
+            let fresh = Arc::new(make());
+            let mut map = self.inner.write().expect("table cache poisoned");
+            Arc::clone(map.entry(key).or_insert(fresh))
         }
     }
 }
@@ -124,8 +134,9 @@ impl PriorityTablePattern {
         }
     }
 
-    /// The table used for a concrete `(source, destination)` pair.
-    pub fn table_for(&self, source: Node, destination: Node) -> PriorityTable {
+    /// The table used for a concrete `(source, destination)` pair (shared:
+    /// cache hits bump a refcount instead of cloning the table).
+    pub fn table_for(&self, source: Node, destination: Node) -> std::sync::Arc<PriorityTable> {
         self.cache.get_or_insert_with((source, destination), || {
             (self.generator)(&self.graph, source, destination)
         })

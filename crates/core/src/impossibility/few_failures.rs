@@ -174,9 +174,10 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for RestrictedPattern<'_, 
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         let translate = |v: Node| self.map[v.index()];
         let node = translate(ctx.node);
-        let mut failed: std::collections::BTreeSet<Node> =
-            ctx.failed_neighbors.iter().map(|&u| translate(u)).collect();
+        let mut failed: Vec<Node> = ctx.failed_neighbors.iter().map(|&u| translate(u)).collect();
         failed.extend(self.outer.failed_neighbors_of(node));
+        failed.sort_unstable();
+        failed.dedup();
         let big_ctx = LocalContext {
             node,
             inport: ctx.inport.map(translate),
@@ -231,6 +232,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn theorem14_15_results_unchanged_by_sweep_rewrite() {
+        // Regression pin for the `thm14_15_few_failures` experiment: the
+        // counterexamples below were produced by the pre-bitmask,
+        // clone-per-failure-set implementation.  The sweep rewrite (direct
+        // ≤ k mask enumeration, overlay routing, parallel sharding) must
+        // reproduce them byte-for-byte.
+        use frr_routing::simulator::Outcome;
+        let k9 = generators::complete(9);
+        let rotor = RotorPattern::clockwise_with_shortcut(&k9);
+        let res = complete_few_failures_counterexample(&k9, &rotor).unwrap();
+        assert_eq!(res.counterexample.failures.len(), 26);
+        assert_eq!(res.counterexample.source, Node(0));
+        assert_eq!(res.counterexample.destination, Node(6));
+        assert_eq!(res.counterexample.outcome, Outcome::Loop);
+        assert_eq!(res.paper_budget, 21);
+        assert_eq!(
+            format!("{}", res.counterexample.failures),
+            "{v0-v2, v0-v3, v0-v4, v0-v5, v0-v6, v0-v7, v0-v8, v1-v3, v1-v4, v1-v5, \
+             v1-v6, v1-v7, v1-v8, v2-v6, v2-v7, v2-v8, v3-v4, v3-v6, v3-v7, v3-v8, \
+             v4-v5, v4-v7, v4-v8, v5-v6, v5-v7, v5-v8}"
+        );
+
+        let k54 = generators::complete_bipartite(5, 4);
+        let rotor = RotorPattern::clockwise_with_shortcut(&k54);
+        let res = bipartite_few_failures_counterexample(&k54, 5, 4, &rotor).unwrap();
+        assert_eq!(res.counterexample.failures.len(), 11);
+        assert_eq!(res.counterexample.source, Node(0));
+        assert_eq!(res.counterexample.destination, Node(5));
+        assert_eq!(res.counterexample.outcome, Outcome::Loop);
+        assert_eq!(res.paper_budget, 10);
+        assert_eq!(
+            format!("{}", res.counterexample.failures),
+            "{v0-v5, v0-v6, v0-v7, v1-v5, v2-v5, v2-v8, v3-v7, v3-v8, v4-v6, v4-v7, v4-v8}"
+        );
     }
 
     #[test]

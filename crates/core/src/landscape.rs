@@ -192,6 +192,20 @@ pub fn verify_figure9_against_classifier() -> Vec<(String, Feasibility, Feasibil
 }
 
 #[cfg(test)]
+mod tests_bitgraph {
+    use super::*;
+
+    #[test]
+    fn figure9_graphs_round_trip_through_bitgraph() {
+        for entry in figure9_entries() {
+            let b = frr_graph::BitGraph::from_graph(&entry.graph);
+            assert_eq!(b.to_graph(), entry.graph, "{}", entry.name);
+            assert_eq!(b.edge_count(), entry.graph.edge_count(), "{}", entry.name);
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 

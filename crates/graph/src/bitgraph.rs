@@ -1,0 +1,351 @@
+//! Compact bitset graph representation for the failure-sweep hot paths.
+//!
+//! [`BitGraph`] stores adjacency as packed `u64` neighbor rows: node `v`'s row
+//! is `words_per_row` machine words in which bit `u` is set iff `{u, v}` is an
+//! edge.  Edge tests, degree counts and whole-graph BFS reduce to word
+//! operations (`O(n / 64)` per row), which is what makes the exhaustive
+//! `2^m`-failure-set verification oracles of `frr-routing` run at memory
+//! bandwidth instead of pointer-chasing `BTreeSet`s.
+//!
+//! The representation is convertible to and from [`Graph`] without loss; every
+//! iterator returns nodes in ascending order, matching the deterministic
+//! iteration contract of the rest of the workspace.
+
+use crate::graph::{Edge, Graph, Node};
+
+/// Number of bits per adjacency word.
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// An undirected simple graph over nodes `0..n`, stored as packed `u64`
+/// adjacency rows with a cached edge count.
+///
+/// ```
+/// use frr_graph::{BitGraph, Graph, Node};
+///
+/// let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+/// let b = BitGraph::from_graph(&g);
+/// assert_eq!(b.node_count(), 5);
+/// assert_eq!(b.edge_count(), 5);
+/// assert!(b.has_edge(Node(4), Node(0)));
+/// assert_eq!(b.degree(Node(2)), 2);
+/// assert!(b.same_component(Node(0), Node(3)));
+/// assert_eq!(b.to_graph(), g);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitGraph {
+    n: usize,
+    words_per_row: usize,
+    /// `n * words_per_row` words; node `v`'s row is
+    /// `rows[v * words_per_row .. (v + 1) * words_per_row]`.
+    rows: Vec<u64>,
+    edge_count: usize,
+}
+
+impl BitGraph {
+    /// Creates a bit graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(WORD_BITS).max(1);
+        BitGraph {
+            n,
+            words_per_row,
+            rows: vec![0; n * words_per_row],
+            edge_count: 0,
+        }
+    }
+
+    /// Converts a [`Graph`] into its bitset representation.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut b = BitGraph::new(g.node_count());
+        for v in g.nodes() {
+            let row = v.index() * b.words_per_row;
+            for u in g.neighbors(v) {
+                b.rows[row + u.index() / WORD_BITS] |= 1u64 << (u.index() % WORD_BITS);
+            }
+        }
+        b.edge_count = g.edge_count();
+        b
+    }
+
+    /// Converts back into the pointer-based [`Graph`] representation.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for v in 0..self.n {
+            for u in self.neighbors(Node(v)) {
+                if u.index() > v {
+                    g.add_edge(Node(v), u);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (cached; O(1)).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of `u64` words per adjacency row.
+    #[inline]
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// The packed adjacency row of node `v` (bit `u` set iff `{u, v}` is an
+    /// edge).
+    #[inline]
+    pub fn row(&self, v: Node) -> &[u64] {
+        let start = v.index() * self.words_per_row;
+        &self.rows[start..start + self.words_per_row]
+    }
+
+    /// Returns `true` if `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        u.index() < self.n
+            && v.index() < self.n
+            && self.rows[u.index() * self.words_per_row + v.index() / WORD_BITS]
+                & (1u64 << (v.index() % WORD_BITS))
+                != 0
+    }
+
+    /// Adds an undirected edge; returns `true` if newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> bool {
+        assert!(u.index() < self.n, "node {u} out of range");
+        assert!(v.index() < self.n, "node {v} out of range");
+        assert_ne!(u, v, "self-loops are not supported");
+        if self.has_edge(u, v) {
+            return false;
+        }
+        self.rows[u.index() * self.words_per_row + v.index() / WORD_BITS] |=
+            1u64 << (v.index() % WORD_BITS);
+        self.rows[v.index() * self.words_per_row + u.index() / WORD_BITS] |=
+            1u64 << (u.index() % WORD_BITS);
+        self.edge_count += 1;
+        true
+    }
+
+    /// Removes an undirected edge; returns `true` if it existed.
+    pub fn remove_edge(&mut self, u: Node, v: Node) -> bool {
+        if !self.has_edge(u, v) {
+            return false;
+        }
+        self.rows[u.index() * self.words_per_row + v.index() / WORD_BITS] &=
+            !(1u64 << (v.index() % WORD_BITS));
+        self.rows[v.index() * self.words_per_row + u.index() / WORD_BITS] &=
+            !(1u64 << (u.index() % WORD_BITS));
+        self.edge_count -= 1;
+        true
+    }
+
+    /// Degree of `v` (popcount of its row; O(words)).
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        self.row(v).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Neighbors of `v` in ascending order.
+    pub fn neighbors(&self, v: Node) -> impl Iterator<Item = Node> + '_ {
+        let base = v.index() * self.words_per_row;
+        self.rows[base..base + self.words_per_row]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter::new(word).map(move |b| Node(wi * WORD_BITS + b)))
+    }
+
+    /// All edges in ascending normalized order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for v in 0..self.n {
+            for u in self.neighbors(Node(v)) {
+                if v < u.index() {
+                    out.push(Edge::new(Node(v), u));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if `s` and `t` are in the same connected component
+    /// (word-parallel BFS; O(n · words) per frontier expansion).
+    pub fn same_component(&self, s: Node, t: Node) -> bool {
+        if s == t {
+            return true;
+        }
+        if s.index() >= self.n || t.index() >= self.n {
+            return false;
+        }
+        let w = self.words_per_row;
+        let mut visited = vec![0u64; w];
+        let mut frontier = vec![0u64; w];
+        frontier[s.index() / WORD_BITS] |= 1u64 << (s.index() % WORD_BITS);
+        visited.copy_from_slice(&frontier);
+        let t_word = t.index() / WORD_BITS;
+        let t_bit = 1u64 << (t.index() % WORD_BITS);
+        loop {
+            let mut next = vec![0u64; w];
+            let mut any = false;
+            for (wi, &fw) in frontier.iter().enumerate() {
+                for b in BitIter::new(fw) {
+                    let row = self.row(Node(wi * WORD_BITS + b));
+                    for (nw, &rw) in next.iter_mut().zip(row) {
+                        *nw |= rw;
+                    }
+                }
+            }
+            for (nw, vw) in next.iter_mut().zip(visited.iter_mut()) {
+                *nw &= !*vw;
+                *vw |= *nw;
+                any |= *nw != 0;
+            }
+            if visited[t_word] & t_bit != 0 {
+                return true;
+            }
+            if !any {
+                return false;
+            }
+            frontier = next;
+        }
+    }
+
+    /// Returns `true` if every node is reachable from node 0 (the empty and
+    /// single-node graphs count as connected, matching
+    /// [`crate::connectivity::is_connected`]).
+    pub fn is_connected(&self) -> bool {
+        if self.n <= 1 {
+            return true;
+        }
+        (1..self.n).all(|t| self.same_component(Node(0), Node(t)))
+    }
+}
+
+impl std::fmt::Debug for BitGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitGraph(n={}, m={})", self.n, self.edge_count)
+    }
+}
+
+impl From<&Graph> for BitGraph {
+    fn from(g: &Graph) -> Self {
+        BitGraph::from_graph(g)
+    }
+}
+
+impl From<&BitGraph> for Graph {
+    fn from(b: &BitGraph) -> Self {
+        b.to_graph()
+    }
+}
+
+/// Iterator over the set bit positions of a single word, ascending.
+#[derive(Clone, Copy)]
+pub struct BitIter(u64);
+
+impl BitIter {
+    /// Iterates the set bits of `word` in ascending position order.
+    #[inline]
+    pub fn new(word: u64) -> Self {
+        BitIter(word)
+    }
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let b = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_small_graphs() {
+        for g in [
+            Graph::new(0),
+            Graph::new(3),
+            generators::complete(6),
+            generators::cycle(7),
+            generators::petersen(),
+            generators::complete_bipartite(3, 4),
+            generators::grid(3, 4),
+        ] {
+            let b = BitGraph::from_graph(&g);
+            assert_eq!(b.node_count(), g.node_count());
+            assert_eq!(b.edge_count(), g.edge_count());
+            assert_eq!(b.to_graph(), g);
+            assert_eq!(b.edges(), g.edges());
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_word_boundary() {
+        // 70 nodes forces words_per_row = 2.
+        let g = generators::cycle(70);
+        let b = BitGraph::from_graph(&g);
+        assert_eq!(b.words_per_row(), 2);
+        assert!(b.has_edge(Node(69), Node(0)));
+        assert_eq!(b.to_graph(), g);
+        assert!(b.same_component(Node(0), Node(35)));
+        assert!(b.is_connected());
+    }
+
+    #[test]
+    fn mutation_maintains_edge_count() {
+        let mut b = BitGraph::new(4);
+        assert!(b.add_edge(Node(0), Node(1)));
+        assert!(!b.add_edge(Node(1), Node(0)));
+        assert!(b.add_edge(Node(1), Node(2)));
+        assert_eq!(b.edge_count(), 2);
+        assert!(b.remove_edge(Node(0), Node(1)));
+        assert!(!b.remove_edge(Node(0), Node(1)));
+        assert_eq!(b.edge_count(), 1);
+        assert_eq!(b.degree(Node(1)), 1);
+        assert_eq!(b.neighbors(Node(1)).collect::<Vec<_>>(), vec![Node(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loops() {
+        BitGraph::new(2).add_edge(Node(1), Node(1));
+    }
+
+    #[test]
+    fn connectivity_matches_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let b = BitGraph::from_graph(&g);
+        assert!(b.same_component(Node(0), Node(2)));
+        assert!(!b.same_component(Node(0), Node(3)));
+        assert!(b.same_component(Node(5), Node(5)));
+        assert!(!b.is_connected());
+        assert!(BitGraph::from_graph(&generators::wheel(6)).is_connected());
+        assert!(BitGraph::new(1).is_connected());
+        assert!(BitGraph::new(0).is_connected());
+    }
+
+    #[test]
+    fn bit_iter_ascending() {
+        assert_eq!(BitIter::new(0).count(), 0);
+        assert_eq!(BitIter::new(0b1010_0001).collect::<Vec<_>>(), vec![0, 5, 7]);
+        assert_eq!(BitIter::new(u64::MAX).count(), 64);
+    }
+}

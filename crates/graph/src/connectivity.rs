@@ -64,6 +64,74 @@ pub fn same_component(g: &Graph, s: Node, t: Node) -> bool {
     s == t || crate::traversal::distance(g, s, t).is_some()
 }
 
+/// Returns `true` if `s` and `t` are connected using only links for which
+/// `alive` returns `true`.
+///
+/// This is `same_component(G \ F, s, t)` without materializing `G \ F` — the
+/// failure-sweep machinery calls it once per enumerated failure set, where a
+/// graph clone per query would dominate the whole sweep.
+pub fn same_component_filtered<F>(g: &Graph, s: Node, t: Node, alive: F) -> bool
+where
+    F: Fn(Node, Node) -> bool,
+{
+    s == t || distance_filtered(g, s, t, alive).is_some()
+}
+
+/// The sorted connected component of `v` using only links for which `alive`
+/// returns `true` — `component_of(G \ F, v)` without materializing `G \ F`.
+pub fn component_of_filtered<F>(g: &Graph, v: Node, alive: F) -> Vec<Node>
+where
+    F: Fn(Node, Node) -> bool,
+{
+    let mut visited = vec![false; g.node_count()];
+    let mut members = Vec::new();
+    let mut queue = VecDeque::new();
+    visited[v.index()] = true;
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        members.push(x);
+        for u in g.neighbors(x) {
+            if !visited[u.index()] && alive(x, u) {
+                visited[u.index()] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    members.sort_unstable();
+    members
+}
+
+/// Unweighted `s`–`t` distance using only links for which `alive` returns
+/// `true` (`None` = disconnected in the filtered graph).
+pub fn distance_filtered<F>(g: &Graph, s: Node, t: Node, alive: F) -> Option<usize>
+where
+    F: Fn(Node, Node) -> bool,
+{
+    if s == t {
+        return Some(0);
+    }
+    if s.index() >= g.node_count() || t.index() >= g.node_count() {
+        return None;
+    }
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = VecDeque::new();
+    dist[s.index()] = 0;
+    queue.push_back(s);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        for u in g.neighbors(v) {
+            if dist[u.index()] == usize::MAX && alive(v, u) {
+                if u == t {
+                    return Some(d + 1);
+                }
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    None
+}
+
 /// The `s–t` edge connectivity (size of a minimum `s–t` link cut), i.e. the
 /// maximum number of pairwise link-disjoint `s–t` paths (Menger's theorem).
 ///
@@ -73,6 +141,19 @@ pub fn same_component(g: &Graph, s: Node, t: Node) -> bool {
 ///
 /// Panics if `s == t`.
 pub fn st_edge_connectivity(g: &Graph, s: Node, t: Node) -> usize {
+    st_edge_connectivity_filtered(g, s, t, |_, _| true)
+}
+
+/// [`st_edge_connectivity`] restricted to the links for which `alive` returns
+/// `true` — the `r`-tolerance promise check on `G \ F` without cloning `G`.
+///
+/// # Panics
+///
+/// Panics if `s == t`.
+pub fn st_edge_connectivity_filtered<F>(g: &Graph, s: Node, t: Node, alive: F) -> usize
+where
+    F: Fn(Node, Node) -> bool,
+{
     assert_ne!(s, t, "s-t connectivity requires distinct endpoints");
     let n = g.node_count();
     // Arc list with residual capacities: each undirected edge becomes two
@@ -91,6 +172,9 @@ pub fn st_edge_connectivity(g: &Graph, s: Node, t: Node) -> usize {
         arc_cap.push(cap);
     };
     for e in g.edges() {
+        if !alive(e.u(), e.v()) {
+            continue;
+        }
         let (u, v) = (e.u().index(), e.v().index());
         // arcs are stored in pairs so that `idx ^ 1` is the reverse arc
         add_arc(u, v, 1, &mut arc_to, &mut arc_cap, &mut head);
@@ -445,6 +529,41 @@ mod tests {
         let b = blocks(&g);
         assert_eq!(b.len(), 2);
         assert!(b.iter().all(|blk| blk.nodes.contains(&Node(2))));
+    }
+
+    #[test]
+    fn filtered_queries_match_materialized_removal() {
+        let g = generators::cycle(6);
+        let failed = [Edge::new(Node(0), Node(1)), Edge::new(Node(3), Node(4))];
+        let alive = |a: Node, b: Node| !failed.contains(&Edge::new(a, b));
+        let removed = g.without_edges(failed.iter());
+        for s in g.nodes() {
+            for t in g.nodes() {
+                if s != t {
+                    assert_eq!(
+                        same_component_filtered(&g, s, t, alive),
+                        same_component(&removed, s, t)
+                    );
+                    assert_eq!(
+                        distance_filtered(&g, s, t, alive),
+                        crate::traversal::distance(&removed, s, t)
+                    );
+                    assert_eq!(
+                        st_edge_connectivity_filtered(&g, s, t, alive),
+                        st_edge_connectivity(&removed, s, t)
+                    );
+                }
+            }
+            assert_eq!(
+                component_of_filtered(&g, s, alive),
+                component_of(&removed, s)
+            );
+        }
+        assert!(same_component_filtered(&g, Node(2), Node(2), alive));
+        assert_eq!(distance_filtered(&g, Node(2), Node(2), alive), Some(0));
+        // Out-of-range endpoints are simply disconnected.
+        assert!(!same_component_filtered(&g, Node(0), Node(9), alive));
+        assert_eq!(distance_filtered(&g, Node(9), Node(0), alive), None);
     }
 
     #[test]

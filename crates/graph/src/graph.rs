@@ -167,6 +167,10 @@ impl From<(Node, Node)> for Edge {
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     adjacency: Vec<BTreeSet<usize>>,
+    /// Cached number of edges, maintained by every mutation; keeps
+    /// [`Graph::edge_count`] O(1) in the enumeration hot loops instead of
+    /// summing all adjacency rows on every call.
+    edge_count: usize,
 }
 
 impl Graph {
@@ -174,6 +178,7 @@ impl Graph {
     pub fn new(n: usize) -> Self {
         Graph {
             adjacency: vec![BTreeSet::new(); n],
+            edge_count: 0,
         }
     }
 
@@ -198,9 +203,16 @@ impl Graph {
         self.adjacency.len()
     }
 
-    /// Number of edges.
+    /// Number of edges (O(1): the count is cached and kept in sync by
+    /// [`Graph::add_edge`] / [`Graph::remove_edge`]).
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+        debug_assert_eq!(
+            self.edge_count,
+            self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2,
+            "cached edge count out of sync"
+        );
+        self.edge_count
     }
 
     /// Density `|E| / |V|` as used in the paper's Fig. 8 (0 for empty graphs).
@@ -229,6 +241,7 @@ impl Graph {
         assert_ne!(u, v, "self-loops are not supported");
         let inserted = self.adjacency[u.0].insert(v.0);
         self.adjacency[v.0].insert(u.0);
+        self.edge_count += inserted as usize;
         inserted
     }
 
@@ -239,6 +252,7 @@ impl Graph {
         }
         let removed = self.adjacency[u.0].remove(&v.0);
         self.adjacency[v.0].remove(&u.0);
+        self.edge_count -= removed as usize;
         removed
     }
 

@@ -5,7 +5,9 @@
 //! *"On the Price of Locality in Static Fast Rerouting"* (Foerster et al.,
 //! DSN 2022):
 //!
-//! * an undirected simple [`Graph`] with deterministic iteration order,
+//! * an undirected simple [`Graph`] with deterministic iteration order, plus
+//!   its packed-`u64`-row twin [`BitGraph`] used by the failure-sweep hot
+//!   paths (word-parallel edge/degree/connectivity operations),
 //! * the generators used throughout the paper (complete graphs `K_n`,
 //!   complete bipartite graphs `K_{a,b}`, their `-c`-link variants, paths,
 //!   cycles, trees, grids, wheels, random graphs, outerplanar fans, …),
@@ -35,6 +37,7 @@
 //! ```
 
 pub mod arborescence;
+pub mod bitgraph;
 pub mod connectivity;
 pub mod generators;
 pub mod graph;
@@ -45,10 +48,12 @@ pub mod outerplanar;
 pub mod planarity;
 pub mod traversal;
 
+pub use bitgraph::BitGraph;
 pub use graph::{Edge, Graph, Node};
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
+    pub use crate::bitgraph::BitGraph;
     pub use crate::connectivity::{edge_connectivity, is_connected, st_edge_connectivity};
     pub use crate::generators;
     pub use crate::graph::{Edge, Graph, Node};

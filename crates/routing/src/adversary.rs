@@ -9,11 +9,11 @@
 //! randomized search — used to cross-check them and to probe patterns on
 //! arbitrary graphs.
 
-use crate::failure::{random_failure_set, AllFailureSets, FailureSet};
+use crate::failure::FailureSet;
 use crate::pattern::ForwardingPattern;
 use crate::simulator::{route, state_space_bound, Outcome};
-use frr_graph::connectivity::same_component;
-use frr_graph::{Graph, Node};
+use crate::sweep::{sharded_first, sweep_find_first_limited, SweepEngine};
+use frr_graph::{Edge, Graph, Node};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -98,32 +98,34 @@ impl Adversary for BruteForceAdversary {
         pattern: &P,
     ) -> Option<Counterexample> {
         let max_hops = state_space_bound(g);
-        let mut budget = self.max_sets;
-        for failures in AllFailureSets::with_max_failures(g, self.max_failures) {
-            if budget == 0 {
-                return None;
-            }
-            budget -= 1;
-            let surviving = failures.surviving_graph(g);
-            for s in g.nodes() {
-                for t in g.nodes() {
-                    if s == t || !same_component(&surviving, s, t) {
-                        continue;
-                    }
-                    let result = route(g, &failures, pattern, s, t, max_hops);
-                    if !result.outcome.is_delivered() {
-                        return Some(Counterexample {
-                            failures,
-                            source: s,
-                            destination: t,
-                            outcome: result.outcome,
-                            path: result.path,
-                        });
+        sweep_find_first_limited(
+            g,
+            self.max_failures,
+            Some(self.max_sets),
+            |engine: &mut SweepEngine<'_>, mask| {
+                engine.load_mask(mask);
+                for s in g.nodes() {
+                    for t in g.nodes() {
+                        if s == t || !engine.same_component(s, t) {
+                            continue;
+                        }
+                        let outcome = engine.route_outcome(pattern, s, t, max_hops);
+                        if !outcome.is_delivered() {
+                            let failures = engine.failure_set(mask);
+                            let result = route(g, &failures, pattern, s, t, max_hops);
+                            return Some(Counterexample {
+                                failures,
+                                source: s,
+                                destination: t,
+                                outcome: result.outcome,
+                                path: result.path,
+                            });
+                        }
                     }
                 }
-            }
-        }
-        None
+                None
+            },
+        )
     }
 
     fn name(&self) -> String {
@@ -136,6 +138,11 @@ impl Adversary for BruteForceAdversary {
 
 /// Randomized adversary: samples failure sets of random sizes and random
 /// source/destination pairs; reproducible via its seed.
+///
+/// Every trial derives its own RNG from `(seed, trial index)`, so trial `i`
+/// probes the same scenario no matter how the trial range is sharded across
+/// worker threads — the adversary returns the counterexample with the
+/// smallest trial index, byte-identical at any thread count.
 #[derive(Debug, Clone)]
 pub struct RandomAdversary {
     /// Number of scenarios to sample.
@@ -155,6 +162,57 @@ impl RandomAdversary {
             seed,
         }
     }
+
+    /// The per-trial RNG: `StdRng` seeded by a SplitMix-style mix of the
+    /// adversary seed and the trial index.
+    fn trial_rng(&self, trial: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.seed ^ (trial.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+
+    /// Probes one trial's scenario.  `pool` is a reusable scratch buffer that
+    /// is **re-initialized from `edges` every trial**, so the probed scenario
+    /// is a pure function of `(seed, trial)` — independent of which trials a
+    /// worker ran before (the deterministic sharded merge requires this).
+    #[allow(clippy::too_many_arguments)]
+    fn probe_trial<P: ForwardingPattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+        nodes: &[Node],
+        edges: &[Edge],
+        pool: &mut Vec<Edge>,
+        max_hops: usize,
+        trial: u64,
+    ) -> Option<Counterexample> {
+        let mut rng = self.trial_rng(trial);
+        let k = rng.gen_range(0..=self.max_failures.min(edges.len()));
+        pool.clear();
+        pool.extend_from_slice(edges);
+        // Partial Fisher–Yates: the first k entries become a uniform k-subset.
+        for i in 0..k {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let failures = FailureSet::from_edges(pool[..k].iter().copied());
+        let s = nodes[rng.gen_range(0..nodes.len())];
+        let t = nodes[rng.gen_range(0..nodes.len())];
+        if s == t || !failures.keeps_connected(g, s, t) {
+            return None;
+        }
+        let result = route(g, &failures, pattern, s, t, max_hops);
+        if result.outcome.is_delivered() {
+            return None;
+        }
+        Some(Counterexample {
+            failures,
+            source: s,
+            destination: t,
+            outcome: result.outcome,
+            path: result.path,
+        })
+    }
 }
 
 impl Adversary for RandomAdversary {
@@ -163,33 +221,22 @@ impl Adversary for RandomAdversary {
         g: &Graph,
         pattern: &P,
     ) -> Option<Counterexample> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let max_hops = state_space_bound(g);
         let nodes: Vec<Node> = g.nodes().collect();
         if nodes.len() < 2 {
             return None;
         }
-        for _ in 0..self.trials {
-            let k = rng.gen_range(0..=self.max_failures.min(g.edge_count()));
-            let failures = random_failure_set(g, k, &mut rng);
-            let surviving = failures.surviving_graph(g);
-            let s = nodes[rng.gen_range(0..nodes.len())];
-            let t = nodes[rng.gen_range(0..nodes.len())];
-            if s == t || !same_component(&surviving, s, t) {
-                continue;
-            }
-            let result = route(g, &failures, pattern, s, t, max_hops);
-            if !result.outcome.is_delivered() {
-                return Some(Counterexample {
-                    failures,
-                    source: s,
-                    destination: t,
-                    outcome: result.outcome,
-                    path: result.path,
-                });
-            }
-        }
-        None
+        let edges = g.edges();
+        // Shard the trial range with the same deterministic smallest-index
+        // machinery the mask sweeps use; each worker's state is just its
+        // scratch pool buffer.
+        sharded_first(
+            self.trials as u64,
+            64,
+            64,
+            || Vec::with_capacity(edges.len()),
+            |pool, trial| self.probe_trial(g, pattern, &nodes, &edges, pool, max_hops, trial),
+        )
     }
 
     fn name(&self) -> String {

@@ -7,12 +7,16 @@
 //! paper, whose entire failure-set power set fits in memory-free iteration)
 //! and reproducible random sampling (for larger networks).
 
-use frr_graph::connectivity::{are_r_connected, same_component};
+use frr_graph::connectivity::{same_component_filtered, st_edge_connectivity_filtered};
 use frr_graph::{Edge, Graph, Node};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Largest link count for which failure sets can be enumerated as `u64`
+/// bitmasks (one bit per link in ascending [`Graph::edges`] order).
+pub const MAX_MASK_EDGES: usize = 62;
 
 /// A set of failed (undirected) links.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -77,25 +81,48 @@ impl FailureSet {
     }
 
     /// The far endpoints of failed links incident to `v` — the local view
-    /// `F ∩ E(v)` a node is allowed to condition on.
-    pub fn failed_neighbors_of(&self, v: Node) -> BTreeSet<Node> {
-        self.failed.iter().filter_map(|e| e.other(v)).collect()
+    /// `F ∩ E(v)` a node is allowed to condition on — sorted ascending.
+    pub fn failed_neighbors_of(&self, v: Node) -> Vec<Node> {
+        let mut out = Vec::new();
+        self.failed_neighbors_into(v, &mut out);
+        out
+    }
+
+    /// Like [`FailureSet::failed_neighbors_of`], but reuses `out` (cleared
+    /// first) so the simulator's per-hop loop allocates nothing in steady
+    /// state.  The result is sorted ascending.
+    pub fn failed_neighbors_into(&self, v: Node, out: &mut Vec<Node>) {
+        out.clear();
+        // Edges are stored in normalized ascending order, so the far
+        // endpoints of the links incident to `v` come out ascending too:
+        // (x, v) entries (x < v, ascending x) precede (v, y) entries
+        // (ascending y).
+        out.extend(self.failed.iter().filter_map(|e| e.other(v)));
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]));
     }
 
     /// The surviving graph `G \ F`.
+    ///
+    /// This materializes a full graph clone; the sweep machinery in
+    /// [`crate::sweep`] and the promise checks below deliberately avoid it.
     pub fn surviving_graph(&self, g: &Graph) -> Graph {
         g.without_edges(self.failed.iter())
     }
 
-    /// `true` if `s` and `t` are still connected in `G \ F`.
+    /// `true` if `s` and `t` are still connected in `G \ F` (BFS over `G`
+    /// skipping failed links; no graph clone).
     pub fn keeps_connected(&self, g: &Graph, s: Node, t: Node) -> bool {
-        same_component(&self.surviving_graph(g), s, t)
+        same_component_filtered(g, s, t, |u, v| !self.contains(u, v))
     }
 
     /// `true` if `s` and `t` are still `r`-connected (link-disjoint paths) in
-    /// `G \ F` — the paper's `r`-tolerance promise.
+    /// `G \ F` — the paper's `r`-tolerance promise (max-flow over `G` skipping
+    /// failed links; no graph clone).
     pub fn keeps_r_connected(&self, g: &Graph, s: Node, t: Node, r: usize) -> bool {
-        are_r_connected(&self.surviving_graph(g), s, t, r)
+        if r == 0 || s == t {
+            return true;
+        }
+        st_edge_connectivity_filtered(g, s, t, |u, v| !self.contains(u, v)) >= r
     }
 }
 
@@ -124,16 +151,102 @@ impl Extend<Edge> for FailureSet {
     }
 }
 
+/// Allocation-free iterator over failure-set **bitmasks**: every `u64` whose
+/// set bits index failed links (in ascending [`Graph::edges`] order),
+/// enumerated in ascending numeric order, optionally capped at a maximum
+/// popcount.
+///
+/// Capped enumeration does **not** walk all `2^m` masks: whenever the next
+/// candidate exceeds the cap, the iterator jumps over the whole block of its
+/// supersets in one step (`(mask | (mask - 1)) + 1` clears the trailing-ones
+/// run and carries), so visiting the `Σ_{i≤k} C(m,i)` valid masks costs
+/// `O(1)` amortized word operations each.  That is what lets the bounded
+/// checkers afford graphs far beyond 26 links.
+///
+/// The numeric order is exactly the order the pre-bitmask implementation
+/// produced, so "first counterexample" results are byte-identical.
+#[derive(Debug, Clone)]
+pub struct FailureMasks {
+    next: u64,
+    /// One past the last mask (`2^m`).
+    end: u64,
+    max_ones: Option<u32>,
+}
+
+impl FailureMasks {
+    /// Enumerates every failure mask over `edge_count` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_count` exceeds [`MAX_MASK_EDGES`].
+    pub fn all(edge_count: usize) -> Self {
+        Self::with_max_failures(edge_count, None)
+    }
+
+    /// Enumerates every failure mask over `edge_count` links with at most
+    /// `max` failed links.
+    pub fn with_max_failures(edge_count: usize, max: Option<usize>) -> Self {
+        assert!(
+            edge_count <= MAX_MASK_EDGES,
+            "exhaustive enumeration needs at most {MAX_MASK_EDGES} links"
+        );
+        FailureMasks {
+            next: 0,
+            end: 1u64 << edge_count,
+            max_ones: max.map(|m| m.min(edge_count) as u32),
+        }
+    }
+
+    /// The numeric span of the enumeration (`2^m`); mask values are always in
+    /// `0..span()`.  Used by the parallel checkers to shard contiguous mask
+    /// ranges across workers.
+    pub fn span(&self) -> u64 {
+        self.end
+    }
+}
+
+impl Iterator for FailureMasks {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        let mut cand = self.next;
+        if let Some(k) = self.max_ones {
+            while cand < self.end && cand.count_ones() > k {
+                // Skip `cand` and every superset of it obtainable by setting
+                // bits below its lowest set bit — all exceed the cap too.
+                cand = (cand | (cand - 1)) + 1;
+            }
+        }
+        if cand >= self.end {
+            self.next = self.end;
+            return None;
+        }
+        self.next = cand + 1;
+        Some(cand)
+    }
+}
+
+/// Materializes the failure set a bitmask denotes over an ascending edge
+/// list (bit `i` set ⇒ `edges[i]` failed).
+pub fn failure_set_from_mask(edges: &[Edge], mask: u64) -> FailureSet {
+    FailureSet::from_edges(
+        (0..edges.len())
+            .filter(|i| mask & (1u64 << i) != 0)
+            .map(|i| edges[i]),
+    )
+}
+
 /// Iterator over **all** failure sets of a graph (the power set of its link
 /// set), optionally capped at a maximum number of failed links.
 ///
-/// Intended for the paper's small named graphs: the iteration count is
-/// `2^m` (or `Σ_{i≤max} C(m,i)`), so callers should keep `m ≲ 20`.
+/// This is the materializing convenience wrapper around [`FailureMasks`]; the
+/// hot sweep loops in [`crate::resilience`] and [`crate::adversary`] iterate
+/// the raw masks instead and never build a `FailureSet` until a
+/// counterexample needs reporting.
 pub struct AllFailureSets {
     edges: Vec<Edge>,
-    next_mask: u64,
-    end_mask: u64,
-    max_failures: Option<usize>,
+    masks: FailureMasks,
 }
 
 impl AllFailureSets {
@@ -141,8 +254,8 @@ impl AllFailureSets {
     ///
     /// # Panics
     ///
-    /// Panics if `g` has more than 62 links (the enumeration would not
-    /// terminate in any reasonable time anyway).
+    /// Panics if `g` has more than [`MAX_MASK_EDGES`] links (the enumeration
+    /// would not terminate in any reasonable time anyway).
     pub fn new(g: &Graph) -> Self {
         Self::with_max_failures(g, None)
     }
@@ -150,15 +263,9 @@ impl AllFailureSets {
     /// Enumerates every failure set of `g` with at most `max` failed links.
     pub fn with_max_failures(g: &Graph, max: Option<usize>) -> Self {
         let edges = g.edges();
-        assert!(
-            edges.len() <= 62,
-            "exhaustive enumeration needs at most 62 links"
-        );
         AllFailureSets {
-            next_mask: 0,
-            end_mask: 1u64 << edges.len(),
+            masks: FailureMasks::with_max_failures(edges.len(), max),
             edges,
-            max_failures: max,
         }
     }
 }
@@ -167,25 +274,8 @@ impl Iterator for AllFailureSets {
     type Item = FailureSet;
 
     fn next(&mut self) -> Option<FailureSet> {
-        while self.next_mask < self.end_mask {
-            let mask = self.next_mask;
-            self.next_mask += 1;
-            let count = mask.count_ones() as usize;
-            if let Some(max) = self.max_failures {
-                if count > max {
-                    continue;
-                }
-            }
-            let set = FailureSet::from_edges(
-                self.edges
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| mask & (1 << i) != 0)
-                    .map(|(_, &e)| e),
-            );
-            return Some(set);
-        }
-        None
+        let mask = self.masks.next()?;
+        Some(failure_set_from_mask(&self.edges, mask))
     }
 }
 
@@ -243,8 +333,15 @@ mod tests {
     fn local_view_extraction() {
         let f = FailureSet::from_pairs(&[(0, 1), (0, 2), (3, 4)]);
         let local = f.failed_neighbors_of(Node(0));
-        assert_eq!(local, [Node(1), Node(2)].into_iter().collect());
+        assert_eq!(local, vec![Node(1), Node(2)]);
         assert!(f.failed_neighbors_of(Node(5)).is_empty());
+        // The reusable variant clears its buffer and produces sorted output.
+        let mut buf = vec![Node(9)];
+        f.failed_neighbors_into(Node(4), &mut buf);
+        assert_eq!(buf, vec![Node(3)]);
+        let f2 = FailureSet::from_pairs(&[(2, 5), (0, 5), (5, 7), (5, 6)]);
+        f2.failed_neighbors_into(Node(5), &mut buf);
+        assert_eq!(buf, vec![Node(0), Node(2), Node(6), Node(7)]);
     }
 
     #[test]
@@ -277,6 +374,50 @@ mod tests {
         );
         // The first element is the empty set.
         assert!(AllFailureSets::new(&g).next().unwrap().is_empty());
+    }
+
+    #[test]
+    fn capped_mask_enumeration_matches_naive_filter() {
+        // The popcount-skip enumeration must yield exactly the masks the old
+        // full `2^m` walk yielded, in the same (ascending numeric) order —
+        // this is what keeps every "first counterexample" result of the
+        // bounded checkers byte-identical.
+        for m in [0usize, 1, 4, 9, 13] {
+            for k in 0..=m.min(5) {
+                let direct: Vec<u64> = FailureMasks::with_max_failures(m, Some(k)).collect();
+                let naive: Vec<u64> = (0..1u64 << m)
+                    .filter(|mask| mask.count_ones() as usize <= k)
+                    .collect();
+                assert_eq!(direct, naive, "m={m}, k={k}");
+            }
+            let unbounded: Vec<u64> = FailureMasks::all(m).collect();
+            assert_eq!(unbounded, (0..1u64 << m).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn capped_mask_enumeration_is_direct_not_a_walk() {
+        // Σ_{i≤2} C(40, i) = 1 + 40 + 780 masks — far beyond any 2^40 walk.
+        let masks = FailureMasks::with_max_failures(40, Some(2));
+        assert_eq!(masks.span(), 1u64 << 40);
+        assert_eq!(masks.count(), 1 + 40 + 780);
+    }
+
+    #[test]
+    fn masks_materialize_to_the_right_sets() {
+        let g = generators::cycle(4);
+        let edges = g.edges();
+        assert_eq!(failure_set_from_mask(&edges, 0), FailureSet::new());
+        let f = failure_set_from_mask(&edges, 0b101);
+        assert_eq!(f.len(), 2);
+        assert!(f.contains_edge(edges[0]));
+        assert!(f.contains_edge(edges[2]));
+        // AllFailureSets and the mask iterator agree item by item.
+        let via_masks: Vec<FailureSet> = FailureMasks::with_max_failures(edges.len(), Some(2))
+            .map(|m| failure_set_from_mask(&edges, m))
+            .collect();
+        let via_sets: Vec<FailureSet> = AllFailureSets::with_max_failures(&g, Some(2)).collect();
+        assert_eq!(via_masks, via_sets);
     }
 
     #[test]

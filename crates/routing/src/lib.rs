@@ -12,6 +12,9 @@
 //!   table/rotor/shortest-path baselines,
 //! * [`simulator`] — deterministic packet forwarding with exact loop
 //!   detection over `(node, in-port)` states,
+//! * [`sweep`] — the allocation-free failure-sweep engine: bitmask failure
+//!   overlays on a [`frr_graph::BitGraph`], reusable scratch, and
+//!   deterministic multi-threaded mask-range sharding,
 //! * [`resilience`] — exhaustive and sampled resilience checkers (perfect
 //!   resilience, `r`-tolerance, bounded failures, touring),
 //! * [`adversary`] — generic brute-force and randomized adversaries that
@@ -39,6 +42,7 @@ pub mod model;
 pub mod pattern;
 pub mod resilience;
 pub mod simulator;
+pub mod sweep;
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {

@@ -8,8 +8,7 @@
 use crate::failure::{random_failure_set, FailureSet};
 use crate::pattern::ForwardingPattern;
 use crate::simulator::{route, state_space_bound, Outcome};
-use frr_graph::connectivity::same_component;
-use frr_graph::traversal::distance;
+use frr_graph::connectivity::distance_filtered;
 use frr_graph::{Graph, Node};
 use rand::Rng;
 
@@ -91,11 +90,13 @@ pub fn evaluate_scenarios<P: ForwardingPattern + ?Sized>(
     let max_hops = state_space_bound(g);
     let mut stats = DeliveryStats::default();
     for (failures, s, t) in scenarios {
-        let surviving = failures.surviving_graph(g);
-        if s == t || !same_component(&surviving, *s, *t) {
+        if s == t {
             continue;
         }
-        let optimal = distance(&surviving, *s, *t).unwrap_or(0);
+        let optimal = match distance_filtered(g, *s, *t, |u, v| !failures.contains(u, v)) {
+            Some(d) => d,
+            None => continue,
+        };
         let result = route(g, failures, pattern, *s, *t, max_hops);
         stats.record(result.outcome, result.hops, optimal);
     }
@@ -120,13 +121,15 @@ pub fn evaluate_random_workload<P: ForwardingPattern + ?Sized, R: Rng>(
     }
     for _ in 0..trials {
         let failures = random_failure_set(g, failures_per_trial, rng);
-        let surviving = failures.surviving_graph(g);
         let s = nodes[rng.gen_range(0..nodes.len())];
         let t = nodes[rng.gen_range(0..nodes.len())];
-        if s == t || !same_component(&surviving, s, t) {
+        if s == t {
             continue;
         }
-        let optimal = distance(&surviving, s, t).unwrap_or(0);
+        let optimal = match distance_filtered(g, s, t, |u, v| !failures.contains(u, v)) {
+            Some(d) => d,
+            None => continue,
+        };
         let result = route(g, &failures, pattern, s, t, max_hops);
         stats.record(result.outcome, result.hops, optimal);
     }

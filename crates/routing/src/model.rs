@@ -6,7 +6,6 @@
 //! packet's source and/or destination (§II of the paper).
 
 use frr_graph::{Graph, Node};
-use std::collections::BTreeSet;
 use std::fmt;
 
 /// The header information a forwarding rule is allowed to match on.
@@ -69,8 +68,12 @@ pub struct LocalContext<'a> {
     /// The packet destination (not meaningful in the touring model).
     pub destination: Node,
     /// Neighbors whose link to [`LocalContext::node`] has failed
-    /// (`F ∩ E(v)` expressed as the far endpoints).
-    pub failed_neighbors: &'a BTreeSet<Node>,
+    /// (`F ∩ E(v)` expressed as the far endpoints), **sorted ascending**.
+    ///
+    /// A sorted slice instead of an owned set keeps the simulator's hot loop
+    /// allocation-free: the failure-sweep engine reuses per-node scratch
+    /// buffers across the `2^m` enumerated failure sets.
+    pub failed_neighbors: &'a [Node],
     /// The static pre-failure network the pattern was configured for.
     pub graph: &'a Graph,
 }
@@ -81,14 +84,22 @@ impl<'a> LocalContext<'a> {
     pub fn alive_neighbors(&self) -> Vec<Node> {
         self.graph
             .neighbors(self.node)
-            .filter(|u| !self.failed_neighbors.contains(u))
+            .filter(|u| !self.link_failed(*u))
             .collect()
+    }
+
+    /// `true` if the link from the current node towards `u` is recorded as
+    /// failed (binary search over the sorted failed-neighbor slice).
+    #[inline]
+    pub fn link_failed(&self, u: Node) -> bool {
+        self.failed_neighbors.binary_search(&u).is_ok()
     }
 
     /// `true` if the link from the current node towards `u` is alive (exists
     /// in the configured graph and has not failed).
+    #[inline]
     pub fn is_alive(&self, u: Node) -> bool {
-        self.graph.has_edge(self.node, u) && !self.failed_neighbors.contains(&u)
+        self.graph.has_edge(self.node, u) && !self.link_failed(u)
     }
 
     /// `true` if the destination is an alive neighbor of the current node.
@@ -115,7 +126,7 @@ mod tests {
     #[test]
     fn local_context_alive_neighbors() {
         let g = generators::complete(4);
-        let failed: BTreeSet<Node> = [Node(2)].into_iter().collect();
+        let failed = [Node(2)];
         let ctx = LocalContext {
             node: Node(0),
             inport: None,

@@ -16,7 +16,13 @@ use frr_graph::{Graph, Node};
 /// information in the [`LocalContext`] that their [`RoutingModel`] permits;
 /// the simulator and the resilience checkers rely on determinism for exact
 /// loop detection.
-pub trait ForwardingPattern {
+///
+/// Patterns must be [`Sync`]: the exhaustive resilience checkers and
+/// adversaries shard their failure-set ranges across `std::thread::scope`
+/// workers that share the pattern by reference.  Patterns are immutable rule
+/// tables, so this costs nothing beyond using `Mutex` instead of `RefCell`
+/// for any internal memoization.
+pub trait ForwardingPattern: Sync {
     /// The routing model this pattern is designed for (metadata used by the
     /// classification and experiment harnesses).
     fn model(&self) -> RoutingModel;
@@ -68,7 +74,7 @@ pub struct FnPattern<F> {
 
 impl<F> FnPattern<F>
 where
-    F: Fn(&LocalContext<'_>) -> Option<Node>,
+    F: Fn(&LocalContext<'_>) -> Option<Node> + Sync,
 {
     /// Wraps `func` as a forwarding pattern for `model`.
     pub fn new(model: RoutingModel, name: impl Into<String>, func: F) -> Self {
@@ -82,7 +88,7 @@ where
 
 impl<F> ForwardingPattern for FnPattern<F>
 where
-    F: Fn(&LocalContext<'_>) -> Option<Node>,
+    F: Fn(&LocalContext<'_>) -> Option<Node> + Sync,
 {
     fn model(&self) -> RoutingModel {
         self.model
@@ -262,7 +268,6 @@ mod tests {
     use super::*;
     use crate::failure::FailureSet;
     use frr_graph::generators;
-    use std::collections::BTreeSet;
 
     fn ctx<'a>(
         g: &'a Graph,
@@ -270,7 +275,7 @@ mod tests {
         inport: Option<Node>,
         s: Node,
         t: Node,
-        failed: &'a BTreeSet<Node>,
+        failed: &'a [Node],
     ) -> LocalContext<'a> {
         LocalContext {
             node,
@@ -290,7 +295,7 @@ mod tests {
         });
         assert_eq!(p.model(), RoutingModel::DestinationOnly);
         assert_eq!(p.name(), "to-right");
-        let empty = BTreeSet::new();
+        let empty: Vec<Node> = Vec::new();
         let c = ctx(&g, Node(0), None, Node(0), Node(2), &empty);
         assert_eq!(p.next_hop(&c), Some(Node(1)));
         // Trait impls for references and boxes.
@@ -306,7 +311,7 @@ mod tests {
         let g = generators::complete(4);
         let p = RotorPattern::clockwise(&g);
         assert_eq!(p.model(), RoutingModel::Touring);
-        let empty = BTreeSet::new();
+        let empty: Vec<Node> = Vec::new();
         // At node 0 with neighbors [1,2,3]: starting packet goes to 1.
         let c = ctx(&g, Node(0), None, Node(0), Node(3), &empty);
         assert_eq!(p.next_hop(&c), Some(Node(1)));
@@ -332,7 +337,7 @@ mod tests {
         let g = generators::complete(4);
         let p = RotorPattern::clockwise_with_shortcut(&g);
         assert_eq!(p.model(), RoutingModel::DestinationOnly);
-        let empty = BTreeSet::new();
+        let empty: Vec<Node> = Vec::new();
         let c = ctx(&g, Node(0), Some(Node(1)), Node(1), Node(3), &empty);
         assert_eq!(p.next_hop(&c), Some(Node(3)));
         // If the destination link failed, fall back to the sweep.
@@ -346,7 +351,7 @@ mod tests {
     fn rotor_on_isolated_node_returns_none() {
         let g = Graph::new(2);
         let p = RotorPattern::clockwise(&g);
-        let empty = BTreeSet::new();
+        let empty: Vec<Node> = Vec::new();
         let c = ctx(&g, Node(0), None, Node(0), Node(1), &empty);
         assert_eq!(p.next_hop(&c), None);
     }
@@ -357,7 +362,7 @@ mod tests {
         let p = ShortestPathPattern::new(&g);
         assert_eq!(p.model(), RoutingModel::DestinationOnly);
         assert!(p.name().contains("shortest-path"));
-        let empty = BTreeSet::new();
+        let empty: Vec<Node> = Vec::new();
         // From 0 to 2 the shortest path goes via 1.
         let c = ctx(&g, Node(0), None, Node(0), Node(2), &empty);
         assert_eq!(p.next_hop(&c), Some(Node(1)));

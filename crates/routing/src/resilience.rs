@@ -5,12 +5,21 @@
 //! All checkers are *verification oracles* over the simulator: they quantify
 //! over failure sets and source/destination pairs and report either success
 //! or a concrete counterexample scenario that can be replayed.
+//!
+//! The exhaustive checkers run on the [`crate::sweep`] engine: failure sets
+//! are `u64` bitmask overlays over a [`frr_graph::BitGraph`], connectivity is
+//! one component decomposition per failure set (instead of one BFS per
+//! source/destination pair on a cloned surviving graph), and the `2^m` mask
+//! range is sharded across `std::thread::scope` workers with a deterministic
+//! smallest-mask merge — the counterexample returned is byte-identical to a
+//! sequential ascending scan, at any thread count.
 
 use crate::adversary::Counterexample;
-use crate::failure::{random_failure_set, AllFailureSets};
+use crate::failure::{random_failure_set, FailureSet};
 use crate::pattern::ForwardingPattern;
-use crate::simulator::{route, state_space_bound, tour};
-use frr_graph::connectivity::same_component;
+use crate::simulator::{route, state_space_bound, tour, Outcome};
+use crate::sweep::{sweep_find_first, SweepEngine};
+use frr_graph::connectivity::st_edge_connectivity_filtered;
 use frr_graph::{Graph, Node};
 use rand::Rng;
 
@@ -19,15 +28,102 @@ use rand::Rng;
 pub const EXHAUSTIVE_EDGE_LIMIT: usize = 20;
 
 /// Largest number of links for the checkers that bound the number of
-/// failures: the enumeration still walks `2^m` bitmasks but only materializes
-/// the (few) small failure sets, so a slightly larger graph is affordable.
-pub const BOUNDED_EDGE_LIMIT: usize = 26;
+/// failures to some `k`: the enumeration visits the `Σ_{i≤k} C(m,i)` small
+/// failure masks *directly* (skipping over-cap mask blocks in `O(1)` words),
+/// so it no longer walks all `2^m` bitmasks and much larger graphs are
+/// affordable than under the historical limit of 26.
+pub const BOUNDED_EDGE_LIMIT: usize = 40;
+
+/// Replays a failing routing scenario through the plain simulator to attach
+/// the packet's path to the counterexample (the sweep hot loop itself never
+/// builds paths).
+fn replay_route<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    failures: FailureSet,
+    source: Node,
+    destination: Node,
+) -> Counterexample {
+    let result = route(
+        g,
+        &failures,
+        pattern,
+        source,
+        destination,
+        state_space_bound(g),
+    );
+    debug_assert!(!result.outcome.is_delivered());
+    Counterexample {
+        failures,
+        source,
+        destination,
+        outcome: result.outcome,
+        path: result.path,
+    }
+}
+
+/// Replays a failing touring scenario for its walk.
+fn replay_tour<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    failures: FailureSet,
+    start: Node,
+) -> Counterexample {
+    let result = tour(g, &failures, pattern, start, state_space_bound(g));
+    debug_assert!(!result.covered_component);
+    Counterexample {
+        failures,
+        source: start,
+        destination: start,
+        outcome: Outcome::Loop,
+        path: result.path,
+    }
+}
+
+/// Shared sweep for the routing checkers: every failure mask (optionally
+/// popcount-capped), every still-connected `(s, t)` pair (optionally with a
+/// pinned destination), first counterexample in ascending
+/// `(mask, source, destination)` order.
+fn sweep_routing<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    max_failures: Option<usize>,
+    destination: Option<Node>,
+) -> Result<(), Counterexample> {
+    let max_hops = state_space_bound(g);
+    let n = g.node_count();
+    let (t_lo, t_hi) = match destination {
+        Some(t) => (t.index(), t.index() + 1),
+        None => (0, n),
+    };
+    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>, mask| {
+        engine.load_mask(mask);
+        for s in (0..n).map(Node) {
+            for t in (t_lo..t_hi).map(Node) {
+                if s == t || !engine.same_component(s, t) {
+                    continue;
+                }
+                let outcome = engine.route_outcome(pattern, s, t, max_hops);
+                if !outcome.is_delivered() {
+                    return Some(replay_route(g, pattern, engine.failure_set(mask), s, t));
+                }
+            }
+        }
+        None
+    });
+    match found {
+        Some(ce) => Err(ce),
+        None => Ok(()),
+    }
+}
 
 /// Checks perfect resilience exhaustively: for **every** failure set `F` and
 /// every ordered pair `(s, t)` that stays connected in `G \ F`, the packet
 /// must be delivered.
 ///
-/// Returns `Ok(())` or the first counterexample found.
+/// Returns `Ok(())` or the first counterexample found (in ascending
+/// `(failure-mask, source, destination)` order — deterministic regardless of
+/// how many worker threads the sweep uses).
 ///
 /// # Panics
 ///
@@ -41,28 +137,7 @@ pub fn is_perfectly_resilient<P: ForwardingPattern + ?Sized>(
         g.edge_count() <= EXHAUSTIVE_EDGE_LIMIT,
         "exhaustive perfect-resilience check limited to {EXHAUSTIVE_EDGE_LIMIT} links"
     );
-    let max_hops = state_space_bound(g);
-    for failures in AllFailureSets::new(g) {
-        let surviving = failures.surviving_graph(g);
-        for s in g.nodes() {
-            for t in g.nodes() {
-                if s == t || !same_component(&surviving, s, t) {
-                    continue;
-                }
-                let result = route(g, &failures, pattern, s, t, max_hops);
-                if !result.outcome.is_delivered() {
-                    return Err(Counterexample {
-                        failures,
-                        source: s,
-                        destination: t,
-                        outcome: result.outcome,
-                        path: result.path,
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
+    sweep_routing(g, pattern, None, None)
 }
 
 /// Checks perfect resilience for a **fixed destination** `t` exhaustively
@@ -76,26 +151,7 @@ pub fn is_perfectly_resilient_for_destination<P: ForwardingPattern + ?Sized>(
         g.edge_count() <= EXHAUSTIVE_EDGE_LIMIT,
         "exhaustive perfect-resilience check limited to {EXHAUSTIVE_EDGE_LIMIT} links"
     );
-    let max_hops = state_space_bound(g);
-    for failures in AllFailureSets::new(g) {
-        let surviving = failures.surviving_graph(g);
-        for s in g.nodes() {
-            if s == t || !same_component(&surviving, s, t) {
-                continue;
-            }
-            let result = route(g, &failures, pattern, s, t, max_hops);
-            if !result.outcome.is_delivered() {
-                return Err(Counterexample {
-                    failures,
-                    source: s,
-                    destination: t,
-                    outcome: result.outcome,
-                    path: result.path,
-                });
-            }
-        }
-    }
-    Ok(())
+    sweep_routing(g, pattern, None, Some(t))
 }
 
 /// Checks `r`-resilience exhaustively: delivery is only required for failure
@@ -109,28 +165,7 @@ pub fn is_r_resilient<P: ForwardingPattern + ?Sized>(
         g.edge_count() <= BOUNDED_EDGE_LIMIT,
         "exhaustive r-resilience check limited to {BOUNDED_EDGE_LIMIT} links"
     );
-    let max_hops = state_space_bound(g);
-    for failures in AllFailureSets::with_max_failures(g, Some(r)) {
-        let surviving = failures.surviving_graph(g);
-        for s in g.nodes() {
-            for t in g.nodes() {
-                if s == t || !same_component(&surviving, s, t) {
-                    continue;
-                }
-                let result = route(g, &failures, pattern, s, t, max_hops);
-                if !result.outcome.is_delivered() {
-                    return Err(Counterexample {
-                        failures,
-                        source: s,
-                        destination: t,
-                        outcome: result.outcome,
-                        path: result.path,
-                    });
-                }
-            }
-        }
-    }
-    Ok(())
+    sweep_routing(g, pattern, Some(r), None)
 }
 
 /// Checks `r`-tolerance (Definition 1) exhaustively for a fixed `(s, t)` pair:
@@ -148,22 +183,25 @@ pub fn is_r_tolerant<P: ForwardingPattern + ?Sized>(
         "exhaustive r-tolerance check limited to {EXHAUSTIVE_EDGE_LIMIT} links"
     );
     let max_hops = state_space_bound(g);
-    for failures in AllFailureSets::new(g) {
-        if !failures.keeps_r_connected(g, s, t, r) {
-            continue;
+    let found = sweep_find_first(g, None, |engine: &mut SweepEngine<'_>, mask| {
+        engine.load_mask(mask);
+        // The r-connectivity promise on the overlay, without cloning G \ F.
+        let promise = r == 0
+            || s == t
+            || st_edge_connectivity_filtered(g, s, t, |u, v| !engine.link_failed(u, v)) >= r;
+        if !promise {
+            return None;
         }
-        let result = route(g, &failures, pattern, s, t, max_hops);
-        if !result.outcome.is_delivered() {
-            return Err(Counterexample {
-                failures,
-                source: s,
-                destination: t,
-                outcome: result.outcome,
-                path: result.path,
-            });
+        let outcome = engine.route_outcome(pattern, s, t, max_hops);
+        if !outcome.is_delivered() {
+            return Some(replay_route(g, pattern, engine.failure_set(mask), s, t));
         }
+        None
+    });
+    match found {
+        Some(ce) => Err(ce),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Sampling effort for the randomized resilience checkers: for every failure
@@ -221,6 +259,28 @@ pub fn is_r_tolerant_sampled<P: ForwardingPattern + ?Sized, R: Rng>(
     Ok(())
 }
 
+/// Shared sweep for the touring checkers.
+fn sweep_touring<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    max_failures: Option<usize>,
+) -> Result<(), Counterexample> {
+    let max_hops = state_space_bound(g);
+    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>, mask| {
+        engine.load_mask(mask);
+        for start in g.nodes() {
+            if !engine.tour_covers(pattern, start, max_hops) {
+                return Some(replay_tour(g, pattern, engine.failure_set(mask), start));
+            }
+        }
+        None
+    });
+    match found {
+        Some(ce) => Err(ce),
+        None => Ok(()),
+    }
+}
+
 /// Checks perfect touring resilience exhaustively: for every failure set and
 /// every start node, the walk must visit the start node's entire surviving
 /// component (§VII).
@@ -232,22 +292,7 @@ pub fn is_perfectly_resilient_touring<P: ForwardingPattern + ?Sized>(
         g.edge_count() <= EXHAUSTIVE_EDGE_LIMIT,
         "exhaustive touring check limited to {EXHAUSTIVE_EDGE_LIMIT} links"
     );
-    let max_hops = state_space_bound(g);
-    for failures in AllFailureSets::new(g) {
-        for start in g.nodes() {
-            let result = tour(g, &failures, pattern, start, max_hops);
-            if !result.covered_component {
-                return Err(Counterexample {
-                    failures,
-                    source: start,
-                    destination: start,
-                    outcome: crate::simulator::Outcome::Loop,
-                    path: result.path,
-                });
-            }
-        }
-    }
-    Ok(())
+    sweep_touring(g, pattern, None)
 }
 
 /// Checks `k`-resilient touring: coverage is only required for failure sets
@@ -261,22 +306,7 @@ pub fn is_k_resilient_touring<P: ForwardingPattern + ?Sized>(
         g.edge_count() <= BOUNDED_EDGE_LIMIT,
         "exhaustive touring check limited to {BOUNDED_EDGE_LIMIT} links"
     );
-    let max_hops = state_space_bound(g);
-    for failures in AllFailureSets::with_max_failures(g, Some(k)) {
-        for start in g.nodes() {
-            let result = tour(g, &failures, pattern, start, max_hops);
-            if !result.covered_component {
-                return Err(Counterexample {
-                    failures,
-                    source: start,
-                    destination: start,
-                    outcome: crate::simulator::Outcome::Loop,
-                    path: result.path,
-                });
-            }
-        }
-    }
-    Ok(())
+    sweep_touring(g, pattern, Some(k))
 }
 
 /// Randomly samples failure scenarios on a (possibly large) graph and returns
@@ -296,10 +326,9 @@ pub fn sampled_resilience_violation<P: ForwardingPattern + ?Sized, R: Rng>(
     for _ in 0..trials {
         let k = rng.gen_range(0..=max_failures.min(g.edge_count()));
         let failures = random_failure_set(g, k, rng);
-        let surviving = failures.surviving_graph(g);
         let s = nodes[rng.gen_range(0..nodes.len())];
         let t = nodes[rng.gen_range(0..nodes.len())];
-        if s == t || !same_component(&surviving, s, t) {
+        if s == t || !failures.keeps_connected(g, s, t) {
             continue;
         }
         let result = route(g, &failures, pattern, s, t, max_hops);
@@ -347,6 +376,44 @@ mod tests {
                 assert!(!r.outcome.is_delivered());
                 assert!(ce.failures.keeps_connected(&g, ce.source, ce.destination));
             }
+        }
+    }
+
+    #[test]
+    fn counterexample_matches_sequential_reference_order() {
+        // The sharded sweep must return exactly the counterexample the
+        // historical sequential implementation returned: first in ascending
+        // (failure-mask, source, destination) order.
+        let g = generators::complete(4);
+        let p = ShortestPathPattern::new(&g);
+        let max_hops = state_space_bound(&g);
+        let reference = crate::failure::AllFailureSets::new(&g).find_map(|failures| {
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    if s == t || !failures.keeps_connected(&g, s, t) {
+                        continue;
+                    }
+                    let result = route(&g, &failures, &p, s, t, max_hops);
+                    if !result.outcome.is_delivered() {
+                        return Some((failures, s, t, result.outcome, result.path));
+                    }
+                }
+            }
+            None
+        });
+        match (is_perfectly_resilient(&g, &p), reference) {
+            (Err(ce), Some((failures, s, t, outcome, path))) => {
+                assert_eq!(ce.failures, failures);
+                assert_eq!(ce.source, s);
+                assert_eq!(ce.destination, t);
+                assert_eq!(ce.outcome, outcome);
+                assert_eq!(ce.path, path);
+            }
+            (Ok(()), None) => {}
+            (checker, reference) => panic!(
+                "checker and reference disagree: {checker:?} vs reference-found={}",
+                reference.is_some()
+            ),
         }
     }
 

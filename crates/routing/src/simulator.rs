@@ -9,7 +9,7 @@
 use crate::failure::FailureSet;
 use crate::model::LocalContext;
 use crate::pattern::ForwardingPattern;
-use frr_graph::connectivity::component_of;
+use frr_graph::connectivity::component_of_filtered;
 use frr_graph::{Graph, Node};
 use std::collections::{BTreeSet, HashSet};
 
@@ -88,6 +88,8 @@ pub fn route<P: ForwardingPattern + ?Sized>(
     let mut seen_states: HashSet<(Node, Option<Node>)> = HashSet::new();
     seen_states.insert((current, inport));
     let mut hops = 0usize;
+    // One buffer reused across hops; `failed_neighbors_into` clears it.
+    let mut failed_neighbors: Vec<Node> = Vec::new();
 
     loop {
         if hops >= max_hops {
@@ -97,7 +99,7 @@ pub fn route<P: ForwardingPattern + ?Sized>(
                 hops,
             };
         }
-        let failed_neighbors = failures.failed_neighbors_of(current);
+        failures.failed_neighbors_into(current, &mut failed_neighbors);
         let ctx = LocalContext {
             node: current,
             inport,
@@ -159,8 +161,12 @@ pub fn tour<P: ForwardingPattern + ?Sized>(
     start: Node,
     max_hops: usize,
 ) -> TourResult {
-    let surviving = failures.surviving_graph(graph);
-    let component: BTreeSet<Node> = component_of(&surviving, start).into_iter().collect();
+    // Component of `start` in `G \ F`, computed on the original graph
+    // skipping failed links — no surviving-graph clone.
+    let component: BTreeSet<Node> =
+        component_of_filtered(graph, start, |u, v| !failures.contains(u, v))
+            .into_iter()
+            .collect();
 
     let mut visited: BTreeSet<Node> = BTreeSet::new();
     visited.insert(start);
@@ -171,12 +177,13 @@ pub fn tour<P: ForwardingPattern + ?Sized>(
     seen_states.insert((current, inport));
     let mut returned_after_cover = false;
     let mut hops = 0usize;
+    let mut failed_neighbors: Vec<Node> = Vec::new();
 
     loop {
         if hops >= max_hops {
             break;
         }
-        let failed_neighbors = failures.failed_neighbors_of(current);
+        failures.failed_neighbors_into(current, &mut failed_neighbors);
         let ctx = LocalContext {
             node: current,
             inport,

@@ -1,0 +1,707 @@
+//! The allocation-free failure-sweep engine.
+//!
+//! The paper's verification oracles quantify over all `2^m` failure sets of a
+//! graph.  The pre-bitset implementation materialized a fresh `Graph` clone
+//! per failure set and a fresh `BTreeSet` of failed neighbors per hop; this
+//! module replaces both with a [`SweepEngine`] that holds a [`BitGraph`] of
+//! the network plus reusable scratch buffers, and interprets each failure set
+//! as a `u64` bitmask overlay (bit `i` ⇒ edge `i` of the ascending
+//! [`Graph::edges`] order failed):
+//!
+//! * [`SweepEngine::load_mask`] installs an overlay in `O(|F| + n·w)` word
+//!   operations (`w` = words per adjacency row): per-node failed-neighbor
+//!   bits/lists and a connected-component decomposition of `G \ F`, all into
+//!   scratch reused across masks — no allocation in steady state.
+//! * [`SweepEngine::route_outcome`] / [`SweepEngine::tour_covers`] run the
+//!   exact simulator semantics (same `(node, in-port)` state space, same
+//!   fault rules) against the overlay, tracking seen states in a packed
+//!   bitset instead of a `HashSet`.
+//! * [`sweep_find_first`] drives a whole sweep, sharding the mask range
+//!   across `std::thread::scope` workers.  Workers publish the smallest
+//!   counterexample mask through an atomic so later ranges can abort early,
+//!   and the merge picks the smallest mask index — results are byte-identical
+//!   to the sequential ascending-mask scan no matter the thread count.
+//!
+//! Counterexample *paths* are reconstructed by re-running the plain
+//! simulator on the materialized failure set: reconstruction happens at most
+//! once per sweep, so the hot loop never builds a path vector.
+
+use crate::failure::{FailureMasks, MAX_MASK_EDGES};
+use crate::model::LocalContext;
+use crate::pattern::ForwardingPattern;
+use crate::simulator::Outcome;
+use frr_graph::bitgraph::{BitGraph, BitIter};
+use frr_graph::{Edge, Graph, Node};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// Reusable machinery for sweeping failure masks over one graph.
+///
+/// One engine serves one graph; the parallel driver creates one engine per
+/// worker thread.  All `load_mask`-dependent queries refer to the most
+/// recently loaded mask.
+pub struct SweepEngine<'g> {
+    graph: &'g Graph,
+    bits: BitGraph,
+    edges: Vec<Edge>,
+    n: usize,
+    /// Words per adjacency row (shared with `bits`).
+    words: usize,
+    // ---- per-mask scratch (reset by `load_mask`) ----
+    /// `n * words` words; bit `u` of node `v`'s row set iff `{u, v}` failed.
+    failed_adj: Vec<u64>,
+    /// Per-node failed neighbors, sorted ascending (the `LocalContext` view).
+    failed_list: Vec<Vec<Node>>,
+    /// Nodes whose scratch entries are dirty (bounded by `2·|F|`).
+    touched: Vec<usize>,
+    /// Component id of each node in `G \ F`.
+    comp_id: Vec<u32>,
+    /// Component size by id.
+    comp_size: Vec<u32>,
+    // ---- per-simulation scratch ----
+    /// Packed bitset over the `n · (n + 1)` distinct `(node, in-port)` states.
+    seen_states: Vec<u64>,
+    /// Packed node bitsets for component BFS / tour coverage.
+    visit_a: Vec<u64>,
+    visit_b: Vec<u64>,
+    visit_c: Vec<u64>,
+}
+
+impl<'g> SweepEngine<'g> {
+    /// Builds an engine for `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has more than [`MAX_MASK_EDGES`] links.
+    pub fn new(g: &'g Graph) -> Self {
+        let bits = BitGraph::from_graph(g);
+        let edges = g.edges();
+        assert!(
+            edges.len() <= MAX_MASK_EDGES,
+            "failure masks support at most {MAX_MASK_EDGES} links"
+        );
+        let n = g.node_count();
+        let words = bits.words_per_row();
+        let state_words = (n * (n + 1)).div_ceil(WORD_BITS).max(1);
+        SweepEngine {
+            graph: g,
+            n,
+            words,
+            failed_adj: vec![0; n * words],
+            failed_list: vec![Vec::new(); n],
+            touched: Vec::with_capacity(n),
+            comp_id: vec![0; n],
+            comp_size: Vec::with_capacity(n),
+            seen_states: vec![0; state_words],
+            visit_a: vec![0; words],
+            visit_b: vec![0; words],
+            visit_c: vec![0; words],
+            bits,
+            edges,
+        }
+    }
+
+    /// The graph the engine sweeps.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The canonical ascending edge order the mask bits index.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Number of links (mask width).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materializes the [`crate::failure::FailureSet`] a mask denotes.
+    pub fn failure_set(&self, mask: u64) -> crate::failure::FailureSet {
+        crate::failure::failure_set_from_mask(&self.edges, mask)
+    }
+
+    /// Installs the failure overlay `mask` and recomputes the component
+    /// decomposition of `G \ F`.  Reuses all scratch; allocation-free in
+    /// steady state.
+    pub fn load_mask(&mut self, mask: u64) {
+        debug_assert!(mask < 1u64 << self.edges.len());
+        // Reset the scratch of the previous mask.
+        for &v in &self.touched {
+            self.failed_adj[v * self.words..(v + 1) * self.words].fill(0);
+            self.failed_list[v].clear();
+        }
+        self.touched.clear();
+        // Install the new overlay; mask bits ascend, so each node's failed
+        // list comes out sorted (normalized edges ascend lexicographically).
+        for i in BitIter::new(mask) {
+            let e = self.edges[i];
+            let (u, v) = (e.u().index(), e.v().index());
+            for (a, b) in [(u, v), (v, u)] {
+                // The bit rows and the lists are dirtied together, so an
+                // empty list is an exact "node untouched so far" test.
+                if self.failed_list[a].is_empty() {
+                    self.touched.push(a);
+                }
+                self.failed_adj[a * self.words + b / WORD_BITS] |= 1u64 << (b % WORD_BITS);
+                self.failed_list[a].push(Node(b));
+            }
+        }
+        self.recompute_components();
+    }
+
+    /// `true` if the loaded overlay fails `{u, v}`.
+    #[inline]
+    pub fn link_failed(&self, u: Node, v: Node) -> bool {
+        self.failed_adj[u.index() * self.words + v.index() / WORD_BITS]
+            & (1u64 << (v.index() % WORD_BITS))
+            != 0
+    }
+
+    /// Component id of `v` in `G \ F` (for the loaded overlay).
+    #[inline]
+    pub fn component_of(&self, v: Node) -> u32 {
+        self.comp_id[v.index()]
+    }
+
+    /// Size of `v`'s component in `G \ F`.
+    #[inline]
+    pub fn component_size(&self, v: Node) -> u32 {
+        self.comp_size[self.comp_id[v.index()] as usize]
+    }
+
+    /// `true` if `s` and `t` are connected in `G \ F` (O(1) after
+    /// [`SweepEngine::load_mask`]).
+    #[inline]
+    pub fn same_component(&self, s: Node, t: Node) -> bool {
+        self.comp_id[s.index()] == self.comp_id[t.index()]
+    }
+
+    /// The alive adjacency word of node `v`: `row(v) & !failed_adj(v)`.
+    #[inline]
+    fn alive_word(&self, v: usize, w: usize) -> u64 {
+        self.bits.row(Node(v))[w] & !self.failed_adj[v * self.words + w]
+    }
+
+    fn recompute_components(&mut self) {
+        let n = self.n;
+        self.comp_size.clear();
+        if n == 0 {
+            return;
+        }
+        self.comp_id.fill(u32::MAX);
+        let words = self.words;
+        for start in 0..n {
+            if self.comp_id[start] != u32::MAX {
+                continue;
+            }
+            let id = self.comp_size.len() as u32;
+            let mut size = 0u32;
+            // Word-parallel BFS: visit_a = visited, visit_b = frontier.
+            self.visit_a.fill(0);
+            self.visit_b.fill(0);
+            self.visit_b[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
+            self.visit_a[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
+            loop {
+                let mut any = false;
+                self.visit_c.fill(0);
+                for wi in 0..words {
+                    let fw = self.visit_b[wi];
+                    for b in BitIter::new(fw) {
+                        let v = wi * WORD_BITS + b;
+                        self.comp_id[v] = id;
+                        size += 1;
+                        for w in 0..words {
+                            self.visit_c[w] |= self.alive_word(v, w);
+                        }
+                    }
+                }
+                for w in 0..words {
+                    self.visit_c[w] &= !self.visit_a[w];
+                    self.visit_a[w] |= self.visit_c[w];
+                    any |= self.visit_c[w] != 0;
+                }
+                std::mem::swap(&mut self.visit_b, &mut self.visit_c);
+                if !any {
+                    break;
+                }
+            }
+            self.comp_size.push(size);
+        }
+    }
+
+    #[inline]
+    fn state_index(&self, node: Node, inport: Option<Node>) -> usize {
+        node.index() * (self.n + 1) + inport.map_or(0, |u| u.index() + 1)
+    }
+
+    /// Inserts a `(node, in-port)` state; `true` if it was new.
+    #[inline]
+    fn insert_state(&mut self, node: Node, inport: Option<Node>) -> bool {
+        let i = self.state_index(node, inport);
+        let (w, b) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let fresh = self.seen_states[w] & b == 0;
+        self.seen_states[w] |= b;
+        fresh
+    }
+
+    /// Routes one packet under the loaded overlay and returns only the
+    /// [`Outcome`] — no path vector, no per-hop allocation.  Semantics are
+    /// identical to [`crate::simulator::route`] on the materialized failure
+    /// set (asserted by the differential test-suite).
+    pub fn route_outcome<P: ForwardingPattern + ?Sized>(
+        &mut self,
+        pattern: &P,
+        source: Node,
+        destination: Node,
+        max_hops: usize,
+    ) -> Outcome {
+        if source == destination {
+            return Outcome::Delivered;
+        }
+        self.seen_states.fill(0);
+        let mut current = source;
+        let mut inport: Option<Node> = None;
+        self.insert_state(current, inport);
+        let mut hops = 0usize;
+        loop {
+            if hops >= max_hops {
+                return Outcome::HopLimit;
+            }
+            let ctx = LocalContext {
+                node: current,
+                inport,
+                source,
+                destination,
+                failed_neighbors: &self.failed_list[current.index()],
+                graph: self.graph,
+            };
+            let next = match pattern.next_hop(&ctx) {
+                Some(n) => n,
+                None => return Outcome::Stuck,
+            };
+            if !self.bits.has_edge(current, next) || self.link_failed(current, next) {
+                return Outcome::Stuck;
+            }
+            inport = Some(current);
+            current = next;
+            hops += 1;
+            if current == destination {
+                return Outcome::Delivered;
+            }
+            if !self.insert_state(current, inport) {
+                return Outcome::Loop;
+            }
+        }
+    }
+
+    /// Simulates the touring model under the loaded overlay and returns
+    /// whether the walk covered `start`'s entire component in `G \ F`
+    /// (the `covered_component` field of [`crate::simulator::tour`]).
+    pub fn tour_covers<P: ForwardingPattern + ?Sized>(
+        &mut self,
+        pattern: &P,
+        start: Node,
+        max_hops: usize,
+    ) -> bool {
+        // Track how many component members remain unvisited; visit_a doubles
+        // as the visited-node bitset.
+        let mut remaining = self.component_size(start) - 1;
+        if remaining == 0 {
+            return true;
+        }
+        self.seen_states.fill(0);
+        self.visit_a.fill(0);
+        self.visit_a[start.index() / WORD_BITS] |= 1u64 << (start.index() % WORD_BITS);
+        let mut current = start;
+        let mut inport: Option<Node> = None;
+        self.insert_state(current, inport);
+        let mut hops = 0usize;
+        loop {
+            if hops >= max_hops {
+                return false;
+            }
+            let ctx = LocalContext {
+                node: current,
+                inport,
+                // The touring model has no header; see `simulator::tour`.
+                source: start,
+                destination: start,
+                failed_neighbors: &self.failed_list[current.index()],
+                graph: self.graph,
+            };
+            let next = match pattern.next_hop(&ctx) {
+                Some(n) => n,
+                None => return false,
+            };
+            if !self.bits.has_edge(current, next) || self.link_failed(current, next) {
+                return false;
+            }
+            inport = Some(current);
+            current = next;
+            hops += 1;
+            let (w, b) = (
+                current.index() / WORD_BITS,
+                1u64 << (current.index() % WORD_BITS),
+            );
+            if self.visit_a[w] & b == 0 {
+                self.visit_a[w] |= b;
+                if self.same_component(current, start) {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return true;
+                    }
+                }
+            }
+            if !self.insert_state(current, inport) {
+                return false;
+            }
+        }
+    }
+}
+
+/// Deterministic sharded first-hit search over the index range `0..total`.
+///
+/// The range is split into **contiguous** chunks, one `std::thread::scope`
+/// worker per chunk, each with its own worker-local state from `init`
+/// (a sweep engine, a scratch buffer, …).  Each worker reports its first
+/// `Some` as `(index, value)`; the merge keeps the smallest index, so the
+/// result is byte-identical to a sequential ascending scan at any thread
+/// count — **provided `probe` is a pure function of `(state-as-initialized,
+/// index)`**, i.e. any state mutation is fully reset per probe.  A shared
+/// atomic of the best index lets later chunks abort early (polled every
+/// `poll_interval` indices); that is an optimization, never a correctness
+/// input.
+///
+/// Runs sequentially when the machine has one core or the range is smaller
+/// than `min_chunk` per worker.
+pub(crate) fn sharded_first<S, T, I, F>(
+    total: u64,
+    min_chunk: u64,
+    poll_interval: u64,
+    init: I,
+    probe: F,
+) -> Option<T>
+where
+    S: Send,
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> Option<T> + Sync,
+{
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let workers = cores.min(total / min_chunk.max(1)).max(1);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..total).find_map(|i| probe(&mut state, i));
+    }
+
+    let best = AtomicU64::new(u64::MAX);
+    let chunk = total.div_ceil(workers);
+    let results: Vec<Option<(u64, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(total));
+                let (best, init, probe) = (&best, &init, &probe);
+                scope.spawn(move || {
+                    let mut state = init();
+                    for i in lo..hi {
+                        // A strictly smaller index already has a result: no
+                        // index of this range can win the deterministic merge.
+                        if i % poll_interval == 0 && best.load(Ordering::Relaxed) < i {
+                            break;
+                        }
+                        if let Some(t) = probe(&mut state, i) {
+                            best.fetch_min(i, Ordering::Relaxed);
+                            return Some((i, t));
+                        }
+                    }
+                    None
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sharded worker panicked"))
+            .collect()
+    });
+    results
+        .into_iter()
+        .flatten()
+        .min_by_key(|&(i, _)| i)
+        .map(|(_, t)| t)
+}
+
+/// Runs `check` over every failure mask of `g` (optionally popcount-capped)
+/// and returns the result for the **smallest** mask index for which it
+/// returns `Some` — byte-identical to a sequential ascending scan.
+///
+/// Both flavors shard across `std::thread::scope` workers (each with its own
+/// [`SweepEngine`]), so `check` may run concurrently from several threads:
+/// uncapped sweeps split the `2^m` mask range contiguously, capped sweeps
+/// split their `Σ_{i≤k} C(m,i)` enumeration *positions* contiguously with
+/// one lazily-advanced skip-enumerator per worker.  Small ranges and
+/// single-core machines degrade to a plain sequential scan.
+pub fn sweep_find_first<T, F>(g: &Graph, max_failures: Option<usize>, check: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(&mut SweepEngine<'_>, u64) -> Option<T> + Sync,
+{
+    sweep_find_first_limited(g, max_failures, None, check)
+}
+
+/// [`sweep_find_first`] with an optional budget on the number of enumerated
+/// masks: only the first `mask_budget` masks (in ascending enumeration order)
+/// are examined.  Used by the budgeted brute-force adversary.
+pub fn sweep_find_first_limited<T, F>(
+    g: &Graph,
+    max_failures: Option<usize>,
+    mask_budget: Option<u64>,
+    check: F,
+) -> Option<T>
+where
+    T: Send,
+    F: Fn(&mut SweepEngine<'_>, u64) -> Option<T> + Sync,
+{
+    let m = g.edge_count();
+    assert!(
+        m <= MAX_MASK_EDGES,
+        "exhaustive enumeration needs at most {MAX_MASK_EDGES} links"
+    );
+    if let Some(k) = max_failures {
+        // Popcount-capped: shard over enumeration *positions*.  Each worker
+        // owns a skip-enumerator it advances lazily to its contiguous
+        // position range (positions ascend with mask values, so the
+        // smallest-position merge is the smallest-mask merge).
+        let count = capped_mask_count(m, k).min(mask_budget.unwrap_or(u64::MAX));
+        struct CappedState<'g> {
+            engine: SweepEngine<'g>,
+            masks: FailureMasks,
+            pos: u64,
+        }
+        return sharded_first(
+            count,
+            2048,
+            64,
+            || CappedState {
+                engine: SweepEngine::new(g),
+                masks: FailureMasks::with_max_failures(m, Some(k)),
+                pos: 0,
+            },
+            |state, i| {
+                let mut mask = None;
+                while state.pos <= i {
+                    mask = state.masks.next();
+                    state.pos += 1;
+                }
+                check(&mut state.engine, mask?)
+            },
+        );
+    }
+    // With no popcount cap every mask is valid, so "first `b` enumerated
+    // masks" is exactly the numeric range `0..b` — the parallel shards stay
+    // contiguous.
+    let span = (1u64 << m).min(mask_budget.unwrap_or(u64::MAX));
+    sharded_first(span, 512, 256, || SweepEngine::new(g), check)
+}
+
+/// `min(Σ_{i≤k} C(m, i), u64::MAX)` — the number of masks a popcount-capped
+/// enumeration visits.
+fn capped_mask_count(m: usize, k: usize) -> u64 {
+    let mut total: u128 = 0;
+    let mut binomial: u128 = 1;
+    for i in 0..=k.min(m) {
+        if i > 0 {
+            binomial = binomial * (m - i + 1) as u128 / i as u128;
+        }
+        total += binomial;
+        if total > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    total as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure::FailureSet;
+    use crate::pattern::{RotorPattern, ShortestPathPattern};
+    use crate::simulator::{route, state_space_bound, tour};
+    use frr_graph::generators;
+
+    #[test]
+    fn overlay_matches_materialized_failure_sets() {
+        let g = generators::complete(5);
+        let mut engine = SweepEngine::new(&g);
+        let edges = engine.edges().to_vec();
+        assert_eq!(edges, g.edges());
+        for mask in [0u64, 0b1, 0b1010, 0b1111111111] {
+            engine.load_mask(mask);
+            let failures = engine.failure_set(mask);
+            for e in &edges {
+                assert_eq!(engine.link_failed(e.u(), e.v()), failures.contains_edge(*e));
+                assert_eq!(engine.link_failed(e.v(), e.u()), failures.contains_edge(*e));
+            }
+            let surviving = failures.surviving_graph(&g);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(
+                        engine.same_component(s, t),
+                        frr_graph::connectivity::same_component(&surviving, s, t),
+                        "mask {mask:#b}, pair {s}-{t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn component_sizes_are_consistent() {
+        let g = generators::cycle(6);
+        let mut engine = SweepEngine::new(&g);
+        // Fail links {0,1} and {3,4}: components {1,2,3} and {4,5,0}.
+        let edges = engine.edges().to_vec();
+        let mask = edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                [(0usize, 1usize), (3, 4)]
+                    .iter()
+                    .any(|&(a, b)| **e == Edge::new(Node(a), Node(b)))
+            })
+            .fold(0u64, |m, (i, _)| m | 1 << i);
+        engine.load_mask(mask);
+        assert!(engine.same_component(Node(1), Node(3)));
+        assert!(!engine.same_component(Node(1), Node(4)));
+        assert_eq!(engine.component_size(Node(1)), 3);
+        assert_eq!(engine.component_size(Node(0)), 3);
+    }
+
+    #[test]
+    fn route_outcome_agrees_with_simulator() {
+        let g = generators::complete(4);
+        let p = ShortestPathPattern::new(&g);
+        let max_hops = state_space_bound(&g);
+        let mut engine = SweepEngine::new(&g);
+        for mask in 0..(1u64 << g.edge_count()) {
+            engine.load_mask(mask);
+            let failures = engine.failure_set(mask);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    let expected = route(&g, &failures, &p, s, t, max_hops).outcome;
+                    assert_eq!(
+                        engine.route_outcome(&p, s, t, max_hops),
+                        expected,
+                        "mask {mask:#b}, {s}->{t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tour_covers_agrees_with_simulator() {
+        let g = generators::complete(4);
+        let p = RotorPattern::clockwise(&g);
+        let max_hops = state_space_bound(&g);
+        let mut engine = SweepEngine::new(&g);
+        for mask in 0..(1u64 << g.edge_count()) {
+            engine.load_mask(mask);
+            let failures = engine.failure_set(mask);
+            for start in g.nodes() {
+                let expected = tour(&g, &failures, &p, start, max_hops).covered_component;
+                assert_eq!(
+                    engine.tour_covers(&p, start, max_hops),
+                    expected,
+                    "mask {mask:#b}, start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_find_first_returns_smallest_mask() {
+        let g = generators::cycle(5);
+        // Flag every mask with its own value; the smallest qualifying mask
+        // must win regardless of sharding.
+        let hit = sweep_find_first(&g, None, |_, mask| (mask >= 7).then_some(mask));
+        assert_eq!(hit, Some(7));
+        let none: Option<u64> = sweep_find_first(&g, None, |_, _| None);
+        assert_eq!(none, None);
+        // Bounded path.
+        let hit = sweep_find_first(&g, Some(1), |_, mask| {
+            (mask.count_ones() == 1).then_some(mask)
+        });
+        assert_eq!(hit, Some(1));
+    }
+
+    #[test]
+    fn bounded_sweep_visits_masks_in_order_and_respects_budget() {
+        use std::sync::Mutex;
+        let g = generators::complete(5); // m = 10
+        let seen = Mutex::new(Vec::new());
+        let none: Option<u64> = sweep_find_first_limited(&g, Some(2), None, |_, mask| {
+            seen.lock().unwrap().push(mask);
+            None
+        });
+        assert_eq!(none, None);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        let expected: Vec<u64> = FailureMasks::with_max_failures(10, Some(2)).collect();
+        assert_eq!(seen, expected);
+        assert_eq!(seen.len() as u64, capped_mask_count(10, 2));
+        // A budget of b examines exactly the first b enumerated masks.
+        let count = std::sync::atomic::AtomicU64::new(0);
+        let none: Option<u64> = sweep_find_first_limited(&g, Some(2), Some(7), |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+            None
+        });
+        assert_eq!(none, None);
+        assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn capped_mask_count_matches_binomial_sums() {
+        assert_eq!(capped_mask_count(0, 0), 1);
+        assert_eq!(capped_mask_count(10, 0), 1);
+        assert_eq!(capped_mask_count(10, 1), 11);
+        assert_eq!(capped_mask_count(10, 2), 56);
+        assert_eq!(capped_mask_count(10, 10), 1024);
+        assert_eq!(capped_mask_count(10, 99), 1024);
+        assert_eq!(capped_mask_count(40, 2), 1 + 40 + 780);
+        assert_eq!(capped_mask_count(62, 62), 1u64 << 62);
+        assert_eq!(capped_mask_count(80, 80), u64::MAX, "saturates");
+        for m in 0..=16usize {
+            for k in 0..=m {
+                let naive = (0..1u64 << m)
+                    .filter(|x| x.count_ones() as usize <= k)
+                    .count() as u64;
+                assert_eq!(capped_mask_count(m, k), naive, "m={m}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g = frr_graph::Graph::new(1);
+        let mut engine = SweepEngine::new(&g);
+        engine.load_mask(0);
+        assert_eq!(engine.component_size(Node(0)), 1);
+        let p = RotorPattern::clockwise(&g);
+        assert!(engine.tour_covers(&p, Node(0), 10));
+        assert_eq!(
+            engine.route_outcome(&p, Node(0), Node(0), 10),
+            Outcome::Delivered
+        );
+        // A routed packet with no ports is stuck, matching the simulator.
+        let g2 = frr_graph::Graph::new(2);
+        let p2 = RotorPattern::clockwise(&g2);
+        let mut engine2 = SweepEngine::new(&g2);
+        engine2.load_mask(0);
+        assert_eq!(
+            engine2.route_outcome(&p2, Node(0), Node(1), 10),
+            route(&g2, &FailureSet::new(), &p2, Node(0), Node(1), 10).outcome
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! The bitset graph core must represent every topology of the §VIII case
+//! study losslessly: `BitGraph::from_graph(g).to_graph() == g` for all
+//! bundled real networks and the entire synthetic zoo (which includes graphs
+//! past the 64-node word boundary).
+
+use frr_graph::BitGraph;
+use frr_topologies::{builtin_topologies, full_zoo, ZooConfig};
+
+#[test]
+fn builtin_topologies_round_trip() {
+    for topo in builtin_topologies() {
+        let b = BitGraph::from_graph(&topo.graph);
+        assert_eq!(b.node_count(), topo.graph.node_count(), "{}", topo.name);
+        assert_eq!(b.edge_count(), topo.graph.edge_count(), "{}", topo.name);
+        assert_eq!(b.to_graph(), topo.graph, "{}", topo.name);
+        assert_eq!(
+            b.is_connected(),
+            frr_graph::connectivity::is_connected(&topo.graph),
+            "{}",
+            topo.name
+        );
+    }
+}
+
+#[test]
+fn full_zoo_round_trips() {
+    let zoo = full_zoo(&ZooConfig::default());
+    assert!(zoo.len() >= 250, "expected the full 260-network stand-in");
+    let mut multi_word = 0usize;
+    for topo in zoo {
+        let b = BitGraph::from_graph(&topo.graph);
+        assert_eq!(b.to_graph(), topo.graph, "{}", topo.name);
+        for v in topo.graph.nodes() {
+            assert_eq!(b.degree(v), topo.graph.degree(v), "{}", topo.name);
+        }
+        if b.words_per_row() > 1 {
+            multi_word += 1;
+        }
+    }
+    assert!(
+        multi_word > 0,
+        "the zoo should exercise multi-word adjacency rows (n > 64)"
+    );
+}

@@ -12,6 +12,8 @@
 //! back to upstream criterion requires only re-pointing the workspace
 //! dependency; no bench source changes.
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Per-run configuration and entry point, mirroring `criterion::Criterion`.
@@ -19,6 +21,11 @@ use std::time::{Duration, Instant};
 pub struct Criterion {
     filter: Option<String>,
     list_only: bool,
+    /// CLI overrides that outrank per-group configuration — this is what lets
+    /// a CI smoke job run any bench in a fraction of its default window.
+    sample_size_override: Option<usize>,
+    warm_up_override: Option<Duration>,
+    measurement_override: Option<Duration>,
 }
 
 impl Criterion {
@@ -26,14 +33,50 @@ impl Criterion {
     ///
     /// Recognised: `--bench`/`--test`/`--profile-time <t>` (ignored flags
     /// criterion also tolerates), `--list` (print benchmark names and exit),
-    /// and a positional `<filter>` substring.
+    /// `--sample-size <n>` / `--warm-up-time <secs>` /
+    /// `--measurement-time <secs>` (overriding per-group configuration), and
+    /// a positional `<filter>` substring.
     pub fn configure_from_args(mut self) -> Self {
+        // A malformed override must fail loudly (upstream criterion errors
+        // out too): silently ignoring it would run the full default windows
+        // and turn a CI smoke job into a multi-minute bench.
+        fn parse_value<T: std::str::FromStr>(
+            args: &mut impl Iterator<Item = String>,
+            flag: &str,
+        ) -> T {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("criterion: {flag} requires a value");
+                std::process::exit(2);
+            });
+            value.parse().unwrap_or_else(|_| {
+                eprintln!("criterion: invalid value `{value}` for {flag}");
+                std::process::exit(2);
+            })
+        }
+        fn parse_duration(args: &mut impl Iterator<Item = String>, flag: &str) -> Duration {
+            let secs: f64 = parse_value(args, flag);
+            if !secs.is_finite() || secs < 0.0 {
+                // Duration::from_secs_f64 would panic; fail like a parse error.
+                eprintln!("criterion: invalid value `{secs}` for {flag}");
+                std::process::exit(2);
+            }
+            Duration::from_secs_f64(secs)
+        }
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--bench" | "--test" | "--verbose" | "--quiet" | "--noplot" => {}
-                "--profile-time" | "--measurement-time" | "--warm-up-time" | "--sample-size"
-                | "--save-baseline" | "--baseline" => {
+                "--sample-size" => {
+                    self.sample_size_override = Some(parse_value(&mut args, "--sample-size"));
+                }
+                "--warm-up-time" => {
+                    self.warm_up_override = Some(parse_duration(&mut args, "--warm-up-time"));
+                }
+                "--measurement-time" => {
+                    self.measurement_override =
+                        Some(parse_duration(&mut args, "--measurement-time"));
+                }
+                "--profile-time" | "--save-baseline" | "--baseline" => {
                     let _ = args.next();
                 }
                 "--list" => self.list_only = true,
@@ -127,9 +170,19 @@ impl BenchmarkGroup<'_> {
         if !self.criterion.matches(&full) {
             return;
         }
+        let sample_size = self
+            .criterion
+            .sample_size_override
+            .unwrap_or(self.sample_size)
+            .max(1);
+        let warm_up_time = self.criterion.warm_up_override.unwrap_or(self.warm_up_time);
+        let measurement_time = self
+            .criterion
+            .measurement_override
+            .unwrap_or(self.measurement_time);
 
         // Warm-up: run until the warm-up window elapses.
-        let warm_deadline = Instant::now() + self.warm_up_time;
+        let warm_deadline = Instant::now() + warm_up_time;
         let mut bencher = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
@@ -143,9 +196,9 @@ impl BenchmarkGroup<'_> {
         // Measurement: collect up to `sample_size` samples inside the window.
         // The deadline break is unconditional so a closure that never calls
         // `Bencher::iter` cannot hang the harness.
-        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
-        let deadline = Instant::now() + self.measurement_time;
-        while samples.len() < self.sample_size {
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        let deadline = Instant::now() + measurement_time;
+        while samples.len() < sample_size {
             bencher.elapsed = Duration::ZERO;
             bencher.iters = 0;
             f(&mut bencher);
@@ -171,6 +224,7 @@ impl BenchmarkGroup<'_> {
             format_time(max),
             samples.len()
         );
+        write_json_result(&full, mean, min, max, samples.len());
     }
 
     /// Ends the group (upstream criterion finalises reports here).
@@ -197,6 +251,62 @@ impl Bencher {
 /// Prevents the compiler from optimising away a benchmarked value.
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
+}
+
+/// Directory for machine-readable results: `$BENCH_RESULTS_DIR`, else
+/// `$CARGO_TARGET_DIR/bench-results`, else the workspace `target/bench-results`
+/// (cargo runs bench binaries with the *package* directory as CWD, so a
+/// CWD-relative `target/` would scatter results across crates; this harness is
+/// vendored at `<workspace>/vendor/criterion`, which pins the workspace root
+/// at compile time).
+fn bench_results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("BENCH_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    if let Ok(target) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(target).join("bench-results");
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(|workspace| workspace.join("target").join("bench-results"))
+        .unwrap_or_else(|| PathBuf::from("target/bench-results"))
+}
+
+/// Emits one benchmark result as `<sanitized-name>.json` under the results
+/// directory — `{"name", "mean_ns", "min_ns", "max_ns", "samples"}` — so CI
+/// can archive benchmark trajectories without scraping stdout.  Best-effort:
+/// an unwritable directory only costs a warning on stderr.
+fn write_json_result(name: &str, mean_secs: f64, min_secs: f64, max_secs: f64, samples: usize) {
+    let dir = bench_results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion: cannot create {}: {e}", dir.display());
+        return;
+    }
+    // Sanitizing alone can collide ("a/b_c" vs "a_b/c"); a stable FNV-1a
+    // hash of the unsanitized name keeps one file per benchmark.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let file_name: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{file_name}-{:08x}.json", hash as u32));
+    let json = format!(
+        "{{\"name\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"samples\":{}}}\n",
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        mean_secs * 1e9,
+        min_secs * 1e9,
+        max_secs * 1e9,
+        samples
+    );
+    let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes()));
+    if let Err(e) = write {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+    }
 }
 
 fn format_time(secs: f64) -> String {
@@ -239,8 +349,17 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// `BENCH_RESULTS_DIR` is process-global state, and `std::env::set_var`
+    /// racing an `env::var` on another thread is undefined behaviour on
+    /// glibc — every test that runs a bench must hold this lock across its
+    /// whole body.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
-    fn bencher_counts_iterations() {
+    fn bencher_counts_iterations_and_emits_json() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("criterion-json-emit-{}", std::process::id()));
+        std::env::set_var("BENCH_RESULTS_DIR", &dir);
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("t");
         group.sample_size(3);
@@ -250,13 +369,49 @@ mod tests {
         group.bench_function("noop", |b| b.iter(|| ran += 1));
         group.finish();
         assert!(ran > 0);
+        let entry = std::fs::read_dir(&dir)
+            .expect("results dir")
+            .filter_map(Result::ok)
+            .find(|e| e.file_name().to_string_lossy().starts_with("t_noop-"))
+            .expect("json result for t/noop");
+        let json = std::fs::read_to_string(entry.path()).expect("json result");
+        assert!(json.contains("\"name\":\"t/noop\""), "{json}");
+        assert!(json.contains("mean_ns"), "{json}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overrides_outrank_group_configuration() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("criterion-json-override-{}", std::process::id()));
+        std::env::set_var("BENCH_RESULTS_DIR", &dir);
+        let mut c = Criterion {
+            sample_size_override: Some(2),
+            warm_up_override: Some(Duration::from_millis(1)),
+            measurement_override: Some(Duration::from_millis(5)),
+            ..Default::default()
+        };
+        let mut group = c.benchmark_group("o");
+        // Absurd group defaults that the overrides must shrink.
+        group.sample_size(1_000_000);
+        group.warm_up_time(Duration::from_secs(3600));
+        group.measurement_time(Duration::from_secs(3600));
+        let start = Instant::now();
+        group.bench_function("x", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "overrides must cap the runtime"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn filter_skips_non_matching() {
         let mut c = Criterion {
             filter: Some("nomatch".into()),
-            list_only: false,
+            ..Default::default()
         };
         let mut group = c.benchmark_group("g");
         let mut ran = false;
