@@ -1,15 +1,34 @@
 //! Experiment E-F7 — regenerates Figure 7: the per-class percentage of
 //! Topology-Zoo instances for each routing model.
+//!
+//! Usage: `fig7_zoo [--count N]` — `N` limits the number of synthetic
+//! topologies (default 250; CI smoke runs use a small `N` to catch
+//! classification regressions quickly).
 
 use frr_bench::{format_percentages, ZooClassification};
 use frr_core::classify::ClassifyBudget;
 use frr_topologies::{full_zoo, ZooConfig};
 
 fn main() {
-    let zoo = full_zoo(&ZooConfig::default());
+    let mut config = ZooConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--count" => {
+                config.count = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--count needs a number");
+            }
+            other => panic!("unknown argument: {other} (usage: fig7_zoo [--count N])"),
+        }
+    }
+    let zoo = full_zoo(&config);
     println!(
-        "classifying {} topologies (10 bundled + 250 synthetic)...",
-        zoo.len()
+        "classifying {} topologies ({} bundled + {} synthetic)...",
+        zoo.len(),
+        zoo.len() - config.count,
+        config.count
     );
     let zc = ZooClassification::classify_all(&zoo, ClassifyBudget::default());
 

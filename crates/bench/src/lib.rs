@@ -5,7 +5,7 @@
 //! `EXPERIMENTS.md` at the workspace root for the experiment index and the
 //! recorded results).
 
-use frr_core::classify::{classify_with_budget, Classification, ClassifyBudget, Feasibility};
+use frr_core::classify::{Classification, ClassifyBudget, Feasibility};
 use frr_graph::Graph;
 use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern};
 use frr_topologies::Topology;
@@ -29,12 +29,17 @@ pub struct ZooClassification {
 }
 
 impl ZooClassification {
-    /// Classifies every topology in the collection.
+    /// Classifies every topology in the collection via the parallel,
+    /// verdict-caching [`frr_core::classify::batch`] driver (deterministic:
+    /// the output is identical to classifying each topology sequentially).
     pub fn classify_all(topologies: &[Topology], budget: ClassifyBudget) -> Self {
-        let mut per_topology = BTreeMap::new();
-        for t in topologies {
-            per_topology.insert(t.name.clone(), classify_with_budget(&t.graph, budget));
-        }
+        let graphs: Vec<&frr_graph::Graph> = topologies.iter().map(|t| &t.graph).collect();
+        let classifications = frr_core::classify::batch(&graphs, budget);
+        let per_topology = topologies
+            .iter()
+            .zip(classifications)
+            .map(|(t, c)| (t.name.clone(), c))
+            .collect();
         ZooClassification { per_topology }
     }
 

@@ -97,6 +97,14 @@ impl BitGraph {
         self.words_per_row
     }
 
+    /// All packed adjacency words, row-major (`node_count * words_per_row`
+    /// words) — the canonical labelled encoding of the graph, used by the
+    /// minor engine's state buffers and the classification verdict cache.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.rows
+    }
+
     /// The packed adjacency row of node `v` (bit `u` set iff `{u, v}` is an
     /// edge).
     #[inline]

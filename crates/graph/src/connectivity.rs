@@ -7,6 +7,7 @@
 //! pairwise link-disjoint paths between them, which by Menger's theorem equals
 //! the `s–t` minimum cut computed here via unit-capacity max-flow.
 
+use crate::bitgraph::BitGraph;
 use crate::graph::{Edge, Graph, Node};
 use std::collections::VecDeque;
 
@@ -399,6 +400,128 @@ pub struct Block {
     pub edges: Vec<Edge>,
 }
 
+/// The node sets of the blocks (biconnected components, including single-edge
+/// bridges) of a [`BitGraph`], with an optional vertex masked out.
+///
+/// This is the vertex-deletion-overlay primitive behind the clone-free
+/// planarity and outerplanarity probes: classifying the paper's "sometimes"
+/// destinations tests `G − t` for every destination `t`, and masking `t`
+/// during the DFS avoids materializing the deleted graph.  Node lists are
+/// sorted; isolated (or masked) nodes yield no block, matching [`blocks`].
+pub fn bit_blocks(g: &BitGraph, removed: Option<Node>) -> Vec<Vec<Node>> {
+    const WORD_BITS: usize = u64::BITS as usize;
+    let n = g.node_count();
+    let words = g.words_per_row();
+    let skip = removed.map(|v| v.index());
+    let masked_word = |v: usize, wi: usize| -> u64 {
+        let mut w = g.row(Node(v))[wi];
+        if let Some(s) = skip {
+            if s / WORD_BITS == wi {
+                w &= !(1u64 << (s % WORD_BITS));
+            }
+        }
+        w
+    };
+
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut mark = vec![u32::MAX; n];
+    let mut timer: u32 = 0;
+    let mut edge_stack: Vec<(u32, u32)> = Vec::new();
+    let mut out: Vec<Vec<Node>> = Vec::new();
+    // DFS frame: current node, its parent, and the row-word cursor.
+    struct Frame {
+        v: usize,
+        parent: usize,
+        wi: usize,
+        word: u64,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+
+    for start in 0..n {
+        if Some(start) == skip || disc[start] != u32::MAX {
+            continue;
+        }
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push(Frame {
+            v: start,
+            parent: usize::MAX,
+            wi: 0,
+            word: masked_word(start, 0),
+        });
+        while !stack.is_empty() {
+            let (v, parent, next_u) = {
+                let f = stack.last_mut().expect("stack is non-empty");
+                let mut next_u = None;
+                loop {
+                    if f.word != 0 {
+                        let b = f.word.trailing_zeros() as usize;
+                        f.word &= f.word - 1;
+                        next_u = Some(f.wi * WORD_BITS + b);
+                        break;
+                    }
+                    f.wi += 1;
+                    if f.wi >= words {
+                        break;
+                    }
+                    f.word = masked_word(f.v, f.wi);
+                }
+                (f.v, f.parent, next_u)
+            };
+            match next_u {
+                // The parent edge is walked once in a simple graph: skip it.
+                Some(u) if u == parent => {}
+                Some(u) => {
+                    if disc[u] == u32::MAX {
+                        edge_stack.push((v as u32, u as u32));
+                        disc[u] = timer;
+                        low[u] = timer;
+                        timer += 1;
+                        stack.push(Frame {
+                            v: u,
+                            parent: v,
+                            wi: 0,
+                            word: masked_word(u, 0),
+                        });
+                    } else if disc[u] < disc[v] {
+                        edge_stack.push((v as u32, u as u32));
+                        low[v] = low[v].min(disc[u]);
+                    }
+                }
+                None => {
+                    stack.pop();
+                    if parent != usize::MAX {
+                        low[parent] = low[parent].min(low[v]);
+                        if low[v] >= disc[parent] {
+                            // `parent` is an articulation point (or the root):
+                            // the edges above (parent, v) form one block.
+                            let stamp = out.len() as u32;
+                            let mut nodes = Vec::new();
+                            while let Some(&(a, b)) = edge_stack.last() {
+                                edge_stack.pop();
+                                for x in [a as usize, b as usize] {
+                                    if mark[x] != stamp {
+                                        mark[x] = stamp;
+                                        nodes.push(Node(x));
+                                    }
+                                }
+                                if (a as usize, b as usize) == (parent, v) {
+                                    break;
+                                }
+                            }
+                            nodes.sort_unstable();
+                            out.push(nodes);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// The blocks (biconnected components, including single-edge bridges) of the
 /// graph.  Cut vertices appear in several blocks.
 pub fn blocks(g: &Graph) -> Vec<Block> {
@@ -572,5 +695,61 @@ mod tests {
         assert!(articulation_points(&k5).is_empty());
         assert!(bridges(&k5).is_empty());
         assert_eq!(blocks(&k5).len(), 1);
+    }
+
+    #[test]
+    fn bit_blocks_match_graph_blocks() {
+        for g in [
+            generators::complete(5),
+            generators::cycle(8),
+            generators::path(6),
+            generators::petersen(),
+            generators::grid(3, 4),
+            Graph::from_edges(8, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]),
+            generators::cycle(70),
+            Graph::new(4),
+        ] {
+            let b = BitGraph::from_graph(&g);
+            let mut expected: Vec<Vec<Node>> = blocks(&g).into_iter().map(|bl| bl.nodes).collect();
+            let mut got = bit_blocks(&b, None);
+            expected.sort();
+            got.sort();
+            assert_eq!(got, expected, "blocks mismatch on {}", g.summary());
+        }
+    }
+
+    #[test]
+    fn bit_blocks_with_removed_vertex_match_deleted_graph() {
+        let g = Graph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let b = BitGraph::from_graph(&g);
+        for t in g.nodes() {
+            let (h, map) = crate::ops::delete_node(&g, t);
+            let mut expected: Vec<Vec<Node>> = blocks(&h)
+                .into_iter()
+                .map(|bl| {
+                    let mut nodes: Vec<Node> =
+                        bl.nodes.into_iter().map(|v| map[v.index()]).collect();
+                    nodes.sort_unstable();
+                    nodes
+                })
+                .collect();
+            let mut got = bit_blocks(&b, Some(t));
+            expected.sort();
+            got.sort();
+            assert_eq!(got, expected, "blocks mismatch removing {t}");
+        }
     }
 }

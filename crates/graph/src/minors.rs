@@ -15,10 +15,30 @@
 //! subgraph — or some branch set contains an edge, which can be contracted),
 //! together with standard reductions (deleting degree-≤1 nodes, suppressing
 //! degree-2 nodes) that are safe for every pattern graph used in the paper.
+//!
+//! # The packed engine
+//!
+//! [`MinorEngine`] runs the search on packed `u64` adjacency rows (the
+//! [`BitGraph`] layout): every branch-and-bound state is a bitset quotient —
+//! one row per original node id, an active-representative bitmask, and a
+//! small per-representative weight array.  Contraction keeps the smaller
+//! identifier as representative (so identical quotients reached via different
+//! contraction orders coincide), and reduces to a handful of word OR/ANDNOT
+//! operations; vertex deletion, degree counting, edge iteration and the
+//! degree-sequence filter in front of the subgraph check are all word-parallel
+//! popcount loops.  States live in per-depth scratch buffers that are reused
+//! across the whole search (and across searches when the engine is reused),
+//! so the steady state performs **no allocations** besides the one boxed
+//! `u64`-tuple key each *newly seen* state contributes to the memo table —
+//! the packed replacement for the old `BTreeMap`-quotient clone per state.
+//!
+//! The work budget counts **contractions actually performed** (one per
+//! explored non-root state), so a given budget bounds the real branching work
+//! and [`MinorAnswer::Unknown`] marks a meaningful search frontier.
 
+use crate::bitgraph::{BitGraph, BitIter};
 use crate::graph::{Graph, Node};
-use crate::ops;
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::HashSet;
 
 /// Outcome of a (budgeted) minor search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -46,210 +66,569 @@ impl MinorAnswer {
     }
 }
 
-/// Default work budget (number of explored quotient graphs / subgraph steps).
+/// Default work budget (number of contractions performed by the search).
 pub const DEFAULT_BUDGET: u64 = 200_000;
+
+/// Per-state budget for the embedded subgraph-isomorphism check.
+const SUBISO_BUDGET: u64 = 20_000;
 
 /// Decides whether `h` is a minor of `g`, with the default work budget.
 pub fn has_minor(g: &Graph, h: &Graph) -> MinorAnswer {
     has_minor_with_budget(g, h, DEFAULT_BUDGET)
 }
 
-/// Decides whether `h` is a minor of `g` using at most `budget` work units.
+/// Decides whether `h` is a minor of `g` using at most `budget` contractions.
 pub fn has_minor_with_budget(g: &Graph, h: &Graph, budget: u64) -> MinorAnswer {
-    // Trivial patterns.
-    let h_nodes_needed = h.node_count();
-    if h.edge_count() == 0 {
-        return if g.node_count() >= h_nodes_needed {
-            MinorAnswer::Yes
-        } else {
-            MinorAnswer::No
-        };
-    }
-    if g.node_count() < h.node_count() || g.edge_count() < h.edge_count() {
-        return MinorAnswer::No;
-    }
-    // Isolated pattern nodes only require spare host nodes; search for the
-    // non-trivial part of the pattern and account for spares at the end.
-    let h_core_nodes: Vec<Node> = h.nodes().filter(|&v| h.degree(v) > 0).collect();
-    let spare_needed = h.node_count() - h_core_nodes.len();
-    let (h_core, _) = ops::induced_subgraph(h, &h_core_nodes);
-
-    let mut searcher = MinorSearch {
-        h: h_core,
-        spare_needed,
-        budget,
-        seen: HashSet::new(),
-        exhausted: false,
-    };
-    let q = Quotient::from_graph(g);
-    let found = searcher.search(q);
-    if found {
-        MinorAnswer::Yes
-    } else if searcher.exhausted {
-        MinorAnswer::Unknown
-    } else {
-        MinorAnswer::No
-    }
+    MinorEngine::new().solve_bit(&BitGraph::from_graph(g), h, budget)
 }
 
-/// Quotient graph over the original node identifiers: contraction keeps the
-/// smaller identifier as representative, so identical quotients reached via
-/// different contraction orders coincide (enabling exact memoization).
-#[derive(Clone, PartialEq, Eq)]
-struct Quotient {
-    adj: BTreeMap<usize, BTreeSet<usize>>,
+/// [`has_minor`] on a [`BitGraph`] host.
+pub fn has_minor_bit(g: &BitGraph, h: &Graph) -> MinorAnswer {
+    MinorEngine::new().solve_bit(g, h, DEFAULT_BUDGET)
+}
+
+/// [`has_minor_with_budget`] on a [`BitGraph`] host.
+pub fn has_minor_bit_with_budget(g: &BitGraph, h: &Graph, budget: u64) -> MinorAnswer {
+    MinorEngine::new().solve_bit(g, h, budget)
+}
+
+/// Number of bits per adjacency word.
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// One branch-and-bound state: a quotient of the host graph in packed form.
+///
+/// Rows are indexed by *original node id*; a node that was merged away or
+/// deleted has a zeroed row and a cleared bit in `active`.  Because the
+/// representative of a contraction is always the smaller id, the packed rows
+/// plus the active mask are a canonical labelling of the quotient.
+#[derive(Default)]
+struct StateBuf {
+    /// `n_slots * words` adjacency words.
+    rows: Vec<u64>,
+    /// `words` active-representative mask words.
+    active: Vec<u64>,
     /// `weight[v]` = number of original nodes merged into representative `v`.
-    weight: BTreeMap<usize, usize>,
+    weight: Vec<u32>,
+    /// `deg[v]` = current quotient degree of `v`, maintained incrementally by
+    /// every contraction / deletion so the reduction loop, the branch-order
+    /// sort and the degree filters never re-popcount rows.
+    deg: Vec<u32>,
     /// Number of original nodes whose representative has been deleted.
-    free: usize,
-    /// Total number of original nodes represented (merged or spare).
-    original_nodes: usize,
+    free: u32,
+    /// Active representative count, maintained incrementally.
+    n_active: u32,
+    /// Quotient edge count, maintained incrementally.
+    m_edges: u32,
+    /// Scratch copy of one row (used during contraction).
+    row_tmp: Vec<u64>,
+    /// Scratch node-id list (used by the reduction loop).
+    node_tmp: Vec<u32>,
+    words: usize,
 }
 
-impl Quotient {
-    fn from_graph(g: &Graph) -> Self {
-        let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
-        let mut weight = BTreeMap::new();
-        for v in g.nodes() {
-            adj.insert(v.index(), g.neighbors(v).map(|u| u.index()).collect());
-            weight.insert(v.index(), 1);
+impl StateBuf {
+    fn reset(&mut self, g: &BitGraph) {
+        let n = g.node_count();
+        let w = g.words_per_row();
+        self.words = w;
+        self.rows.clear();
+        self.rows.extend_from_slice(g.words());
+        self.active.clear();
+        self.active.resize(w, 0);
+        for v in 0..n {
+            self.active[v / WORD_BITS] |= 1u64 << (v % WORD_BITS);
         }
-        Quotient {
-            adj,
-            weight,
-            free: 0,
-            original_nodes: g.node_count(),
-        }
+        self.weight.clear();
+        self.weight.resize(n, 1);
+        self.deg.clear();
+        self.deg.extend((0..n).map(|v| {
+            self.rows[v * w..(v + 1) * w]
+                .iter()
+                .map(|x| x.count_ones())
+                .sum::<u32>()
+        }));
+        self.free = 0;
+        self.n_active = n as u32;
+        self.m_edges = g.edge_count() as u32;
+        self.row_tmp.clear();
+        self.row_tmp.resize(w, 0);
     }
 
-    fn node_count(&self) -> usize {
-        self.adj.len()
+    fn copy_from(&mut self, other: &StateBuf) {
+        self.words = other.words;
+        self.rows.clear();
+        self.rows.extend_from_slice(&other.rows);
+        self.active.clear();
+        self.active.extend_from_slice(&other.active);
+        self.weight.clear();
+        self.weight.extend_from_slice(&other.weight);
+        self.deg.clear();
+        self.deg.extend_from_slice(&other.deg);
+        self.free = other.free;
+        self.n_active = other.n_active;
+        self.m_edges = other.m_edges;
+        self.row_tmp.clear();
+        self.row_tmp.resize(other.words, 0);
     }
 
-    fn edge_count(&self) -> usize {
-        self.adj.values().map(|s| s.len()).sum::<usize>() / 2
+    #[inline]
+    fn row(&self, v: usize) -> &[u64] {
+        &self.rows[v * self.words..(v + 1) * self.words]
     }
 
+    #[inline]
     fn degree(&self, v: usize) -> usize {
-        self.adj.get(&v).map_or(0, |s| s.len())
+        self.deg[v] as usize
     }
 
-    fn edges(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for (&v, ns) in &self.adj {
-            for &u in ns {
-                if v < u {
-                    out.push((v, u));
-                }
-            }
-        }
-        out
+    #[inline]
+    fn is_active(&self, v: usize) -> bool {
+        self.active[v / WORD_BITS] & (1u64 << (v % WORD_BITS)) != 0
     }
 
+    #[inline]
+    fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.rows[u * self.words + v / WORD_BITS] & (1u64 << (v % WORD_BITS)) != 0
+    }
+
+    #[inline]
+    fn active_count(&self) -> usize {
+        self.n_active as usize
+    }
+
+    #[inline]
+    fn edge_count(&self) -> usize {
+        self.m_edges as usize
+    }
+
+    /// Iterates active node ids in ascending order.
+    fn active_nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.active
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter::new(word).map(move |b| wi * WORD_BITS + b))
+    }
+
+    /// Iterates the neighbors of `v` in ascending order.
+    fn row_nodes(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(v)
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter::new(word).map(move |b| wi * WORD_BITS + b))
+    }
+
+    /// Deletes representative `v` (its original nodes become free spares).
     fn delete_vertex(&mut self, v: usize) {
-        if let Some(ns) = self.adj.remove(&v) {
-            for u in ns {
-                if let Some(s) = self.adj.get_mut(&u) {
-                    s.remove(&v);
-                }
-            }
-            self.free += self.weight.remove(&v).unwrap_or(1);
+        if !self.is_active(v) {
+            return;
         }
+        let w = self.words;
+        for wi in 0..w {
+            let word = self.rows[v * w + wi];
+            for b in BitIter::new(word) {
+                let u = wi * WORD_BITS + b;
+                self.rows[u * w + v / WORD_BITS] &= !(1u64 << (v % WORD_BITS));
+                self.deg[u] -= 1;
+            }
+        }
+        self.rows[v * w..(v + 1) * w].fill(0);
+        self.active[v / WORD_BITS] &= !(1u64 << (v % WORD_BITS));
+        self.free += self.weight[v];
+        self.weight[v] = 0;
+        self.m_edges -= self.deg[v];
+        self.deg[v] = 0;
+        self.n_active -= 1;
     }
 
     /// Contracts the edge `{a, b}`; the representative is `min(a, b)`.
     fn contract(&mut self, a: usize, b: usize) {
         let (keep, gone) = if a < b { (a, b) } else { (b, a) };
-        let gone_weight = self.weight.remove(&gone).unwrap_or(1);
-        *self.weight.entry(keep).or_insert(1) += gone_weight;
-        let gone_neighbors = self.adj.remove(&gone).unwrap_or_default();
-        for u in gone_neighbors {
-            if let Some(s) = self.adj.get_mut(&u) {
-                s.remove(&gone);
-            }
-            if u != keep {
-                self.adj.entry(keep).or_default().insert(u);
-                self.adj.entry(u).or_default().insert(keep);
+        let w = self.words;
+        self.weight[keep] += self.weight[gone];
+        self.weight[gone] = 0;
+        // Save and clear the disappearing row, then merge it into `keep`.
+        for wi in 0..w {
+            self.row_tmp[wi] = self.rows[gone * w + wi];
+            self.rows[gone * w + wi] = 0;
+        }
+        let (keep_bit_w, keep_bit) = (keep / WORD_BITS, 1u64 << (keep % WORD_BITS));
+        let (gone_bit_w, gone_bit) = (gone / WORD_BITS, 1u64 << (gone % WORD_BITS));
+        for wi in 0..w {
+            self.rows[keep * w + wi] |= self.row_tmp[wi];
+        }
+        self.rows[keep * w + keep_bit_w] &= !keep_bit;
+        self.rows[keep * w + gone_bit_w] &= !gone_bit;
+        // Rewire the neighbors of `gone` to point at `keep`.  A neighbor
+        // shared with `keep` loses one incident edge (the parallel edges
+        // merge); an exclusive neighbor keeps its degree.
+        for wi in 0..w {
+            for b in BitIter::new(self.row_tmp[wi]) {
+                let u = wi * WORD_BITS + b;
+                self.rows[u * w + gone_bit_w] &= !gone_bit;
+                if u != keep {
+                    let had_keep = self.rows[u * w + keep_bit_w] & keep_bit != 0;
+                    if had_keep {
+                        self.deg[u] -= 1;
+                    }
+                    self.rows[u * w + keep_bit_w] |= keep_bit;
+                }
             }
         }
-        if let Some(s) = self.adj.get_mut(&keep) {
-            s.remove(&gone);
-            s.remove(&keep);
-        }
+        self.active[gone_bit_w] &= !gone_bit;
+        let (old_keep, old_gone) = (self.deg[keep], self.deg[gone]);
+        self.deg[gone] = 0;
+        self.deg[keep] = self.rows[keep * w..(keep + 1) * w]
+            .iter()
+            .map(|x| x.count_ones())
+            .sum();
+        // The edges incident to the pair were `old_keep + old_gone - 1` (the
+        // contracted edge is counted by both endpoints); they collapse into
+        // the merged representative's `deg[keep]` survivors.
+        self.m_edges -= old_keep + old_gone - 1;
+        self.m_edges += self.deg[keep];
+        self.n_active -= 1;
     }
 
-    /// Compact conversion to a [`Graph`] for the subgraph-isomorphism check.
-    fn to_graph(&self) -> Graph {
-        let ids: Vec<usize> = self.adj.keys().copied().collect();
-        let index: BTreeMap<usize, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        let mut g = Graph::new(ids.len());
-        for (v, u) in self.edges() {
-            g.add_edge(Node(index[&v]), Node(index[&u]));
+    /// Safe reductions: delete degree-0/1 nodes when the pattern has minimum
+    /// degree ≥ 2; suppress degree-2 nodes when the pattern has minimum
+    /// degree ≥ 3 (a pattern without degree-≤2 nodes never needs a host node
+    /// of degree 2 as a branch vertex, and interior path nodes can always be
+    /// bypassed).
+    fn reduce(&mut self, del_low: bool, suppress: bool) {
+        if !del_low && !suppress {
+            return;
         }
-        g
-    }
-
-    /// A canonical key for memoization: the exact labelled edge list plus the
-    /// set of isolated representatives.
-    fn key(&self) -> Vec<(usize, usize)> {
-        let mut k = self.edges();
-        for (&v, ns) in &self.adj {
-            if ns.is_empty() {
-                k.push((v, v));
+        loop {
+            let mut changed = false;
+            if del_low {
+                let mut low = std::mem::take(&mut self.node_tmp);
+                low.clear();
+                low.extend(
+                    self.active_nodes()
+                        .filter(|&v| self.degree(v) <= 1)
+                        .map(|v| v as u32),
+                );
+                for &v in &low {
+                    self.delete_vertex(v as usize);
+                    changed = true;
+                }
+                self.node_tmp = low;
+            }
+            if suppress {
+                let deg2 = self.active_nodes().find(|&v| self.degree(v) == 2);
+                if let Some(v) = deg2 {
+                    let (a, b) = {
+                        let mut it = self.row_nodes(v);
+                        let a = it.next().expect("degree-2 node has a neighbor");
+                        let b = it.next().expect("degree-2 node has two neighbors");
+                        (a, b)
+                    };
+                    if self.has_edge(a, b) {
+                        // The neighbors are already adjacent: v is redundant.
+                        self.delete_vertex(v);
+                    } else {
+                        self.contract(v, a);
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
             }
         }
-        k.sort_unstable();
-        k
     }
 }
 
-struct MinorSearch {
-    h: Graph,
-    spare_needed: usize,
+/// The pattern graph in packed form (patterns have at most 64 nodes; the
+/// paper's forbidden minors have at most 8).
+struct PatternData {
+    n: usize,
+    m: usize,
+    min_degree: usize,
+    /// Per-pattern-node degree.
+    deg: Vec<u32>,
+    /// Per-pattern-node adjacency bitmask over pattern indices.
+    adj: Vec<u64>,
+    /// Match order for the subgraph check (most-constrained first, mirroring
+    /// [`crate::ops::subgraph_isomorphic`]).
+    order: Vec<u32>,
+    /// Degrees sorted descending, for the degree-sequence filter.
+    deg_sorted: Vec<u32>,
+}
+
+impl PatternData {
+    fn from_core(h: &Graph, core: &[Node]) -> Self {
+        let n = core.len();
+        assert!(n <= 64, "pattern graphs are limited to 64 nodes");
+        let mut index = vec![usize::MAX; h.node_count()];
+        for (i, &v) in core.iter().enumerate() {
+            index[v.index()] = i;
+        }
+        let mut deg = vec![0u32; n];
+        let mut adj = vec![0u64; n];
+        let mut m = 0usize;
+        for (i, &v) in core.iter().enumerate() {
+            for u in h.neighbors(v) {
+                let j = index[u.index()];
+                adj[i] |= 1u64 << j;
+                deg[i] += 1;
+                if j > i {
+                    m += 1;
+                }
+            }
+        }
+        // Same placement order as `ops::subgraph_isomorphic`: repeatedly take
+        // the unplaced node maximizing (placed neighbors, degree), resolving
+        // ties like `Iterator::max_by_key` (the last maximum wins).
+        let mut order = Vec::with_capacity(n);
+        let mut placed = 0u64;
+        while order.len() < n {
+            let mut best: Option<(usize, (u32, u32))> = None;
+            for i in 0..n {
+                if placed & (1u64 << i) != 0 {
+                    continue;
+                }
+                let key = ((adj[i] & placed).count_ones(), deg[i]);
+                if best.is_none_or(|(_, bk)| key >= bk) {
+                    best = Some((i, key));
+                }
+            }
+            let (i, _) = best.expect("an unplaced node exists");
+            placed |= 1u64 << i;
+            order.push(i as u32);
+        }
+        let mut deg_sorted = deg.clone();
+        deg_sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let min_degree = deg.iter().copied().min().unwrap_or(0) as usize;
+        PatternData {
+            n,
+            m,
+            min_degree,
+            deg,
+            adj,
+            order,
+            deg_sorted,
+        }
+    }
+}
+
+/// A reusable packed minor-search engine.
+///
+/// All scratch (per-depth state buffers, the memo table, subgraph-check
+/// arrays) is owned by the engine and reused across calls, so a worker that
+/// classifies many graphs performs no per-search setup allocations beyond
+/// the first call at each size.
+///
+/// ```
+/// use frr_graph::minors::MinorEngine;
+/// use frr_graph::{generators, BitGraph};
+///
+/// let mut engine = MinorEngine::new();
+/// let host = BitGraph::from_graph(&generators::petersen());
+/// assert!(engine.solve_bit(&host, &generators::complete(5), 100_000).is_yes());
+/// assert!(engine.solve_bit(&host, &generators::complete(6), 100_000).is_no());
+/// ```
+pub struct MinorEngine {
+    states: Vec<StateBuf>,
+    /// Per-depth branch edge lists, packed `degsum << 32 | a << 16 | b` with
+    /// `a < b` so one unstable `u64` sort yields the degree-sum order with
+    /// lexicographic ties — the same order a stable sort of the ascending
+    /// edge list would produce, without the stable sort's temp allocation.
+    edge_bufs: Vec<Vec<u64>>,
+    /// Memoized canonical state encodings (active mask ++ active rows).
+    seen: HashSet<Box<[u64]>, FnvBuildHasher>,
+    key_buf: Vec<u64>,
+    /// Host degree scratch for the degree-sequence filter.
+    host_deg_sorted: Vec<u32>,
+    /// Subgraph-check assignment (pattern index → host slot) and used-mask.
+    sub_assign: Vec<u32>,
+    sub_used: Vec<u64>,
     budget: u64,
-    seen: HashSet<Vec<(usize, usize)>>,
     exhausted: bool,
 }
 
-impl MinorSearch {
-    fn search(&mut self, mut q: Quotient) -> bool {
-        if self.budget == 0 {
-            self.exhausted = true;
-            return false;
+/// FNV-1a hashing for the memo table: the keys are long `u64` tuples hashed
+/// on every explored state, where SipHash's per-word cost dominates; state
+/// keys are not attacker-controlled, so the cheap word-wise fold is safe.
+#[derive(Default, Clone)]
+struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+struct FnvHasher(u64);
+
+impl std::hash::Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // `[u64]::hash` routes the whole key through one `write` call, so
+        // fold 8-byte words here; a byte-at-a-time loop would undo the point
+        // of the custom hasher.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.0 = (self.0 ^ word).wrapping_mul(0x100_0000_01b3);
         }
-        self.budget -= 1;
+        for &b in chunks.remainder() {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x100_0000_01b3);
+    }
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
-        self.reduce(&mut q);
+impl Default for MinorEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
-        let hn = self.h.node_count();
-        let hm = self.h.edge_count();
-        if q.node_count() < hn || q.edge_count() < hm {
-            return false;
+impl MinorEngine {
+    /// Creates an engine with empty scratch.
+    pub fn new() -> Self {
+        MinorEngine {
+            states: Vec::new(),
+            edge_bufs: Vec::new(),
+            seen: HashSet::default(),
+            key_buf: Vec::new(),
+            host_deg_sorted: Vec::new(),
+            sub_assign: Vec::new(),
+            sub_used: Vec::new(),
+            budget: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Decides whether `h` is a minor of `g` using at most `budget`
+    /// contractions.
+    pub fn solve(&mut self, g: &Graph, h: &Graph, budget: u64) -> MinorAnswer {
+        self.solve_bit(&BitGraph::from_graph(g), h, budget)
+    }
+
+    /// [`MinorEngine::solve`] on a [`BitGraph`] host.
+    pub fn solve_bit(&mut self, g: &BitGraph, h: &Graph, budget: u64) -> MinorAnswer {
+        // Trivial patterns.
+        if h.edge_count() == 0 {
+            return if g.node_count() >= h.node_count() {
+                MinorAnswer::Yes
+            } else {
+                MinorAnswer::No
+            };
+        }
+        if g.node_count() < h.node_count() || g.edge_count() < h.edge_count() {
+            return MinorAnswer::No;
+        }
+        assert!(
+            g.node_count() <= u16::MAX as usize,
+            "the packed minor engine supports hosts up to {} nodes",
+            u16::MAX
+        );
+        // Isolated pattern nodes only require spare host nodes; search for the
+        // non-trivial part of the pattern and account for spares at the end.
+        let core: Vec<Node> = h.nodes().filter(|&v| h.degree(v) > 0).collect();
+        let spare_needed = h.node_count() - core.len();
+        let pattern = PatternData::from_core(h, &core);
+
+        self.budget = budget;
+        self.exhausted = false;
+        self.seen.clear();
+        if self.states.is_empty() {
+            self.states.push(StateBuf::default());
+        }
+        self.states[0].reset(g);
+
+        let search = SearchCtx {
+            pattern,
+            spare_needed,
+            original_nodes: g.node_count(),
+        };
+        let found = self.search(&search, 0);
+        if found {
+            MinorAnswer::Yes
+        } else if self.exhausted {
+            MinorAnswer::Unknown
+        } else {
+            MinorAnswer::No
+        }
+    }
+
+    fn ensure_depth(&mut self, depth: usize) {
+        while self.states.len() <= depth {
+            self.states.push(StateBuf::default());
+        }
+        while self.edge_bufs.len() <= depth {
+            self.edge_bufs.push(Vec::new());
+        }
+    }
+
+    fn search(&mut self, ctx: &SearchCtx, depth: usize) -> bool {
+        self.ensure_depth(depth);
+        let hn = ctx.pattern.n;
+        let hm = ctx.pattern.m;
+        {
+            let st = &mut self.states[depth];
+            st.reduce(
+                ctx.pattern.min_degree >= 2 && ctx.spare_needed == 0,
+                ctx.pattern.min_degree >= 3 && ctx.spare_needed == 0,
+            );
+        }
+
+        {
+            let st = &self.states[depth];
+            if st.active_count() < hn || st.edge_count() < hm {
+                return false;
+            }
         }
         // Spare original nodes (merged away or deleted) can serve as isolated
         // pattern nodes; the quotient must still be able to host the core plus
         // the spares.
-        if q.original_nodes < hn + self.spare_needed {
+        if ctx.original_nodes < hn + ctx.spare_needed {
             return false;
         }
 
-        // Memoize on the exact labelled quotient (only when the pattern has no
-        // isolated nodes: otherwise identical quotients can differ in spare
-        // capacity through their branch-set weights).
-        if self.spare_needed == 0 {
-            let key = q.key();
-            if self.seen.contains(&key) {
+        // Memoize on the canonical packed encoding (only when the pattern has
+        // no isolated nodes: otherwise identical quotients can differ in spare
+        // capacity through their branch-set weights).  The key is the active
+        // mask followed by the active rows — because contraction keeps the
+        // smaller id, equal quotients produce equal keys regardless of the
+        // contraction order that reached them.
+        if ctx.spare_needed == 0 {
+            let MinorEngine {
+                states,
+                key_buf,
+                seen,
+                ..
+            } = self;
+            let st = &states[depth];
+            key_buf.clear();
+            key_buf.extend_from_slice(&st.active);
+            for v in st.active_nodes() {
+                key_buf.extend_from_slice(st.row(v));
+            }
+            if seen.contains(key_buf.as_slice()) {
                 return false;
             }
-            self.seen.insert(key);
+            seen.insert(key_buf.as_slice().into());
         }
 
-        // Direct subgraph check on the quotient.
-        let compact = q.to_graph();
-        let mut sub_budget = 20_000u64;
-        match ops::subgraph_isomorphic(&compact, &self.h, &mut sub_budget) {
+        // Direct subgraph check on the packed quotient.
+        match self.packed_subiso(ctx, depth) {
             Some(true) => {
-                if self.spare_needed == 0 {
+                if ctx.spare_needed == 0 {
                     return true;
                 }
                 // The pattern has isolated nodes: any original node not merged
@@ -258,12 +637,19 @@ impl MinorSearch {
                 // so only claim success when even the heaviest possible choice
                 // of branch sets leaves enough spares (sound, possibly
                 // incomplete; inconclusive cases surface as `Unknown`).
-                let mut weights: Vec<usize> = q.weight.values().copied().collect();
-                weights.sort_unstable_by(|a, b| b.cmp(a));
-                let heaviest: usize = weights.iter().take(hn).sum();
-                let total: usize = weights.iter().sum();
-                let guaranteed_spares = q.free + (total - heaviest);
-                if guaranteed_spares >= self.spare_needed {
+                let MinorEngine {
+                    states,
+                    host_deg_sorted,
+                    ..
+                } = self;
+                let st = &states[depth];
+                host_deg_sorted.clear();
+                host_deg_sorted.extend(st.active_nodes().map(|v| st.weight[v]));
+                host_deg_sorted.sort_unstable_by(|a, b| b.cmp(a));
+                let heaviest: u32 = host_deg_sorted.iter().take(hn).sum();
+                let total: u32 = host_deg_sorted.iter().sum();
+                let guaranteed_spares = st.free + (total - heaviest);
+                if guaranteed_spares as usize >= ctx.spare_needed {
                     return true;
                 }
                 self.exhausted = true;
@@ -274,66 +660,169 @@ impl MinorSearch {
 
         // Branch over contractions, preferring edges between low-degree nodes
         // (accumulates degree fastest, which finds dense minors early).
-        let mut edges = q.edges();
-        edges.sort_by_key(|&(a, b)| q.degree(a) + q.degree(b));
-        for (a, b) in edges {
+        let mut edges = std::mem::take(&mut self.edge_bufs[depth]);
+        edges.clear();
+        {
+            let st = &self.states[depth];
+            for v in st.active_nodes() {
+                for wi in 0..st.words {
+                    for b in BitIter::new(st.row(v)[wi]) {
+                        let u = wi * WORD_BITS + b;
+                        if v < u {
+                            let degsum = (st.deg[v] + st.deg[u]) as u64;
+                            edges.push(degsum << 32 | (v as u64) << 16 | u as u64);
+                        }
+                    }
+                }
+            }
+            edges.sort_unstable();
+        }
+        let mut found = false;
+        for &packed in edges.iter() {
             if self.budget == 0 {
                 self.exhausted = true;
-                return false;
+                break;
             }
-            let mut next = q.clone();
-            next.contract(a, b);
-            if self.search(next) {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Safe reductions: delete degree-0/1 nodes when the pattern has minimum
-    /// degree ≥ 2; suppress degree-2 nodes when the pattern has minimum
-    /// degree ≥ 3 (a pattern without degree-≤2 nodes never needs a host node
-    /// of degree 2 as a branch vertex, and interior path nodes can always be
-    /// bypassed).
-    fn reduce(&self, q: &mut Quotient) {
-        let h_min = self.h.min_degree();
-        let del_low = h_min >= 2 && self.spare_needed == 0;
-        let suppress = h_min >= 3 && self.spare_needed == 0;
-        if !del_low && !suppress {
-            return;
-        }
-        loop {
-            let mut changed = false;
-            if del_low {
-                let low: Vec<usize> = q
-                    .adj
-                    .iter()
-                    .filter(|(_, ns)| ns.len() <= 1)
-                    .map(|(&v, _)| v)
-                    .collect();
-                for v in low {
-                    q.delete_vertex(v);
-                    changed = true;
-                }
-            }
-            if suppress {
-                if let Some((&v, ns)) = q.adj.iter().find(|(_, ns)| ns.len() == 2) {
-                    let ns: Vec<usize> = ns.iter().copied().collect();
-                    let (a, b) = (ns[0], ns[1]);
-                    if q.adj[&a].contains(&b) {
-                        // The neighbors are already adjacent: v is redundant.
-                        q.delete_vertex(v);
-                    } else {
-                        q.contract(v, a);
-                    }
-                    changed = true;
-                }
-            }
-            if !changed {
+            self.budget -= 1;
+            let (a, b) = ((packed >> 16 & 0xFFFF) as usize, (packed & 0xFFFF) as usize);
+            self.ensure_depth(depth + 1);
+            let (parents, children) = self.states.split_at_mut(depth + 1);
+            children[0].copy_from(&parents[depth]);
+            children[0].contract(a, b);
+            if self.search(ctx, depth + 1) {
+                found = true;
                 break;
             }
         }
+        self.edge_bufs[depth] = edges;
+        found
     }
+
+    /// Budgeted subgraph-isomorphism check of the pattern against the packed
+    /// quotient at `depth`, fronted by a degree-sequence filter: the host's
+    /// descending degree sequence must dominate the pattern's, otherwise no
+    /// embedding exists and the backtracking is skipped entirely.
+    fn packed_subiso(&mut self, ctx: &SearchCtx, depth: usize) -> Option<bool> {
+        let pat = &ctx.pattern;
+        let words = {
+            let MinorEngine {
+                states,
+                host_deg_sorted,
+                ..
+            } = self;
+            let st = &states[depth];
+            host_deg_sorted.clear();
+            host_deg_sorted.extend(st.active_nodes().map(|v| st.deg[v]));
+            if host_deg_sorted.len() < pat.n {
+                return Some(false);
+            }
+            // Only the top `pat.n` host degrees matter for dominance: an O(n)
+            // selection beats a full sort in the per-state hot path.
+            if host_deg_sorted.len() > pat.n {
+                host_deg_sorted.select_nth_unstable_by(pat.n - 1, |a, b| b.cmp(a));
+            }
+            host_deg_sorted[..pat.n].sort_unstable_by(|a, b| b.cmp(a));
+            if host_deg_sorted[..pat.n]
+                .iter()
+                .zip(pat.deg_sorted.iter())
+                .any(|(hd, pd)| hd < pd)
+            {
+                return Some(false);
+            }
+            st.words
+        };
+
+        self.sub_assign.clear();
+        self.sub_assign.resize(pat.n, u32::MAX);
+        self.sub_used.clear();
+        self.sub_used.resize(words, 0);
+        let mut budget = SUBISO_BUDGET;
+        self.subiso_extend(ctx, depth, 0, &mut budget)
+    }
+
+    fn subiso_extend(
+        &mut self,
+        ctx: &SearchCtx,
+        depth: usize,
+        placed: usize,
+        budget: &mut u64,
+    ) -> Option<bool> {
+        let pat = &ctx.pattern;
+        if placed == pat.n {
+            return Some(true);
+        }
+        if *budget == 0 {
+            return None;
+        }
+        let hv = pat.order[placed] as usize;
+        let needed = pat.deg[hv];
+        // Every valid image of `hv` must be a host neighbor of each placed
+        // pattern-neighbor's image, so when one exists, iterating its image's
+        // adjacency row visits exactly the viable candidates — in the same
+        // ascending order a full slot scan would, shrinking the scan from
+        // `O(n)` to `O(deg)` without changing the explored search tree.
+        let anchor = BitIter::new(pat.adj[hv])
+            .map(|hu| self.sub_assign[hu])
+            .find(|&gu| gu != u32::MAX);
+        let (words, n_slots) = {
+            let st = &self.states[depth];
+            (st.words, st.weight.len())
+        };
+        for wi in 0..words {
+            let base = {
+                let st = &self.states[depth];
+                match anchor {
+                    Some(gu) => st.row(gu as usize)[wi],
+                    None => st.active[wi],
+                }
+            };
+            // Placements deeper in the recursion are fully unwound before the
+            // scan resumes, so this word snapshot stays valid for the loop.
+            let mut word = base & !self.sub_used[wi];
+            while word != 0 {
+                let gv = wi * WORD_BITS + (word.trailing_zeros() as usize);
+                word &= word - 1;
+                if gv >= n_slots {
+                    break;
+                }
+                let st = &self.states[depth];
+                if !st.is_active(gv) || st.deg[gv] < needed {
+                    continue;
+                }
+                // All already-assigned pattern neighbors must map to host
+                // neighbors.
+                let ok = BitIter::new(pat.adj[hv]).all(|hu| {
+                    let gu = self.sub_assign[hu];
+                    gu == u32::MAX || st.has_edge(gv, gu as usize)
+                });
+                if !ok {
+                    continue;
+                }
+                *budget = budget.saturating_sub(1);
+                self.sub_assign[hv] = gv as u32;
+                self.sub_used[gv / WORD_BITS] |= 1u64 << (gv % WORD_BITS);
+                match self.subiso_extend(ctx, depth, placed + 1, budget) {
+                    Some(true) => return Some(true),
+                    Some(false) => {}
+                    None => {
+                        self.sub_assign[hv] = u32::MAX;
+                        self.sub_used[gv / WORD_BITS] &= !(1u64 << (gv % WORD_BITS));
+                        return None;
+                    }
+                }
+                self.sub_assign[hv] = u32::MAX;
+                self.sub_used[gv / WORD_BITS] &= !(1u64 << (gv % WORD_BITS));
+            }
+        }
+        Some(false)
+    }
+}
+
+/// Immutable per-search context.
+struct SearchCtx {
+    pattern: PatternData,
+    spare_needed: usize,
+    original_nodes: usize,
 }
 
 /// The forbidden minors featured in the paper, as ready-made graphs.
@@ -367,10 +856,271 @@ pub mod forbidden {
     }
 }
 
+/// The original clone-based search over `BTreeMap` quotients, kept verbatim
+/// as the differential-testing and benchmarking baseline for the packed
+/// engine.  Not part of the supported API.
+#[doc(hidden)]
+pub mod reference {
+    use super::MinorAnswer;
+    use crate::graph::{Graph, Node};
+    use crate::ops;
+    use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+    /// Clone-based minor search (the pre-packed-engine implementation).
+    pub fn has_minor_with_budget(g: &Graph, h: &Graph, budget: u64) -> MinorAnswer {
+        let h_nodes_needed = h.node_count();
+        if h.edge_count() == 0 {
+            return if g.node_count() >= h_nodes_needed {
+                MinorAnswer::Yes
+            } else {
+                MinorAnswer::No
+            };
+        }
+        if g.node_count() < h.node_count() || g.edge_count() < h.edge_count() {
+            return MinorAnswer::No;
+        }
+        let h_core_nodes: Vec<Node> = h.nodes().filter(|&v| h.degree(v) > 0).collect();
+        let spare_needed = h.node_count() - h_core_nodes.len();
+        let (h_core, _) = ops::induced_subgraph(h, &h_core_nodes);
+
+        let mut searcher = MinorSearch {
+            h: h_core,
+            spare_needed,
+            budget,
+            seen: HashSet::new(),
+            exhausted: false,
+        };
+        let q = Quotient::from_graph(g);
+        let found = searcher.search(q);
+        if found {
+            MinorAnswer::Yes
+        } else if searcher.exhausted {
+            MinorAnswer::Unknown
+        } else {
+            MinorAnswer::No
+        }
+    }
+
+    #[derive(Clone, PartialEq, Eq)]
+    struct Quotient {
+        adj: BTreeMap<usize, BTreeSet<usize>>,
+        weight: BTreeMap<usize, usize>,
+        free: usize,
+        original_nodes: usize,
+    }
+
+    impl Quotient {
+        fn from_graph(g: &Graph) -> Self {
+            let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+            let mut weight = BTreeMap::new();
+            for v in g.nodes() {
+                adj.insert(v.index(), g.neighbors(v).map(|u| u.index()).collect());
+                weight.insert(v.index(), 1);
+            }
+            Quotient {
+                adj,
+                weight,
+                free: 0,
+                original_nodes: g.node_count(),
+            }
+        }
+
+        fn node_count(&self) -> usize {
+            self.adj.len()
+        }
+
+        fn edge_count(&self) -> usize {
+            self.adj.values().map(|s| s.len()).sum::<usize>() / 2
+        }
+
+        fn degree(&self, v: usize) -> usize {
+            self.adj.get(&v).map_or(0, |s| s.len())
+        }
+
+        fn edges(&self) -> Vec<(usize, usize)> {
+            let mut out = Vec::new();
+            for (&v, ns) in &self.adj {
+                for &u in ns {
+                    if v < u {
+                        out.push((v, u));
+                    }
+                }
+            }
+            out
+        }
+
+        fn delete_vertex(&mut self, v: usize) {
+            if let Some(ns) = self.adj.remove(&v) {
+                for u in ns {
+                    if let Some(s) = self.adj.get_mut(&u) {
+                        s.remove(&v);
+                    }
+                }
+                self.free += self.weight.remove(&v).unwrap_or(1);
+            }
+        }
+
+        fn contract(&mut self, a: usize, b: usize) {
+            let (keep, gone) = if a < b { (a, b) } else { (b, a) };
+            let gone_weight = self.weight.remove(&gone).unwrap_or(1);
+            *self.weight.entry(keep).or_insert(1) += gone_weight;
+            let gone_neighbors = self.adj.remove(&gone).unwrap_or_default();
+            for u in gone_neighbors {
+                if let Some(s) = self.adj.get_mut(&u) {
+                    s.remove(&gone);
+                }
+                if u != keep {
+                    self.adj.entry(keep).or_default().insert(u);
+                    self.adj.entry(u).or_default().insert(keep);
+                }
+            }
+            if let Some(s) = self.adj.get_mut(&keep) {
+                s.remove(&gone);
+                s.remove(&keep);
+            }
+        }
+
+        fn to_graph(&self) -> Graph {
+            let ids: Vec<usize> = self.adj.keys().copied().collect();
+            let index: BTreeMap<usize, usize> =
+                ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let mut g = Graph::new(ids.len());
+            for (v, u) in self.edges() {
+                g.add_edge(Node(index[&v]), Node(index[&u]));
+            }
+            g
+        }
+
+        fn key(&self) -> Vec<(usize, usize)> {
+            let mut k = self.edges();
+            for (&v, ns) in &self.adj {
+                if ns.is_empty() {
+                    k.push((v, v));
+                }
+            }
+            k.sort_unstable();
+            k
+        }
+    }
+
+    struct MinorSearch {
+        h: Graph,
+        spare_needed: usize,
+        budget: u64,
+        seen: HashSet<Vec<(usize, usize)>>,
+        exhausted: bool,
+    }
+
+    impl MinorSearch {
+        fn search(&mut self, mut q: Quotient) -> bool {
+            if self.budget == 0 {
+                self.exhausted = true;
+                return false;
+            }
+            self.budget -= 1;
+
+            self.reduce(&mut q);
+
+            let hn = self.h.node_count();
+            let hm = self.h.edge_count();
+            if q.node_count() < hn || q.edge_count() < hm {
+                return false;
+            }
+            if q.original_nodes < hn + self.spare_needed {
+                return false;
+            }
+
+            if self.spare_needed == 0 {
+                let key = q.key();
+                if self.seen.contains(&key) {
+                    return false;
+                }
+                self.seen.insert(key);
+            }
+
+            let compact = q.to_graph();
+            let mut sub_budget = 20_000u64;
+            match ops::subgraph_isomorphic(&compact, &self.h, &mut sub_budget) {
+                Some(true) => {
+                    if self.spare_needed == 0 {
+                        return true;
+                    }
+                    let mut weights: Vec<usize> = q.weight.values().copied().collect();
+                    weights.sort_unstable_by(|a, b| b.cmp(a));
+                    let heaviest: usize = weights.iter().take(hn).sum();
+                    let total: usize = weights.iter().sum();
+                    let guaranteed_spares = q.free + (total - heaviest);
+                    if guaranteed_spares >= self.spare_needed {
+                        return true;
+                    }
+                    self.exhausted = true;
+                }
+                Some(false) => {}
+                None => self.exhausted = true,
+            }
+
+            let mut edges = q.edges();
+            edges.sort_by_key(|&(a, b)| q.degree(a) + q.degree(b));
+            for (a, b) in edges {
+                if self.budget == 0 {
+                    self.exhausted = true;
+                    return false;
+                }
+                let mut next = q.clone();
+                next.contract(a, b);
+                if self.search(next) {
+                    return true;
+                }
+            }
+            false
+        }
+
+        fn reduce(&self, q: &mut Quotient) {
+            let h_min = self.h.min_degree();
+            let del_low = h_min >= 2 && self.spare_needed == 0;
+            let suppress = h_min >= 3 && self.spare_needed == 0;
+            if !del_low && !suppress {
+                return;
+            }
+            loop {
+                let mut changed = false;
+                if del_low {
+                    let low: Vec<usize> = q
+                        .adj
+                        .iter()
+                        .filter(|(_, ns)| ns.len() <= 1)
+                        .map(|(&v, _)| v)
+                        .collect();
+                    for v in low {
+                        q.delete_vertex(v);
+                        changed = true;
+                    }
+                }
+                if suppress {
+                    if let Some((&v, ns)) = q.adj.iter().find(|(_, ns)| ns.len() == 2) {
+                        let ns: Vec<usize> = ns.iter().copied().collect();
+                        let (a, b) = (ns[0], ns[1]);
+                        if q.adj[&a].contains(&b) {
+                            q.delete_vertex(v);
+                        } else {
+                            q.contract(v, a);
+                        }
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::ops;
 
     #[test]
     fn subgraph_patterns_are_minors() {
@@ -477,5 +1227,69 @@ mod tests {
         assert!(MinorAnswer::No.is_no());
         assert!(MinorAnswer::Unknown.is_unknown());
         assert!(!MinorAnswer::Yes.is_no());
+    }
+
+    #[test]
+    fn engine_is_reusable_across_hosts_and_patterns() {
+        let mut engine = MinorEngine::new();
+        let hosts = [
+            generators::petersen(),
+            generators::grid(4, 4),
+            generators::complete(7),
+            generators::cycle(70),
+        ];
+        let patterns = [
+            forbidden::k4(),
+            forbidden::k2_3(),
+            forbidden::k5_minus1(),
+            generators::complete(5),
+        ];
+        for g in &hosts {
+            let b = BitGraph::from_graph(g);
+            for h in &patterns {
+                let reused = engine.solve_bit(&b, h, DEFAULT_BUDGET);
+                let fresh = MinorEngine::new().solve_bit(&b, h, DEFAULT_BUDGET);
+                assert_eq!(reused, fresh, "engine reuse changed a verdict");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_engine_agrees_with_reference_on_named_graphs() {
+        let hosts = [
+            generators::petersen(),
+            generators::grid(3, 4),
+            generators::wheel(6),
+            generators::maximal_outerplanar(9),
+            generators::complete_minus(7, 1),
+            generators::complete_bipartite_minus(4, 4, 1),
+            generators::hypercube(3),
+        ];
+        let patterns = [
+            forbidden::k4(),
+            forbidden::k2_3(),
+            forbidden::k5_minus1(),
+            forbidden::k33_minus1(),
+        ];
+        for g in &hosts {
+            for h in &patterns {
+                let new = has_minor_with_budget(g, h, DEFAULT_BUDGET);
+                let old = reference::has_minor_with_budget(g, h, DEFAULT_BUDGET);
+                assert_eq!(new, old, "engines disagree on {} vs pattern", g.summary());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_word_hosts_work() {
+        // 70 nodes forces two words per adjacency row.
+        let g = generators::cycle(70);
+        assert!(has_minor(&g, &generators::complete(3)).is_yes());
+        assert!(has_minor(&g, &forbidden::k4()).is_no());
+        let mut g = generators::cycle(70);
+        // Add chords to create a K4 minor across word boundaries.
+        g.add_edge(Node(0), Node(35));
+        g.add_edge(Node(17), Node(52));
+        assert!(has_minor(&g, &forbidden::k4()).is_yes());
     }
 }

@@ -8,19 +8,193 @@
 //! `frr-core`'s outerplanar touring and destination-routing algorithms
 //! consume.
 
-use crate::connectivity::blocks;
+use crate::bitgraph::{BitGraph, BitIter};
+use crate::connectivity::{bit_blocks, blocks};
 use crate::graph::{Graph, Node};
 use crate::ops::induced_subgraph;
 use crate::planarity::is_planar;
 use std::collections::BTreeMap;
 
+/// Number of bits per adjacency word.
+const WORD_BITS: usize = u64::BITS as usize;
+
 /// Returns `true` if the graph is outerplanar (has a planar embedding with
 /// every node on the outer face).
-///
-/// Uses the classical apex characterization: `G` is outerplanar iff `G` plus
-/// a new node adjacent to every node of `G` is planar, together with the
-/// edge-count bound `|E| ≤ 2|V| − 3`.
 pub fn is_outerplanar(g: &Graph) -> bool {
+    is_outerplanar_bit(&BitGraph::from_graph(g))
+}
+
+/// [`is_outerplanar`] on a [`BitGraph`].
+pub fn is_outerplanar_bit(g: &BitGraph) -> bool {
+    is_outerplanar_without(g, None, &mut OuterplanarScratch::default())
+}
+
+/// Reusable scratch for [`is_outerplanar_without`]: the per-block working
+/// adjacency rows, the peel journal and the reconstruction cycle.  A caller
+/// probing many destinations (the paper's "sometimes" sweep) reuses one
+/// scratch across all probes, so the peel itself allocates nothing in the
+/// steady state; the remaining per-probe allocations are the block
+/// decomposition's small DFS arrays in [`bit_blocks`].
+#[derive(Default)]
+pub struct OuterplanarScratch {
+    rows: Vec<u64>,
+    block_mask: Vec<u64>,
+    active: Vec<u64>,
+    peeled: Vec<(u32, u32, u32)>,
+    cycle: Vec<u32>,
+}
+
+/// Returns `true` if `g` minus the optionally `removed` vertex is outerplanar
+/// — without materializing the deleted graph (a vertex-deletion overlay: the
+/// removed vertex is masked out of the block decomposition and the per-block
+/// peel).
+///
+/// The test runs per biconnected block: a block on ≥ 3 nodes is outerplanar
+/// iff its unique Hamiltonian outer cycle can be recovered by repeatedly
+/// peeling a degree-2 node `v` (re-inserting the chord between its neighbors)
+/// and splicing the peeled nodes back onto the final triangle — the same
+/// reduction [`outer_cycle_biconnected`] uses to build embeddings, here on
+/// packed `u64` rows and without producing the cycle.
+pub fn is_outerplanar_without(
+    g: &BitGraph,
+    removed: Option<Node>,
+    scratch: &mut OuterplanarScratch,
+) -> bool {
+    let skip = removed.map(|v| v.index());
+    let n = g.node_count() - usize::from(skip.is_some());
+    if n <= 1 {
+        return true;
+    }
+    let m = g.edge_count() - skip.map_or(0, |v| g.degree(Node(v)));
+    if m > 2 * n - 3 {
+        return false;
+    }
+    let w = g.words_per_row();
+    scratch.rows.clear();
+    scratch.rows.resize(g.node_count() * w, 0);
+    for block in bit_blocks(g, removed) {
+        if block.len() >= 3 && !outerplanar_block(g, &block, scratch, w) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Peel-based outerplanarity check of one biconnected block (≥ 3 nodes).
+fn outerplanar_block(g: &BitGraph, block: &[Node], s: &mut OuterplanarScratch, w: usize) -> bool {
+    s.block_mask.clear();
+    s.block_mask.resize(w, 0);
+    for &v in block {
+        s.block_mask[v.index() / WORD_BITS] |= 1u64 << (v.index() % WORD_BITS);
+    }
+    // Copy the block-induced adjacency into the working rows.  Blocks share
+    // at most a cut vertex, and its row is re-copied here, so earlier blocks
+    // cannot leak into this one.
+    for &v in block {
+        let vi = v.index();
+        for wi in 0..w {
+            s.rows[vi * w + wi] = g.row(v)[wi] & s.block_mask[wi];
+        }
+    }
+    s.active.clear();
+    s.active.extend_from_slice(&s.block_mask);
+    let mut count = block.len();
+    s.peeled.clear();
+
+    let deg = |rows: &[u64], v: usize| -> usize {
+        rows[v * w..(v + 1) * w]
+            .iter()
+            .map(|x| x.count_ones() as usize)
+            .sum()
+    };
+    while count > 3 {
+        // Find a degree-2 node to peel (ascending id, like the embedding path).
+        let mut peel = None;
+        'scan: for (wi, &word) in s.active.iter().enumerate() {
+            for b in BitIter::new(word) {
+                let v = wi * WORD_BITS + b;
+                if deg(&s.rows, v) == 2 {
+                    peel = Some(v);
+                    break 'scan;
+                }
+            }
+        }
+        let v = match peel {
+            Some(v) => v,
+            // A biconnected non-triangle block without degree-2 nodes has a
+            // K4 minor: not outerplanar.
+            None => return false,
+        };
+        let mut ns = s.rows[v * w..(v + 1) * w]
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter::new(word).map(move |b| wi * WORD_BITS + b));
+        let a = ns.next().expect("degree-2 node has a neighbor");
+        let b = ns.next().expect("degree-2 node has two neighbors");
+        drop(ns);
+        let (vw, vb) = (v / WORD_BITS, 1u64 << (v % WORD_BITS));
+        s.rows[a * w + vw] &= !vb;
+        s.rows[b * w + vw] &= !vb;
+        s.rows[v * w..(v + 1) * w].fill(0);
+        s.active[vw] &= !vb;
+        // Re-insert the chord a–b (idempotent, like `Graph::add_edge`).
+        s.rows[a * w + b / WORD_BITS] |= 1u64 << (b % WORD_BITS);
+        s.rows[b * w + a / WORD_BITS] |= 1u64 << (a % WORD_BITS);
+        s.peeled.push((v as u32, a as u32, b as u32));
+        count -= 1;
+    }
+
+    // Base case: the three remaining nodes must form a triangle.
+    let mut tri = [0usize; 3];
+    let mut k = 0;
+    for (wi, &word) in s.active.iter().enumerate() {
+        for b in BitIter::new(word) {
+            tri[k] = wi * WORD_BITS + b;
+            k += 1;
+        }
+    }
+    debug_assert_eq!(k, 3);
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let (u, v) = (tri[i], tri[j]);
+            if s.rows[u * w + v / WORD_BITS] & (1u64 << (v % WORD_BITS)) == 0 {
+                return false;
+            }
+        }
+    }
+
+    // Unwind: splice each peeled node back between its two neighbors, which
+    // must be adjacent on the (unique) outer cycle.
+    s.cycle.clear();
+    s.cycle.extend(tri.map(|v| v as u32));
+    for i in (0..s.peeled.len()).rev() {
+        let (v, a, b) = s.peeled[i];
+        let len = s.cycle.len();
+        let pa = match s.cycle.iter().position(|&x| x == a) {
+            Some(p) => p,
+            None => return false,
+        };
+        let pb = match s.cycle.iter().position(|&x| x == b) {
+            Some(p) => p,
+            None => return false,
+        };
+        if (pa + 1) % len == pb {
+            s.cycle.insert(pb, v);
+        } else if (pb + 1) % len == pa {
+            s.cycle.insert(pa, v);
+        } else {
+            // a and b are not adjacent on the outer cycle: not outerplanar.
+            return false;
+        }
+    }
+    true
+}
+
+/// The pre-bitset apex implementation (`G` is outerplanar iff `G` plus a node
+/// adjacent to everything is planar), kept as the differential-testing
+/// baseline for the peel-based test.  Not part of the supported API.
+#[doc(hidden)]
+pub fn is_outerplanar_via_apex(g: &Graph) -> bool {
     let n = g.node_count();
     if n <= 1 {
         return true;
@@ -193,12 +367,11 @@ pub fn tourable_destination_fraction(g: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
+    let b = BitGraph::from_graph(g);
+    let mut scratch = OuterplanarScratch::default();
     let good = g
         .nodes()
-        .filter(|&t| {
-            let (h, _) = crate::ops::delete_node(g, t);
-            is_outerplanar(&h)
-        })
+        .filter(|&t| is_outerplanar_without(&b, Some(t), &mut scratch))
         .count();
     good as f64 / n as f64
 }

@@ -13,14 +13,19 @@
 //! face the graph is non-planar.  Running time is `O(n^2)`, amply fast for
 //! the instance sizes in the case study (≤ 754 nodes).
 
-use crate::connectivity::blocks;
+use crate::bitgraph::BitGraph;
+use crate::connectivity::bit_blocks;
 use crate::graph::{Edge, Graph, Node};
-use crate::ops::induced_subgraph;
 use crate::traversal::find_cycle;
 use std::collections::{BTreeSet, VecDeque};
 
 /// Returns `true` if the graph admits a planar embedding.
 pub fn is_planar(g: &Graph) -> bool {
+    is_planar_bit(&BitGraph::from_graph(g))
+}
+
+/// [`is_planar`] on a [`BitGraph`].
+pub fn is_planar_bit(g: &BitGraph) -> bool {
     let n = g.node_count();
     let m = g.edge_count();
     if n <= 4 {
@@ -30,13 +35,24 @@ pub fn is_planar(g: &Graph) -> bool {
         return false;
     }
     // A graph is planar iff each of its biconnected components is planar.
-    for block in blocks(g) {
-        if block.nodes.len() <= 4 {
+    for block in bit_blocks(g, None) {
+        if block.len() <= 4 {
             continue;
         }
-        let (h, _) = induced_subgraph(g, &block.nodes);
         // The induced subgraph on a block's nodes is exactly the block, since
         // two blocks share at most one vertex.
+        let mut index = vec![usize::MAX; n];
+        for (i, &v) in block.iter().enumerate() {
+            index[v.index()] = i;
+        }
+        let mut h = Graph::new(block.len());
+        for &v in &block {
+            for u in g.neighbors(v) {
+                if u.index() > v.index() && index[u.index()] != usize::MAX {
+                    h.add_edge(Node(index[v.index()]), Node(index[u.index()]));
+                }
+            }
+        }
         if !dmp_biconnected_planar(&h) {
             return false;
         }

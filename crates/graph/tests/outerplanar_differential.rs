@@ -1,0 +1,145 @@
+//! Differential suites for the bitset planarity / outerplanarity stack:
+//! the peel-based outerplanarity test against the apex+DMP baseline, the
+//! vertex-deletion overlay against materialized deletion, and planarity
+//! against Wagner's theorem via both minor engines.
+
+use frr_graph::minors::{self, forbidden, reference};
+use frr_graph::outerplanar::{
+    is_outerplanar, is_outerplanar_via_apex, is_outerplanar_without, OuterplanarScratch,
+};
+use frr_graph::planarity::is_planar;
+use frr_graph::{generators, ops, BitGraph, Graph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, structurally varied pool of test graphs.
+fn graph_pool() -> Vec<Graph> {
+    let mut pool = vec![
+        Graph::new(0),
+        Graph::new(1),
+        Graph::new(5),
+        generators::path(9),
+        generators::cycle(11),
+        generators::star(7),
+        generators::fan(8),
+        generators::ladder(6),
+        generators::maximal_outerplanar(12),
+        generators::wheel(7),
+        generators::grid(3, 5),
+        generators::grid(4, 4),
+        generators::petersen(),
+        generators::hypercube(3),
+        generators::hypercube(4),
+        generators::complete(4),
+        generators::complete(5),
+        generators::complete(7),
+        generators::complete_minus(5, 1),
+        generators::complete_minus(7, 1),
+        generators::complete_bipartite(2, 3),
+        generators::complete_bipartite(3, 3),
+        generators::complete_bipartite_minus(3, 3, 1),
+        generators::complete_bipartite_minus(4, 4, 1),
+        generators::cycle(70),
+        ops::disjoint_union(&generators::cycle(5), &generators::wheel(5)),
+    ];
+    // C4 + one chord: a theta graph with a direct strand (outerplanar, and a
+    // known trap for naive peel rules).
+    let mut c4_chord = generators::cycle(4);
+    c4_chord.add_edge(frr_graph::Node(0), frr_graph::Node(2));
+    pool.push(c4_chord);
+    // C6 + crossing chords (contains K4): planar but not outerplanar.
+    let mut crossed = generators::cycle(6);
+    crossed.add_edge(frr_graph::Node(0), frr_graph::Node(3));
+    crossed.add_edge(frr_graph::Node(1), frr_graph::Node(4));
+    pool.push(crossed);
+
+    let mut rng = StdRng::seed_from_u64(0x0F7E_2026);
+    for i in 0..60 {
+        let n = 4 + (i % 11);
+        let p = match i % 4 {
+            0 => 0.15,
+            1 => 0.3,
+            2 => 0.5,
+            _ => 0.75,
+        };
+        pool.push(generators::gnp(n, p, &mut rng));
+    }
+    for i in 0..20 {
+        let n = 6 + (i % 9);
+        pool.push(generators::random_connected(n, i % 5, &mut rng));
+    }
+    for _ in 0..10 {
+        let n = 8 + rng.gen_range(0..8usize);
+        pool.push(generators::random_tree(n, &mut rng));
+    }
+    pool
+}
+
+#[test]
+fn peel_outerplanarity_matches_apex_baseline() {
+    for g in graph_pool() {
+        assert_eq!(
+            is_outerplanar(&g),
+            is_outerplanar_via_apex(&g),
+            "outerplanarity mismatch on {}",
+            g.summary()
+        );
+    }
+}
+
+#[test]
+fn overlay_probe_matches_materialized_deletion() {
+    let mut scratch = OuterplanarScratch::default();
+    for g in graph_pool() {
+        let b = BitGraph::from_graph(&g);
+        for t in g.nodes() {
+            let (h, _) = ops::delete_node(&g, t);
+            assert_eq!(
+                is_outerplanar_without(&b, Some(t), &mut scratch),
+                is_outerplanar_via_apex(&h),
+                "overlay probe mismatch on {} minus {t}",
+                g.summary()
+            );
+        }
+    }
+}
+
+#[test]
+fn planarity_matches_wagner_forbidden_minors() {
+    // Wagner: G is planar iff it has neither a K5 nor a K3,3 minor.  Checked
+    // with both the packed engine and the clone-based reference engine.
+    let k5 = generators::complete(5);
+    let k33 = generators::complete_bipartite(3, 3);
+    for g in graph_pool() {
+        if g.node_count() > 16 {
+            continue; // keep the exact minor searches instant
+        }
+        let planar = is_planar(&g);
+        let wagner_packed =
+            minors::has_minor(&g, &k5).is_no() && minors::has_minor(&g, &k33).is_no();
+        assert_eq!(planar, wagner_packed, "Wagner mismatch on {}", g.summary());
+        let wagner_ref = reference::has_minor_with_budget(&g, &k5, minors::DEFAULT_BUDGET).is_no()
+            && reference::has_minor_with_budget(&g, &k33, minors::DEFAULT_BUDGET).is_no();
+        assert_eq!(
+            planar,
+            wagner_ref,
+            "reference Wagner mismatch on {}",
+            g.summary()
+        );
+    }
+}
+
+#[test]
+fn outerplanarity_matches_forbidden_minor_characterization() {
+    // G is outerplanar iff it has neither a K4 nor a K2,3 minor.
+    let k4 = forbidden::k4();
+    let k23 = forbidden::k2_3();
+    for g in graph_pool() {
+        if g.node_count() > 16 {
+            continue;
+        }
+        let outer = is_outerplanar(&g);
+        let by_minors = minors::has_minor(&g, &k4).is_no() && minors::has_minor(&g, &k23).is_no();
+        assert_eq!(outer, by_minors, "minor mismatch on {}", g.summary());
+    }
+}

@@ -2,8 +2,9 @@
 //! paper's §VIII prose: counts, size/density ranges, planarity mix).
 
 use crate::builtin::Topology;
-use frr_graph::outerplanar::is_outerplanar;
-use frr_graph::planarity::is_planar;
+use frr_graph::outerplanar::is_outerplanar_bit;
+use frr_graph::planarity::is_planar_bit;
+use frr_graph::BitGraph;
 
 /// Aggregate statistics over a topology collection.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,9 +47,11 @@ pub fn zoo_stats(topologies: &[Topology]) -> ZooStats {
     let mut planar_only = 0usize;
     let mut nonplanar = 0usize;
     for t in topologies {
-        if is_outerplanar(&t.graph) {
+        // One packed conversion serves both tests.
+        let b = BitGraph::from_graph(&t.graph);
+        if is_outerplanar_bit(&b) {
             outerplanar += 1;
-        } else if is_planar(&t.graph) {
+        } else if is_planar_bit(&b) {
             planar_only += 1;
         } else {
             nonplanar += 1;
