@@ -5,24 +5,13 @@
 //! topologies (default 250; CI smoke runs use a small `N` to catch
 //! classification regressions quickly).
 
-use frr_bench::{format_percentages, ZooClassification};
+use frr_bench::{format_percentages, parse_count_arg, ZooClassification};
 use frr_core::classify::ClassifyBudget;
 use frr_topologies::{full_zoo, ZooConfig};
 
 fn main() {
     let mut config = ZooConfig::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--count" => {
-                config.count = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--count needs a number");
-            }
-            other => panic!("unknown argument: {other} (usage: fig7_zoo [--count N])"),
-        }
-    }
+    config.count = parse_count_arg("fig7_zoo", config.count);
     let zoo = full_zoo(&config);
     println!(
         "classifying {} topologies ({} bundled + {} synthetic)...",

@@ -2,6 +2,10 @@
 //! `r`-tolerance and of the bounded-failure model, with the positive cells
 //! re-verified by the constructive patterns and the negative cells by the
 //! adversaries.
+//!
+//! Usage: `table1_landscape [--count N]` — `N` is the largest tolerance `r`
+//! to verify (default 3; CI bench-smoke runs `--count 1` for a cheap
+//! end-to-end pass over every cell kind).
 
 use frr_core::algorithms::{r_tolerant_bipartite_pattern, r_tolerant_complete_pattern};
 use frr_core::impossibility::r_tolerance_counterexample;
@@ -13,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let count = frr_bench::parse_count_arg("table1_landscape", 3);
     println!("=== Table I: r-tolerance landscape ===");
     println!(
         "{:<3} {:<28} {:<32} {:<30}",
@@ -22,7 +27,7 @@ fn main() {
         "K_{5r+3} impossible (Thm 1)"
     );
     let mut rng = StdRng::seed_from_u64(1);
-    for row in table1_tolerance_rows(3) {
+    for row in table1_tolerance_rows(count) {
         let r = row.r;
         // Positive: K_{2r+1} with the distance-2 pattern.
         let kc = generators::complete(row.complete_possible_nodes);

@@ -1,20 +1,26 @@
 //! Experiment E-TH14/15 — bounded-failure impossibility on large complete and
 //! complete bipartite graphs via the simulation argument: report the paper's
 //! failure budget next to the size of the failure set actually constructed.
+//!
+//! Usage: `thm14_15_few_failures [--count N]` — `N` limits how many rows of
+//! each table are produced (default: all; CI bench-smoke runs `--count 1` to
+//! exercise the simulation argument cheaply).
 
 use frr_core::impossibility::{
     bipartite_few_failures_counterexample, complete_few_failures_counterexample,
 };
 use frr_graph::generators;
+use frr_routing::compiled::CompilePattern;
 use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern};
 
 fn main() {
+    let count = frr_bench::parse_count_arg("thm14_15_few_failures", usize::MAX);
     println!("=== Theorem 14: K_n fails within O(n) failures (paper budget 6n-33) ===");
     println!(
         "{:<5} {:<10} {:<36} {:>10} {:>10}",
         "n", "|E|", "pattern", "paper", "measured"
     );
-    for n in [8usize, 9, 10, 12, 14, 16] {
+    for n in [8usize, 9, 10, 12, 14, 16].into_iter().take(count) {
         let g = generators::complete(n);
         for pattern in patterns(&g) {
             match complete_few_failures_counterexample(&g, pattern.as_ref()) {
@@ -42,7 +48,10 @@ fn main() {
         "{:<8} {:<10} {:<36} {:>10} {:>10}",
         "a,b", "|E|", "pattern", "paper", "measured"
     );
-    for (a, b) in [(4usize, 4usize), (5, 4), (5, 5), (6, 5), (7, 6)] {
+    for (a, b) in [(4usize, 4usize), (5, 4), (5, 5), (6, 5), (7, 6)]
+        .into_iter()
+        .take(count)
+    {
         let g = generators::complete_bipartite(a, b);
         for pattern in patterns(&g) {
             match bipartite_few_failures_counterexample(&g, a, b, pattern.as_ref()) {
@@ -65,7 +74,7 @@ fn main() {
     }
 }
 
-fn patterns(g: &frr_graph::Graph) -> Vec<Box<dyn ForwardingPattern>> {
+fn patterns(g: &frr_graph::Graph) -> Vec<Box<dyn CompilePattern>> {
     vec![
         Box::new(RotorPattern::clockwise_with_shortcut(g)),
         Box::new(ShortestPathPattern::new(g)),

@@ -7,12 +7,33 @@
 
 use frr_core::classify::{Classification, ClassifyBudget, Feasibility};
 use frr_graph::Graph;
-use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern};
+use frr_routing::compiled::CompilePattern;
+use frr_routing::pattern::{RotorPattern, ShortestPathPattern};
 use frr_topologies::Topology;
 use std::collections::BTreeMap;
 
+/// Parses the experiment bins' shared `[--count N]` command line: returns
+/// `default` when the flag is absent, panics with a usage message on unknown
+/// arguments or a malformed count.
+pub fn parse_count_arg(bin: &str, default: usize) -> usize {
+    let mut count = default;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--count" => {
+                count = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--count needs a number");
+            }
+            other => panic!("unknown argument: {other} (usage: {bin} [--count N])"),
+        }
+    }
+    count
+}
+
 /// The candidate-pattern portfolio the impossibility experiments probe.
-pub fn pattern_portfolio(g: &Graph) -> Vec<Box<dyn ForwardingPattern>> {
+pub fn pattern_portfolio(g: &Graph) -> Vec<Box<dyn CompilePattern>> {
     vec![
         Box::new(RotorPattern::clockwise_with_shortcut(g)),
         Box::new(ShortestPathPattern::new(g)),

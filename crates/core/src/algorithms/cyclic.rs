@@ -18,8 +18,10 @@ use frr_graph::hamiltonian::{
     HamiltonianCycle,
 };
 use frr_graph::{Graph, Node};
+use frr_routing::compiled::{compile_lists, CompilePattern, CompiledPattern};
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Theorem 17's `k`-resilient touring pattern built on link-disjoint
@@ -94,31 +96,45 @@ impl ForwardingPattern for HamiltonianTouringPattern {
     }
 
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
-        let k = self.successor.len();
-        if k == 0 {
+        if self.successor.is_empty() {
             return None;
         }
-        // Identify the current cycle from the in-port (link-disjointness makes
-        // the containing cycle unique); starting packets begin on cycle 0.
-        let current = match ctx.inport {
-            Some(from) => *self.cycle_of_edge.get(&(from, ctx.node)).unwrap_or(&0),
-            None => 0,
-        };
-        // Try the current cycle first, then switch to the following cycles in
-        // circular order (the paper switches to the minimum j > i available at
-        // the node).
-        for offset in 0..k {
-            let ci = (current + offset) % k;
-            let next = self.successor[ci][ctx.node.index()];
-            if ctx.is_alive(next) {
-                return Some(next);
-            }
-        }
-        None
+        self.switch_order(ctx.node, ctx.inport)
+            .find(|&next| ctx.is_alive(next))
     }
 
-    fn name(&self) -> String {
-        format!("Hamiltonian touring (Thm 17, k={})", self.cycle_count())
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!(
+            "Hamiltonian touring (Thm 17, k={})",
+            self.cycle_count()
+        ))
+    }
+}
+
+impl HamiltonianTouringPattern {
+    /// The cycle-switching priority order at `(node, inport)`: the successor
+    /// on the current cycle, then on the following cycles in circular order
+    /// (shared by the interpreter and the compiler).
+    fn switch_order(&self, node: Node, inport: Option<Node>) -> impl Iterator<Item = Node> + '_ {
+        let k = self.successor.len();
+        // Identify the current cycle from the in-port (link-disjointness makes
+        // the containing cycle unique); starting packets begin on cycle 0.
+        let current = match inport {
+            Some(from) => *self.cycle_of_edge.get(&(from, node)).unwrap_or(&0),
+            None => 0,
+        };
+        (0..k).map(move |offset| self.successor[(current + offset) % k][node.index()])
+    }
+}
+
+impl CompilePattern for HamiltonianTouringPattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::Touring,
+            self.name(),
+            |_s, _t, v, inport, out| out.extend(self.switch_order(v, inport)),
+        )
     }
 }
 
@@ -177,26 +193,47 @@ impl ForwardingPattern for ArborescenceFailoverPattern {
         // Identify the arborescence the packet is currently following: the one
         // whose arc (in-port -> node) carried it here (arc-disjointness makes
         // it unique); starting packets begin on arborescence 0.
-        let current = match ctx.inport {
+        Self::failover_order(arbs, ctx.node, ctx.inport).find(|&next| ctx.is_alive(next))
+    }
+
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("arborescence failover (Chiesa-style baseline)")
+    }
+}
+
+impl ArborescenceFailoverPattern {
+    /// The failover priority order at `(node, inport)` for one destination's
+    /// arborescence list (shared by the interpreter and the compiler).
+    fn failover_order<'a>(
+        arbs: &'a [Arborescence],
+        node: Node,
+        inport: Option<Node>,
+    ) -> impl Iterator<Item = Node> + 'a {
+        let current = match inport {
             Some(from) => arbs
                 .iter()
-                .position(|a| a.next_hop(from) == Some(ctx.node))
+                .position(|a| a.next_hop(from) == Some(node))
                 .unwrap_or(0),
             None => 0,
         };
-        for offset in 0..arbs.len() {
-            let ai = (current + offset) % arbs.len();
-            if let Some(next) = arbs[ai].next_hop(ctx.node) {
-                if ctx.is_alive(next) {
-                    return Some(next);
-                }
-            }
-        }
-        None
+        (0..arbs.len())
+            .filter_map(move |offset| arbs[(current + offset) % arbs.len()].next_hop(node))
     }
+}
 
-    fn name(&self) -> String {
-        "arborescence failover (Chiesa-style baseline)".to_string()
+impl CompilePattern for ArborescenceFailoverPattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::DestinationOnly,
+            self.name(),
+            |_s, t, v, inport, out| {
+                out.push(t);
+                if let Some(arbs) = self.arborescences.get(&t) {
+                    out.extend(Self::failover_order(arbs, v, inport));
+                }
+            },
+        )
     }
 }
 

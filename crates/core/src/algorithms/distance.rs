@@ -11,16 +11,16 @@
 //!   implies that (Theorem 5).
 
 use frr_graph::{Graph, Node};
+use frr_routing::compiled::{compile_lists, CompilePattern, CompiledPattern};
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
+use std::borrow::Cow;
 
-/// Returns the next alive neighbor after `from` in the ascending cyclic order
-/// of `ctx.node`'s neighbors (`from = None` starts at the smallest neighbor).
-fn next_alive_cyclic(ctx: &LocalContext<'_>, from: Option<Node>) -> Option<Node> {
-    let neighbors = ctx.graph.neighbors_vec(ctx.node);
-    if neighbors.is_empty() {
-        return None;
-    }
+/// The ascending cyclic sweep order of `v`'s neighbors in `g`, starting after
+/// `from` (`from = None` or not a neighbor starts at the smallest neighbor) —
+/// shared by the interpreters and the compilers.
+fn cyclic_order(g: &Graph, v: Node, from: Option<Node>) -> impl Iterator<Item = Node> {
+    let neighbors = g.neighbors_vec(v);
     let start = match from {
         Some(u) => neighbors
             .iter()
@@ -29,13 +29,13 @@ fn next_alive_cyclic(ctx: &LocalContext<'_>, from: Option<Node>) -> Option<Node>
             .unwrap_or(0),
         None => 0,
     };
-    for step in 0..neighbors.len() {
-        let cand = neighbors[(start + step) % neighbors.len()];
-        if ctx.is_alive(cand) {
-            return Some(cand);
-        }
-    }
-    None
+    (0..neighbors.len()).map(move |step| neighbors[(start + step) % neighbors.len()])
+}
+
+/// Returns the next alive neighbor after `from` in the ascending cyclic order
+/// of `ctx.node`'s neighbors (`from = None` starts at the smallest neighbor).
+fn next_alive_cyclic(ctx: &LocalContext<'_>, from: Option<Node>) -> Option<Node> {
+    cyclic_order(ctx.graph, ctx.node, from).find(|&cand| ctx.is_alive(cand))
 }
 
 /// The distance-2 pattern of [2, Theorem 6.1] (source–destination model).
@@ -76,8 +76,26 @@ impl ForwardingPattern for Distance2Pattern {
         ctx.inport.filter(|&p| ctx.is_alive(p))
     }
 
-    fn name(&self) -> String {
-        "distance-2 [2, Thm 6.1]".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("distance-2 [2, Thm 6.1]")
+    }
+}
+
+impl CompilePattern for Distance2Pattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::SourceDestination,
+            self.name(),
+            |s, t, v, inport, out| {
+                out.push(t);
+                if v == s {
+                    out.extend(cyclic_order(g, v, inport));
+                } else {
+                    out.extend(inport);
+                }
+            },
+        )
     }
 }
 
@@ -123,8 +141,28 @@ impl ForwardingPattern for BipartiteDistance3Pattern {
         ctx.inport.filter(|&p| ctx.is_alive(p))
     }
 
-    fn name(&self) -> String {
-        "bipartite distance-3 (Thm 4)".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("bipartite distance-3 (Thm 4)")
+    }
+}
+
+impl CompilePattern for BipartiteDistance3Pattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::SourceDestination,
+            self.name(),
+            |s, t, v, inport, out| {
+                out.push(t);
+                // "Neighbor of the source" is static pre-failure knowledge,
+                // read from the pattern's configured graph.
+                if v == s || self.graph.has_edge(v, s) {
+                    out.extend(cyclic_order(g, v, inport));
+                } else {
+                    out.extend(inport);
+                }
+            },
+        )
     }
 }
 

@@ -12,8 +12,10 @@
 
 use frr_graph::outerplanar::{outerplanar_embedding, OuterplanarEmbedding};
 use frr_graph::{Graph, Node};
+use frr_routing::compiled::{compile_lists, CompilePattern, CompiledPattern};
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// The right-hand rule on a fixed outerplanar embedding: forward to the next
@@ -52,8 +54,40 @@ impl ForwardingPattern for OuterplanarTouringPattern {
         }
     }
 
-    fn name(&self) -> String {
-        "outerplanar right-hand rule (Cor. 6)".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("outerplanar right-hand rule (Cor. 6)")
+    }
+}
+
+/// The right-hand-rule priority order on `embedding` at `(node, inport)`:
+/// the rotation entries starting after the in-port position (from the start
+/// for `⊥` or an in-port outside the rotation) — exactly the scan order of
+/// [`OuterplanarEmbedding::next_after`] / [`OuterplanarEmbedding::first_alive`].
+fn rotation_order(
+    embedding: &OuterplanarEmbedding,
+    node: Node,
+    inport: Option<Node>,
+) -> impl Iterator<Item = Node> + '_ {
+    let rot = &embedding.rotation[node.index()];
+    let (start, len) = match inport.and_then(|from| rot.iter().position(|&u| u == from)) {
+        // `next_after` scans positions pos+1 ..= pos+len.
+        Some(pos) => (pos + 1, rot.len()),
+        // `first_alive` scans the whole rotation from the front; an in-port
+        // outside the rotation drops the packet (`next_after` returns None).
+        None if inport.is_none() => (0, rot.len()),
+        None => (0, 0),
+    };
+    (0..len).map(move |step| rot[(start + step) % rot.len()])
+}
+
+impl CompilePattern for OuterplanarTouringPattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::Touring,
+            self.name(),
+            |_s, _t, v, inport, out| out.extend(rotation_order(&self.embedding, v, inport)),
+        )
     }
 }
 
@@ -114,8 +148,26 @@ impl ForwardingPattern for OuterplanarDestinationPattern {
         }
     }
 
-    fn name(&self) -> String {
-        "outerplanar-remainder destination routing (Cor. 5)".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("outerplanar-remainder destination routing (Cor. 5)")
+    }
+}
+
+impl CompilePattern for OuterplanarDestinationPattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::DestinationOnly,
+            self.name(),
+            |_s, t, v, inport, out| {
+                out.push(t);
+                if let Some(embedding) = self.embeddings.get(&t) {
+                    // The destination is statically excluded from the tour of
+                    // G − t (its links are not in the remainder's embedding).
+                    out.extend(rotation_order(embedding, v, inport).filter(|&u| u != t));
+                }
+            },
+        )
     }
 }
 

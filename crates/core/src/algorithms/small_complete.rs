@@ -8,8 +8,10 @@
 
 use crate::algorithms::table::{PriorityTable, PriorityTablePattern};
 use frr_graph::{Graph, Node};
+use frr_routing::compiled::{CompilePattern, CompiledPattern};
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
+use std::borrow::Cow;
 
 /// Algorithm 1 of the paper: a perfectly resilient source–destination pattern
 /// for every graph with at most five nodes (i.e. `K5` and all its minors).
@@ -117,10 +119,16 @@ impl ForwardingPattern for K5SourcePattern {
         inport.filter(|&p| ctx.is_alive(p))
     }
 
-    fn name(&self) -> String {
-        "Algorithm 1 (K5, source-destination)".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("Algorithm 1 (K5, source-destination)")
     }
 }
+
+/// Algorithm 1's source rules depend on the *number* of alive neighbors, not
+/// only their order, so they are not expressible as fixed priority lists —
+/// the generic tabulator compiles them exactly via its dense per-failed-mask
+/// fallback (the graphs have at most five nodes, far within budget).
+impl CompilePattern for K5SourcePattern {}
 
 /// The explicit `K3,3` source–destination pattern of Theorem 9, stated in the
 /// paper as two priority tables (destination in the other part / in the same
@@ -159,8 +167,14 @@ impl ForwardingPattern for K33SourcePattern {
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         self.inner.next_hop(ctx)
     }
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         self.inner.name()
+    }
+}
+
+impl CompilePattern for K33SourcePattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        self.inner.compile(g)
     }
 }
 

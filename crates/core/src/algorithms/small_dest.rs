@@ -10,8 +10,10 @@ use crate::algorithms::outerplanar::OuterplanarDestinationPattern;
 use crate::algorithms::table::{PriorityTable, PriorityTablePattern};
 use frr_graph::outerplanar::is_outerplanar;
 use frr_graph::{Graph, Node};
+use frr_routing::compiled::CompilePattern;
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Theorem 12: a perfectly resilient destination-only pattern for `K5^{-2}`
@@ -111,10 +113,15 @@ impl ForwardingPattern for K5Minus2DestPattern {
         }
     }
 
-    fn name(&self) -> String {
-        "K5^-2 destination-only (Thm 12)".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("K5^-2 destination-only (Thm 12)")
     }
 }
+
+/// The Theorem 12 case split (embedding tour / Fig. 4 table / relay hop)
+/// compiles through the generic exhaustive tabulator — at most five nodes,
+/// trivially within budget, and exact by construction.
+impl CompilePattern for K5Minus2DestPattern {}
 
 /// The Fig. 4 routing table, generalized to the concrete labelling: `v1 < v2`
 /// are the two neighbors of `t` and `v3 < v4` the two non-neighbors; the four
@@ -257,10 +264,13 @@ impl ForwardingPattern for K33Minus2DestPattern {
         self.outerplanar.next_hop(ctx)
     }
 
-    fn name(&self) -> String {
-        "K3,3^-2 destination-only (Thm 13)".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("K3,3^-2 destination-only (Thm 13)")
     }
 }
+
+/// See [`K5Minus2DestPattern`]: compiled via the generic tabulator.
+impl CompilePattern for K33Minus2DestPattern {}
 
 #[cfg(test)]
 mod tests {

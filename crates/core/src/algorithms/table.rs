@@ -6,10 +6,20 @@
 //! use the first alive one".  [`PriorityTablePattern`] is that representation,
 //! parameterised by the packet's source/destination so that one object can
 //! serve every `(s, t)` pair of a graph.
+//!
+//! Tables are generated **eagerly** for every header the pattern's routing
+//! model distinguishes (all `n²` pairs in the source–destination model, all
+//! `n` destinations otherwise) and stored in a flat `Vec` — the paper's named
+//! graphs have at most six nodes, so this replaced the historical lazy
+//! `RwLock`-guarded cache (a lock acquisition and `BTreeMap` probe on every
+//! forwarded packet) with a plain indexed read and made the pattern trivially
+//! `Sync`.
 
 use frr_graph::{Graph, Node};
+use frr_routing::compiled::{compile_lists, CompilePattern, CompiledPattern};
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// A per-(node, in-port) priority list of out-ports.
@@ -49,97 +59,90 @@ impl PriorityTable {
     }
 }
 
-/// The lazy per-`(source, destination)` table generator used by
-/// [`PriorityTablePattern`].
-pub type TableGenerator = Box<dyn Fn(&Graph, Node, Node) -> PriorityTable + Send + Sync>;
-
 /// A forwarding pattern backed by per-`(source, destination)` priority tables.
 ///
-/// The table generator closure is evaluated lazily the first time a given
-/// `(s, t)` pair is routed and is expected to be deterministic.  A
-/// destination-only pattern simply ignores the source argument in its
-/// generator.
+/// The table generator closure is evaluated once per header at construction
+/// time and must be deterministic.  A destination-only pattern simply ignores
+/// the source argument in its generator (it is invoked with `source =
+/// destination`, matching what the touring simulation would present).
 pub struct PriorityTablePattern {
     model: RoutingModel,
-    name: String,
+    name: Cow<'static, str>,
     deliver_to_adjacent_destination: bool,
-    generator: TableGenerator,
-    graph: Graph,
-    cache: table_cache::Cache,
+    /// `tables[s * n + t]` in the source–destination model, `tables[t]` in
+    /// the destination-only model, one shared table in the touring model
+    /// (which has no header for rules to depend on).
+    tables: Vec<PriorityTable>,
+    model_tables: ModelTables,
+    n: usize,
 }
 
-/// A tiny interior-mutability cache that avoids recomputing tables for every
-/// packet while keeping the pattern usable behind a shared reference.
-mod table_cache {
-    use super::PriorityTable;
-    use frr_graph::Node;
-    use std::collections::BTreeMap;
-    use std::sync::{Arc, RwLock};
-
-    /// `Sync` interior mutability, because `ForwardingPattern` requires it:
-    /// the resilience checkers shard failure-mask ranges across threads that
-    /// share one pattern, and `next_hop` consults this cache on every hop.
-    /// An `RwLock` keeps the hit path (a `BTreeMap` lookup plus an `Arc`
-    /// refcount bump) concurrent across workers; misses generate the table
-    /// *outside* any lock (the generator is deterministic, so a racing
-    /// double-compute is harmless — first insert wins) and take the write
-    /// lock only to publish.
-    #[derive(Default)]
-    pub struct Cache {
-        inner: RwLock<BTreeMap<(Node, Node), Arc<PriorityTable>>>,
-    }
-
-    impl Cache {
-        pub fn get_or_insert_with<F: FnOnce() -> PriorityTable>(
-            &self,
-            key: (Node, Node),
-            make: F,
-        ) -> Arc<PriorityTable> {
-            if let Some(table) = self.inner.read().expect("table cache poisoned").get(&key) {
-                return Arc::clone(table);
-            }
-            let fresh = Arc::new(make());
-            let mut map = self.inner.write().expect("table cache poisoned");
-            Arc::clone(map.entry(key).or_insert(fresh))
-        }
-    }
+/// How [`PriorityTablePattern::tables`] is keyed by the packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelTables {
+    PerPair,
+    PerDestination,
+    Shared,
 }
 
 impl PriorityTablePattern {
-    /// Creates a priority-table pattern.
+    /// Creates a priority-table pattern, generating every header's table up
+    /// front.
     ///
     /// * `deliver_to_adjacent_destination` — if `true`, a node always forwards
     ///   straight to the destination when it is an alive neighbor, before
     ///   consulting the table (the "highest priority" rule used by all the
     ///   paper's constructions).
     /// * `generator` — builds the table for a concrete `(source, destination)`
-    ///   pair; it must be deterministic.
+    ///   pair; it must be deterministic.  A touring-model pattern has no
+    ///   header at all, so exactly one table is generated (with `Node(0)`
+    ///   placeholder arguments) and served for every walk — rules that tried
+    ///   to vary per start node would violate the touring contract.
     pub fn new<F>(
         graph: &Graph,
         model: RoutingModel,
-        name: impl Into<String>,
+        name: impl Into<Cow<'static, str>>,
         deliver_to_adjacent_destination: bool,
         generator: F,
     ) -> Self
     where
-        F: Fn(&Graph, Node, Node) -> PriorityTable + Send + Sync + 'static,
+        F: Fn(&Graph, Node, Node) -> PriorityTable,
     {
+        let n = graph.node_count();
+        let (model_tables, tables) = match model {
+            RoutingModel::SourceDestination => (
+                ModelTables::PerPair,
+                (0..n)
+                    .flat_map(|s| (0..n).map(move |t| (Node(s), Node(t))))
+                    .map(|(s, t)| generator(graph, s, t))
+                    .collect(),
+            ),
+            RoutingModel::DestinationOnly => (
+                ModelTables::PerDestination,
+                (0..n).map(|t| generator(graph, Node(t), Node(t))).collect(),
+            ),
+            RoutingModel::Touring => (
+                ModelTables::Shared,
+                vec![generator(graph, Node(0), Node(0))],
+            ),
+        };
         PriorityTablePattern {
             model,
             name: name.into(),
             deliver_to_adjacent_destination,
-            generator: Box::new(generator),
-            graph: graph.clone(),
-            cache: Default::default(),
+            tables,
+            model_tables,
+            n,
         }
     }
 
-    /// The table used for a concrete `(source, destination)` pair (shared:
-    /// cache hits bump a refcount instead of cloning the table).
-    pub fn table_for(&self, source: Node, destination: Node) -> std::sync::Arc<PriorityTable> {
-        self.cache.get_or_insert_with((source, destination), || {
-            (self.generator)(&self.graph, source, destination)
-        })
+    /// The table used for a concrete `(source, destination)` pair.
+    pub fn table_for(&self, source: Node, destination: Node) -> &PriorityTable {
+        match self.model_tables {
+            ModelTables::PerPair => &self.tables[source.index() * self.n + destination.index()],
+            ModelTables::PerDestination => &self.tables[destination.index()],
+            ModelTables::Shared => &self.tables[0],
+        }
     }
 }
 
@@ -157,8 +160,24 @@ impl ForwardingPattern for PriorityTablePattern {
         priorities.iter().copied().find(|&u| ctx.is_alive(u))
     }
 
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         self.name.clone()
+    }
+}
+
+impl CompilePattern for PriorityTablePattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(g, self.model, self.name.clone(), |s, t, v, inport, out| {
+            // The adjacent-destination rule folds into the list head: first-
+            // alive picks the destination exactly when the interpreter's
+            // guard would have fired.
+            if self.deliver_to_adjacent_destination {
+                out.push(t);
+            }
+            if let Some(priorities) = self.table_for(s, t).get(v, inport) {
+                out.extend_from_slice(priorities);
+            }
+        })
     }
 }
 
@@ -166,8 +185,9 @@ impl ForwardingPattern for PriorityTablePattern {
 mod tests {
     use super::*;
     use frr_graph::generators;
+    use frr_routing::compiled::CompiledSim;
     use frr_routing::failure::FailureSet;
-    use frr_routing::simulator::{route, Outcome};
+    use frr_routing::simulator::{route, state_space_bound, Outcome};
 
     #[test]
     fn priority_table_basic_ops() {
@@ -180,13 +200,9 @@ mod tests {
         assert_eq!(t.get(Node(0), Some(Node(2))), None);
     }
 
-    #[test]
-    fn table_pattern_routes_first_alive_priority() {
-        let g = generators::complete(3);
-        // A simple pattern: at every node, with any in-port, try neighbors in
-        // ascending order (skipping the in-port logic entirely).
-        let p = PriorityTablePattern::new(
-            &g,
+    fn ascending_table_pattern(g: &Graph) -> PriorityTablePattern {
+        PriorityTablePattern::new(
+            g,
             RoutingModel::DestinationOnly,
             "ascending-table",
             true,
@@ -201,7 +217,15 @@ mod tests {
                 }
                 table
             },
-        );
+        )
+    }
+
+    #[test]
+    fn table_pattern_routes_first_alive_priority() {
+        let g = generators::complete(3);
+        // A simple pattern: at every node, with any in-port, try neighbors in
+        // ascending order (skipping the in-port logic entirely).
+        let p = ascending_table_pattern(&g);
         assert_eq!(p.name(), "ascending-table");
         assert_eq!(p.model(), RoutingModel::DestinationOnly);
         // Direct delivery via the adjacent-destination rule.
@@ -227,5 +251,73 @@ mod tests {
         );
         let r = route(&g, &FailureSet::new(), &p, Node(0), Node(2), 100);
         assert_eq!(r.outcome, Outcome::Stuck);
+    }
+
+    #[test]
+    fn touring_table_pattern_uses_one_shared_table_compiled_and_interpreted() {
+        use frr_routing::simulator::tour;
+        // A generator whose output would differ per header: in the touring
+        // model it is invoked exactly once (placeholder header), so the
+        // interpreter and the compiled tables consult the same shared rules
+        // for every walk — a per-start table would violate the touring
+        // contract and silently diverge under compilation.
+        let g = generators::cycle(4);
+        let p = PriorityTablePattern::new(
+            &g,
+            RoutingModel::Touring,
+            "touring-table",
+            false,
+            |g, _s, t| {
+                let mut table = PriorityTable::new();
+                for v in g.nodes() {
+                    // Header-dependent rule: sweep up from `t` — collapses to
+                    // the single `t = v0` instantiation in the touring model.
+                    let mut prios = g.neighbors_vec(v);
+                    let rot = t.index() % prios.len().max(1);
+                    prios.rotate_left(rot);
+                    table.set(v, None, prios.clone());
+                    for u in g.neighbors_vec(v) {
+                        table.set(v, Some(u), prios.clone());
+                    }
+                }
+                table
+            },
+        );
+        let cp = p.compile(&g).expect("small degrees");
+        let max_hops = state_space_bound(&g);
+        let mut sim = CompiledSim::new(&cp);
+        for mask in 0..(1u64 << g.edge_count()) {
+            let failures = frr_routing::failure::failure_set_from_mask(&g.edges(), mask);
+            sim.load_failures(&cp, &failures);
+            for start in g.nodes() {
+                assert_eq!(
+                    sim.tour(&cp, start, max_hops),
+                    tour(&g, &failures, &p, start, max_hops),
+                    "mask {mask:#b}, start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_table_pattern_matches_interpreter() {
+        let g = generators::complete(4);
+        let p = ascending_table_pattern(&g);
+        let cp = p.compile(&g).expect("small degrees");
+        let max_hops = state_space_bound(&g);
+        let mut sim = CompiledSim::new(&cp);
+        for mask in 0..(1u64 << g.edge_count()) {
+            let failures = frr_routing::failure::failure_set_from_mask(&g.edges(), mask);
+            sim.load_failures(&cp, &failures);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(
+                        sim.route(&cp, s, t, max_hops),
+                        route(&g, &failures, &p, s, t, max_hops),
+                        "mask {mask:#b}, {s}->{t}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -409,6 +409,67 @@ fn tourable_fraction(b: &BitGraph, max_probes: usize, scratch: &mut OuterplanarS
     good as f64 / probed as f64
 }
 
+/// Empirically cross-checks a classification's `Possible` verdicts: for each
+/// model classified as [`Feasibility::Possible`], the paper's matching
+/// constructive pattern is instantiated and the exhaustive resilience checker
+/// is run against **every** failure set — on the compiled-rule-table fast
+/// path, which is what makes this affordable as a routine sanity pass.
+///
+/// Returns the models that were verified (graphs beyond the exhaustive edge
+/// limit, or without a shipped construction for their verdict, are skipped),
+/// or the first counterexample — which would witness a classification bug.
+pub fn spot_check_possible(
+    g: &Graph,
+    classification: &Classification,
+) -> Result<Vec<frr_routing::model::RoutingModel>, Box<frr_routing::adversary::Counterexample>> {
+    use crate::algorithms::{
+        K33SourcePattern, K5SourcePattern, OuterplanarDestinationPattern, OuterplanarTouringPattern,
+    };
+    use frr_routing::model::RoutingModel;
+    use frr_routing::resilience::{
+        is_perfectly_resilient, is_perfectly_resilient_touring, EXHAUSTIVE_EDGE_LIMIT,
+    };
+
+    let mut checked = Vec::new();
+    if g.edge_count() > EXHAUSTIVE_EDGE_LIMIT {
+        return Ok(checked);
+    }
+    if classification.touring == Feasibility::Possible {
+        if let Some(pattern) = OuterplanarTouringPattern::new(g) {
+            is_perfectly_resilient_touring(g, &pattern).map_err(Box::new)?;
+            checked.push(RoutingModel::Touring);
+        }
+    }
+    if classification.destination_only == Feasibility::Possible && classification.outerplanar {
+        let pattern = OuterplanarDestinationPattern::new(g);
+        is_perfectly_resilient(g, &pattern).map_err(Box::new)?;
+        checked.push(RoutingModel::DestinationOnly);
+    }
+    if classification.source_destination == Feasibility::Possible {
+        // The Theorem 9 tables assume the canonical `{0,1,2}/{3,4,5}` layout;
+        // a graph that only fits `K3,3` under a *relabelled* bipartition
+        // (`fits_in_k33` checks all of them) must use another construction.
+        let canonical_k33 = g.node_count() <= 6
+            && g.edges()
+                .iter()
+                .all(|e| (e.u().index() < 3) != (e.v().index() < 3));
+        if g.node_count() <= 5 {
+            is_perfectly_resilient(g, &K5SourcePattern::new(g)).map_err(Box::new)?;
+            checked.push(RoutingModel::SourceDestination);
+        } else if canonical_k33 {
+            is_perfectly_resilient(g, &K33SourcePattern::new(g)).map_err(Box::new)?;
+            checked.push(RoutingModel::SourceDestination);
+        } else if classification.outerplanar {
+            // An outerplanar graph's destination-only scheme is a fortiori a
+            // source–destination scheme.
+            let pattern = OuterplanarDestinationPattern::new(g);
+            is_perfectly_resilient(g, &pattern).map_err(Box::new)?;
+            checked.push(RoutingModel::SourceDestination);
+        }
+    }
+    Ok(checked)
+}
+
 /// `true` if `g` is a subgraph of `K3,3` under *some* bipartition of at most
 /// 3 + 3 nodes (cheap check used by the source–destination classification).
 /// Public-but-hidden so the benchmark baseline shares the live logic instead
@@ -565,6 +626,41 @@ mod tests {
         assert!(fits_in_k33(&generators::cycle(6)));
         assert!(!fits_in_k33(&generators::complete(4)));
         assert!(!fits_in_k33(&generators::complete_bipartite(3, 4)));
+    }
+
+    #[test]
+    fn spot_check_verifies_possible_verdicts() {
+        use frr_routing::model::RoutingModel;
+        // Outerplanar graph: all three models Possible, all three verified.
+        let g = generators::maximal_outerplanar(6);
+        let c = classify(&g);
+        let checked = spot_check_possible(&g, &c).expect("no counterexample");
+        assert_eq!(
+            checked,
+            vec![
+                RoutingModel::Touring,
+                RoutingModel::DestinationOnly,
+                RoutingModel::SourceDestination
+            ]
+        );
+        // C6 fits K3,3 only under a relabelled (alternating) bipartition, so
+        // the check must route it through the outerplanar construction, not
+        // the canonically-labelled Theorem 9 tables.
+        let g = generators::cycle(6);
+        assert!(fits_in_k33(&g));
+        let c = classify(&g);
+        let checked = spot_check_possible(&g, &c).expect("no counterexample");
+        assert_eq!(checked.len(), 3);
+        // K5: source-destination Possible via Algorithm 1.
+        let g = generators::complete(5);
+        let c = classify(&g);
+        let checked = spot_check_possible(&g, &c).expect("no counterexample");
+        assert_eq!(checked, vec![RoutingModel::SourceDestination]);
+        // K3,3: source-destination Possible via the Theorem 9 tables.
+        let g = generators::complete_bipartite(3, 3);
+        let c = classify(&g);
+        let checked = spot_check_possible(&g, &c).expect("no counterexample");
+        assert_eq!(checked, vec![RoutingModel::SourceDestination]);
     }
 
     #[test]

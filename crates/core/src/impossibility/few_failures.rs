@@ -18,6 +18,7 @@ use crate::impossibility::small_graphs::{
 use frr_graph::ops::induced_subgraph;
 use frr_graph::{Edge, Graph, Node};
 use frr_routing::adversary::Counterexample;
+use frr_routing::compiled::CompilePattern;
 use frr_routing::failure::FailureSet;
 use frr_routing::model::{LocalContext, RoutingModel};
 use frr_routing::pattern::ForwardingPattern;
@@ -38,7 +39,7 @@ pub struct FewFailuresResult {
 /// Returns `None` only if the inner `K7` adversary fails to defeat the induced
 /// pattern (the theorem guarantees a defeating set exists for every pattern;
 /// the shipped portfolio is always defeated).
-pub fn complete_few_failures_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn complete_few_failures_counterexample<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Option<FewFailuresResult> {
@@ -54,7 +55,7 @@ pub fn complete_few_failures_counterexample<P: ForwardingPattern + ?Sized>(
 
 /// Builds the Theorem 15 failure set against `pattern` on the complete
 /// bipartite graph `K_{a,b}` with parts `{0..a}` and `{a..a+b}` (`a, b ≥ 4`).
-pub fn bipartite_few_failures_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn bipartite_few_failures_counterexample<P: CompilePattern + ?Sized>(
     g: &Graph,
     a: usize,
     b: usize,
@@ -75,7 +76,7 @@ pub fn bipartite_few_failures_counterexample<P: ForwardingPattern + ?Sized>(
 /// Shared machinery for Theorems 14/15: isolate the non-destination core nodes
 /// from the virtual part, replay the small-graph adversary against the induced
 /// behaviour, and verify the combined failure set on the big graph.
-fn run_simulation_argument<P: ForwardingPattern + ?Sized>(
+fn run_simulation_argument<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     core: &[Node],
@@ -193,10 +194,18 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for RestrictedPattern<'_, 
         self.map.iter().position(|&v| v == hop).map(Node)
     }
 
-    fn name(&self) -> String {
-        format!("{} (restricted to embedded core)", self.inner.name())
+    fn name(&self) -> std::borrow::Cow<'static, str> {
+        std::borrow::Cow::Owned(format!(
+            "{} (restricted to embedded core)",
+            self.inner.name()
+        ))
     }
 }
+
+/// The restriction wrapper is opaque (it merges outer failures into every
+/// local view), so it compiles through the generic tabulator — the embedded
+/// cores have at most seven nodes.
+impl<P: ForwardingPattern + ?Sized> CompilePattern for RestrictedPattern<'_, P> {}
 
 #[cfg(test)]
 mod tests {
@@ -210,7 +219,7 @@ mod tests {
         for n in [9usize, 11] {
             let g = generators::complete(n);
             for pattern in [
-                Box::new(RotorPattern::clockwise_with_shortcut(&g)) as Box<dyn ForwardingPattern>,
+                Box::new(RotorPattern::clockwise_with_shortcut(&g)) as Box<dyn CompilePattern>,
                 Box::new(ShortestPathPattern::new(&g)),
             ] {
                 let res = complete_few_failures_counterexample(&g, pattern.as_ref())
@@ -276,7 +285,7 @@ mod tests {
         for (a, b) in [(5usize, 4usize), (5, 5)] {
             let g = generators::complete_bipartite(a, b);
             for pattern in [
-                Box::new(RotorPattern::clockwise_with_shortcut(&g)) as Box<dyn ForwardingPattern>,
+                Box::new(RotorPattern::clockwise_with_shortcut(&g)) as Box<dyn CompilePattern>,
                 Box::new(ShortestPathPattern::new(&g)),
             ] {
                 let res = bipartite_few_failures_counterexample(&g, a, b, pattern.as_ref())

@@ -14,9 +14,10 @@
 
 use frr_graph::{generators, Edge, Graph, Node};
 use frr_routing::adversary::Counterexample;
+use frr_routing::compiled::CompilePattern;
 use frr_routing::failure::FailureSet;
 use frr_routing::model::{LocalContext, RoutingModel};
-use frr_routing::pattern::{FnPattern, ForwardingPattern};
+use frr_routing::pattern::FnPattern;
 use frr_routing::simulator::{route, state_space_bound};
 
 /// Which configuration a five-node gadget takes in a candidate failure set.
@@ -54,7 +55,7 @@ fn gadget_alive(s: Node, t: Node, g: &[Node], kind: GadgetKind) -> Vec<(Node, No
 /// candidate family fails to defeat the pattern (the theorem guarantees that a
 /// defeating failure set exists for *every* pattern; the structured family
 /// catches all the pattern shapes shipped with this workspace).
-pub fn r_tolerance_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn r_tolerance_counterexample<P: CompilePattern + ?Sized>(
     r: usize,
     pattern: &P,
 ) -> Option<Counterexample> {
@@ -207,7 +208,7 @@ fn all_permutations(items: &[Node]) -> Vec<Vec<Node>> {
 ///
 /// Combined with [`r_tolerance_counterexample`] on the minor `K_{3+5r}` this
 /// demonstrates that `r`-tolerance does not transfer to minors for `r ≥ 2`.
-pub fn theorem2_supergraph_pattern(r: usize) -> (Graph, impl ForwardingPattern) {
+pub fn theorem2_supergraph_pattern(r: usize) -> (Graph, impl CompilePattern) {
     let g = generators::theorem2_supergraph(r);
     let base = 3 + 5 * r;
     let s_prime = Node(base);
@@ -243,7 +244,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn portfolio(g: &Graph) -> Vec<Box<dyn ForwardingPattern>> {
+    fn portfolio(g: &Graph) -> Vec<Box<dyn CompilePattern>> {
         vec![
             Box::new(RotorPattern::clockwise_with_shortcut(g)),
             Box::new(ShortestPathPattern::new(g)),

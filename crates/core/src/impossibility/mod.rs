@@ -30,11 +30,11 @@ pub use small_graphs::{
 
 use frr_graph::Graph;
 use frr_routing::adversary::{Adversary, BruteForceAdversary, Counterexample, RandomAdversary};
-use frr_routing::pattern::ForwardingPattern;
+use frr_routing::compiled::CompilePattern;
 
 /// A generic adversary suitable for the source–destination model on a small
 /// graph: random search first (cheap), exhaustive search as a fallback.
-pub fn source_destination_adversary<P: ForwardingPattern + ?Sized>(
+pub fn source_destination_adversary<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     max_failures: usize,
@@ -52,7 +52,7 @@ pub fn source_destination_adversary<P: ForwardingPattern + ?Sized>(
 
 /// A generic adversary for the destination-only model (same search strategy —
 /// the models only differ in what the pattern reads).
-pub fn destination_only_adversary<P: ForwardingPattern + ?Sized>(
+pub fn destination_only_adversary<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     max_failures: usize,
@@ -64,7 +64,7 @@ pub fn destination_only_adversary<P: ForwardingPattern + ?Sized>(
 /// touring resilience checker where affordable, otherwise a bounded-failure
 /// search (the paper's touring counterexamples embed `K4` / `K2,3` and need
 /// only a handful of failures — Lemmas 3/4).
-pub fn touring_adversary<P: ForwardingPattern + ?Sized>(
+pub fn touring_adversary<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Option<Counterexample> {

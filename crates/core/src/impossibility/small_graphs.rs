@@ -16,8 +16,8 @@
 
 use frr_graph::{generators, Edge, Graph, Node};
 use frr_routing::adversary::{verify_counterexample, Adversary, Counterexample, RandomAdversary};
+use frr_routing::compiled::CompilePattern;
 use frr_routing::failure::FailureSet;
-use frr_routing::pattern::ForwardingPattern;
 use frr_routing::resilience::{is_perfectly_resilient, is_perfectly_resilient_touring};
 use frr_routing::simulator::{route, state_space_bound};
 
@@ -30,7 +30,7 @@ fn failures_keeping(g: &Graph, alive: &[(Node, Node)]) -> FailureSet {
 
 /// Checks one structured candidate and returns it if it genuinely defeats the
 /// pattern (source and destination stay connected, packet not delivered).
-fn try_candidate<P: ForwardingPattern + ?Sized>(
+fn try_candidate<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     failures: FailureSet,
@@ -95,7 +95,7 @@ fn k7_alive_template(s: Node, v: &[Node], t: Node) -> Vec<(Node, Node)> {
 /// Searches for a verified counterexample to source–destination perfect
 /// resilience on `K7` (or a graph containing it on the same seven nodes, e.g.
 /// `K7^{-1}`), using at most 15 link failures (Corollary 3).
-pub fn k7_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn k7_counterexample<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Option<Counterexample> {
@@ -105,7 +105,7 @@ pub fn k7_counterexample<P: ForwardingPattern + ?Sized>(
 /// Like [`k7_counterexample`], but only probes scenarios whose destination is
 /// `destination` (used by the Theorem 14 simulation argument, which must keep
 /// the embedded destination fixed).
-pub fn k7_counterexample_for_destination<P: ForwardingPattern + ?Sized>(
+pub fn k7_counterexample_for_destination<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     destination: Option<Node>,
@@ -164,7 +164,7 @@ fn k44_alive_template(s: Node, v: &[Node], abd: &[Node], t: Node) -> Vec<(Node, 
 /// Searches for a verified counterexample to source–destination perfect
 /// resilience on `K4,4` (parts `{0..4}` and `{4..8}`) or `K4,4^{-1}`, using at
 /// most 11 failures (Corollary 4).
-pub fn k44_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn k44_counterexample<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Option<Counterexample> {
@@ -173,7 +173,7 @@ pub fn k44_counterexample<P: ForwardingPattern + ?Sized>(
 
 /// Like [`k44_counterexample`], but only probes scenarios whose destination is
 /// `destination` (used by the Theorem 15 simulation argument).
-pub fn k44_counterexample_for_destination<P: ForwardingPattern + ?Sized>(
+pub fn k44_counterexample_for_destination<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     destination: Option<Node>,
@@ -215,7 +215,7 @@ pub fn k44_counterexample_for_destination<P: ForwardingPattern + ?Sized>(
 
 /// Searches (exhaustively) for a counterexample to destination-only perfect
 /// resilience on `K5^{-1}` (Theorem 10).
-pub fn k5_minus1_destination_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn k5_minus1_destination_counterexample<P: CompilePattern + ?Sized>(
     pattern: &P,
 ) -> Option<Counterexample> {
     let g = generators::complete_minus(5, 1);
@@ -224,7 +224,7 @@ pub fn k5_minus1_destination_counterexample<P: ForwardingPattern + ?Sized>(
 
 /// Searches (exhaustively) for a counterexample to destination-only perfect
 /// resilience on `K3,3^{-1}` (Theorem 11).
-pub fn k33_minus1_destination_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn k33_minus1_destination_counterexample<P: CompilePattern + ?Sized>(
     pattern: &P,
 ) -> Option<Counterexample> {
     let g = generators::complete_bipartite_minus(3, 3, 1);
@@ -233,7 +233,7 @@ pub fn k33_minus1_destination_counterexample<P: ForwardingPattern + ?Sized>(
 
 /// Searches (exhaustively) for a counterexample to perfectly resilient touring
 /// on `K4` (Lemma 3).
-pub fn k4_touring_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn k4_touring_counterexample<P: CompilePattern + ?Sized>(
     pattern: &P,
 ) -> Option<Counterexample> {
     let g = generators::complete(4);
@@ -242,7 +242,7 @@ pub fn k4_touring_counterexample<P: ForwardingPattern + ?Sized>(
 
 /// Searches (exhaustively) for a counterexample to perfectly resilient touring
 /// on `K2,3` (Lemma 4).
-pub fn k23_touring_counterexample<P: ForwardingPattern + ?Sized>(
+pub fn k23_touring_counterexample<P: CompilePattern + ?Sized>(
     pattern: &P,
 ) -> Option<Counterexample> {
     let g = generators::complete_bipartite(2, 3);
@@ -257,7 +257,7 @@ mod tests {
 
     /// The candidate portfolio the adversaries must defeat (the theorems hold
     /// for *every* pattern; the library demonstrates them on this portfolio).
-    fn source_dest_portfolio(g: &Graph) -> Vec<Box<dyn ForwardingPattern>> {
+    fn source_dest_portfolio(g: &Graph) -> Vec<Box<dyn CompilePattern>> {
         vec![
             Box::new(RotorPattern::clockwise_with_shortcut(g)),
             Box::new(ShortestPathPattern::new(g)),
@@ -312,7 +312,7 @@ mod tests {
         // Destination-only candidates on K5^-1 and K3,3^-1.
         let k5m1 = generators::complete_minus(5, 1);
         for pattern in [
-            Box::new(RotorPattern::clockwise_with_shortcut(&k5m1)) as Box<dyn ForwardingPattern>,
+            Box::new(RotorPattern::clockwise_with_shortcut(&k5m1)) as Box<dyn CompilePattern>,
             Box::new(ShortestPathPattern::new(&k5m1)),
         ] {
             let ce = k5_minus1_destination_counterexample(pattern.as_ref())
@@ -321,7 +321,7 @@ mod tests {
         }
         let k33m1 = generators::complete_bipartite_minus(3, 3, 1);
         for pattern in [
-            Box::new(RotorPattern::clockwise_with_shortcut(&k33m1)) as Box<dyn ForwardingPattern>,
+            Box::new(RotorPattern::clockwise_with_shortcut(&k33m1)) as Box<dyn CompilePattern>,
             Box::new(ShortestPathPattern::new(&k33m1)),
         ] {
             let ce = k33_minus1_destination_counterexample(pattern.as_ref())

@@ -9,6 +9,7 @@
 //! randomized search — used to cross-check them and to probe patterns on
 //! arbitrary graphs.
 
+use crate::compiled::{CompilePattern, CompiledPattern, CompiledSim};
 use crate::failure::FailureSet;
 use crate::pattern::ForwardingPattern;
 use crate::simulator::{route, state_space_bound, Outcome};
@@ -50,9 +51,13 @@ impl fmt::Display for Counterexample {
 
 /// An adversary: a strategy for finding a [`Counterexample`] against a
 /// forwarding pattern on a given network.
+///
+/// Adversaries take [`CompilePattern`] candidates: the searches compile the
+/// pattern once up front and probe scenarios on the dense tables, keeping the
+/// interpreted trait-object path only for patterns that refuse compilation.
 pub trait Adversary {
     /// Searches for a failure scenario defeating `pattern` on `g`.
-    fn find_counterexample<P: ForwardingPattern + ?Sized>(
+    fn find_counterexample<P: CompilePattern + ?Sized>(
         &self,
         g: &Graph,
         pattern: &P,
@@ -92,12 +97,14 @@ impl BruteForceAdversary {
 }
 
 impl Adversary for BruteForceAdversary {
-    fn find_counterexample<P: ForwardingPattern + ?Sized>(
+    fn find_counterexample<P: CompilePattern + ?Sized>(
         &self,
         g: &Graph,
         pattern: &P,
     ) -> Option<Counterexample> {
         let max_hops = state_space_bound(g);
+        let compiled = pattern.compile(g);
+        let compiled = compiled.as_ref();
         sweep_find_first_limited(
             g,
             self.max_failures,
@@ -109,7 +116,10 @@ impl Adversary for BruteForceAdversary {
                         if s == t || !engine.same_component(s, t) {
                             continue;
                         }
-                        let outcome = engine.route_outcome(pattern, s, t, max_hops);
+                        let outcome = match compiled {
+                            Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
+                            None => engine.route_outcome(pattern, s, t, max_hops),
+                        };
                         if !outcome.is_delivered() {
                             let failures = engine.failure_set(mask);
                             let result = route(g, &failures, pattern, s, t, max_hops);
@@ -175,14 +185,18 @@ impl RandomAdversary {
     /// is **re-initialized from `edges` every trial**, so the probed scenario
     /// is a pure function of `(seed, trial)` — independent of which trials a
     /// worker ran before (the deterministic sharded merge requires this).
+    /// `sim` carries the worker's compiled-pattern scratch; scenarios are
+    /// simulated on the dense tables when the pattern compiled.
     #[allow(clippy::too_many_arguments)]
     fn probe_trial<P: ForwardingPattern + ?Sized>(
         &self,
         g: &Graph,
         pattern: &P,
+        compiled: Option<&CompiledPattern>,
         nodes: &[Node],
         edges: &[Edge],
         pool: &mut Vec<Edge>,
+        sim: &mut Option<CompiledSim>,
         max_hops: usize,
         trial: u64,
     ) -> Option<Counterexample> {
@@ -201,7 +215,13 @@ impl RandomAdversary {
         if s == t || !failures.keeps_connected(g, s, t) {
             return None;
         }
-        let result = route(g, &failures, pattern, s, t, max_hops);
+        let result = match (compiled, sim) {
+            (Some(cp), Some(sim)) => {
+                sim.load_failures(cp, &failures);
+                sim.route(cp, s, t, max_hops)
+            }
+            _ => route(g, &failures, pattern, s, t, max_hops),
+        };
         if result.outcome.is_delivered() {
             return None;
         }
@@ -216,7 +236,7 @@ impl RandomAdversary {
 }
 
 impl Adversary for RandomAdversary {
-    fn find_counterexample<P: ForwardingPattern + ?Sized>(
+    fn find_counterexample<P: CompilePattern + ?Sized>(
         &self,
         g: &Graph,
         pattern: &P,
@@ -227,15 +247,26 @@ impl Adversary for RandomAdversary {
             return None;
         }
         let edges = g.edges();
+        let compiled = pattern.compile(g);
+        let compiled = compiled.as_ref();
         // Shard the trial range with the same deterministic smallest-index
-        // machinery the mask sweeps use; each worker's state is just its
-        // scratch pool buffer.
+        // machinery the mask sweeps use; each worker's state is its scratch
+        // pool buffer plus its compiled-simulation scratch.
         sharded_first(
             self.trials as u64,
             64,
             64,
-            || Vec::with_capacity(edges.len()),
-            |pool, trial| self.probe_trial(g, pattern, &nodes, &edges, pool, max_hops, trial),
+            || {
+                (
+                    Vec::with_capacity(edges.len()),
+                    compiled.map(CompiledSim::new),
+                )
+            },
+            |(pool, sim), trial| {
+                self.probe_trial(
+                    g, pattern, compiled, &nodes, &edges, pool, sim, max_hops, trial,
+                )
+            },
         )
     }
 

@@ -1,0 +1,930 @@
+//! Compiled forwarding patterns: dense per-destination rule tables the
+//! simulator hot paths consume branch-free.
+//!
+//! The trait-object path (`ForwardingPattern::next_hop` behind dynamic
+//! dispatch, `BTreeMap` rule lookups, `Vec` scans) dominated the per-packet
+//! cost of the exhaustive failure sweeps.  This module compiles a pattern
+//! **once per `(graph, destination)`** — mirroring how the Chiesa-style
+//! arborescence baseline is already precompiled into `parent[v]` arrays —
+//! into flat arrays:
+//!
+//! * [`PortGraph`] — a CSR view of the network: `ports` concatenates every
+//!   node's neighbor list (ascending), `port_offset[v]` indexes node `v`'s
+//!   slice, and `reverse_port[p]` is the in-port index the hop over global
+//!   port `p` produces at the far end.  Local port indices also index the
+//!   per-node *failed-port* bitmask the simulators maintain, so an aliveness
+//!   test is one shift-and-mask.
+//! * [`CompiledPattern`] — per destination (or per `(source, destination)`
+//!   pair in the source–destination model; one shared table in the touring
+//!   model), a rule table indexed by the `(node, in-port-index)` **state id**
+//!   `port_offset[v] + v + p` (the in-port `⊥` gets index `deg(v)`).  Each
+//!   state holds a priority list of out-port indices in one flat `Vec<u32>`
+//!   arena; the forwarding decision is "first out-port whose link is alive".
+//!   States whose decision function is *not* expressible as a fixed priority
+//!   list (the Algorithm 1 source rules, for example) fall back to an exact
+//!   dense map indexed by the node's failed-port mask — both encodings live
+//!   in the same arena, discriminated by a marker word.
+//! * [`CompilePattern`] — the compilation trait.  Concrete patterns override
+//!   [`CompilePattern::compile`] with a direct translation of their rule
+//!   structure; the provided default, [`tabulate`], compiles **any**
+//!   [`ForwardingPattern`] by enumerating every local context
+//!   `(node, in-port, failed subset, header)` and verifying the resulting
+//!   lists exhaustively, so compiled and interpreted forwarding are
+//!   *provably* identical on every reachable context (the differential
+//!   test-suite asserts this end to end).
+//! * [`CompiledSim`] — reusable scratch (failed-port masks, packed
+//!   visited-state bitset, path buffer) that routes and tours on compiled
+//!   tables with zero allocations in the steady state.
+//!
+//! The sweep engine ([`crate::sweep::SweepEngine`]) has twin entry points
+//! (`route_outcome_compiled`, `tour_covers_compiled`) that run these tables
+//! against its `u64` failure-mask overlays; the resilience checkers and
+//! generic adversaries compile their pattern up front and fall back to the
+//! trait-object interpreter only when compilation is refused (degree ≥ 64 or
+//! tabulation over budget).
+
+use crate::failure::FailureSet;
+use crate::model::{LocalContext, RoutingModel};
+use crate::pattern::ForwardingPattern;
+use crate::simulator::{Outcome, RouteResult, TourResult};
+use frr_graph::{Graph, Node};
+use std::borrow::Cow;
+use std::collections::BTreeSet;
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// Marker word: the state's rule slice is a dense failed-mask-indexed map
+/// (`2^deg` entries follow) instead of a priority list.
+const DENSE: u32 = u32::MAX;
+/// Dense-map entry (and internal tabulation value) for "drop the packet".
+const DROP: u32 = u32::MAX - 1;
+
+/// Total local contexts the generic tabulator may enumerate before refusing
+/// to compile (`Σ_states 2^deg` summed over all tables).  Keeps compilation
+/// a negligible fraction of any sweep it accelerates.
+pub const TABULATE_CONTEXT_BUDGET: u64 = 1 << 22;
+
+/// CSR (compressed sparse row) view of a graph's ports.
+///
+/// Global port `p` is the directed slot "`ports[p]` as seen from the node
+/// owning the slice containing `p`"; there are `2m` global ports.  The state
+/// space of the simulators — `(node, in-port)` with `⊥` allowed — has exactly
+/// `2m + n` states, one per global port plus one `⊥` state per node, indexed
+/// by `state_base(v) + in-port-index`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortGraph {
+    n: usize,
+    /// `n + 1` offsets into `ports`.
+    port_offset: Vec<u32>,
+    /// Concatenated ascending neighbor lists (`2m` entries).
+    ports: Vec<u32>,
+    /// For global port `p` carrying a hop `v → u`: the in-port index of `v`
+    /// at `u` (the state the packet lands in).
+    reverse_port: Vec<u32>,
+}
+
+impl PortGraph {
+    /// Builds the CSR view of `g`.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut port_offset = Vec::with_capacity(n + 1);
+        let mut ports = Vec::with_capacity(2 * g.edge_count());
+        port_offset.push(0);
+        for v in g.nodes() {
+            ports.extend(g.neighbors(v).map(|u| u.index() as u32));
+            port_offset.push(ports.len() as u32);
+        }
+        let mut pg = PortGraph {
+            n,
+            port_offset,
+            ports,
+            reverse_port: Vec::new(),
+        };
+        let mut reverse_port = Vec::with_capacity(pg.ports.len());
+        for v in 0..pg.n {
+            for &u in pg.ports_of(v) {
+                reverse_port.push(pg.port_of(u as usize, v).expect("symmetric adjacency"));
+            }
+        }
+        pg.reverse_port = reverse_port;
+        pg
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of global ports (`2m`).
+    #[inline]
+    pub fn port_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Number of `(node, in-port)` states (`2m + n`).
+    #[inline]
+    pub fn state_count(&self) -> usize {
+        self.ports.len() + self.n
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> u32 {
+        self.port_offset[v + 1] - self.port_offset[v]
+    }
+
+    /// The ascending neighbor slice of node `v`.
+    #[inline]
+    pub fn ports_of(&self, v: usize) -> &[u32] {
+        &self.ports[self.port_offset[v] as usize..self.port_offset[v + 1] as usize]
+    }
+
+    /// First state id of node `v` (its CSR offset plus one `⊥` slot per
+    /// preceding node); `state_base(v) + p` is the state "at `v`, arrived via
+    /// local port `p`", and `p = deg(v)` is the `⊥` state.
+    #[inline]
+    pub fn state_base(&self, v: usize) -> u32 {
+        self.port_offset[v] + v as u32
+    }
+
+    /// Local port index of neighbor `u` at node `v`, if adjacent (binary
+    /// search over the ascending neighbor slice).
+    #[inline]
+    pub fn port_of(&self, v: usize, u: usize) -> Option<u32> {
+        self.ports_of(v)
+            .binary_search(&(u as u32))
+            .ok()
+            .map(|p| p as u32)
+    }
+
+    /// The node a hop over global port `p` lands on.
+    #[inline]
+    pub fn port_target(&self, p: usize) -> usize {
+        self.ports[p] as usize
+    }
+
+    /// The in-port index produced at the far end of global port `p`.
+    #[inline]
+    pub fn reverse_port(&self, p: usize) -> u32 {
+        self.reverse_port[p]
+    }
+}
+
+/// One destination's (or header's) rule table: per state, a slice of the
+/// shared `rules` arena.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct RuleTable {
+    /// `state_count + 1` offsets into `rules`.
+    offsets: Vec<u32>,
+    /// Flat arena: priority lists of local out-port indices, or
+    /// `DENSE`-marked failed-mask-indexed maps.
+    rules: Vec<u32>,
+}
+
+impl RuleTable {
+    /// Resolves the decision for `state` under the node's failed-port mask:
+    /// the chosen local out-port, or `None` to drop.
+    #[inline]
+    fn decide(&self, state: usize, failed_mask: u64) -> Option<u32> {
+        let slice = &self.rules[self.offsets[state] as usize..self.offsets[state + 1] as usize];
+        match slice.first() {
+            None => None,
+            Some(&DENSE) => {
+                let entry = slice[1 + failed_mask as usize];
+                (entry != DROP).then_some(entry)
+            }
+            Some(_) => slice
+                .iter()
+                .copied()
+                .find(|&p| failed_mask & (1u64 << p) == 0),
+        }
+    }
+}
+
+/// How a compiled pattern's tables are keyed by the packet header.
+#[derive(Debug, Clone)]
+enum Tables {
+    /// Touring model: one header-independent table.
+    Uniform(RuleTable),
+    /// Destination-only model: `tables[t]`.
+    PerDestination(Vec<RuleTable>),
+    /// Source–destination model: `tables[s * n + t]`.
+    PerPair(Vec<RuleTable>),
+}
+
+/// A forwarding pattern compiled to dense rule tables over a [`PortGraph`].
+///
+/// Built by [`CompilePattern::compile`] (or the generic [`tabulate`]); the
+/// simulators in [`CompiledSim`] and [`crate::sweep::SweepEngine`] consume it
+/// branch-free.  Also implements [`ForwardingPattern`] itself, so a compiled
+/// pattern can stand in anywhere the interpreted trait object could.
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    model: RoutingModel,
+    name: Cow<'static, str>,
+    csr: PortGraph,
+    tables: Tables,
+}
+
+impl CompiledPattern {
+    /// The routing model the tables are keyed for.
+    pub fn model(&self) -> RoutingModel {
+        self.model
+    }
+
+    /// The compiled pattern's reported name (the source pattern's name).
+    pub fn name(&self) -> Cow<'static, str> {
+        self.name.clone()
+    }
+
+    /// The CSR port view the tables index.
+    pub fn csr(&self) -> &PortGraph {
+        &self.csr
+    }
+
+    /// Total rule-arena words across all tables (size diagnostics).
+    pub fn rule_words(&self) -> usize {
+        match &self.tables {
+            Tables::Uniform(t) => t.rules.len(),
+            Tables::PerDestination(ts) | Tables::PerPair(ts) => {
+                ts.iter().map(|t| t.rules.len()).sum()
+            }
+        }
+    }
+
+    /// The rule table serving a packet with header `(source, destination)`.
+    #[inline]
+    pub(crate) fn table(&self, source: Node, destination: Node) -> &RuleTable {
+        match &self.tables {
+            Tables::Uniform(t) => t,
+            Tables::PerDestination(ts) => &ts[destination.index()],
+            Tables::PerPair(ts) => &ts[source.index() * self.csr.n + destination.index()],
+        }
+    }
+
+    /// One forwarding decision on the compiled tables: the **global port**
+    /// taken out of `v` given its in-port index and failed-port mask, or
+    /// `None` to drop.  The next node is `csr.ports[p]` and the next in-port
+    /// index `csr.reverse_port[p]`.
+    #[inline]
+    pub(crate) fn decide(
+        &self,
+        table: &RuleTable,
+        v: usize,
+        inport_idx: u32,
+        failed_mask: u64,
+    ) -> Option<u32> {
+        let state = (self.csr.state_base(v) + inport_idx) as usize;
+        table
+            .decide(state, failed_mask)
+            .map(|p| self.csr.port_offset[v] + p)
+    }
+
+    /// `true` if the compiled tables were built for a graph shaped like `n`
+    /// nodes / `m` edges (cheap consistency check for the engines).
+    #[inline]
+    pub fn matches_shape(&self, n: usize, m: usize) -> bool {
+        self.csr.n == n && self.csr.ports.len() == 2 * m
+    }
+}
+
+impl ForwardingPattern for CompiledPattern {
+    fn model(&self) -> RoutingModel {
+        self.model
+    }
+
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        let v = ctx.node.index();
+        let deg = self.csr.degree(v);
+        let inport_idx = match ctx.inport {
+            // An in-port that is not a configured neighbor cannot occur in a
+            // simulation; treat it as ⊥ like the tabulator does.
+            Some(u) => self.csr.port_of(v, u.index()).unwrap_or(deg),
+            None => deg,
+        };
+        let failed_mask = ctx
+            .failed_neighbors
+            .iter()
+            .filter_map(|u| self.csr.port_of(v, u.index()))
+            .fold(0u64, |m, p| m | 1u64 << p);
+        let table = self.table(ctx.source, ctx.destination);
+        self.decide(table, v, inport_idx, failed_mask)
+            .map(|p| Node(self.csr.ports[p as usize] as usize))
+    }
+
+    fn name(&self) -> Cow<'static, str> {
+        self.name.clone()
+    }
+}
+
+/// Patterns that can be compiled to [`CompiledPattern`] tables.
+///
+/// The provided default is the generic exact tabulator ([`tabulate`]);
+/// concrete patterns whose rules already *are* priority lists override it
+/// with a direct translation (cheaper to build, no degree/budget limits from
+/// context enumeration).  `compile` returns `None` when the pattern cannot be
+/// compiled for `g` (a node of degree ≥ 64, or generic tabulation over
+/// budget); callers then keep the interpreted trait-object path.
+pub trait CompilePattern: ForwardingPattern {
+    /// Compiles the pattern's forwarding function on `g` into dense tables.
+    ///
+    /// `g` must be the graph the pattern was configured for; the compiled
+    /// tables replicate `next_hop` exactly on every context the simulators
+    /// can present (same outcomes, paths and counterexamples).
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        tabulate(g, self)
+    }
+}
+
+impl<P: CompilePattern + ?Sized> CompilePattern for &P {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        (**self).compile(g)
+    }
+}
+
+impl<P: CompilePattern + ?Sized> CompilePattern for Box<P> {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        (**self).compile(g)
+    }
+}
+
+impl CompilePattern for CompiledPattern {
+    fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
+        Some(self.clone())
+    }
+}
+
+/// The header pairs a model's tables are built for, in build order.
+fn header_pairs(model: RoutingModel, n: usize) -> Vec<(Node, Node)> {
+    match model {
+        // The touring model has no header; the table is built with the
+        // placeholder header honest touring patterns never read.
+        RoutingModel::Touring => vec![(Node(0), Node(0))],
+        // Destination-only patterns must not read the source; the builder
+        // passes `source = t`, which is also exactly what the touring
+        // simulation presents (`source = destination = start`).
+        RoutingModel::DestinationOnly => (0..n).map(|t| (Node(t), Node(t))).collect(),
+        RoutingModel::SourceDestination => (0..n)
+            .flat_map(|s| (0..n).map(move |t| (Node(s), Node(t))))
+            .collect(),
+    }
+}
+
+fn wrap_tables(model: RoutingModel, mut tables: Vec<RuleTable>) -> Tables {
+    match model {
+        RoutingModel::Touring => Tables::Uniform(tables.pop().expect("one uniform table")),
+        RoutingModel::DestinationOnly => Tables::PerDestination(tables),
+        RoutingModel::SourceDestination => Tables::PerPair(tables),
+    }
+}
+
+/// Compiles any [`ForwardingPattern`] by exhaustive local-context
+/// enumeration: for every state `(v, in-port)` of every header table, the
+/// pattern is evaluated on **all** `2^deg(v)` incident-failure subsets, the
+/// answers are normalized (drops, forwards onto failed or non-existent links
+/// and forwards that the simulator would fault on all become "drop" — the
+/// simulators render every one of them as the same `Stuck`/break), and the
+/// per-state decision function is stored as a priority list when one
+/// reproduces it on every reachable context (verified exhaustively), or as a
+/// dense failed-mask-indexed map otherwise.
+///
+/// Returns `None` if some node has degree ≥ 64 or the total enumeration
+/// exceeds [`TABULATE_CONTEXT_BUDGET`].
+pub fn tabulate<P: ForwardingPattern + ?Sized>(g: &Graph, pattern: &P) -> Option<CompiledPattern> {
+    let model = pattern.model();
+    let n = g.node_count();
+    let csr = PortGraph::new(g);
+    let mut per_table: u64 = 0;
+    for v in 0..n {
+        let deg = csr.degree(v) as u64;
+        if deg >= 64 {
+            return None;
+        }
+        per_table = per_table.checked_add((deg + 1).checked_mul(1u64 << deg)?)?;
+    }
+    let headers = header_pairs(model, n);
+    if per_table.checked_mul(headers.len().max(1) as u64)? > TABULATE_CONTEXT_BUDGET {
+        return None;
+    }
+
+    let mut decisions: Vec<u32> = Vec::new();
+    let mut failed_buf: Vec<Node> = Vec::new();
+    let mut tables = Vec::with_capacity(headers.len());
+    for &(source, destination) in &headers {
+        let mut table = RuleTable {
+            offsets: vec![0],
+            rules: Vec::new(),
+        };
+        for v in 0..n {
+            let neighbors = csr.ports_of(v).to_vec();
+            let deg = neighbors.len() as u32;
+            for inport_idx in 0..=deg {
+                let inport =
+                    (inport_idx < deg).then(|| Node(neighbors[inport_idx as usize] as usize));
+                decisions.clear();
+                for mask in 0..(1u64 << deg) {
+                    // Contexts failing the in-port link are unreachable (the
+                    // packet arrived over it); never evaluated, never read.
+                    if inport_idx < deg && mask & (1u64 << inport_idx) != 0 {
+                        decisions.push(DROP);
+                        continue;
+                    }
+                    failed_buf.clear();
+                    failed_buf.extend(
+                        neighbors
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| mask & (1u64 << i) != 0)
+                            .map(|(_, &u)| Node(u as usize)),
+                    );
+                    let ctx = LocalContext {
+                        node: Node(v),
+                        inport,
+                        source,
+                        destination,
+                        failed_neighbors: &failed_buf,
+                        graph: g,
+                    };
+                    let decision = match pattern.next_hop(&ctx) {
+                        None => DROP,
+                        Some(h) => match csr.port_of(v, h.index()) {
+                            // Non-neighbor or failed link: the simulator
+                            // faults (Stuck / tour break) exactly as on a
+                            // drop, at the same hop with the same path.
+                            None => DROP,
+                            Some(p) if mask & (1u64 << p) != 0 => DROP,
+                            Some(p) => p,
+                        },
+                    };
+                    decisions.push(decision);
+                }
+                push_state_rules(
+                    &mut table.rules,
+                    &decisions,
+                    deg,
+                    (inport_idx < deg).then_some(inport_idx),
+                );
+                table.offsets.push(table.rules.len() as u32);
+            }
+        }
+        tables.push(table);
+    }
+    Some(CompiledPattern {
+        model,
+        name: pattern.name(),
+        csr,
+        tables: wrap_tables(model, tables),
+    })
+}
+
+/// Appends one state's rules to the arena: a verified priority list if the
+/// decision function admits one, otherwise the dense map.
+fn push_state_rules(rules: &mut Vec<u32>, decisions: &[u32], deg: u32, inport_idx: Option<u32>) {
+    if let Some(list) = as_priority_list(decisions, deg, inport_idx) {
+        rules.extend(list);
+    } else {
+        rules.push(DENSE);
+        rules.extend_from_slice(decisions);
+    }
+}
+
+/// Tries to express a state's decision function (`decisions[mask]` over all
+/// `2^deg` failed-port masks) as a fixed priority list under first-alive
+/// semantics.  The candidate is built greedily — fail the chosen port,
+/// re-evaluate, repeat — and then verified against every reachable mask.
+fn as_priority_list(decisions: &[u32], deg: u32, inport_idx: Option<u32>) -> Option<Vec<u32>> {
+    let reachable = |mask: u64| inport_idx.is_none_or(|p| mask & (1u64 << p) == 0);
+    let mut list = Vec::new();
+    let mut failed = 0u64;
+    loop {
+        if !reachable(failed) {
+            // The greedy prefix killed the in-port link: every context that
+            // would read deeper entries is unreachable.
+            break;
+        }
+        let d = decisions[failed as usize];
+        if d == DROP {
+            break;
+        }
+        list.push(d);
+        failed |= 1u64 << d;
+        if list.len() as u32 == deg {
+            break;
+        }
+    }
+    for mask in 0..(1u64 << deg) {
+        if !reachable(mask) {
+            continue;
+        }
+        let expected = decisions[mask as usize];
+        let got = list
+            .iter()
+            .copied()
+            .find(|&p| mask & (1u64 << p) == 0)
+            .unwrap_or(DROP);
+        if got != expected {
+            return None;
+        }
+    }
+    Some(list)
+}
+
+/// Compiles a pattern whose rules are priority lists of neighbor nodes.
+///
+/// `rule(source, destination, node, inport, out)` fills `out` (cleared by the
+/// caller) with the node's priority order for that state; entries that are
+/// not neighbors of `node` are skipped (they can never be alive — matching
+/// the `is_alive` scan semantics every list-shaped interpreter uses), and
+/// duplicate ports keep their first position.  The header pairs follow the
+/// model exactly like [`tabulate`] (touring: one placeholder header;
+/// destination-only: `source = t`).
+///
+/// Returns `None` if some node has degree ≥ 64.
+pub fn compile_lists<F>(
+    g: &Graph,
+    model: RoutingModel,
+    name: Cow<'static, str>,
+    mut rule: F,
+) -> Option<CompiledPattern>
+where
+    F: FnMut(Node, Node, Node, Option<Node>, &mut Vec<Node>),
+{
+    let n = g.node_count();
+    let csr = PortGraph::new(g);
+    if (0..n).any(|v| csr.degree(v) >= 64) {
+        return None;
+    }
+    let headers = header_pairs(model, n);
+    let mut out: Vec<Node> = Vec::new();
+    let mut tables = Vec::with_capacity(headers.len());
+    for &(source, destination) in &headers {
+        let mut table = RuleTable {
+            offsets: vec![0],
+            rules: Vec::new(),
+        };
+        for v in 0..n {
+            let deg = csr.degree(v);
+            for inport_idx in 0..=deg {
+                let inport =
+                    (inport_idx < deg).then(|| Node(csr.ports_of(v)[inport_idx as usize] as usize));
+                out.clear();
+                rule(source, destination, Node(v), inport, &mut out);
+                let mut seen = 0u64;
+                for &u in &out {
+                    if let Some(p) = csr.port_of(v, u.index()) {
+                        if seen & (1u64 << p) == 0 {
+                            seen |= 1u64 << p;
+                            table.rules.push(p);
+                        }
+                    }
+                }
+                table.offsets.push(table.rules.len() as u32);
+            }
+        }
+        tables.push(table);
+    }
+    Some(CompiledPattern {
+        model,
+        name,
+        csr,
+        tables: wrap_tables(model, tables),
+    })
+}
+
+/// Reusable scratch for simulating compiled patterns against materialized
+/// [`FailureSet`]s: per-node failed-port masks, the packed `(node, in-port)`
+/// visited-state bitset, and node bitsets for tour coverage.  All buffers are
+/// sized once per pattern shape and reused — zero allocations in the steady
+/// state (route/tour only allocate their reported path/visited collections).
+#[derive(Debug, Clone)]
+pub struct CompiledSim {
+    failed_ports: Vec<u64>,
+    seen: Vec<u64>,
+    visited: Vec<u64>,
+    component: Vec<u64>,
+    frontier: Vec<u32>,
+}
+
+impl CompiledSim {
+    /// Scratch sized for `cp`'s graph shape.
+    pub fn new(cp: &CompiledPattern) -> Self {
+        let n = cp.csr.n;
+        let node_words = n.div_ceil(WORD_BITS).max(1);
+        CompiledSim {
+            failed_ports: vec![0; n],
+            seen: vec![0; cp.csr.state_count().div_ceil(WORD_BITS).max(1)],
+            visited: vec![0; node_words],
+            component: vec![0; node_words],
+            frontier: Vec::with_capacity(n),
+        }
+    }
+
+    /// Installs `failures` as per-node failed-port masks (links absent from
+    /// the compiled graph are ignored, exactly as `is_alive` would).
+    pub fn load_failures(&mut self, cp: &CompiledPattern, failures: &FailureSet) {
+        self.failed_ports.fill(0);
+        for e in failures.iter() {
+            let (u, v) = (e.u().index(), e.v().index());
+            if u >= cp.csr.n || v >= cp.csr.n {
+                continue;
+            }
+            if let (Some(pu), Some(pv)) = (cp.csr.port_of(u, v), cp.csr.port_of(v, u)) {
+                self.failed_ports[u] |= 1u64 << pu;
+                self.failed_ports[v] |= 1u64 << pv;
+            }
+        }
+    }
+
+    #[inline]
+    fn insert_state(&mut self, cp: &CompiledPattern, v: usize, inport_idx: u32) -> bool {
+        let i = (cp.csr.state_base(v) + inport_idx) as usize;
+        let (w, b) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let fresh = self.seen[w] & b == 0;
+        self.seen[w] |= b;
+        fresh
+    }
+
+    /// Routes one packet on the loaded failures; semantics (outcome, path,
+    /// hop count) are identical to [`crate::simulator::route`] with the
+    /// interpreted source pattern.
+    pub fn route(
+        &mut self,
+        cp: &CompiledPattern,
+        source: Node,
+        destination: Node,
+        max_hops: usize,
+    ) -> RouteResult {
+        let mut path = vec![source];
+        if source == destination {
+            return RouteResult {
+                outcome: Outcome::Delivered,
+                path,
+                hops: 0,
+            };
+        }
+        self.seen.fill(0);
+        let table = cp.table(source, destination);
+        let mut v = source.index();
+        let mut inport_idx = cp.csr.degree(v);
+        self.insert_state(cp, v, inport_idx);
+        let mut hops = 0usize;
+        loop {
+            if hops >= max_hops {
+                return RouteResult {
+                    outcome: Outcome::HopLimit,
+                    path,
+                    hops,
+                };
+            }
+            let port = match cp.decide(table, v, inport_idx, self.failed_ports[v]) {
+                Some(p) => p as usize,
+                None => {
+                    return RouteResult {
+                        outcome: Outcome::Stuck,
+                        path,
+                        hops,
+                    }
+                }
+            };
+            v = cp.csr.ports[port] as usize;
+            inport_idx = cp.csr.reverse_port[port];
+            hops += 1;
+            path.push(Node(v));
+            if v == destination.index() {
+                return RouteResult {
+                    outcome: Outcome::Delivered,
+                    path,
+                    hops,
+                };
+            }
+            if !self.insert_state(cp, v, inport_idx) {
+                return RouteResult {
+                    outcome: Outcome::Loop,
+                    path,
+                    hops,
+                };
+            }
+        }
+    }
+
+    /// Simulates the touring model on the loaded failures; identical to
+    /// [`crate::simulator::tour`] with the interpreted source pattern.
+    pub fn tour(&mut self, cp: &CompiledPattern, start: Node, max_hops: usize) -> TourResult {
+        // Component of `start` in G \ F by BFS over alive ports.
+        self.component.fill(0);
+        self.frontier.clear();
+        let set = |words: &mut [u64], v: usize| {
+            let (w, b) = (v / WORD_BITS, 1u64 << (v % WORD_BITS));
+            let fresh = words[w] & b == 0;
+            words[w] |= b;
+            fresh
+        };
+        set(&mut self.component, start.index());
+        self.frontier.push(start.index() as u32);
+        let mut component_size = 1u32;
+        while let Some(v) = self.frontier.pop() {
+            let v = v as usize;
+            let alive = self.failed_ports[v];
+            for (p, &u) in cp.csr.ports_of(v).iter().enumerate() {
+                if alive & (1u64 << p) == 0 && set(&mut self.component, u as usize) {
+                    component_size += 1;
+                    self.frontier.push(u);
+                }
+            }
+        }
+
+        self.seen.fill(0);
+        self.visited.fill(0);
+        set(&mut self.visited, start.index());
+        let mut remaining = component_size - 1;
+        let mut path = vec![start];
+        let mut v = start.index();
+        let mut inport_idx = cp.csr.degree(v);
+        self.insert_state(cp, v, inport_idx);
+        let table = cp.table(start, start);
+        let mut returned_after_cover = false;
+        let mut hops = 0usize;
+        loop {
+            if hops >= max_hops {
+                break;
+            }
+            let port = match cp.decide(table, v, inport_idx, self.failed_ports[v]) {
+                Some(p) => p as usize,
+                None => break,
+            };
+            v = cp.csr.ports[port] as usize;
+            inport_idx = cp.csr.reverse_port[port];
+            hops += 1;
+            path.push(Node(v));
+            if set(&mut self.visited, v)
+                && self.component[v / WORD_BITS] & (1u64 << (v % WORD_BITS)) != 0
+            {
+                remaining -= 1;
+            }
+            if v == start.index() && remaining == 0 {
+                returned_after_cover = true;
+            }
+            if !self.insert_state(cp, v, inport_idx) {
+                break;
+            }
+        }
+        let visited: BTreeSet<Node> = (0..cp.csr.n)
+            .filter(|&u| self.visited[u / WORD_BITS] & (1u64 << (u % WORD_BITS)) != 0)
+            .map(Node)
+            .collect();
+        TourResult {
+            covered_component: remaining == 0,
+            returned_to_start: returned_after_cover,
+            visited,
+            path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{FnPattern, RotorPattern, ShortestPathPattern};
+    use crate::simulator::{route, state_space_bound, tour};
+    use frr_graph::generators;
+
+    #[test]
+    fn port_graph_csr_layout() {
+        let g = generators::path(3);
+        let pg = PortGraph::new(&g);
+        assert_eq!(pg.node_count(), 3);
+        assert_eq!(pg.port_count(), 4);
+        assert_eq!(pg.state_count(), 7);
+        assert_eq!(pg.ports_of(1), &[0, 2]);
+        assert_eq!(pg.degree(0), 1);
+        assert_eq!(pg.port_of(1, 2), Some(1));
+        assert_eq!(pg.port_of(0, 2), None);
+        // Reverse ports round-trip: following port p out of v lands at a
+        // state whose in-port slot names v again.
+        for v in 0..3usize {
+            for (p, &u) in pg.ports_of(v).iter().enumerate() {
+                let gp = pg.port_offset[v] as usize + p;
+                let back = pg.reverse_port[gp] as usize;
+                assert_eq!(pg.ports_of(u as usize)[back] as usize, v);
+            }
+        }
+    }
+
+    #[test]
+    fn tabulated_rotor_matches_interpreter_everywhere() {
+        let g = generators::complete(4);
+        let p = RotorPattern::clockwise_with_shortcut(&g);
+        let cp = tabulate(&g, &p).expect("within budget");
+        assert_eq!(cp.model(), RoutingModel::DestinationOnly);
+        assert_eq!(cp.name(), p.name());
+        let max_hops = state_space_bound(&g);
+        let mut sim = CompiledSim::new(&cp);
+        for mask in 0..(1u64 << g.edge_count()) {
+            let failures = crate::failure::failure_set_from_mask(&g.edges(), mask);
+            sim.load_failures(&cp, &failures);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    let expected = route(&g, &failures, &p, s, t, max_hops);
+                    assert_eq!(sim.route(&cp, s, t, max_hops), expected, "mask {mask:#b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_fallback_is_exact_for_non_list_patterns() {
+        // A decision function that is provably not a priority list: forward
+        // to the *largest* alive neighbor when ≥ 2 are alive, else to the
+        // single alive one.  (First-alive lists cannot express "the answer
+        // changes when a later entry dies".)
+        let g = generators::complete(4);
+        let p = FnPattern::new(RoutingModel::Touring, "largest-unless-lonely", |ctx| {
+            let alive = ctx.alive_neighbors();
+            match alive.len() {
+                0 => None,
+                1 => Some(alive[0]),
+                _ => alive.last().copied(),
+            }
+        });
+        let cp = tabulate(&g, &p).expect("within budget");
+        // At least one state must have needed the dense encoding.
+        assert!(cp.rule_words() > 0);
+        let max_hops = state_space_bound(&g);
+        let mut sim = CompiledSim::new(&cp);
+        for mask in 0..(1u64 << g.edge_count()) {
+            let failures = crate::failure::failure_set_from_mask(&g.edges(), mask);
+            sim.load_failures(&cp, &failures);
+            for s in g.nodes() {
+                assert_eq!(
+                    sim.tour(&cp, s, max_hops),
+                    tour(&g, &failures, &p, s, max_hops),
+                    "mask {mask:#b}, start {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_pattern_is_a_forwarding_pattern() {
+        let g = generators::cycle(5);
+        let p = ShortestPathPattern::new(&g);
+        let cp = tabulate(&g, &p).expect("within budget");
+        let max_hops = state_space_bound(&g);
+        for mask in 0..(1u64 << g.edge_count()) {
+            let failures = crate::failure::failure_set_from_mask(&g.edges(), mask);
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(
+                        route(&g, &failures, &cp, s, t, max_hops),
+                        route(&g, &failures, &p, s, t, max_hops),
+                    );
+                }
+            }
+        }
+        // Re-compiling a compiled pattern is the identity.
+        let again = cp.compile(&g).expect("clone");
+        assert_eq!(again.rule_words(), cp.rule_words());
+    }
+
+    #[test]
+    fn tabulate_refuses_oversized_enumerations() {
+        // Source–destination model on a 20-node star: 400 tables × 2^19
+        // hub contexts blows the budget.
+        let g = generators::star(19);
+        let p = FnPattern::new(RoutingModel::SourceDestination, "any", |ctx| {
+            ctx.alive_neighbors().first().copied()
+        });
+        assert!(tabulate(&g, &p).is_none());
+    }
+
+    #[test]
+    fn compile_lists_skips_non_neighbors_and_duplicates() {
+        let g = generators::path(3);
+        let cp = compile_lists(
+            &g,
+            RoutingModel::Touring,
+            Cow::Borrowed("listy"),
+            |_, _, _v, _, out| {
+                out.push(Node(2)); // not a neighbor of node 0: skipped there
+                out.push(Node(1));
+                out.push(Node(1)); // duplicate: kept once
+            },
+        )
+        .expect("degrees below 64");
+        let failures = FailureSet::new();
+        let mut sim = CompiledSim::new(&cp);
+        sim.load_failures(&cp, &failures);
+        let r = sim.route(&cp, Node(0), Node(1), 10);
+        assert_eq!(r.outcome, Outcome::Delivered);
+        assert_eq!(r.path, vec![Node(0), Node(1)]);
+    }
+
+    #[test]
+    fn empty_graph_compiles() {
+        let g = Graph::new(0);
+        let p = RotorPattern::clockwise(&g);
+        let cp = tabulate(&g, &p).expect("trivially within budget");
+        assert_eq!(cp.csr().state_count(), 0);
+    }
+}

@@ -12,6 +12,10 @@
 //!   table/rotor/shortest-path baselines,
 //! * [`simulator`] — deterministic packet forwarding with exact loop
 //!   detection over `(node, in-port)` states,
+//! * [`compiled`] — forwarding patterns compiled once per
+//!   `(graph, destination)` into dense CSR-indexed rule tables
+//!   ([`compiled::CompiledPattern`]), the branch-free representation the
+//!   sweep hot paths consume,
 //! * [`sweep`] — the allocation-free failure-sweep engine: bitmask failure
 //!   overlays on a [`frr_graph::BitGraph`], reusable scratch, and
 //!   deterministic multi-threaded mask-range sharding,
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod adversary;
+pub mod compiled;
 pub mod failure;
 pub mod metrics;
 pub mod model;
@@ -47,6 +52,7 @@ pub mod sweep;
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
     pub use crate::adversary::{Adversary, BruteForceAdversary, Counterexample, RandomAdversary};
+    pub use crate::compiled::{CompilePattern, CompiledPattern, CompiledSim};
     pub use crate::failure::FailureSet;
     pub use crate::metrics::DeliveryStats;
     pub use crate::model::{LocalContext, RoutingModel};

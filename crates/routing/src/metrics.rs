@@ -5,8 +5,8 @@
 //! stretch relative to the shortest surviving path, and delivery ratios under
 //! random failure workloads.
 
+use crate::compiled::{CompilePattern, CompiledSim};
 use crate::failure::{random_failure_set, FailureSet};
-use crate::pattern::ForwardingPattern;
 use crate::simulator::{route, state_space_bound, Outcome};
 use frr_graph::connectivity::distance_filtered;
 use frr_graph::{Graph, Node};
@@ -82,12 +82,14 @@ impl DeliveryStats {
 
 /// Evaluates a pattern on explicit scenarios (failure set + source +
 /// destination); scenarios whose endpoints are disconnected are skipped.
-pub fn evaluate_scenarios<P: ForwardingPattern + ?Sized>(
+pub fn evaluate_scenarios<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     scenarios: &[(FailureSet, Node, Node)],
 ) -> DeliveryStats {
     let max_hops = state_space_bound(g);
+    let compiled = pattern.compile(g);
+    let mut sim = compiled.as_ref().map(CompiledSim::new);
     let mut stats = DeliveryStats::default();
     for (failures, s, t) in scenarios {
         if s == t {
@@ -97,7 +99,13 @@ pub fn evaluate_scenarios<P: ForwardingPattern + ?Sized>(
             Some(d) => d,
             None => continue,
         };
-        let result = route(g, failures, pattern, *s, *t, max_hops);
+        let result = match (&compiled, &mut sim) {
+            (Some(cp), Some(sim)) => {
+                sim.load_failures(cp, failures);
+                sim.route(cp, *s, *t, max_hops)
+            }
+            _ => route(g, failures, pattern, *s, *t, max_hops),
+        };
         stats.record(result.outcome, result.hops, optimal);
     }
     stats
@@ -106,7 +114,7 @@ pub fn evaluate_scenarios<P: ForwardingPattern + ?Sized>(
 /// Evaluates a pattern under a random failure workload: `trials` scenarios,
 /// each failing exactly `failures_per_trial` random links and routing between
 /// a random connected source/destination pair.
-pub fn evaluate_random_workload<P: ForwardingPattern + ?Sized, R: Rng>(
+pub fn evaluate_random_workload<P: CompilePattern + ?Sized, R: Rng>(
     g: &Graph,
     pattern: &P,
     trials: usize,
@@ -119,6 +127,8 @@ pub fn evaluate_random_workload<P: ForwardingPattern + ?Sized, R: Rng>(
     if nodes.len() < 2 {
         return stats;
     }
+    let compiled = pattern.compile(g);
+    let mut sim = compiled.as_ref().map(CompiledSim::new);
     for _ in 0..trials {
         let failures = random_failure_set(g, failures_per_trial, rng);
         let s = nodes[rng.gen_range(0..nodes.len())];
@@ -130,7 +140,13 @@ pub fn evaluate_random_workload<P: ForwardingPattern + ?Sized, R: Rng>(
             Some(d) => d,
             None => continue,
         };
-        let result = route(g, &failures, pattern, s, t, max_hops);
+        let result = match (&compiled, &mut sim) {
+            (Some(cp), Some(sim)) => {
+                sim.load_failures(cp, &failures);
+                sim.route(cp, s, t, max_hops)
+            }
+            _ => route(g, &failures, pattern, s, t, max_hops),
+        };
         stats.record(result.outcome, result.hops, optimal);
     }
     stats

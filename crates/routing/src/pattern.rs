@@ -6,9 +6,11 @@
 //! only read the [`LocalContext`] (in-port, incident failed links and —
 //! depending on the routing model — source and destination).
 
+use crate::compiled::{compile_lists, CompilePattern, CompiledPattern};
 use crate::model::{LocalContext, RoutingModel};
 use frr_graph::traversal::distances_from;
 use frr_graph::{Graph, Node};
+use std::borrow::Cow;
 
 /// A static local forwarding function (one rule set per node).
 ///
@@ -34,8 +36,12 @@ pub trait ForwardingPattern: Sync {
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node>;
 
     /// A short human-readable name used in experiment output.
-    fn name(&self) -> String {
-        "unnamed".to_string()
+    ///
+    /// Returns a [`Cow`] so the overwhelmingly common static names cost
+    /// nothing per call — the sweep harnesses label output rows inside their
+    /// loops, and the historical `String` return allocated on every one.
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("unnamed")
     }
 }
 
@@ -46,7 +52,7 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for &P {
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         (**self).next_hop(ctx)
     }
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         (**self).name()
     }
 }
@@ -58,7 +64,7 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for Box<P> {
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         (**self).next_hop(ctx)
     }
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         (**self).name()
     }
 }
@@ -68,7 +74,7 @@ impl<P: ForwardingPattern + ?Sized> ForwardingPattern for Box<P> {
 /// one-off constructions.
 pub struct FnPattern<F> {
     model: RoutingModel,
-    name: String,
+    name: Cow<'static, str>,
     func: F,
 }
 
@@ -77,7 +83,7 @@ where
     F: Fn(&LocalContext<'_>) -> Option<Node> + Sync,
 {
     /// Wraps `func` as a forwarding pattern for `model`.
-    pub fn new(model: RoutingModel, name: impl Into<String>, func: F) -> Self {
+    pub fn new(model: RoutingModel, name: impl Into<Cow<'static, str>>, func: F) -> Self {
         FnPattern {
             model,
             name: name.into(),
@@ -96,10 +102,14 @@ where
     fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
         (self.func)(ctx)
     }
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         self.name.clone()
     }
 }
+
+/// Closures are opaque, so [`FnPattern`] compiles through the generic
+/// exhaustive tabulator.
+impl<F> CompilePattern for FnPattern<F> where F: Fn(&LocalContext<'_>) -> Option<Node> + Sync {}
 
 /// The classic "rotor" / circular-port-sweep pattern: each node stores a fixed
 /// cyclic order of its neighbors and forwards to the first alive neighbor
@@ -116,7 +126,7 @@ pub struct RotorPattern {
     rotation: Vec<Vec<Node>>,
     destination_shortcut: bool,
     model: RoutingModel,
-    name: String,
+    name: Cow<'static, str>,
 }
 
 impl RotorPattern {
@@ -131,9 +141,9 @@ impl RotorPattern {
                 RoutingModel::Touring
             },
             name: if destination_shortcut {
-                "rotor+shortcut".to_string()
+                Cow::Borrowed("rotor+shortcut")
             } else {
-                "rotor".to_string()
+                Cow::Borrowed("rotor")
             },
         }
     }
@@ -153,7 +163,7 @@ impl RotorPattern {
     }
 
     /// Overrides the reported name.
-    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+    pub fn with_name(mut self, name: impl Into<Cow<'static, str>>) -> Self {
         self.name = name.into();
         self
     }
@@ -161,6 +171,26 @@ impl RotorPattern {
     /// The rotation (cyclic neighbor order) at every node.
     pub fn rotation(&self) -> &[Vec<Node>] {
         &self.rotation
+    }
+
+    /// The rotor's priority list for `(node, inport)`: the rotation entries
+    /// starting after the in-port position (shared by the interpreter and
+    /// the compiler so they cannot drift).
+    fn sweep_order<'a>(
+        rotation: &'a [Vec<Node>],
+        node: Node,
+        inport: Option<Node>,
+    ) -> impl Iterator<Item = Node> + 'a {
+        let rot = &rotation[node.index()];
+        let start = match inport {
+            Some(inport) => rot
+                .iter()
+                .position(|&u| u == inport)
+                .map(|p| p + 1)
+                .unwrap_or(0),
+            None => 0,
+        };
+        (0..rot.len()).map(move |step| rot[(start + step) % rot.len()])
     }
 }
 
@@ -173,29 +203,22 @@ impl ForwardingPattern for RotorPattern {
         if self.destination_shortcut && ctx.destination_is_alive_neighbor() {
             return Some(ctx.destination);
         }
-        let rot = &self.rotation[ctx.node.index()];
-        if rot.is_empty() {
-            return None;
-        }
-        let start = match ctx.inport {
-            Some(inport) => rot
-                .iter()
-                .position(|&u| u == inport)
-                .map(|p| p + 1)
-                .unwrap_or(0),
-            None => 0,
-        };
-        for step in 0..rot.len() {
-            let cand = rot[(start + step) % rot.len()];
-            if ctx.is_alive(cand) {
-                return Some(cand);
-            }
-        }
-        None
+        Self::sweep_order(&self.rotation, ctx.node, ctx.inport).find(|&cand| ctx.is_alive(cand))
     }
 
-    fn name(&self) -> String {
+    fn name(&self) -> Cow<'static, str> {
         self.name.clone()
+    }
+}
+
+impl CompilePattern for RotorPattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(g, self.model, self.name.clone(), |_s, t, v, inport, out| {
+            if self.destination_shortcut {
+                out.push(t);
+            }
+            out.extend(Self::sweep_order(&self.rotation, v, inport));
+        })
     }
 }
 
@@ -258,8 +281,32 @@ impl ForwardingPattern for ShortestPathPattern {
         self.rotor.next_hop(ctx)
     }
 
-    fn name(&self) -> String {
-        "shortest-path+rotor-fallback".to_string()
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("shortest-path+rotor-fallback")
+    }
+}
+
+impl CompilePattern for ShortestPathPattern {
+    fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
+        compile_lists(
+            g,
+            RoutingModel::DestinationOnly,
+            self.name(),
+            |_s, t, v, inport, out| {
+                // Adjacent-destination delivery, then the primary next hop
+                // (statically excluded when it would bounce straight back),
+                // then the rotor fallback (whose own shortcut entry is a
+                // harmless duplicate of the first entry).
+                out.push(t);
+                if let Some(primary) = self.primary[v.index()][t.index()] {
+                    if inport != Some(primary) {
+                        out.push(primary);
+                    }
+                }
+                out.push(t);
+                out.extend(RotorPattern::sweep_order(self.rotor.rotation(), v, inport));
+            },
+        )
     }
 }
 

@@ -15,6 +15,7 @@
 //! sequential ascending scan, at any thread count.
 
 use crate::adversary::Counterexample;
+use crate::compiled::{CompilePattern, CompiledSim};
 use crate::failure::{random_failure_set, FailureSet};
 use crate::pattern::ForwardingPattern;
 use crate::simulator::{route, state_space_bound, tour, Outcome};
@@ -84,7 +85,7 @@ fn replay_tour<P: ForwardingPattern + ?Sized>(
 /// popcount-capped), every still-connected `(s, t)` pair (optionally with a
 /// pinned destination), first counterexample in ascending
 /// `(mask, source, destination)` order.
-fn sweep_routing<P: ForwardingPattern + ?Sized>(
+fn sweep_routing<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     max_failures: Option<usize>,
@@ -96,6 +97,11 @@ fn sweep_routing<P: ForwardingPattern + ?Sized>(
         Some(t) => (t.index(), t.index() + 1),
         None => (0, n),
     };
+    // Compile once per sweep; the tables are shared by every worker thread.
+    // `None` (degree or tabulation budget exceeded) keeps the interpreted
+    // trait-object path — outcomes are identical either way.
+    let compiled = pattern.compile(g);
+    let compiled = compiled.as_ref();
     let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>, mask| {
         engine.load_mask(mask);
         for s in (0..n).map(Node) {
@@ -103,7 +109,10 @@ fn sweep_routing<P: ForwardingPattern + ?Sized>(
                 if s == t || !engine.same_component(s, t) {
                     continue;
                 }
-                let outcome = engine.route_outcome(pattern, s, t, max_hops);
+                let outcome = match compiled {
+                    Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
+                    None => engine.route_outcome(pattern, s, t, max_hops),
+                };
                 if !outcome.is_delivered() {
                     return Some(replay_route(g, pattern, engine.failure_set(mask), s, t));
                 }
@@ -129,7 +138,7 @@ fn sweep_routing<P: ForwardingPattern + ?Sized>(
 ///
 /// Panics if the graph has more than [`EXHAUSTIVE_EDGE_LIMIT`] links — use
 /// [`sampled_resilience_violation`] for larger networks.
-pub fn is_perfectly_resilient<P: ForwardingPattern + ?Sized>(
+pub fn is_perfectly_resilient<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Result<(), Counterexample> {
@@ -142,7 +151,7 @@ pub fn is_perfectly_resilient<P: ForwardingPattern + ?Sized>(
 
 /// Checks perfect resilience for a **fixed destination** `t` exhaustively
 /// (every failure set, every source still connected to `t`).
-pub fn is_perfectly_resilient_for_destination<P: ForwardingPattern + ?Sized>(
+pub fn is_perfectly_resilient_for_destination<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     t: Node,
@@ -156,7 +165,7 @@ pub fn is_perfectly_resilient_for_destination<P: ForwardingPattern + ?Sized>(
 
 /// Checks `r`-resilience exhaustively: delivery is only required for failure
 /// sets with at most `r` failed links (and connected `(s, t)` pairs).
-pub fn is_r_resilient<P: ForwardingPattern + ?Sized>(
+pub fn is_r_resilient<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     r: usize,
@@ -171,7 +180,7 @@ pub fn is_r_resilient<P: ForwardingPattern + ?Sized>(
 /// Checks `r`-tolerance (Definition 1) exhaustively for a fixed `(s, t)` pair:
 /// delivery is required for every failure set under which `s` and `t` remain
 /// `r`-connected (have `r` link-disjoint surviving paths).
-pub fn is_r_tolerant<P: ForwardingPattern + ?Sized>(
+pub fn is_r_tolerant<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     s: Node,
@@ -183,6 +192,8 @@ pub fn is_r_tolerant<P: ForwardingPattern + ?Sized>(
         "exhaustive r-tolerance check limited to {EXHAUSTIVE_EDGE_LIMIT} links"
     );
     let max_hops = state_space_bound(g);
+    let compiled = pattern.compile(g);
+    let compiled = compiled.as_ref();
     let found = sweep_find_first(g, None, |engine: &mut SweepEngine<'_>, mask| {
         engine.load_mask(mask);
         // The r-connectivity promise on the overlay, without cloning G \ F.
@@ -192,7 +203,10 @@ pub fn is_r_tolerant<P: ForwardingPattern + ?Sized>(
         if !promise {
             return None;
         }
-        let outcome = engine.route_outcome(pattern, s, t, max_hops);
+        let outcome = match compiled {
+            Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
+            None => engine.route_outcome(pattern, s, t, max_hops),
+        };
         if !outcome.is_delivered() {
             return Some(replay_route(g, pattern, engine.failure_set(mask), s, t));
         }
@@ -228,7 +242,7 @@ impl SamplingBudget {
 /// Sampled `r`-tolerance check for larger graphs: draws random failure sets
 /// according to `budget`, keeps those under which `s` and `t` remain
 /// `r`-connected, and verifies delivery.
-pub fn is_r_tolerant_sampled<P: ForwardingPattern + ?Sized, R: Rng>(
+pub fn is_r_tolerant_sampled<P: CompilePattern + ?Sized, R: Rng>(
     g: &Graph,
     pattern: &P,
     s: Node,
@@ -238,13 +252,21 @@ pub fn is_r_tolerant_sampled<P: ForwardingPattern + ?Sized, R: Rng>(
     rng: &mut R,
 ) -> Result<(), Counterexample> {
     let max_hops = state_space_bound(g);
+    let compiled = pattern.compile(g);
+    let mut sim = compiled.as_ref().map(CompiledSim::new);
     for k in 0..=budget.max_failures {
         for _ in 0..budget.trials {
             let failures = random_failure_set(g, k, rng);
             if !failures.keeps_r_connected(g, s, t, r) {
                 continue;
             }
-            let result = route(g, &failures, pattern, s, t, max_hops);
+            let result = match (&compiled, &mut sim) {
+                (Some(cp), Some(sim)) => {
+                    sim.load_failures(cp, &failures);
+                    sim.route(cp, s, t, max_hops)
+                }
+                _ => route(g, &failures, pattern, s, t, max_hops),
+            };
             if !result.outcome.is_delivered() {
                 return Err(Counterexample {
                     failures,
@@ -260,16 +282,22 @@ pub fn is_r_tolerant_sampled<P: ForwardingPattern + ?Sized, R: Rng>(
 }
 
 /// Shared sweep for the touring checkers.
-fn sweep_touring<P: ForwardingPattern + ?Sized>(
+fn sweep_touring<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     max_failures: Option<usize>,
 ) -> Result<(), Counterexample> {
     let max_hops = state_space_bound(g);
+    let compiled = pattern.compile(g);
+    let compiled = compiled.as_ref();
     let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>, mask| {
         engine.load_mask(mask);
         for start in g.nodes() {
-            if !engine.tour_covers(pattern, start, max_hops) {
+            let covered = match compiled {
+                Some(cp) => engine.tour_covers_compiled(cp, start, max_hops),
+                None => engine.tour_covers(pattern, start, max_hops),
+            };
+            if !covered {
                 return Some(replay_tour(g, pattern, engine.failure_set(mask), start));
             }
         }
@@ -284,7 +312,7 @@ fn sweep_touring<P: ForwardingPattern + ?Sized>(
 /// Checks perfect touring resilience exhaustively: for every failure set and
 /// every start node, the walk must visit the start node's entire surviving
 /// component (§VII).
-pub fn is_perfectly_resilient_touring<P: ForwardingPattern + ?Sized>(
+pub fn is_perfectly_resilient_touring<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Result<(), Counterexample> {
@@ -297,7 +325,7 @@ pub fn is_perfectly_resilient_touring<P: ForwardingPattern + ?Sized>(
 
 /// Checks `k`-resilient touring: coverage is only required for failure sets
 /// with at most `k` failed links.
-pub fn is_k_resilient_touring<P: ForwardingPattern + ?Sized>(
+pub fn is_k_resilient_touring<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     k: usize,
@@ -311,7 +339,7 @@ pub fn is_k_resilient_touring<P: ForwardingPattern + ?Sized>(
 
 /// Randomly samples failure scenarios on a (possibly large) graph and returns
 /// the first violation of perfect resilience found, if any.
-pub fn sampled_resilience_violation<P: ForwardingPattern + ?Sized, R: Rng>(
+pub fn sampled_resilience_violation<P: CompilePattern + ?Sized, R: Rng>(
     g: &Graph,
     pattern: &P,
     trials: usize,
@@ -323,6 +351,8 @@ pub fn sampled_resilience_violation<P: ForwardingPattern + ?Sized, R: Rng>(
     if nodes.len() < 2 {
         return None;
     }
+    let compiled = pattern.compile(g);
+    let mut sim = compiled.as_ref().map(CompiledSim::new);
     for _ in 0..trials {
         let k = rng.gen_range(0..=max_failures.min(g.edge_count()));
         let failures = random_failure_set(g, k, rng);
@@ -331,7 +361,13 @@ pub fn sampled_resilience_violation<P: ForwardingPattern + ?Sized, R: Rng>(
         if s == t || !failures.keeps_connected(g, s, t) {
             continue;
         }
-        let result = route(g, &failures, pattern, s, t, max_hops);
+        let result = match (&compiled, &mut sim) {
+            (Some(cp), Some(sim)) => {
+                sim.load_failures(cp, &failures);
+                sim.route(cp, s, t, max_hops)
+            }
+            _ => route(g, &failures, pattern, s, t, max_hops),
+        };
         if !result.outcome.is_delivered() {
             return Some(Counterexample {
                 failures,

@@ -11,7 +11,64 @@ use crate::model::LocalContext;
 use crate::pattern::ForwardingPattern;
 use frr_graph::connectivity::component_of_filtered;
 use frr_graph::{Graph, Node};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::BTreeSet;
+
+const WORD_BITS: usize = u64::BITS as usize;
+
+/// A packed bitset over the `n · (n + 1)` distinct `(node, in-port)` states —
+/// the simulator's exact loop detector.  One flat `Vec<u64>` instead of a
+/// `HashSet<(Node, Option<Node>)>`: insertion is a shift-and-or, and the
+/// buffer is reusable across simulations.
+struct StateSet {
+    words: Vec<u64>,
+    n: usize,
+}
+
+impl StateSet {
+    fn new(n: usize) -> Self {
+        StateSet {
+            words: vec![0; (n * (n + 1)).div_ceil(WORD_BITS).max(1)],
+            n,
+        }
+    }
+
+    /// Inserts `(node, inport)`; `true` if the state was new.
+    #[inline]
+    fn insert(&mut self, node: Node, inport: Option<Node>) -> bool {
+        let i = node.index() * (self.n + 1) + inport.map_or(0, |u| u.index() + 1);
+        let (w, b) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+}
+
+/// A packed bitset over nodes (tour coverage tracking).
+struct NodeSet {
+    words: Vec<u64>,
+}
+
+impl NodeSet {
+    fn new(n: usize) -> Self {
+        NodeSet {
+            words: vec![0; n.div_ceil(WORD_BITS).max(1)],
+        }
+    }
+
+    /// Inserts `v`; `true` if newly inserted.
+    #[inline]
+    fn insert(&mut self, v: Node) -> bool {
+        let (w, b) = (v.index() / WORD_BITS, 1u64 << (v.index() % WORD_BITS));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    #[inline]
+    fn contains(&self, v: Node) -> bool {
+        self.words[v.index() / WORD_BITS] & (1u64 << (v.index() % WORD_BITS)) != 0
+    }
+}
 
 /// Why a routing simulation ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,8 +142,8 @@ pub fn route<P: ForwardingPattern + ?Sized>(
     }
     let mut current = source;
     let mut inport: Option<Node> = None;
-    let mut seen_states: HashSet<(Node, Option<Node>)> = HashSet::new();
-    seen_states.insert((current, inport));
+    let mut seen_states = StateSet::new(graph.node_count());
+    seen_states.insert(current, inport);
     let mut hops = 0usize;
     // One buffer reused across hops; `failed_neighbors_into` clears it.
     let mut failed_neighbors: Vec<Node> = Vec::new();
@@ -137,7 +194,7 @@ pub fn route<P: ForwardingPattern + ?Sized>(
                 hops,
             };
         }
-        if !seen_states.insert((current, inport)) {
+        if !seen_states.insert(current, inport) {
             return RouteResult {
                 outcome: Outcome::Loop,
                 path,
@@ -162,19 +219,24 @@ pub fn tour<P: ForwardingPattern + ?Sized>(
     max_hops: usize,
 ) -> TourResult {
     // Component of `start` in `G \ F`, computed on the original graph
-    // skipping failed links — no surviving-graph clone.
-    let component: BTreeSet<Node> =
-        component_of_filtered(graph, start, |u, v| !failures.contains(u, v))
-            .into_iter()
-            .collect();
+    // skipping failed links — no surviving-graph clone.  Coverage is tracked
+    // with packed node bitsets and a remaining-count: the historical
+    // per-hop `BTreeSet::is_superset` probe was the tour loop's hot spot.
+    let mut component = NodeSet::new(graph.node_count());
+    let mut remaining = 0u32;
+    for v in component_of_filtered(graph, start, |u, v| !failures.contains(u, v)) {
+        component.insert(v);
+        remaining += 1;
+    }
+    remaining -= 1; // `start` is visited from the outset.
 
-    let mut visited: BTreeSet<Node> = BTreeSet::new();
+    let mut visited = NodeSet::new(graph.node_count());
     visited.insert(start);
     let mut path = vec![start];
     let mut current = start;
     let mut inport: Option<Node> = None;
-    let mut seen_states: HashSet<(Node, Option<Node>)> = HashSet::new();
-    seen_states.insert((current, inport));
+    let mut seen_states = StateSet::new(graph.node_count());
+    seen_states.insert(current, inport);
     let mut returned_after_cover = false;
     let mut hops = 0usize;
     let mut failed_neighbors: Vec<Node> = Vec::new();
@@ -206,20 +268,21 @@ pub fn tour<P: ForwardingPattern + ?Sized>(
         current = next;
         hops += 1;
         path.push(current);
-        visited.insert(current);
-        if current == start && visited.is_superset(&component) {
+        if visited.insert(current) && component.contains(current) {
+            remaining -= 1;
+        }
+        if current == start && remaining == 0 {
             returned_after_cover = true;
         }
-        if !seen_states.insert((current, inport)) {
+        if !seen_states.insert(current, inport) {
             break;
         }
     }
 
-    let covered = visited.is_superset(&component);
     TourResult {
-        covered_component: covered,
+        covered_component: remaining == 0,
         returned_to_start: returned_after_cover,
-        visited,
+        visited: graph.nodes().filter(|&v| visited.contains(v)).collect(),
         path,
     }
 }

@@ -26,6 +26,7 @@
 //! simulator on the materialized failure set: reconstruction happens at most
 //! once per sweep, so the hot loop never builds a path vector.
 
+use crate::compiled::CompiledPattern;
 use crate::failure::{FailureMasks, MAX_MASK_EDGES};
 use crate::model::LocalContext;
 use crate::pattern::ForwardingPattern;
@@ -48,9 +49,16 @@ pub struct SweepEngine<'g> {
     n: usize,
     /// Words per adjacency row (shared with `bits`).
     words: usize,
+    /// Per edge `i` of the canonical order: the **local port indices** of the
+    /// far endpoint at each end (`v`'s rank among `u`'s ascending neighbors
+    /// and vice versa) — the bit positions the compiled tables test.
+    edge_local: Vec<(u32, u32)>,
     // ---- per-mask scratch (reset by `load_mask`) ----
     /// `n * words` words; bit `u` of node `v`'s row set iff `{u, v}` failed.
     failed_adj: Vec<u64>,
+    /// Per-node failed-**port** masks (bit `p` ⇒ the node's `p`-th incident
+    /// link failed) — the aliveness word the compiled hot loops consume.
+    failed_ports: Vec<u64>,
     /// Per-node failed neighbors, sorted ascending (the `LocalContext` view).
     failed_list: Vec<Vec<Node>>,
     /// Nodes whose scratch entries are dirty (bounded by `2·|F|`).
@@ -62,6 +70,9 @@ pub struct SweepEngine<'g> {
     // ---- per-simulation scratch ----
     /// Packed bitset over the `n · (n + 1)` distinct `(node, in-port)` states.
     seen_states: Vec<u64>,
+    /// Packed bitset over the `2m + n` compiled `(node, in-port-index)`
+    /// states (the CSR state-id scheme of [`crate::compiled`]).
+    seen_compiled: Vec<u64>,
     /// Packed node bitsets for component BFS / tour coverage.
     visit_a: Vec<u64>,
     visit_b: Vec<u64>,
@@ -84,16 +95,26 @@ impl<'g> SweepEngine<'g> {
         let n = g.node_count();
         let words = bits.words_per_row();
         let state_words = (n * (n + 1)).div_ceil(WORD_BITS).max(1);
+        let compiled_state_words = (2 * edges.len() + n).div_ceil(WORD_BITS).max(1);
+        let rank =
+            |v: Node, u: Node| g.neighbors(v).position(|x| x == u).expect("incident edge") as u32;
+        let edge_local = edges
+            .iter()
+            .map(|e| (rank(e.u(), e.v()), rank(e.v(), e.u())))
+            .collect();
         SweepEngine {
             graph: g,
             n,
             words,
+            edge_local,
             failed_adj: vec![0; n * words],
+            failed_ports: vec![0; n],
             failed_list: vec![Vec::new(); n],
             touched: Vec::with_capacity(n),
             comp_id: vec![0; n],
             comp_size: Vec::with_capacity(n),
             seen_states: vec![0; state_words],
+            seen_compiled: vec![0; compiled_state_words],
             visit_a: vec![0; words],
             visit_b: vec![0; words],
             visit_c: vec![0; words],
@@ -130,6 +151,7 @@ impl<'g> SweepEngine<'g> {
         // Reset the scratch of the previous mask.
         for &v in &self.touched {
             self.failed_adj[v * self.words..(v + 1) * self.words].fill(0);
+            self.failed_ports[v] = 0;
             self.failed_list[v].clear();
         }
         self.touched.clear();
@@ -138,13 +160,15 @@ impl<'g> SweepEngine<'g> {
         for i in BitIter::new(mask) {
             let e = self.edges[i];
             let (u, v) = (e.u().index(), e.v().index());
-            for (a, b) in [(u, v), (v, u)] {
-                // The bit rows and the lists are dirtied together, so an
-                // empty list is an exact "node untouched so far" test.
+            let (pu, pv) = self.edge_local[i];
+            for (a, b, p) in [(u, v, pu), (v, u, pv)] {
+                // The bit rows, port masks and lists are dirtied together, so
+                // an empty list is an exact "node untouched so far" test.
                 if self.failed_list[a].is_empty() {
                     self.touched.push(a);
                 }
                 self.failed_adj[a * self.words + b / WORD_BITS] |= 1u64 << (b % WORD_BITS);
+                self.failed_ports[a] |= 1u64 << p;
                 self.failed_list[a].push(Node(b));
             }
         }
@@ -355,6 +379,109 @@ impl<'g> SweepEngine<'g> {
                 }
             }
             if !self.insert_state(current, inport) {
+                return false;
+            }
+        }
+    }
+
+    /// Inserts a compiled `(node, in-port-index)` state; `true` if new.
+    #[inline]
+    fn insert_compiled_state(&mut self, cp: &CompiledPattern, v: usize, inport_idx: u32) -> bool {
+        let i = (cp.csr().state_base(v) + inport_idx) as usize;
+        let (w, b) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let fresh = self.seen_compiled[w] & b == 0;
+        self.seen_compiled[w] |= b;
+        fresh
+    }
+
+    /// [`SweepEngine::route_outcome`] on compiled rule tables: the hot loop
+    /// is a state-id lookup, a first-alive scan against the node's failed-
+    /// port mask and two array reads per hop — no dynamic dispatch, no
+    /// neighbor re-derivation, no allocation.  Byte-identical outcomes to the
+    /// interpreted path (the compiled tables replicate `next_hop` exactly).
+    ///
+    /// `cp` must be compiled for this engine's graph.
+    pub fn route_outcome_compiled(
+        &mut self,
+        cp: &CompiledPattern,
+        source: Node,
+        destination: Node,
+        max_hops: usize,
+    ) -> Outcome {
+        debug_assert!(cp.matches_shape(self.n, self.edges.len()));
+        if source == destination {
+            return Outcome::Delivered;
+        }
+        self.seen_compiled.fill(0);
+        let csr = cp.csr();
+        let table = cp.table(source, destination);
+        let mut v = source.index();
+        let mut inport_idx = csr.degree(v);
+        self.insert_compiled_state(cp, v, inport_idx);
+        let mut hops = 0usize;
+        loop {
+            if hops >= max_hops {
+                return Outcome::HopLimit;
+            }
+            let port = match cp.decide(table, v, inport_idx, self.failed_ports[v]) {
+                Some(p) => p as usize,
+                None => return Outcome::Stuck,
+            };
+            v = csr.port_target(port);
+            inport_idx = csr.reverse_port(port);
+            hops += 1;
+            if v == destination.index() {
+                return Outcome::Delivered;
+            }
+            if !self.insert_compiled_state(cp, v, inport_idx) {
+                return Outcome::Loop;
+            }
+        }
+    }
+
+    /// [`SweepEngine::tour_covers`] on compiled rule tables.
+    pub fn tour_covers_compiled(
+        &mut self,
+        cp: &CompiledPattern,
+        start: Node,
+        max_hops: usize,
+    ) -> bool {
+        debug_assert!(cp.matches_shape(self.n, self.edges.len()));
+        let mut remaining = self.component_size(start) - 1;
+        if remaining == 0 {
+            return true;
+        }
+        self.seen_compiled.fill(0);
+        self.visit_a.fill(0);
+        self.visit_a[start.index() / WORD_BITS] |= 1u64 << (start.index() % WORD_BITS);
+        let csr = cp.csr();
+        let table = cp.table(start, start);
+        let mut v = start.index();
+        let mut inport_idx = csr.degree(v);
+        self.insert_compiled_state(cp, v, inport_idx);
+        let mut hops = 0usize;
+        loop {
+            if hops >= max_hops {
+                return false;
+            }
+            let port = match cp.decide(table, v, inport_idx, self.failed_ports[v]) {
+                Some(p) => p as usize,
+                None => return false,
+            };
+            v = csr.port_target(port);
+            inport_idx = csr.reverse_port(port);
+            hops += 1;
+            let (w, b) = (v / WORD_BITS, 1u64 << (v % WORD_BITS));
+            if self.visit_a[w] & b == 0 {
+                self.visit_a[w] |= b;
+                if self.same_component(Node(v), start) {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return true;
+                    }
+                }
+            }
+            if !self.insert_compiled_state(cp, v, inport_idx) {
                 return false;
             }
         }

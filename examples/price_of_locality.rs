@@ -7,13 +7,14 @@
 
 use fastreroute::prelude::*;
 use frr_routing::adversary::verify_counterexample;
+use frr_routing::compiled::CompilePattern;
 
 fn main() {
     for r in 1..=2usize {
         let n = 3 + 5 * r;
         let g = generators::complete(n);
         println!("== K{n}: promise = {r} link-disjoint path(s) survive between s and t ==");
-        let candidates: Vec<Box<dyn ForwardingPattern>> = vec![
+        let candidates: Vec<Box<dyn CompilePattern>> = vec![
             Box::new(RotorPattern::clockwise_with_shortcut(&g)),
             Box::new(ShortestPathPattern::new(&g)),
             Box::new(Distance2Pattern::new()),
