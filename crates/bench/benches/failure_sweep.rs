@@ -27,7 +27,7 @@ fn clone_based_perfect_resilience<P: ForwardingPattern + ?Sized>(
     let max_hops = state_space_bound(g);
     let edges = g.edges();
     for mask in 0..(1u64 << edges.len()) {
-        let failures = failure_set_from_mask(&edges, mask);
+        let failures = failure_set_from_mask(&edges, &mask);
         let surviving = failures.surviving_graph(g);
         for s in g.nodes() {
             for t in g.nodes() {
@@ -59,7 +59,7 @@ fn walk_based_k_resilient_touring<P: ForwardingPattern + ?Sized>(
         if mask.count_ones() as usize > k {
             continue;
         }
-        let failures = failure_set_from_mask(&edges, mask);
+        let failures = failure_set_from_mask(&edges, &mask);
         for start in g.nodes() {
             if !tour(g, &failures, pattern, start, max_hops).covered_component {
                 return false;
@@ -125,7 +125,36 @@ fn bench_mask_enumeration(c: &mut Criterion) {
     let g = generators::complete(7);
     let edges = g.edges();
     group.bench_function("bounded_masks/materialize_one", |b| {
-        b.iter(|| black_box::<FailureSet>(failure_set_from_mask(&edges, 0b1011)))
+        b.iter(|| black_box::<FailureSet>(failure_set_from_mask(&edges, &0b1011u64)))
+    });
+    // Gray-code enumeration past the 64-link wall: every ≤ 2-failure mask of
+    // a 100-link network, emitted with flip lists (5051 masks).
+    group.bench_function("bounded_masks/m100_k2_gray", |b| {
+        b.iter(|| {
+            let mut gray = frr_routing::failure::GrayMasks::with_max_failures(100, Some(2));
+            let mut count = 0u64;
+            while gray.advance() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+    group.finish();
+}
+
+fn bench_beyond_64_links(c: &mut Criterion) {
+    // The wall-break case: a 72-link ring (two mask words) under the plain
+    // clockwise rotor, which tours rings perfectly — the bounded touring
+    // sweep runs to completion (no early exit), all overlay updates via
+    // incremental toggles.
+    let ring = generators::cycle(72);
+    let rotor = RotorPattern::clockwise(&ring);
+    let mut group = c.benchmark_group("failure_sweep");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.bench_function("ring72_touring_sweep_k1/engine", |b| {
+        b.iter(|| black_box(is_k_resilient_touring(&ring, &rotor, 1).is_ok()))
     });
     group.finish();
 }
@@ -134,6 +163,7 @@ criterion_group!(
     benches,
     bench_k5_perfect_resilience,
     bench_k7_touring,
-    bench_mask_enumeration
+    bench_mask_enumeration,
+    bench_beyond_64_links
 );
 criterion_main!(benches);

@@ -57,8 +57,8 @@ fn sweep_routing<P: ForwardingPattern + ?Sized>(
     let max_hops = state_space_bound(g);
     let mut delivered = 0u64;
     for mask in FailureMasks::with_max_failures(g.edge_count(), Some(max_failures)) {
-        engine.load_mask(mask);
-        let failures = (flavor == Flavor::TraitObject).then(|| engine.failure_set(mask));
+        engine.load_mask(&mask);
+        let failures = (flavor == Flavor::TraitObject).then(|| engine.failure_set(&mask));
         for s in g.nodes() {
             for t in g.nodes() {
                 if s == t || !engine.same_component(s, t) {
@@ -90,8 +90,8 @@ fn sweep_touring<P: ForwardingPattern + ?Sized>(
     let max_hops = state_space_bound(g);
     let mut covered = 0u64;
     for mask in FailureMasks::with_max_failures(g.edge_count(), Some(max_failures)) {
-        engine.load_mask(mask);
-        let failures = (flavor == Flavor::TraitObject).then(|| engine.failure_set(mask));
+        engine.load_mask(&mask);
+        let failures = (flavor == Flavor::TraitObject).then(|| engine.failure_set(&mask));
         for start in g.nodes() {
             let ok = match flavor {
                 Flavor::Compiled => engine.tour_covers_compiled(compiled, start, max_hops),

@@ -63,20 +63,21 @@ pub fn destination_only_adversary<P: CompilePattern + ?Sized>(
 /// A generic adversary for the touring model: exhaustive enumeration via the
 /// touring resilience checker where affordable, otherwise a bounded-failure
 /// search (the paper's touring counterexamples embed `K4` / `K2,3` and need
-/// only a handful of failures — Lemmas 3/4).
+/// only a handful of failures — Lemmas 3/4).  Graphs too large for even the
+/// bounded sweep degrade gracefully to "no counterexample found" via the
+/// `Result`-returning checker instead of aborting.
 pub fn touring_adversary<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
 ) -> Option<Counterexample> {
     use frr_routing::resilience::{
-        is_k_resilient_touring, is_perfectly_resilient_touring, BOUNDED_EDGE_LIMIT,
-        EXHAUSTIVE_EDGE_LIMIT,
+        check_bounded_touring_resilience, is_perfectly_resilient_touring, EXHAUSTIVE_EDGE_LIMIT,
     };
     if g.edge_count() <= EXHAUSTIVE_EDGE_LIMIT {
         is_perfectly_resilient_touring(g, pattern).err()
-    } else if g.edge_count() <= BOUNDED_EDGE_LIMIT {
-        is_k_resilient_touring(g, pattern, 4).err()
     } else {
-        None
+        check_bounded_touring_resilience(g, pattern, 4)
+            .ok()
+            .and_then(Result::err)
     }
 }

@@ -49,7 +49,7 @@ fn assert_compiled_matches<P: CompilePattern>(g: &Graph, pattern: &P, seed: u64)
     let mut sim = CompiledSim::new(&cp);
     let edges = g.edges();
     for mask in sample_masks(g, seed) {
-        let failures = failure_set_from_mask(&edges, mask);
+        let failures = failure_set_from_mask(&edges, &mask);
         sim.load_failures(&cp, &failures);
         if pattern.model() == RoutingModel::Touring {
             for start in g.nodes() {

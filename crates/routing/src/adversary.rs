@@ -109,8 +109,7 @@ impl Adversary for BruteForceAdversary {
             g,
             self.max_failures,
             Some(self.max_sets),
-            |engine: &mut SweepEngine<'_>, mask| {
-                engine.load_mask(mask);
+            |engine: &mut SweepEngine<'_>| {
                 for s in g.nodes() {
                     for t in g.nodes() {
                         if s == t || !engine.same_component(s, t) {
@@ -121,7 +120,7 @@ impl Adversary for BruteForceAdversary {
                             None => engine.route_outcome(pattern, s, t, max_hops),
                         };
                         if !outcome.is_delivered() {
-                            let failures = engine.failure_set(mask);
+                            let failures = engine.current_failure_set();
                             let result = route(g, &failures, pattern, s, t, max_hops);
                             return Some(Counterexample {
                                 failures,

@@ -821,7 +821,7 @@ mod tests {
         let max_hops = state_space_bound(&g);
         let mut sim = CompiledSim::new(&cp);
         for mask in 0..(1u64 << g.edge_count()) {
-            let failures = crate::failure::failure_set_from_mask(&g.edges(), mask);
+            let failures = crate::failure::failure_set_from_mask(&g.edges(), &mask);
             sim.load_failures(&cp, &failures);
             for s in g.nodes() {
                 for t in g.nodes() {
@@ -853,7 +853,7 @@ mod tests {
         let max_hops = state_space_bound(&g);
         let mut sim = CompiledSim::new(&cp);
         for mask in 0..(1u64 << g.edge_count()) {
-            let failures = crate::failure::failure_set_from_mask(&g.edges(), mask);
+            let failures = crate::failure::failure_set_from_mask(&g.edges(), &mask);
             sim.load_failures(&cp, &failures);
             for s in g.nodes() {
                 assert_eq!(
@@ -872,7 +872,7 @@ mod tests {
         let cp = tabulate(&g, &p).expect("within budget");
         let max_hops = state_space_bound(&g);
         for mask in 0..(1u64 << g.edge_count()) {
-            let failures = crate::failure::failure_set_from_mask(&g.edges(), mask);
+            let failures = crate::failure::failure_set_from_mask(&g.edges(), &mask);
             for s in g.nodes() {
                 for t in g.nodes() {
                     assert_eq!(

@@ -7,6 +7,10 @@
 //! paper, whose entire failure-set power set fits in memory-free iteration)
 //! and reproducible random sampling (for larger networks).
 
+use crate::mask::{
+    add_one, exceeds_width, skip_superset_block, IntoMaskRef, MaskBuf, MaskCount, MaskRef,
+};
+use frr_graph::bitgraph::BitIter;
 use frr_graph::connectivity::{same_component_filtered, st_edge_connectivity_filtered};
 use frr_graph::{Edge, Graph, Node};
 use rand::seq::SliceRandom;
@@ -14,8 +18,11 @@ use rand::Rng;
 use std::collections::BTreeSet;
 use std::fmt;
 
-/// Largest link count for which failure sets can be enumerated as `u64`
-/// bitmasks (one bit per link in ascending [`Graph::edges`] order).
+/// Largest link count for which failure masks fit a **single** `u64` word
+/// (one bit per link in ascending [`Graph::edges`] order).  This is the
+/// width limit of the `u64`-yielding [`Iterator`] view of [`FailureMasks`]
+/// and of [`AllFailureSets`]; the width-generic [`MaskRef`]/[`MaskBuf`]
+/// APIs ([`FailureMasks::next_mask`], [`GrayMasks`]) have no such limit.
 pub const MAX_MASK_EDGES: usize = 62;
 
 /// A set of failed (undirected) links.
@@ -35,6 +42,22 @@ impl FailureSet {
         FailureSet {
             failed: edges.into_iter().collect(),
         }
+    }
+
+    /// The canonical mask → set constructor: materializes the failure set a
+    /// bitmask denotes over an ascending edge list (bit `i` set ⇒ `edges[i]`
+    /// failed).  Accepts any mask shape via [`IntoMaskRef`]: a `&u64`, a
+    /// `&[u64]` slice, a [`MaskBuf`] or a [`MaskRef`].
+    ///
+    /// This subsumes the historical duplicates `failure_set_from_mask` and
+    /// `SweepEngine::failure_set`, which remain as thin wrappers.
+    pub fn from_mask<'a>(edges: &[Edge], mask: impl IntoMaskRef<'a>) -> Self {
+        let mask = mask.into_mask_ref();
+        FailureSet::from_edges(
+            mask.iter_ones()
+                .filter(|&i| i < edges.len())
+                .map(|i| edges[i]),
+        )
     }
 
     /// A failure set from `(u, v)` index pairs.
@@ -151,34 +174,37 @@ impl Extend<Edge> for FailureSet {
     }
 }
 
-/// Allocation-free iterator over failure-set **bitmasks**: every `u64` whose
-/// set bits index failed links (in ascending [`Graph::edges`] order),
-/// enumerated in ascending numeric order, optionally capped at a maximum
-/// popcount.
+/// Allocation-free enumerator over failure-set **bitmasks** in ascending
+/// numeric order, optionally capped at a maximum popcount, at any width:
+/// the width-generic [`FailureMasks::next_mask`] lends a [`MaskRef`] per
+/// mask; the [`Iterator`] view yields `u64` for ≤ [`MAX_MASK_EDGES`]-link
+/// graphs (the historical single-word interface, unchanged bit for bit).
 ///
 /// Capped enumeration does **not** walk all `2^m` masks: whenever the next
-/// candidate exceeds the cap, the iterator jumps over the whole block of its
-/// supersets in one step (`(mask | (mask - 1)) + 1` clears the trailing-ones
-/// run and carries), so visiting the `Σ_{i≤k} C(m,i)` valid masks costs
-/// `O(1)` amortized word operations each.  That is what lets the bounded
-/// checkers afford graphs far beyond 26 links.
-///
-/// The numeric order is exactly the order the pre-bitmask implementation
-/// produced, so "first counterexample" results are byte-identical.
+/// candidate exceeds the cap, the enumerator jumps over the whole block of
+/// its supersets in one step (the multi-word `(mask | (mask - 1)) + 1`
+/// clears the trailing-ones run and carries), so visiting the
+/// `Σ_{i≤k} C(m,i)` valid masks costs `O(W)` amortized word operations
+/// each.  That is what lets the bounded checkers afford graphs far beyond
+/// 26 links.
+#[derive(Debug, Clone)]
+enum EnumState {
+    Fresh,
+    Running,
+    Done,
+}
+
+/// See the module docs: ascending-numeric mask enumeration at any width.
 #[derive(Debug, Clone)]
 pub struct FailureMasks {
-    next: u64,
-    /// One past the last mask (`2^m`).
-    end: u64,
+    cur: MaskBuf,
+    edge_count: usize,
     max_ones: Option<u32>,
+    state: EnumState,
 }
 
 impl FailureMasks {
     /// Enumerates every failure mask over `edge_count` links.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `edge_count` exceeds [`MAX_MASK_EDGES`].
     pub fn all(edge_count: usize) -> Self {
         Self::with_max_failures(edge_count, None)
     }
@@ -186,55 +212,277 @@ impl FailureMasks {
     /// Enumerates every failure mask over `edge_count` links with at most
     /// `max` failed links.
     pub fn with_max_failures(edge_count: usize, max: Option<usize>) -> Self {
-        assert!(
-            edge_count <= MAX_MASK_EDGES,
-            "exhaustive enumeration needs at most {MAX_MASK_EDGES} links"
-        );
         FailureMasks {
-            next: 0,
-            end: 1u64 << edge_count,
+            cur: MaskBuf::for_edges(edge_count),
+            edge_count,
             max_ones: max.map(|m| m.min(edge_count) as u32),
+            state: EnumState::Fresh,
         }
     }
 
-    /// The numeric span of the enumeration (`2^m`); mask values are always in
-    /// `0..span()`.  Used by the parallel checkers to shard contiguous mask
-    /// ranges across workers.
-    pub fn span(&self) -> u64 {
-        self.end
+    /// The numeric span of the enumeration (`2^m`); mask values are always
+    /// in `0..span()`.  [`MaskCount::Saturated`] beyond 127 links.
+    pub fn span(&self) -> MaskCount {
+        if self.edge_count < 128 {
+            MaskCount::Exact(1u128 << self.edge_count)
+        } else {
+            MaskCount::Saturated
+        }
+    }
+
+    /// The next mask, lent as a borrowed view — the width-generic
+    /// counterpart of the `u64` [`Iterator`] view, usable at any width.
+    pub fn next_mask(&mut self) -> Option<MaskRef<'_>> {
+        match self.state {
+            EnumState::Done => return None,
+            // The all-alive mask (popcount 0) always satisfies the cap.
+            EnumState::Fresh => self.state = EnumState::Running,
+            EnumState::Running => {
+                if !self.advance() {
+                    self.state = EnumState::Done;
+                    return None;
+                }
+            }
+        }
+        Some(self.cur.as_mask())
+    }
+
+    /// Steps `cur` to the next in-cap mask; `false` when the enumeration
+    /// left the `m`-bit space.
+    fn advance(&mut self) -> bool {
+        let m = self.edge_count;
+        let words = self.cur.words_mut();
+        if add_one(words) || exceeds_width(words, m) {
+            return false;
+        }
+        if let Some(k) = self.max_ones {
+            while words.iter().map(|w| w.count_ones()).sum::<u32>() > k {
+                // Skip `cur` and every superset of it obtainable by setting
+                // bits below its lowest set bit — all exceed the cap too.
+                if skip_superset_block(words) || exceeds_width(words, m) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
 impl Iterator for FailureMasks {
     type Item = u64;
 
+    /// The single-word view.
+    ///
+    /// # Panics
+    ///
+    /// Panics beyond [`MAX_MASK_EDGES`] links — use
+    /// [`FailureMasks::next_mask`] there.
     #[inline]
     fn next(&mut self) -> Option<u64> {
-        let mut cand = self.next;
-        if let Some(k) = self.max_ones {
-            while cand < self.end && cand.count_ones() > k {
-                // Skip `cand` and every superset of it obtainable by setting
-                // bits below its lowest set bit — all exceed the cap too.
-                cand = (cand | (cand - 1)) + 1;
+        assert!(
+            self.edge_count <= MAX_MASK_EDGES,
+            "u64 mask iteration needs at most {MAX_MASK_EDGES} links; use next_mask()"
+        );
+        self.next_mask().map(|mask| mask.word(0))
+    }
+}
+
+/// Enumerates failure masks in **Gray-code order**: consecutive masks
+/// differ by at most two flipped edges (exactly one across weight
+/// boundaries), and [`GrayMasks::last_flips`] names the flipped edge
+/// indices — which is what lets `SweepEngine::toggle_edge` patch its
+/// overlay incrementally instead of rebuilding it per mask.
+///
+/// The order is the weight-ordered *revolving-door* combination Gray code:
+/// all masks of popcount 0, then popcount 1, …, up to the cap (or `m`),
+/// with each weight block ordered by the classic recursion
+/// `A(n, k) = A(n-1, k) ++ reverse(A(n-1, k-1)) × {n-1}` and odd-weight
+/// blocks reversed so weight boundaries are single flips.  Weight-ordered
+/// enumeration also means bounded sweeps spend their budget on the
+/// smallest failure sets first — the paper's regime of interest.
+///
+/// This is the canonical sweep order of `sweep_find_first` (and therefore
+/// of every "first counterexample" result) from the multi-word redesign
+/// onward; set-wise it visits exactly the masks [`FailureMasks`] visits
+/// (asserted by the differential suite).
+///
+/// Implemented as an explicit stack machine (no recursion, no
+/// materialization): amortized `O(W)` words per mask, stack depth `O(m)`.
+#[derive(Debug, Clone)]
+pub struct GrayMasks {
+    /// The working subset the machine mutates via `Set`/`Clear` ops.
+    base: MaskBuf,
+    /// The most recently emitted mask.
+    cur: MaskBuf,
+    /// Emission scratch (`base` plus base-case bits).
+    scratch: MaskBuf,
+    ops: Vec<GrayOp>,
+    /// Edge indices flipped by the last `advance` (`cur XOR previous`).
+    flips: Vec<u32>,
+    edge_count: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GrayOp {
+    /// Emit the revolving-door listing of `k`-subsets of `{0..n}`
+    /// (reversed if `rev`), offset by the current `base` set.
+    Gen {
+        n: u32,
+        k: u32,
+        rev: bool,
+    },
+    Set(u32),
+    Clear(u32),
+}
+
+impl GrayMasks {
+    /// Gray-code enumeration of every failure mask over `edge_count` links.
+    pub fn all(edge_count: usize) -> Self {
+        Self::with_max_failures(edge_count, None)
+    }
+
+    /// Gray-code enumeration capped at `max` failed links.
+    pub fn with_max_failures(edge_count: usize, max: Option<usize>) -> Self {
+        let kmax = max.map_or(edge_count, |k| k.min(edge_count)) as u32;
+        // Weight blocks 0..=kmax, popped in ascending order; odd blocks
+        // run reversed so each weight boundary is a single added edge.
+        let ops = (0..=kmax)
+            .rev()
+            .map(|w| GrayOp::Gen {
+                n: edge_count as u32,
+                k: w,
+                rev: w % 2 == 1,
+            })
+            .collect();
+        GrayMasks {
+            base: MaskBuf::for_edges(edge_count),
+            cur: MaskBuf::for_edges(edge_count),
+            scratch: MaskBuf::for_edges(edge_count),
+            ops,
+            flips: Vec::new(),
+            edge_count,
+        }
+    }
+
+    /// Number of links (mask width).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Steps to the next mask; `false` when the enumeration is exhausted.
+    /// After a `true` return, [`GrayMasks::current`] is the new mask and
+    /// [`GrayMasks::last_flips`] the edges it differs from its predecessor
+    /// by (empty only for the very first mask, the all-alive `∅`).
+    pub fn advance(&mut self) -> bool {
+        loop {
+            let Some(op) = self.ops.pop() else {
+                return false;
+            };
+            match op {
+                GrayOp::Set(b) => self.base.set(b as usize),
+                GrayOp::Clear(b) => self.base.clear(b as usize),
+                GrayOp::Gen { k: 0, .. } => {
+                    self.emit(0);
+                    return true;
+                }
+                GrayOp::Gen { n, k, .. } if k >= n => {
+                    self.emit(n);
+                    return true;
+                }
+                GrayOp::Gen { n, k, rev: false } => {
+                    // A(n,k) = A(n-1,k) ++ reverse(A(n-1,k-1)) × {n-1}.
+                    self.ops.push(GrayOp::Clear(n - 1));
+                    self.ops.push(GrayOp::Gen {
+                        n: n - 1,
+                        k: k - 1,
+                        rev: true,
+                    });
+                    self.ops.push(GrayOp::Set(n - 1));
+                    self.ops.push(GrayOp::Gen {
+                        n: n - 1,
+                        k,
+                        rev: false,
+                    });
+                }
+                GrayOp::Gen { n, k, rev: true } => {
+                    // reverse(A(n,k)) = A(n-1,k-1) × {n-1} ++ reverse(A(n-1,k)).
+                    self.ops.push(GrayOp::Gen {
+                        n: n - 1,
+                        k,
+                        rev: true,
+                    });
+                    self.ops.push(GrayOp::Clear(n - 1));
+                    self.ops.push(GrayOp::Gen {
+                        n: n - 1,
+                        k: k - 1,
+                        rev: false,
+                    });
+                    self.ops.push(GrayOp::Set(n - 1));
+                }
             }
         }
-        if cand >= self.end {
-            self.next = self.end;
-            return None;
-        }
-        self.next = cand + 1;
-        Some(cand)
     }
+
+    /// Emits `base`, with bits `0..full_below` additionally set (the
+    /// `k == n` base case), computing the flip list against the previous
+    /// mask.
+    fn emit(&mut self, full_below: u32) {
+        self.scratch.copy_from(self.base.as_mask());
+        for b in 0..full_below {
+            self.scratch.set(b as usize);
+        }
+        self.flips.clear();
+        for (wi, (&new, &old)) in self
+            .scratch
+            .words()
+            .iter()
+            .zip(self.cur.words())
+            .enumerate()
+        {
+            for b in BitIter::new(new ^ old) {
+                self.flips.push((wi * 64 + b) as u32);
+            }
+        }
+        std::mem::swap(&mut self.cur, &mut self.scratch);
+    }
+
+    /// The mask of the most recent [`GrayMasks::advance`].
+    pub fn current(&self) -> MaskRef<'_> {
+        self.cur.as_mask()
+    }
+
+    /// The edge indices the current mask differs from its predecessor by.
+    pub fn last_flips(&self) -> &[u32] {
+        &self.flips
+    }
+}
+
+/// `Σ_{i≤k} C(m, i)` — the number of masks a popcount-capped enumeration
+/// ([`FailureMasks`] or [`GrayMasks`] alike) visits, honest about overflow.
+pub fn capped_mask_count(m: usize, k: usize) -> MaskCount {
+    let mut total: u128 = 1;
+    let mut binomial: u128 = 1;
+    for i in 1..=k.min(m) {
+        // `binomial * (m - i + 1)` is exactly divisible by `i` at each step.
+        binomial = match binomial.checked_mul((m - i + 1) as u128) {
+            Some(b) => b / i as u128,
+            None => return MaskCount::Saturated,
+        };
+        total = match total.checked_add(binomial) {
+            Some(t) => t,
+            None => return MaskCount::Saturated,
+        };
+    }
+    MaskCount::Exact(total)
 }
 
 /// Materializes the failure set a bitmask denotes over an ascending edge
 /// list (bit `i` set ⇒ `edges[i]` failed).
-pub fn failure_set_from_mask(edges: &[Edge], mask: u64) -> FailureSet {
-    FailureSet::from_edges(
-        (0..edges.len())
-            .filter(|i| mask & (1u64 << i) != 0)
-            .map(|i| edges[i]),
-    )
+///
+/// Thin wrapper kept for the historical call sites; prefer the canonical
+/// [`FailureSet::from_mask`].
+pub fn failure_set_from_mask<'a>(edges: &[Edge], mask: impl IntoMaskRef<'a>) -> FailureSet {
+    FailureSet::from_mask(edges, mask)
 }
 
 /// Iterator over **all** failure sets of a graph (the power set of its link
@@ -263,6 +511,10 @@ impl AllFailureSets {
     /// Enumerates every failure set of `g` with at most `max` failed links.
     pub fn with_max_failures(g: &Graph, max: Option<usize>) -> Self {
         let edges = g.edges();
+        assert!(
+            edges.len() <= MAX_MASK_EDGES,
+            "exhaustive enumeration needs at most {MAX_MASK_EDGES} links"
+        );
         AllFailureSets {
             masks: FailureMasks::with_max_failures(edges.len(), max),
             edges,
@@ -275,7 +527,44 @@ impl Iterator for AllFailureSets {
 
     fn next(&mut self) -> Option<FailureSet> {
         let mask = self.masks.next()?;
-        Some(failure_set_from_mask(&self.edges, mask))
+        Some(FailureSet::from_mask(&self.edges, &mask))
+    }
+}
+
+/// Iterator over all failure sets of a graph in the canonical
+/// **Gray-code** sweep order of [`GrayMasks`] — the materializing
+/// reference the differential tests pin `sweep_find_first` results
+/// against.  Works at any width.
+pub struct GrayFailureSets {
+    edges: Vec<Edge>,
+    masks: GrayMasks,
+}
+
+impl GrayFailureSets {
+    /// Enumerates every failure set of `g` in Gray order.
+    pub fn new(g: &Graph) -> Self {
+        Self::with_max_failures(g, None)
+    }
+
+    /// Enumerates every failure set of `g` with at most `max` failed links,
+    /// in Gray order.
+    pub fn with_max_failures(g: &Graph, max: Option<usize>) -> Self {
+        let edges = g.edges();
+        GrayFailureSets {
+            masks: GrayMasks::with_max_failures(edges.len(), max),
+            edges,
+        }
+    }
+}
+
+impl Iterator for GrayFailureSets {
+    type Item = FailureSet;
+
+    fn next(&mut self) -> Option<FailureSet> {
+        if !self.masks.advance() {
+            return None;
+        }
+        Some(FailureSet::from_mask(&self.edges, self.masks.current()))
     }
 }
 
@@ -399,22 +688,202 @@ mod tests {
     fn capped_mask_enumeration_is_direct_not_a_walk() {
         // Σ_{i≤2} C(40, i) = 1 + 40 + 780 masks — far beyond any 2^40 walk.
         let masks = FailureMasks::with_max_failures(40, Some(2));
-        assert_eq!(masks.span(), 1u64 << 40);
+        assert_eq!(masks.span(), MaskCount::Exact(1 << 40));
         assert_eq!(masks.count(), 1 + 40 + 780);
+    }
+
+    #[test]
+    fn span_is_honest_about_overflow() {
+        assert_eq!(FailureMasks::all(0).span(), MaskCount::Exact(1));
+        assert_eq!(FailureMasks::all(100).span(), MaskCount::Exact(1 << 100));
+        assert_eq!(FailureMasks::all(127).span(), MaskCount::Exact(1 << 127));
+        assert!(FailureMasks::all(128).span().is_saturated());
+        assert!(FailureMasks::all(130).span().is_saturated());
+    }
+
+    #[test]
+    fn capped_mask_count_matches_binomial_sums() {
+        let exact = |m, k| capped_mask_count(m, k).exact().expect("exact");
+        assert_eq!(exact(0, 0), 1);
+        assert_eq!(exact(10, 0), 1);
+        assert_eq!(exact(10, 1), 11);
+        assert_eq!(exact(10, 2), 56);
+        assert_eq!(exact(10, 10), 1024);
+        assert_eq!(exact(10, 99), 1024);
+        assert_eq!(exact(40, 2), 1 + 40 + 780);
+        assert_eq!(exact(62, 62), 1u128 << 62);
+        // Beyond u64 but within u128: honest exact counts now.
+        assert_eq!(exact(80, 80), 1u128 << 80);
+        assert_eq!(exact(100, 2), 1 + 100 + 4950);
+        // Genuinely beyond u128.
+        assert!(capped_mask_count(300, 150).is_saturated());
+        assert_eq!(capped_mask_count(300, 150).clamp_u64(), u64::MAX);
+        for m in 0..=16usize {
+            for k in 0..=m {
+                let naive = (0..1u64 << m)
+                    .filter(|x| x.count_ones() as usize <= k)
+                    .count() as u128;
+                assert_eq!(exact(m, k), naive, "m={m}, k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiword_ascending_enumeration_crosses_word_boundaries() {
+        // m = 70, k = 1: the empty mask plus each single bit, ascending —
+        // including bits 64..70 in the second word.
+        let mut masks = FailureMasks::with_max_failures(70, Some(1));
+        let mut seen = Vec::new();
+        while let Some(mask) = masks.next_mask() {
+            seen.push(mask.to_buf());
+        }
+        assert_eq!(seen.len(), 71);
+        assert!(seen[0].as_mask().is_empty());
+        for (i, buf) in seen.iter().skip(1).enumerate() {
+            assert_eq!(buf.as_mask().iter_ones().collect::<Vec<_>>(), vec![i]);
+        }
+        // Capped multi-word skip agrees with the single-word filter on a
+        // width that still fits u64.
+        for k in [0usize, 2, 3] {
+            let mut wide = FailureMasks::with_max_failures(20, Some(k));
+            let mut via_next_mask = Vec::new();
+            while let Some(mask) = wide.next_mask() {
+                via_next_mask.push(mask.as_u64().unwrap());
+            }
+            let via_iter: Vec<u64> = FailureMasks::with_max_failures(20, Some(k)).collect();
+            assert_eq!(via_next_mask, via_iter, "k={k}");
+        }
+    }
+
+    /// Materializes a Gray enumeration as `u64` masks (test widths ≤ 64),
+    /// checking the flip lists along the way.
+    fn gray_sequence(m: usize, k: Option<usize>) -> Vec<u64> {
+        let mut gray = GrayMasks::with_max_failures(m, k);
+        let mut out: Vec<u64> = Vec::new();
+        while gray.advance() {
+            let mask = gray.current().as_u64().expect("test widths fit u64");
+            let prev = out.last().copied().unwrap_or(0);
+            let flips = gray
+                .last_flips()
+                .iter()
+                .fold(0u64, |acc, &b| acc | 1u64 << b);
+            assert_eq!(prev ^ flips, mask, "flip list must be the exact delta");
+            assert!(
+                gray.last_flips().len() <= 2,
+                "revolving door: at most two flips per step (m={m}, k={k:?})"
+            );
+            out.push(mask);
+        }
+        out
+    }
+
+    #[test]
+    fn gray_enumeration_visits_the_same_sets_as_ascending() {
+        for m in [0usize, 1, 2, 5, 9, 13] {
+            for k in (0..=m).map(Some).chain([None]) {
+                let mut gray = gray_sequence(m, k);
+                let mut ascending: Vec<u64> = FailureMasks::with_max_failures(m, k).collect();
+                assert_eq!(gray.len(), ascending.len(), "m={m}, k={k:?}");
+                gray.sort_unstable();
+                gray.dedup();
+                ascending.sort_unstable();
+                assert_eq!(gray, ascending, "m={m}, k={k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gray_enumeration_is_weight_ordered_with_single_flip_boundaries() {
+        for (m, k) in [(6usize, None), (9, Some(3)), (13, Some(2))] {
+            let seq = gray_sequence(m, k);
+            let weights: Vec<u32> = seq.iter().map(|mask| mask.count_ones()).collect();
+            assert!(
+                weights.windows(2).all(|w| w[1] == w[0] || w[1] == w[0] + 1),
+                "weights ascend one block at a time (m={m}, k={k:?})"
+            );
+            for w in seq.windows(2) {
+                let flips = (w[0] ^ w[1]).count_ones();
+                if w[1].count_ones() != w[0].count_ones() {
+                    assert_eq!(flips, 1, "weight boundary is a single added edge");
+                } else {
+                    assert_eq!(flips, 2, "within a weight block steps are swaps");
+                }
+            }
+            let count = capped_mask_count(m, k.unwrap_or(m)).exact().unwrap();
+            assert_eq!(seq.len() as u128, count);
+        }
+    }
+
+    #[test]
+    fn gray_enumeration_beyond_64_links() {
+        let m = 100;
+        let mut gray = GrayMasks::with_max_failures(m, Some(2));
+        let mut prev = crate::mask::MaskBuf::for_edges(m);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut count = 0u32;
+        while gray.advance() {
+            let mask = gray.current();
+            assert!(mask.count_ones() <= 2);
+            assert!(mask.iter_ones().all(|i| i < m));
+            // Flip list is the exact delta, here across word boundaries too.
+            let mut delta = Vec::new();
+            for (wi, (&new, &old)) in mask.words().iter().zip(prev.words()).enumerate() {
+                delta.extend(BitIter::new(new ^ old).map(|b| (wi * 64 + b) as u32));
+            }
+            assert_eq!(delta, gray.last_flips());
+            assert!(delta.len() <= 2);
+            prev.copy_from(mask);
+            assert!(seen.insert(mask.words().to_vec()), "masks must be distinct");
+            count += 1;
+        }
+        assert_eq!(u128::from(count), capped_mask_count(m, 2).exact().unwrap());
+        assert_eq!(count, 1 + 100 + 4950);
+    }
+
+    #[test]
+    fn gray_failure_sets_materialize_the_gray_order() {
+        let g = generators::cycle(5);
+        let edges = g.edges();
+        let mut gray = GrayMasks::all(5);
+        let mut expected = Vec::new();
+        while gray.advance() {
+            expected.push(FailureSet::from_mask(&edges, gray.current()));
+        }
+        let via_iter: Vec<FailureSet> = GrayFailureSets::new(&g).collect();
+        assert_eq!(via_iter, expected);
+        assert_eq!(
+            GrayFailureSets::with_max_failures(&g, Some(2)).count(),
+            1 + 5 + 10
+        );
+    }
+
+    #[test]
+    fn from_mask_accepts_every_mask_shape() {
+        let g = generators::cycle(4);
+        let edges = g.edges();
+        let via_u64 = FailureSet::from_mask(&edges, &0b101u64);
+        let via_slice = FailureSet::from_mask(&edges, &[0b101u64][..]);
+        let buf = crate::mask::MaskBuf::from_u64(0b101);
+        let via_buf = FailureSet::from_mask(&edges, &buf);
+        assert_eq!(via_u64, via_slice);
+        assert_eq!(via_u64, via_buf);
+        assert_eq!(via_u64.len(), 2);
+        // The wrapper is a strict alias.
+        assert_eq!(failure_set_from_mask(&edges, &0b101u64), via_u64);
     }
 
     #[test]
     fn masks_materialize_to_the_right_sets() {
         let g = generators::cycle(4);
         let edges = g.edges();
-        assert_eq!(failure_set_from_mask(&edges, 0), FailureSet::new());
-        let f = failure_set_from_mask(&edges, 0b101);
+        assert_eq!(failure_set_from_mask(&edges, &0u64), FailureSet::new());
+        let f = failure_set_from_mask(&edges, &0b101u64);
         assert_eq!(f.len(), 2);
         assert!(f.contains_edge(edges[0]));
         assert!(f.contains_edge(edges[2]));
         // AllFailureSets and the mask iterator agree item by item.
         let via_masks: Vec<FailureSet> = FailureMasks::with_max_failures(edges.len(), Some(2))
-            .map(|m| failure_set_from_mask(&edges, m))
+            .map(|m| failure_set_from_mask(&edges, &m))
             .collect();
         let via_sets: Vec<FailureSet> = AllFailureSets::with_max_failures(&g, Some(2)).collect();
         assert_eq!(via_masks, via_sets);

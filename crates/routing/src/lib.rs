@@ -6,7 +6,12 @@
 //!
 //! * [`model`] — the three routing models of the paper (source–destination,
 //!   destination-only, touring) and the local information a node may use,
-//! * [`failure`] — failure sets `F ⊆ E`, their enumeration and sampling,
+//! * [`mask`] — width-generic failure masks: the [`mask::MaskRef`] /
+//!   [`mask::MaskBuf`] borrowed-view/owned-buffer pair every mask-passing
+//!   API is expressed in (one `u64` word per 64 links, single-word fast
+//!   path preserved bit for bit),
+//! * [`failure`] — failure sets `F ⊆ E`, their enumeration (ascending and
+//!   Gray-code order) and sampling,
 //! * [`pattern`] — the [`pattern::ForwardingPattern`] trait (a static,
 //!   pre-configured, purely local forwarding function per node) plus generic
 //!   table/rotor/shortest-path baselines,
@@ -42,6 +47,7 @@
 pub mod adversary;
 pub mod compiled;
 pub mod failure;
+pub mod mask;
 pub mod metrics;
 pub mod model;
 pub mod pattern;
@@ -53,7 +59,8 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::adversary::{Adversary, BruteForceAdversary, Counterexample, RandomAdversary};
     pub use crate::compiled::{CompilePattern, CompiledPattern, CompiledSim};
-    pub use crate::failure::FailureSet;
+    pub use crate::failure::{FailureSet, GrayMasks};
+    pub use crate::mask::{IntoMaskRef, MaskBuf, MaskCount, MaskRef};
     pub use crate::metrics::DeliveryStats;
     pub use crate::model::{LocalContext, RoutingModel};
     pub use crate::pattern::{FnPattern, ForwardingPattern, RotorPattern, ShortestPathPattern};

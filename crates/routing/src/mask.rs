@@ -1,0 +1,497 @@
+//! Width-generic failure masks.
+//!
+//! The sweep machinery historically passed failure sets as a bare `u64`
+//! (bit `i` ⇒ edge `i` of the ascending [`frr_graph::Graph::edges`] order
+//! failed), capping every exhaustive and bounded-failure check at 64 links.
+//! This module generalizes the representation to an arbitrary number of
+//! 64-bit words while keeping the single-word case allocation- and
+//! indirection-free:
+//!
+//! * [`MaskRef`] — a borrowed `&[u64]` view of a mask, **zero-extended**
+//!   beyond its last word.  All mask-consuming APIs take `impl
+//!   IntoMaskRef<'_>`, so a plain `&u64`, a `&[u64]` slice and a
+//!   [`MaskBuf`] are all accepted without conversion boilerplate.
+//! * [`MaskBuf`] — a small owned buffer: masks of up to
+//!   [`INLINE_MASK_WORDS`]` × 64` edges live inline (no heap), wider masks
+//!   spill to a `Vec`.
+//! * [`MaskCount`] — an honest enumeration count: `Exact(u128)` or
+//!   `Saturated` when even `u128` overflows, replacing the silent
+//!   `u64::MAX` saturation of the old `FailureMasks::span()`.
+//!
+//! Word layout: bit `i` of a mask lives in word `i / 64` at bit `i % 64`
+//! — identical to the [`frr_graph::bitgraph::BitGraph`] row layout, so the
+//! overlay loops in [`crate::sweep`] combine mask words and adjacency rows
+//! directly.
+
+use frr_graph::bitgraph::BitIter;
+use std::fmt;
+
+/// Bits per mask word.
+pub const MASK_WORD_BITS: usize = 64;
+
+/// Mask widths up to this many words are stored inline in [`MaskBuf`]
+/// (256 edges) — no heap allocation on the overwhelmingly common path.
+pub const INLINE_MASK_WORDS: usize = 4;
+
+/// Number of words needed for a mask over `edge_count` edges (at least 1).
+pub fn mask_words(edge_count: usize) -> usize {
+    edge_count.div_ceil(MASK_WORD_BITS).max(1)
+}
+
+/// A borrowed failure-mask view: a little-endian `&[u64]` word slice,
+/// zero-extended beyond its last word (so views of different physical
+/// widths compare and combine logically).
+#[derive(Clone, Copy)]
+pub struct MaskRef<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> MaskRef<'a> {
+    /// A view of an explicit word slice.
+    pub fn new(words: &'a [u64]) -> Self {
+        MaskRef { words }
+    }
+
+    /// A single-word view — the `W = 1` fast path used by every ≤ 64-edge
+    /// call site.
+    pub fn from_word(word: &'a u64) -> Self {
+        MaskRef {
+            words: std::slice::from_ref(word),
+        }
+    }
+
+    /// The backing words (physical width; logically zero-extended).
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Word `i`, zero-extended.
+    #[inline]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    /// `true` if bit `i` is set.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.word(i / MASK_WORD_BITS) & (1u64 << (i % MASK_WORD_BITS)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The mask as a single `u64`, if it fits (no set bit at index ≥ 64).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.words.split_first() {
+            None => Some(0),
+            Some((&w0, rest)) if rest.iter().all(|&w| w == 0) => Some(w0),
+            _ => None,
+        }
+    }
+
+    /// Iterates the set bit indices ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + 'a {
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &w)| BitIter::new(w).map(move |b| wi * MASK_WORD_BITS + b))
+    }
+
+    /// An owned copy sized to this view's physical width.
+    pub fn to_buf(&self) -> MaskBuf {
+        let mut buf = MaskBuf::zeros(self.words.len().max(1));
+        buf.copy_from(*self);
+        buf
+    }
+}
+
+impl PartialEq for MaskRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.words.len().max(other.words.len());
+        (0..n).all(|i| self.word(i) == other.word(i))
+    }
+}
+
+impl Eq for MaskRef<'_> {}
+
+impl fmt::Debug for MaskRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MaskRef{{")?;
+        for (i, bit) in self.iter_ones().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{bit}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A small owned failure mask: up to [`INLINE_MASK_WORDS`] words inline,
+/// wider masks on the heap.  The physical width is fixed at construction
+/// (sized for a known edge count).
+#[derive(Clone, Debug)]
+pub struct MaskBuf {
+    inline: [u64; INLINE_MASK_WORDS],
+    spill: Vec<u64>,
+    len: usize,
+}
+
+impl MaskBuf {
+    /// An all-zero mask of `words` words (at least 1).
+    pub fn zeros(words: usize) -> Self {
+        let len = words.max(1);
+        MaskBuf {
+            inline: [0; INLINE_MASK_WORDS],
+            spill: if len > INLINE_MASK_WORDS {
+                vec![0; len]
+            } else {
+                Vec::new()
+            },
+            len,
+        }
+    }
+
+    /// An all-zero mask sized for `edge_count` edges.
+    pub fn for_edges(edge_count: usize) -> Self {
+        MaskBuf::zeros(mask_words(edge_count))
+    }
+
+    /// A single-word mask.
+    pub fn from_u64(mask: u64) -> Self {
+        let mut buf = MaskBuf::zeros(1);
+        buf.words_mut()[0] = mask;
+        buf
+    }
+
+    /// An owned copy of explicit words.
+    pub fn from_words(words: &[u64]) -> Self {
+        MaskRef::new(words).to_buf()
+    }
+
+    /// Physical width in words.
+    pub fn width_words(&self) -> usize {
+        self.len
+    }
+
+    /// The borrowed view of this mask.
+    #[inline]
+    pub fn as_mask(&self) -> MaskRef<'_> {
+        MaskRef::new(self.words())
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        if self.len <= INLINE_MASK_WORDS {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The backing words, mutably.
+    #[inline]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        if self.len <= INLINE_MASK_WORDS {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+
+    /// `true` if bit `i` is set.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.as_mask().bit(i)
+    }
+
+    /// Sets bit `i`.  Panics if `i` is beyond the physical width.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words_mut()[i / MASK_WORD_BITS] |= 1u64 << (i % MASK_WORD_BITS);
+    }
+
+    /// Clears bit `i`.  Panics if `i` is beyond the physical width.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words_mut()[i / MASK_WORD_BITS] &= !(1u64 << (i % MASK_WORD_BITS));
+    }
+
+    /// Flips bit `i`.  Panics if `i` is beyond the physical width.
+    #[inline]
+    pub fn toggle(&mut self, i: usize) {
+        self.words_mut()[i / MASK_WORD_BITS] ^= 1u64 << (i % MASK_WORD_BITS);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.as_mask().count_ones()
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words_mut().fill(0);
+    }
+
+    /// Copies `src` into this mask (which keeps its physical width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` has a set bit beyond this mask's width.
+    pub fn copy_from(&mut self, src: MaskRef<'_>) {
+        let len = self.len;
+        assert!(
+            src.words().iter().skip(len).all(|&w| w == 0),
+            "mask source wider than destination"
+        );
+        for (i, w) in self.words_mut().iter_mut().enumerate() {
+            *w = src.word(i);
+        }
+    }
+}
+
+impl PartialEq for MaskBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_mask() == other.as_mask()
+    }
+}
+
+impl Eq for MaskBuf {}
+
+/// Conversion into a borrowed [`MaskRef`] — the argument type of every
+/// mask-consuming API.  Implemented for [`MaskRef`] itself, `&MaskBuf`,
+/// a plain `&u64` (the historical single-word call sites) and `&[u64]`.
+pub trait IntoMaskRef<'a> {
+    /// The borrowed mask view.
+    fn into_mask_ref(self) -> MaskRef<'a>;
+}
+
+impl<'a> IntoMaskRef<'a> for MaskRef<'a> {
+    fn into_mask_ref(self) -> MaskRef<'a> {
+        self
+    }
+}
+
+impl<'a> IntoMaskRef<'a> for &'a MaskBuf {
+    fn into_mask_ref(self) -> MaskRef<'a> {
+        self.as_mask()
+    }
+}
+
+impl<'a> IntoMaskRef<'a> for &'a u64 {
+    fn into_mask_ref(self) -> MaskRef<'a> {
+        MaskRef::from_word(self)
+    }
+}
+
+impl<'a> IntoMaskRef<'a> for &'a [u64] {
+    fn into_mask_ref(self) -> MaskRef<'a> {
+        MaskRef::new(self)
+    }
+}
+
+impl<'a, const N: usize> IntoMaskRef<'a> for &'a [u64; N] {
+    fn into_mask_ref(self) -> MaskRef<'a> {
+        MaskRef::new(self)
+    }
+}
+
+/// An enumeration count that is honest about overflow: the historical
+/// `span()`/`capped_mask_count` silently pinned to `u64::MAX`, which is
+/// indistinguishable from a real count of `2^64 - 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskCount {
+    /// The exact number of masks.
+    Exact(u128),
+    /// More masks than `u128` can count.
+    Saturated,
+}
+
+impl MaskCount {
+    /// The exact count, if not saturated.
+    pub fn exact(self) -> Option<u128> {
+        match self {
+            MaskCount::Exact(c) => Some(c),
+            MaskCount::Saturated => None,
+        }
+    }
+
+    /// `true` if the count overflowed `u128`.
+    pub fn is_saturated(self) -> bool {
+        matches!(self, MaskCount::Saturated)
+    }
+
+    /// The count clamped to `u64` — what a `u64`-budgeted driver can
+    /// actually consume.
+    pub fn clamp_u64(self) -> u64 {
+        match self {
+            MaskCount::Exact(c) => c.min(u64::MAX as u128) as u64,
+            MaskCount::Saturated => u64::MAX,
+        }
+    }
+}
+
+impl fmt::Display for MaskCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaskCount::Exact(c) => write!(f, "{c}"),
+            MaskCount::Saturated => write!(f, "> u128::MAX"),
+        }
+    }
+}
+
+/// Multi-word increment; returns `true` on carry out of the word array.
+pub(crate) fn add_one(words: &mut [u64]) -> bool {
+    for w in words.iter_mut() {
+        let (nw, carry) = w.overflowing_add(1);
+        *w = nw;
+        if !carry {
+            return false;
+        }
+    }
+    true
+}
+
+/// Multi-word `(m | (m - 1)) + 1` for `m != 0`: clears the trailing-ones
+/// run below the lowest set bit and carries — the popcount-cap skip of
+/// [`crate::failure::FailureMasks`], which jumps over a whole block of
+/// over-cap supersets in one step.  Returns `true` on carry out.
+pub(crate) fn skip_superset_block(words: &mut [u64]) -> bool {
+    debug_assert!(words.iter().any(|&w| w != 0));
+    for w in words.iter_mut() {
+        if *w == 0 {
+            *w = u64::MAX;
+        } else {
+            *w |= *w - 1;
+            break;
+        }
+    }
+    add_one(words)
+}
+
+/// `true` if any bit at index ≥ `width` is set.
+pub(crate) fn exceeds_width(words: &[u64], width: usize) -> bool {
+    let (wi, b) = (width / MASK_WORD_BITS, width % MASK_WORD_BITS);
+    if wi >= words.len() {
+        return false;
+    }
+    words[wi] >> b != 0 || words[wi + 1..].iter().any(|&w| w != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_ref_zero_extends() {
+        let a = MaskRef::from_word(&0b1010);
+        let b = MaskRef::new(&[0b1010, 0, 0]);
+        assert_eq!(a, b);
+        assert_eq!(a.word(2), 0);
+        assert!(a.bit(1) && a.bit(3) && !a.bit(0) && !a.bit(64));
+        assert_eq!(a.count_ones(), 2);
+        assert_eq!(a.as_u64(), Some(0b1010));
+        assert_eq!(MaskRef::new(&[0, 1]).as_u64(), None);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+        let wide = MaskRef::new(&[0, 1 << 5]);
+        assert_eq!(wide.iter_ones().collect::<Vec<_>>(), vec![69]);
+        assert_ne!(a, wide);
+    }
+
+    #[test]
+    fn mask_buf_inline_and_heap() {
+        for words in [1usize, 4, 5, 9] {
+            let mut buf = MaskBuf::zeros(words);
+            assert_eq!(buf.width_words(), words);
+            assert!(buf.as_mask().is_empty());
+            let top = words * MASK_WORD_BITS - 1;
+            buf.set(0);
+            buf.set(top);
+            assert!(buf.bit(0) && buf.bit(top));
+            assert_eq!(buf.count_ones(), 2);
+            buf.toggle(0);
+            assert!(!buf.bit(0));
+            buf.clear(top);
+            assert!(buf.as_mask().is_empty());
+        }
+    }
+
+    #[test]
+    fn mask_buf_round_trips() {
+        let buf = MaskBuf::from_u64(0xDEAD_BEEF);
+        assert_eq!(buf.as_mask().as_u64(), Some(0xDEAD_BEEF));
+        let wide = MaskBuf::from_words(&[1, 2, 3, 4, 5]);
+        assert_eq!(wide.width_words(), 5);
+        assert_eq!(wide.as_mask().to_buf(), wide);
+        let mut copy = MaskBuf::zeros(6);
+        copy.copy_from(wide.as_mask());
+        assert_eq!(copy.as_mask(), wide.as_mask());
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than destination")]
+    fn copy_from_rejects_lossy_narrowing() {
+        let wide = MaskBuf::from_words(&[0, 0, 1]);
+        MaskBuf::zeros(2).copy_from(wide.as_mask());
+    }
+
+    #[test]
+    fn into_mask_ref_accepts_all_shapes() {
+        fn probe<'a>(m: impl IntoMaskRef<'a>) -> u32 {
+            m.into_mask_ref().count_ones()
+        }
+        assert_eq!(probe(&0b111u64), 3);
+        assert_eq!(probe(&[0b1u64, 0b1][..]), 2);
+        assert_eq!(probe(&[0b1u64, 0b1]), 2);
+        let buf = MaskBuf::from_u64(0b11);
+        assert_eq!(probe(&buf), 2);
+        assert_eq!(probe(buf.as_mask()), 2);
+    }
+
+    #[test]
+    fn mask_count_reporting() {
+        assert_eq!(MaskCount::Exact(7).exact(), Some(7));
+        assert_eq!(MaskCount::Saturated.exact(), None);
+        assert!(MaskCount::Saturated.is_saturated());
+        assert_eq!(MaskCount::Exact(7).clamp_u64(), 7);
+        assert_eq!(MaskCount::Exact(u128::MAX).clamp_u64(), u64::MAX);
+        assert_eq!(MaskCount::Saturated.clamp_u64(), u64::MAX);
+        assert_eq!(format!("{}", MaskCount::Exact(42)), "42");
+        assert_eq!(format!("{}", MaskCount::Saturated), "> u128::MAX");
+    }
+
+    #[test]
+    fn multiword_arithmetic() {
+        let mut w = [u64::MAX, 0];
+        assert!(!add_one(&mut w));
+        assert_eq!(w, [0, 1]);
+        let mut w = [u64::MAX, u64::MAX];
+        assert!(add_one(&mut w));
+        assert_eq!(w, [0, 0]);
+        // (m | (m-1)) + 1 across a word boundary: m = 2^66.
+        let mut w = [0, 0b100];
+        assert!(!skip_superset_block(&mut w));
+        assert_eq!(w, [0, 0b1000]);
+        // Single-word agreement with the scalar formula.
+        for m in [1u64, 0b1011, 0b1100, 1 << 63] {
+            let mut w = [m];
+            let carry = skip_superset_block(&mut w);
+            let expected = (m | (m - 1)).overflowing_add(1);
+            assert_eq!((w[0], carry), expected, "m = {m:#b}");
+        }
+        assert!(!exceeds_width(&[0b11, 0], 2));
+        assert!(exceeds_width(&[0b111, 0], 2));
+        assert!(exceeds_width(&[0, 1], 64));
+        assert!(!exceeds_width(&[u64::MAX, 0], 64));
+        assert!(!exceeds_width(&[u64::MAX], 64));
+        assert!(!exceeds_width(&[0, 1], 65));
+    }
+}

@@ -7,12 +7,14 @@
 //! or a concrete counterexample scenario that can be replayed.
 //!
 //! The exhaustive checkers run on the [`crate::sweep`] engine: failure sets
-//! are `u64` bitmask overlays over a [`frr_graph::BitGraph`], connectivity is
-//! one component decomposition per failure set (instead of one BFS per
-//! source/destination pair on a cloned surviving graph), and the `2^m` mask
-//! range is sharded across `std::thread::scope` workers with a deterministic
-//! smallest-mask merge — the counterexample returned is byte-identical to a
-//! sequential ascending scan, at any thread count.
+//! are width-generic bitmask overlays (one `u64` word per 64 links) over a
+//! [`frr_graph::BitGraph`], connectivity is one component decomposition per
+//! failure set (instead of one BFS per source/destination pair on a cloned
+//! surviving graph) maintained *incrementally* along the Gray-code mask
+//! enumeration, and the enumeration positions are sharded across
+//! `std::thread::scope` workers with a deterministic earliest-position merge
+//! — the counterexample returned is byte-identical to a sequential scan of
+//! the canonical Gray order, at any thread count.
 
 use crate::adversary::Counterexample;
 use crate::compiled::{CompilePattern, CompiledSim};
@@ -29,11 +31,46 @@ use rand::Rng;
 pub const EXHAUSTIVE_EDGE_LIMIT: usize = 20;
 
 /// Largest number of links for the checkers that bound the number of
-/// failures to some `k`: the enumeration visits the `Σ_{i≤k} C(m,i)` small
-/// failure masks *directly* (skipping over-cap mask blocks in `O(1)` words),
-/// so it no longer walks all `2^m` bitmasks and much larger graphs are
-/// affordable than under the historical limit of 26.
-pub const BOUNDED_EDGE_LIMIT: usize = 40;
+/// failures to some `k`: the Gray-code enumeration emits exactly the
+/// `Σ_{i≤k} C(m,i)` small failure masks (no over-cap masks are ever
+/// visited), masks are multi-word, and the per-mask overlay work is one or
+/// two incremental edge toggles — so graphs far past the historical 64-link
+/// single-word wall are affordable.  Mid-size topology-zoo and small
+/// datacenter graphs fit under this limit.
+pub const BOUNDED_EDGE_LIMIT: usize = 128;
+
+/// A bounded checker was asked to sweep a graph with more links than
+/// [`BOUNDED_EDGE_LIMIT`] allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeLimitExceeded {
+    /// Link count of the offending graph.
+    pub links: usize,
+    /// The limit in force.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for EdgeLimitExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bounded exhaustive check limited to {} links, graph has {}",
+            self.limit, self.links
+        )
+    }
+}
+
+impl std::error::Error for EdgeLimitExceeded {}
+
+fn check_edge_limit(g: &Graph, limit: usize) -> Result<(), EdgeLimitExceeded> {
+    if g.edge_count() <= limit {
+        Ok(())
+    } else {
+        Err(EdgeLimitExceeded {
+            links: g.edge_count(),
+            limit,
+        })
+    }
+}
 
 /// Replays a failing routing scenario through the plain simulator to attach
 /// the packet's path to the counterexample (the sweep hot loop itself never
@@ -83,8 +120,8 @@ fn replay_tour<P: ForwardingPattern + ?Sized>(
 
 /// Shared sweep for the routing checkers: every failure mask (optionally
 /// popcount-capped), every still-connected `(s, t)` pair (optionally with a
-/// pinned destination), first counterexample in ascending
-/// `(mask, source, destination)` order.
+/// pinned destination), first counterexample in the canonical
+/// `(Gray-enumerated mask, source, destination)` order.
 fn sweep_routing<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
@@ -102,8 +139,7 @@ fn sweep_routing<P: CompilePattern + ?Sized>(
     // trait-object path — outcomes are identical either way.
     let compiled = pattern.compile(g);
     let compiled = compiled.as_ref();
-    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>, mask| {
-        engine.load_mask(mask);
+    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>| {
         for s in (0..n).map(Node) {
             for t in (t_lo..t_hi).map(Node) {
                 if s == t || !engine.same_component(s, t) {
@@ -114,7 +150,7 @@ fn sweep_routing<P: CompilePattern + ?Sized>(
                     None => engine.route_outcome(pattern, s, t, max_hops),
                 };
                 if !outcome.is_delivered() {
-                    return Some(replay_route(g, pattern, engine.failure_set(mask), s, t));
+                    return Some(replay_route(g, pattern, engine.current_failure_set(), s, t));
                 }
             }
         }
@@ -130,9 +166,10 @@ fn sweep_routing<P: CompilePattern + ?Sized>(
 /// every ordered pair `(s, t)` that stays connected in `G \ F`, the packet
 /// must be delivered.
 ///
-/// Returns `Ok(())` or the first counterexample found (in ascending
-/// `(failure-mask, source, destination)` order — deterministic regardless of
-/// how many worker threads the sweep uses).
+/// Returns `Ok(())` or the first counterexample found (in the canonical
+/// `(Gray-enumerated failure mask, source, destination)` order — see
+/// [`crate::failure::GrayMasks`] — deterministic regardless of how many
+/// worker threads the sweep uses).
 ///
 /// # Panics
 ///
@@ -165,16 +202,32 @@ pub fn is_perfectly_resilient_for_destination<P: CompilePattern + ?Sized>(
 
 /// Checks `r`-resilience exhaustively: delivery is only required for failure
 /// sets with at most `r` failed links (and connected `(s, t)` pairs).
+///
+/// The outer `Result` reports whether the graph fits the sweep at all
+/// (`Err(EdgeLimitExceeded)` above [`BOUNDED_EDGE_LIMIT`] links — callers
+/// degrade to sampling instead of aborting); the inner one carries the
+/// verdict.
+pub fn check_bounded_r_resilience<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    r: usize,
+) -> Result<Result<(), Counterexample>, EdgeLimitExceeded> {
+    check_edge_limit(g, BOUNDED_EDGE_LIMIT)?;
+    Ok(sweep_routing(g, pattern, Some(r), None))
+}
+
+/// Panicking wrapper over [`check_bounded_r_resilience`], kept for the
+/// historical call sites.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`BOUNDED_EDGE_LIMIT`] links.
 pub fn is_r_resilient<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     r: usize,
 ) -> Result<(), Counterexample> {
-    assert!(
-        g.edge_count() <= BOUNDED_EDGE_LIMIT,
-        "exhaustive r-resilience check limited to {BOUNDED_EDGE_LIMIT} links"
-    );
-    sweep_routing(g, pattern, Some(r), None)
+    check_bounded_r_resilience(g, pattern, r).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Checks `r`-tolerance (Definition 1) exhaustively for a fixed `(s, t)` pair:
@@ -194,8 +247,7 @@ pub fn is_r_tolerant<P: CompilePattern + ?Sized>(
     let max_hops = state_space_bound(g);
     let compiled = pattern.compile(g);
     let compiled = compiled.as_ref();
-    let found = sweep_find_first(g, None, |engine: &mut SweepEngine<'_>, mask| {
-        engine.load_mask(mask);
+    let found = sweep_find_first(g, None, |engine: &mut SweepEngine<'_>| {
         // The r-connectivity promise on the overlay, without cloning G \ F.
         let promise = r == 0
             || s == t
@@ -208,7 +260,7 @@ pub fn is_r_tolerant<P: CompilePattern + ?Sized>(
             None => engine.route_outcome(pattern, s, t, max_hops),
         };
         if !outcome.is_delivered() {
-            return Some(replay_route(g, pattern, engine.failure_set(mask), s, t));
+            return Some(replay_route(g, pattern, engine.current_failure_set(), s, t));
         }
         None
     });
@@ -290,15 +342,14 @@ fn sweep_touring<P: CompilePattern + ?Sized>(
     let max_hops = state_space_bound(g);
     let compiled = pattern.compile(g);
     let compiled = compiled.as_ref();
-    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>, mask| {
-        engine.load_mask(mask);
+    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>| {
         for start in g.nodes() {
             let covered = match compiled {
                 Some(cp) => engine.tour_covers_compiled(cp, start, max_hops),
                 None => engine.tour_covers(pattern, start, max_hops),
             };
             if !covered {
-                return Some(replay_tour(g, pattern, engine.failure_set(mask), start));
+                return Some(replay_tour(g, pattern, engine.current_failure_set(), start));
             }
         }
         None
@@ -325,16 +376,31 @@ pub fn is_perfectly_resilient_touring<P: CompilePattern + ?Sized>(
 
 /// Checks `k`-resilient touring: coverage is only required for failure sets
 /// with at most `k` failed links.
+///
+/// The outer `Result` reports whether the graph fits the sweep at all
+/// (`Err(EdgeLimitExceeded)` above [`BOUNDED_EDGE_LIMIT`] links); the inner
+/// one carries the verdict.
+pub fn check_bounded_touring_resilience<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    k: usize,
+) -> Result<Result<(), Counterexample>, EdgeLimitExceeded> {
+    check_edge_limit(g, BOUNDED_EDGE_LIMIT)?;
+    Ok(sweep_touring(g, pattern, Some(k)))
+}
+
+/// Panicking wrapper over [`check_bounded_touring_resilience`], kept for the
+/// historical call sites.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`BOUNDED_EDGE_LIMIT`] links.
 pub fn is_k_resilient_touring<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     k: usize,
 ) -> Result<(), Counterexample> {
-    assert!(
-        g.edge_count() <= BOUNDED_EDGE_LIMIT,
-        "exhaustive touring check limited to {BOUNDED_EDGE_LIMIT} links"
-    );
-    sweep_touring(g, pattern, Some(k))
+    check_bounded_touring_resilience(g, pattern, k).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Randomly samples failure scenarios on a (possibly large) graph and returns
@@ -417,13 +483,13 @@ mod tests {
 
     #[test]
     fn counterexample_matches_sequential_reference_order() {
-        // The sharded sweep must return exactly the counterexample the
-        // historical sequential implementation returned: first in ascending
-        // (failure-mask, source, destination) order.
+        // The sharded sweep must return exactly the counterexample a
+        // sequential scan of the canonical Gray enumeration order returns:
+        // first in (Gray-enumerated mask, source, destination) order.
         let g = generators::complete(4);
         let p = ShortestPathPattern::new(&g);
         let max_hops = state_space_bound(&g);
-        let reference = crate::failure::AllFailureSets::new(&g).find_map(|failures| {
+        let reference = crate::failure::GrayFailureSets::new(&g).find_map(|failures| {
             for s in g.nodes() {
                 for t in g.nodes() {
                     if s == t || !failures.keeps_connected(&g, s, t) {

@@ -5,29 +5,50 @@
 //! per failure set and a fresh `BTreeSet` of failed neighbors per hop; this
 //! module replaces both with a [`SweepEngine`] that holds a [`BitGraph`] of
 //! the network plus reusable scratch buffers, and interprets each failure set
-//! as a `u64` bitmask overlay (bit `i` ⇒ edge `i` of the ascending
-//! [`Graph::edges`] order failed):
+//! as a width-generic bitmask overlay (bit `i` ⇒ edge `i` of the ascending
+//! [`Graph::edges`] order failed, in the [`crate::mask`] word layout — one
+//! `u64` word per 64 links, so ≤ 64-link graphs keep the historical
+//! single-word fast path bit for bit):
 //!
 //! * [`SweepEngine::load_mask`] installs an overlay in `O(|F| + n·w)` word
 //!   operations (`w` = words per adjacency row): per-node failed-neighbor
 //!   bits/lists and a connected-component decomposition of `G \ F`, all into
-//!   scratch reused across masks — no allocation in steady state.
+//!   scratch reused across masks — no allocation in steady state.  It accepts
+//!   any mask shape via [`IntoMaskRef`] (`&u64`, `&[u64]`, [`MaskBuf`]).
+//! * [`SweepEngine::toggle_edge`] is the **incremental** path: it patches the
+//!   failed-adjacency rows, failed-port words and failed lists of the two
+//!   endpoints in `O(w)` and re-derives the component decomposition only as
+//!   far as the flipped edge demands — an early-exit alive-BFS bridge test on
+//!   removal (components split only if the edge was a bridge), an `O(n)`
+//!   relabel on revival (only if the endpoints were in different components).
+//!   Driving consecutive Gray-code masks through `toggle_edge` replaces the
+//!   per-mask overlay rebuild with one or two edge patches.
 //! * [`SweepEngine::route_outcome`] / [`SweepEngine::tour_covers`] run the
 //!   exact simulator semantics (same `(node, in-port)` state space, same
 //!   fault rules) against the overlay, tracking seen states in a packed
 //!   bitset instead of a `HashSet`.
-//! * [`sweep_find_first`] drives a whole sweep, sharding the mask range
-//!   across `std::thread::scope` workers.  Workers publish the smallest
-//!   counterexample mask through an atomic so later ranges can abort early,
-//!   and the merge picks the smallest mask index — results are byte-identical
-//!   to the sequential ascending-mask scan no matter the thread count.
+//! * [`sweep_find_first`] drives a whole sweep over the canonical
+//!   **Gray-code enumeration order** of [`GrayMasks`] (weight-ordered:
+//!   smaller failure sets first), sharding the enumeration positions across
+//!   `std::thread::scope` workers.  Each worker syncs its engine once at its
+//!   range start and then advances by [`SweepEngine::toggle_edge`] per
+//!   position.  Workers publish the smallest hit position through an atomic
+//!   so later ranges can abort early, and the merge picks the smallest
+//!   position — results are byte-identical to a sequential scan of the Gray
+//!   order no matter the thread count.
 //!
 //! Counterexample *paths* are reconstructed by re-running the plain
 //! simulator on the materialized failure set: reconstruction happens at most
 //! once per sweep, so the hot loop never builds a path vector.
+//!
+//! The per-overlay word loops (`alive`-row accumulation, frontier masking)
+//! are manually 4-wide unrolled over the word chunks; on one-word graphs the
+//! chunked loop body never runs and only the scalar remainder executes, so
+//! the `W = 1` path stays as tight as the historical single-`u64` code.
 
 use crate::compiled::CompiledPattern;
-use crate::failure::{FailureMasks, MAX_MASK_EDGES};
+use crate::failure::{capped_mask_count, FailureSet, GrayMasks};
+use crate::mask::{mask_words, IntoMaskRef, MaskBuf, MaskRef};
 use crate::model::LocalContext;
 use crate::pattern::ForwardingPattern;
 use crate::simulator::Outcome;
@@ -37,11 +58,63 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 const WORD_BITS: usize = u64::BITS as usize;
 
+/// `dst[w] |= row[w] & !failed[w]` — the alive-neighbor accumulation of the
+/// overlay BFS, manually 4-wide unrolled.  All slices must share a length.
+#[inline]
+fn or_alive_into(dst: &mut [u64], row: &[u64], failed: &[u64]) {
+    debug_assert!(dst.len() == row.len() && dst.len() == failed.len());
+    let mut d = dst.chunks_exact_mut(4);
+    let mut r = row.chunks_exact(4);
+    let mut f = failed.chunks_exact(4);
+    for ((d, r), f) in (&mut d).zip(&mut r).zip(&mut f) {
+        d[0] |= r[0] & !f[0];
+        d[1] |= r[1] & !f[1];
+        d[2] |= r[2] & !f[2];
+        d[3] |= r[3] & !f[3];
+    }
+    for ((d, &r), &f) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(r.remainder())
+        .zip(f.remainder())
+    {
+        *d |= r & !f;
+    }
+}
+
+/// `next &= !visited; visited |= next` — the frontier step of the overlay
+/// BFS, manually 4-wide unrolled.  Returns the number of fresh nodes.
+#[inline]
+fn mask_fresh_and_mark(next: &mut [u64], visited: &mut [u64]) -> u32 {
+    debug_assert_eq!(next.len(), visited.len());
+    let mut fresh = 0u32;
+    let mut n = next.chunks_exact_mut(4);
+    let mut v = visited.chunks_exact_mut(4);
+    for (n, v) in (&mut n).zip(&mut v) {
+        n[0] &= !v[0];
+        n[1] &= !v[1];
+        n[2] &= !v[2];
+        n[3] &= !v[3];
+        v[0] |= n[0];
+        v[1] |= n[1];
+        v[2] |= n[2];
+        v[3] |= n[3];
+        fresh += n[0].count_ones() + n[1].count_ones() + n[2].count_ones() + n[3].count_ones();
+    }
+    for (n, v) in n.into_remainder().iter_mut().zip(v.into_remainder()) {
+        *n &= !*v;
+        *v |= *n;
+        fresh += n.count_ones();
+    }
+    fresh
+}
+
 /// Reusable machinery for sweeping failure masks over one graph.
 ///
 /// One engine serves one graph; the parallel driver creates one engine per
-/// worker thread.  All `load_mask`-dependent queries refer to the most
-/// recently loaded mask.
+/// worker thread.  All mask-dependent queries refer to the most recently
+/// installed overlay ([`SweepEngine::load_mask`] or a chain of
+/// [`SweepEngine::toggle_edge`] patches).
 pub struct SweepEngine<'g> {
     graph: &'g Graph,
     bits: BitGraph,
@@ -49,24 +122,37 @@ pub struct SweepEngine<'g> {
     n: usize,
     /// Words per adjacency row (shared with `bits`).
     words: usize,
+    /// Words per failed-port row (`⌈max-degree / 64⌉`).
+    port_words: usize,
+    /// Words per failure mask (`⌈m / 64⌉`).
+    mask_words: usize,
     /// Per edge `i` of the canonical order: the **local port indices** of the
     /// far endpoint at each end (`v`'s rank among `u`'s ascending neighbors
     /// and vice versa) — the bit positions the compiled tables test.
     edge_local: Vec<(u32, u32)>,
-    // ---- per-mask scratch (reset by `load_mask`) ----
+    // ---- per-mask scratch (maintained by `load_mask` / `toggle_edge`) ----
+    /// The currently installed failure mask.
+    cur_mask: MaskBuf,
     /// `n * words` words; bit `u` of node `v`'s row set iff `{u, v}` failed.
     failed_adj: Vec<u64>,
-    /// Per-node failed-**port** masks (bit `p` ⇒ the node's `p`-th incident
-    /// link failed) — the aliveness word the compiled hot loops consume.
+    /// Per-node failed-**port** rows, `port_words` words each (bit `p` ⇒ the
+    /// node's `p`-th incident link failed) — word 0 is the aliveness word
+    /// the compiled hot loops consume (compilation refuses degree ≥ 64).
     failed_ports: Vec<u64>,
     /// Per-node failed neighbors, sorted ascending (the `LocalContext` view).
     failed_list: Vec<Vec<Node>>,
     /// Nodes whose scratch entries are dirty (bounded by `2·|F|`).
     touched: Vec<usize>,
-    /// Component id of each node in `G \ F`.
+    /// Component id of each node in `G \ F`.  Ids are **not canonical**: a
+    /// toggle-maintained decomposition may label the same partition
+    /// differently than a fresh `load_mask` — only id *equality* (see
+    /// [`SweepEngine::same_component`]) and [`SweepEngine::component_size`]
+    /// are meaningful.
     comp_id: Vec<u32>,
-    /// Component size by id.
+    /// Component size by id (0 for retired ids awaiting reuse).
     comp_size: Vec<u32>,
+    /// Retired component ids, reused by splits.
+    free_comp: Vec<u32>,
     // ---- per-simulation scratch ----
     /// Packed bitset over the `n · (n + 1)` distinct `(node, in-port)` states.
     seen_states: Vec<u64>,
@@ -80,20 +166,15 @@ pub struct SweepEngine<'g> {
 }
 
 impl<'g> SweepEngine<'g> {
-    /// Builds an engine for `g`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `g` has more than [`MAX_MASK_EDGES`] links.
+    /// Builds an engine for `g`.  Any link count is supported; masks are
+    /// `⌈m / 64⌉` words wide.
     pub fn new(g: &'g Graph) -> Self {
         let bits = BitGraph::from_graph(g);
         let edges = g.edges();
-        assert!(
-            edges.len() <= MAX_MASK_EDGES,
-            "failure masks support at most {MAX_MASK_EDGES} links"
-        );
         let n = g.node_count();
         let words = bits.words_per_row();
+        let max_degree = (0..n).map(|v| g.neighbors(Node(v)).count()).max();
+        let port_words = max_degree.unwrap_or(0).div_ceil(WORD_BITS).max(1);
         let state_words = (n * (n + 1)).div_ceil(WORD_BITS).max(1);
         let compiled_state_words = (2 * edges.len() + n).div_ceil(WORD_BITS).max(1);
         let rank =
@@ -106,13 +187,17 @@ impl<'g> SweepEngine<'g> {
             graph: g,
             n,
             words,
+            port_words,
+            mask_words: mask_words(edges.len()),
             edge_local,
+            cur_mask: MaskBuf::for_edges(edges.len()),
             failed_adj: vec![0; n * words],
-            failed_ports: vec![0; n],
+            failed_ports: vec![0; n * port_words],
             failed_list: vec![Vec::new(); n],
             touched: Vec::with_capacity(n),
             comp_id: vec![0; n],
             comp_size: Vec::with_capacity(n),
+            free_comp: Vec::new(),
             seen_states: vec![0; state_words],
             seen_compiled: vec![0; compiled_state_words],
             visit_a: vec![0; words],
@@ -133,46 +218,113 @@ impl<'g> SweepEngine<'g> {
         &self.edges
     }
 
-    /// Number of links (mask width).
+    /// Number of links (mask width in bits).
     pub fn edge_count(&self) -> usize {
         self.edges.len()
     }
 
-    /// Materializes the [`crate::failure::FailureSet`] a mask denotes.
-    pub fn failure_set(&self, mask: u64) -> crate::failure::FailureSet {
-        crate::failure::failure_set_from_mask(&self.edges, mask)
+    /// Mask width in words (`⌈m / 64⌉`, at least 1).
+    pub fn mask_width_words(&self) -> usize {
+        self.mask_words
     }
 
-    /// Installs the failure overlay `mask` and recomputes the component
-    /// decomposition of `G \ F`.  Reuses all scratch; allocation-free in
-    /// steady state.
-    pub fn load_mask(&mut self, mask: u64) {
-        debug_assert!(mask < 1u64 << self.edges.len());
+    /// The currently installed failure mask.
+    pub fn current_mask(&self) -> MaskRef<'_> {
+        self.cur_mask.as_mask()
+    }
+
+    /// Materializes the [`FailureSet`] of the currently installed overlay.
+    pub fn current_failure_set(&self) -> FailureSet {
+        FailureSet::from_mask(&self.edges, self.cur_mask.as_mask())
+    }
+
+    /// Materializes the [`FailureSet`] a mask denotes.
+    ///
+    /// Thin wrapper kept for the historical call sites; prefer the canonical
+    /// [`FailureSet::from_mask`].
+    pub fn failure_set<'m>(&self, mask: impl IntoMaskRef<'m>) -> FailureSet {
+        FailureSet::from_mask(&self.edges, mask)
+    }
+
+    /// Installs the failure overlay `mask` from scratch and recomputes the
+    /// component decomposition of `G \ F`.  Reuses all scratch;
+    /// allocation-free in steady state.  Accepts any mask shape via
+    /// [`IntoMaskRef`] — pass `&mask` for a historical `u64` mask.
+    pub fn load_mask<'m>(&mut self, mask: impl IntoMaskRef<'m>) {
+        let mask = mask.into_mask_ref();
         // Reset the scratch of the previous mask.
         for &v in &self.touched {
             self.failed_adj[v * self.words..(v + 1) * self.words].fill(0);
-            self.failed_ports[v] = 0;
+            self.failed_ports[v * self.port_words..(v + 1) * self.port_words].fill(0);
             self.failed_list[v].clear();
         }
         self.touched.clear();
+        self.cur_mask.clear_all();
         // Install the new overlay; mask bits ascend, so each node's failed
         // list comes out sorted (normalized edges ascend lexicographically).
-        for i in BitIter::new(mask) {
+        for i in mask.iter_ones() {
+            debug_assert!(i < self.edges.len(), "mask bit beyond edge count");
+            self.cur_mask.set(i);
             let e = self.edges[i];
             let (u, v) = (e.u().index(), e.v().index());
             let (pu, pv) = self.edge_local[i];
-            for (a, b, p) in [(u, v, pu), (v, u, pv)] {
-                // The bit rows, port masks and lists are dirtied together, so
+            for (a, b, p) in [(u, v, pu as usize), (v, u, pv as usize)] {
+                // The bit rows, port words and lists are dirtied together, so
                 // an empty list is an exact "node untouched so far" test.
                 if self.failed_list[a].is_empty() {
                     self.touched.push(a);
                 }
                 self.failed_adj[a * self.words + b / WORD_BITS] |= 1u64 << (b % WORD_BITS);
-                self.failed_ports[a] |= 1u64 << p;
+                self.failed_ports[a * self.port_words + p / WORD_BITS] |= 1u64 << (p % WORD_BITS);
                 self.failed_list[a].push(Node(b));
             }
         }
         self.recompute_components();
+    }
+
+    /// Flips the failure state of edge `edge_index` **incrementally**: the
+    /// endpoints' failed-adjacency rows, failed-port words and failed lists
+    /// are patched in `O(w)`, and the component decomposition is re-derived
+    /// only as far as the flip demands — an early-exit alive-BFS bridge test
+    /// when the edge fails (splitting only if it was a bridge of `G \ F`),
+    /// an `O(n)` id relabel when it revives across two components.
+    ///
+    /// Equivalent to reloading the current mask with that bit flipped
+    /// (asserted by the differential suite), at a fraction of the cost for
+    /// Gray-code mask sequences.
+    pub fn toggle_edge(&mut self, edge_index: usize) {
+        let e = self.edges[edge_index];
+        let (u, v) = (e.u().index(), e.v().index());
+        let (pu, pv) = self.edge_local[edge_index];
+        let now_failed = !self.cur_mask.bit(edge_index);
+        self.cur_mask.toggle(edge_index);
+        for (a, b, p) in [(u, v, pu as usize), (v, u, pv as usize)] {
+            self.failed_adj[a * self.words + b / WORD_BITS] ^= 1u64 << (b % WORD_BITS);
+            self.failed_ports[a * self.port_words + p / WORD_BITS] ^= 1u64 << (p % WORD_BITS);
+            let list = &mut self.failed_list[a];
+            let pos = list.partition_point(|&x| x < Node(b));
+            if now_failed {
+                if list.is_empty() {
+                    self.touched.push(a);
+                }
+                list.insert(pos, Node(b));
+            } else {
+                debug_assert_eq!(list.get(pos), Some(&Node(b)));
+                list.remove(pos);
+                if list.is_empty() {
+                    if let Some(t) = self.touched.iter().position(|&x| x == a) {
+                        self.touched.swap_remove(t);
+                    }
+                }
+            }
+        }
+        if now_failed {
+            // The edge was alive, so its endpoints share a component; it
+            // splits only if the edge was a bridge of G \ F.
+            self.split_components(u, v);
+        } else {
+            self.merge_components(u, v);
+        }
     }
 
     /// `true` if the loaded overlay fails `{u, v}`.
@@ -183,7 +335,10 @@ impl<'g> SweepEngine<'g> {
             != 0
     }
 
-    /// Component id of `v` in `G \ F` (for the loaded overlay).
+    /// Component id of `v` in `G \ F` (for the loaded overlay).  Ids are
+    /// only meaningful for equality against other ids of the **same**
+    /// overlay state; a toggle-maintained decomposition may label the same
+    /// partition differently than a fresh [`SweepEngine::load_mask`].
     #[inline]
     pub fn component_of(&self, v: Node) -> u32 {
         self.comp_id[v.index()]
@@ -202,15 +357,10 @@ impl<'g> SweepEngine<'g> {
         self.comp_id[s.index()] == self.comp_id[t.index()]
     }
 
-    /// The alive adjacency word of node `v`: `row(v) & !failed_adj(v)`.
-    #[inline]
-    fn alive_word(&self, v: usize, w: usize) -> u64 {
-        self.bits.row(Node(v))[w] & !self.failed_adj[v * self.words + w]
-    }
-
     fn recompute_components(&mut self) {
         let n = self.n;
         self.comp_size.clear();
+        self.free_comp.clear();
         if n == 0 {
             return;
         }
@@ -228,7 +378,6 @@ impl<'g> SweepEngine<'g> {
             self.visit_b[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
             self.visit_a[start / WORD_BITS] |= 1u64 << (start % WORD_BITS);
             loop {
-                let mut any = false;
                 self.visit_c.fill(0);
                 for wi in 0..words {
                     let fw = self.visit_b[wi];
@@ -236,23 +385,93 @@ impl<'g> SweepEngine<'g> {
                         let v = wi * WORD_BITS + b;
                         self.comp_id[v] = id;
                         size += 1;
-                        for w in 0..words {
-                            self.visit_c[w] |= self.alive_word(v, w);
-                        }
+                        or_alive_into(
+                            &mut self.visit_c,
+                            self.bits.row(Node(v)),
+                            &self.failed_adj[v * words..(v + 1) * words],
+                        );
                     }
                 }
-                for w in 0..words {
-                    self.visit_c[w] &= !self.visit_a[w];
-                    self.visit_a[w] |= self.visit_c[w];
-                    any |= self.visit_c[w] != 0;
-                }
-                std::mem::swap(&mut self.visit_b, &mut self.visit_c);
-                if !any {
+                if mask_fresh_and_mark(&mut self.visit_c, &mut self.visit_a) == 0 {
                     break;
                 }
+                std::mem::swap(&mut self.visit_b, &mut self.visit_c);
             }
             self.comp_size.push(size);
         }
+    }
+
+    /// Component maintenance for a newly failed edge `{u, v}` (same
+    /// component beforehand): early-exit alive-BFS from `u` towards `v`; if
+    /// `v` is unreachable, `u`'s side becomes a fresh component.
+    fn split_components(&mut self, u: usize, v: usize) {
+        debug_assert_eq!(self.comp_id[u], self.comp_id[v]);
+        let words = self.words;
+        self.visit_a.fill(0);
+        self.visit_b.fill(0);
+        self.visit_a[u / WORD_BITS] |= 1u64 << (u % WORD_BITS);
+        self.visit_b[u / WORD_BITS] |= 1u64 << (u % WORD_BITS);
+        let (tw, tb) = (v / WORD_BITS, 1u64 << (v % WORD_BITS));
+        let mut size = 1u32;
+        loop {
+            self.visit_c.fill(0);
+            for wi in 0..words {
+                let fw = self.visit_b[wi];
+                for b in BitIter::new(fw) {
+                    let x = wi * WORD_BITS + b;
+                    or_alive_into(
+                        &mut self.visit_c,
+                        self.bits.row(Node(x)),
+                        &self.failed_adj[x * words..(x + 1) * words],
+                    );
+                }
+            }
+            if self.visit_c[tw] & tb != 0 {
+                // Reached the far endpoint: the edge was no bridge, the
+                // decomposition stands.
+                return;
+            }
+            let fresh = mask_fresh_and_mark(&mut self.visit_c, &mut self.visit_a);
+            if fresh == 0 {
+                break;
+            }
+            size += fresh;
+            std::mem::swap(&mut self.visit_b, &mut self.visit_c);
+        }
+        // Bridge: visit_a holds u's side.  Give it a fresh (possibly
+        // recycled) id and shrink the old component.
+        let old = self.comp_id[u] as usize;
+        let id = match self.free_comp.pop() {
+            Some(id) => id,
+            None => {
+                self.comp_size.push(0);
+                (self.comp_size.len() - 1) as u32
+            }
+        };
+        for wi in 0..words {
+            for b in BitIter::new(self.visit_a[wi]) {
+                self.comp_id[wi * WORD_BITS + b] = id;
+            }
+        }
+        self.comp_size[id as usize] = size;
+        self.comp_size[old] -= size;
+    }
+
+    /// Component maintenance for a revived edge `{u, v}`: if the endpoints
+    /// were in different components, relabel one side onto the other.
+    fn merge_components(&mut self, u: usize, v: usize) {
+        let (keep, dead) = (self.comp_id[u], self.comp_id[v]);
+        if keep == dead {
+            return;
+        }
+        for id in self.comp_id.iter_mut() {
+            if *id == dead {
+                *id = keep;
+            }
+        }
+        self.comp_size[keep as usize] += self.comp_size[dead as usize];
+        self.comp_size[dead as usize] = 0;
+        self.free_comp.push(dead);
     }
 
     #[inline]
@@ -394,6 +613,14 @@ impl<'g> SweepEngine<'g> {
         fresh
     }
 
+    /// The single failed-port word of node `v` the compiled tables test.
+    /// Compilation refuses nodes of degree ≥ 64, so word 0 of the node's
+    /// failed-port row is the complete picture on every compiled path.
+    #[inline]
+    fn failed_port_word(&self, v: usize) -> u64 {
+        self.failed_ports[v * self.port_words]
+    }
+
     /// [`SweepEngine::route_outcome`] on compiled rule tables: the hot loop
     /// is a state-id lookup, a first-alive scan against the node's failed-
     /// port mask and two array reads per hop — no dynamic dispatch, no
@@ -423,7 +650,7 @@ impl<'g> SweepEngine<'g> {
             if hops >= max_hops {
                 return Outcome::HopLimit;
             }
-            let port = match cp.decide(table, v, inport_idx, self.failed_ports[v]) {
+            let port = match cp.decide(table, v, inport_idx, self.failed_port_word(v)) {
                 Some(p) => p as usize,
                 None => return Outcome::Stuck,
             };
@@ -464,7 +691,7 @@ impl<'g> SweepEngine<'g> {
             if hops >= max_hops {
                 return false;
             }
-            let port = match cp.decide(table, v, inport_idx, self.failed_ports[v]) {
+            let port = match cp.decide(table, v, inport_idx, self.failed_port_word(v)) {
                 Some(p) => p as usize,
                 None => return false,
             };
@@ -496,10 +723,12 @@ impl<'g> SweepEngine<'g> {
 /// `Some` as `(index, value)`; the merge keeps the smallest index, so the
 /// result is byte-identical to a sequential ascending scan at any thread
 /// count — **provided `probe` is a pure function of `(state-as-initialized,
-/// index)`**, i.e. any state mutation is fully reset per probe.  A shared
-/// atomic of the best index lets later chunks abort early (polled every
-/// `poll_interval` indices); that is an optimization, never a correctness
-/// input.
+/// index)`** up to observable results, i.e. any state the probe result
+/// depends on is a deterministic function of the index (the sweep states
+/// below advance monotonically through enumeration positions, which
+/// satisfies this).  A shared atomic of the best index lets later chunks
+/// abort early (polled every `poll_interval` indices); that is an
+/// optimization, never a correctness input.
 ///
 /// Runs sequentially when the machine has one core or the range is smaller
 /// than `min_chunk` per worker.
@@ -560,26 +789,35 @@ where
 }
 
 /// Runs `check` over every failure mask of `g` (optionally popcount-capped)
-/// and returns the result for the **smallest** mask index for which it
-/// returns `Some` — byte-identical to a sequential ascending scan.
+/// in the canonical **Gray-code enumeration order** of [`GrayMasks`]
+/// (weight-ordered: smaller failure sets first) and returns the result for
+/// the **earliest** position for which it returns `Some` — byte-identical
+/// to a sequential scan of that order at any thread count.
 ///
-/// Both flavors shard across `std::thread::scope` workers (each with its own
-/// [`SweepEngine`]), so `check` may run concurrently from several threads:
-/// uncapped sweeps split the `2^m` mask range contiguously, capped sweeps
-/// split their `Σ_{i≤k} C(m,i)` enumeration *positions* contiguously with
-/// one lazily-advanced skip-enumerator per worker.  Small ranges and
-/// single-core machines degrade to a plain sequential scan.
+/// The driver owns the engine's overlay: before each `check` call the
+/// engine holds the position's mask, installed either by a one-time
+/// [`SweepEngine::load_mask`] at the worker's range start or by
+/// [`SweepEngine::toggle_edge`] patches along the Gray sequence.  `check`
+/// reads the overlay (via `current_mask` / `current_failure_set` and the
+/// routing queries) and must not reload it.
+///
+/// Sharding across `std::thread::scope` workers (each with its own
+/// [`SweepEngine`] and enumerator) splits the enumeration *positions*
+/// contiguously; each worker advances its enumerator lazily to its range.
+/// Small ranges and single-core machines degrade to a plain sequential
+/// scan.
 pub fn sweep_find_first<T, F>(g: &Graph, max_failures: Option<usize>, check: F) -> Option<T>
 where
     T: Send,
-    F: Fn(&mut SweepEngine<'_>, u64) -> Option<T> + Sync,
+    F: Fn(&mut SweepEngine<'_>) -> Option<T> + Sync,
 {
     sweep_find_first_limited(g, max_failures, None, check)
 }
 
 /// [`sweep_find_first`] with an optional budget on the number of enumerated
-/// masks: only the first `mask_budget` masks (in ascending enumeration order)
-/// are examined.  Used by the budgeted brute-force adversary.
+/// masks: only the first `mask_budget` masks (in Gray enumeration order, so
+/// smallest failure sets first) are examined.  Used by the budgeted
+/// brute-force adversary.
 pub fn sweep_find_first_limited<T, F>(
     g: &Graph,
     max_failures: Option<usize>,
@@ -588,74 +826,84 @@ pub fn sweep_find_first_limited<T, F>(
 ) -> Option<T>
 where
     T: Send,
-    F: Fn(&mut SweepEngine<'_>, u64) -> Option<T> + Sync,
+    F: Fn(&mut SweepEngine<'_>) -> Option<T> + Sync,
 {
     let m = g.edge_count();
-    assert!(
-        m <= MAX_MASK_EDGES,
-        "exhaustive enumeration needs at most {MAX_MASK_EDGES} links"
-    );
-    if let Some(k) = max_failures {
-        // Popcount-capped: shard over enumeration *positions*.  Each worker
-        // owns a skip-enumerator it advances lazily to its contiguous
-        // position range (positions ascend with mask values, so the
-        // smallest-position merge is the smallest-mask merge).
-        let count = capped_mask_count(m, k).min(mask_budget.unwrap_or(u64::MAX));
-        struct CappedState<'g> {
-            engine: SweepEngine<'g>,
-            masks: FailureMasks,
-            pos: u64,
-        }
-        return sharded_first(
-            count,
-            2048,
-            64,
-            || CappedState {
-                engine: SweepEngine::new(g),
-                masks: FailureMasks::with_max_failures(m, Some(k)),
-                pos: 0,
-            },
-            |state, i| {
-                let mut mask = None;
-                while state.pos <= i {
-                    mask = state.masks.next();
-                    state.pos += 1;
+    let cap = max_failures.map(|k| k.min(m));
+    let total = capped_mask_count(m, cap.unwrap_or(m))
+        .clamp_u64()
+        .min(mask_budget.unwrap_or(u64::MAX));
+    // Capped sweeps amortize a lazier enumerator advance, so they prefer
+    // larger chunks; both values predate the Gray rewrite.
+    let (min_chunk, poll) = if cap.is_some() {
+        (2048, 64)
+    } else {
+        (512, 256)
+    };
+    struct SweepState<'g> {
+        engine: SweepEngine<'g>,
+        masks: GrayMasks,
+        /// Number of masks emitted so far (the enumerator sits on position
+        /// `pos - 1`).
+        pos: u64,
+        /// Whether the engine overlay tracks the enumerator (true from the
+        /// worker's first in-range position on).
+        synced: bool,
+    }
+    sharded_first(
+        total,
+        min_chunk,
+        poll,
+        || SweepState {
+            engine: SweepEngine::new(g),
+            masks: GrayMasks::with_max_failures(m, cap),
+            pos: 0,
+            synced: false,
+        },
+        |state, i| {
+            while state.pos <= i {
+                if !state.masks.advance() {
+                    return None;
                 }
-                check(&mut state.engine, mask?)
-            },
-        );
-    }
-    // With no popcount cap every mask is valid, so "first `b` enumerated
-    // masks" is exactly the numeric range `0..b` — the parallel shards stay
-    // contiguous.
-    let span = (1u64 << m).min(mask_budget.unwrap_or(u64::MAX));
-    sharded_first(span, 512, 256, || SweepEngine::new(g), check)
-}
-
-/// `min(Σ_{i≤k} C(m, i), u64::MAX)` — the number of masks a popcount-capped
-/// enumeration visits.
-fn capped_mask_count(m: usize, k: usize) -> u64 {
-    let mut total: u128 = 0;
-    let mut binomial: u128 = 1;
-    for i in 0..=k.min(m) {
-        if i > 0 {
-            binomial = binomial * (m - i + 1) as u128 / i as u128;
-        }
-        total += binomial;
-        if total > u64::MAX as u128 {
-            return u64::MAX;
-        }
-    }
-    total as u64
+                state.pos += 1;
+                if state.pos == i + 1 {
+                    // This emission is position `i`: bring the engine up to
+                    // date — incrementally when it already tracks the
+                    // sequence, by a full load at the worker's range start.
+                    if state.synced {
+                        for &f in state.masks.last_flips() {
+                            state.engine.toggle_edge(f as usize);
+                        }
+                    } else {
+                        state.engine.load_mask(state.masks.current());
+                        state.synced = true;
+                    }
+                }
+            }
+            check(&mut state.engine)
+        },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::failure::FailureSet;
+    use crate::failure::FailureMasks;
     use crate::pattern::{RotorPattern, ShortestPathPattern};
     use crate::simulator::{route, state_space_bound, tour};
     use frr_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The Gray enumeration materialized as `u64` masks (test widths ≤ 64).
+    fn gray_order(m: usize, k: Option<usize>) -> Vec<u64> {
+        let mut gray = GrayMasks::with_max_failures(m, k);
+        let mut out = Vec::new();
+        while gray.advance() {
+            out.push(gray.current().as_u64().expect("test widths fit u64"));
+        }
+        out
+    }
 
     #[test]
     fn overlay_matches_materialized_failure_sets() {
@@ -664,8 +912,10 @@ mod tests {
         let edges = engine.edges().to_vec();
         assert_eq!(edges, g.edges());
         for mask in [0u64, 0b1, 0b1010, 0b1111111111] {
-            engine.load_mask(mask);
-            let failures = engine.failure_set(mask);
+            engine.load_mask(&mask);
+            assert_eq!(engine.current_mask().as_u64(), Some(mask));
+            let failures = engine.current_failure_set();
+            assert_eq!(failures, engine.failure_set(&mask));
             for e in &edges {
                 assert_eq!(engine.link_failed(e.u(), e.v()), failures.contains_edge(*e));
                 assert_eq!(engine.link_failed(e.v(), e.u()), failures.contains_edge(*e));
@@ -698,11 +948,99 @@ mod tests {
                     .any(|&(a, b)| **e == Edge::new(Node(a), Node(b)))
             })
             .fold(0u64, |m, (i, _)| m | 1 << i);
-        engine.load_mask(mask);
+        engine.load_mask(&mask);
         assert!(engine.same_component(Node(1), Node(3)));
         assert!(!engine.same_component(Node(1), Node(4)));
         assert_eq!(engine.component_size(Node(1)), 3);
         assert_eq!(engine.component_size(Node(0)), 3);
+    }
+
+    #[test]
+    fn toggle_edge_matches_full_reload() {
+        // Random toggle walks: after every toggle, the engine must be
+        // observationally identical to a fresh engine loading the same mask.
+        let mut rng = StdRng::seed_from_u64(0x7061);
+        for (gi, g) in [
+            generators::cycle(6),
+            generators::complete(5),
+            generators::petersen(),
+            generators::random_connected(8, 4, &mut StdRng::seed_from_u64(3)),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let m = g.edge_count();
+            let mut inc = SweepEngine::new(g);
+            let mut reference = SweepEngine::new(g);
+            inc.load_mask(&0u64);
+            let mut mask = 0u64;
+            for step in 0..200 {
+                let bit = rng.gen_range(0..m);
+                mask ^= 1u64 << bit;
+                inc.toggle_edge(bit);
+                reference.load_mask(&mask);
+                assert_eq!(inc.current_mask().as_u64(), Some(mask));
+                for e in inc.edges().to_vec() {
+                    assert_eq!(
+                        inc.link_failed(e.u(), e.v()),
+                        reference.link_failed(e.u(), e.v())
+                    );
+                }
+                for s in g.nodes() {
+                    assert_eq!(
+                        inc.component_size(s),
+                        reference.component_size(s),
+                        "graph {gi}, step {step}, mask {mask:#b}, node {s}"
+                    );
+                    for t in g.nodes() {
+                        assert_eq!(
+                            inc.same_component(s, t),
+                            reference.same_component(s, t),
+                            "graph {gi}, step {step}, mask {mask:#b}, pair {s}-{t}"
+                        );
+                    }
+                }
+                assert_eq!(inc.current_failure_set(), reference.current_failure_set());
+            }
+        }
+    }
+
+    #[test]
+    fn toggle_driven_routing_matches_loaded_routing() {
+        // Drive the Gray sequence by toggles and compare every routing
+        // observable against a load_mask engine.
+        let g = generators::complete(4);
+        let p = ShortestPathPattern::new(&g);
+        let rotor = RotorPattern::clockwise(&g);
+        let max_hops = state_space_bound(&g);
+        let m = g.edge_count();
+        let mut inc = SweepEngine::new(&g);
+        let mut loaded = SweepEngine::new(&g);
+        let mut gray = GrayMasks::all(m);
+        let mut first = true;
+        while gray.advance() {
+            if first {
+                inc.load_mask(gray.current());
+                first = false;
+            } else {
+                for &f in gray.last_flips() {
+                    inc.toggle_edge(f as usize);
+                }
+            }
+            loaded.load_mask(gray.current());
+            for s in g.nodes() {
+                for t in g.nodes() {
+                    assert_eq!(
+                        inc.route_outcome(&p, s, t, max_hops),
+                        loaded.route_outcome(&p, s, t, max_hops)
+                    );
+                }
+                assert_eq!(
+                    inc.tour_covers(&rotor, s, max_hops),
+                    loaded.tour_covers(&rotor, s, max_hops)
+                );
+            }
+        }
     }
 
     #[test]
@@ -712,8 +1050,8 @@ mod tests {
         let max_hops = state_space_bound(&g);
         let mut engine = SweepEngine::new(&g);
         for mask in 0..(1u64 << g.edge_count()) {
-            engine.load_mask(mask);
-            let failures = engine.failure_set(mask);
+            engine.load_mask(&mask);
+            let failures = engine.failure_set(&mask);
             for s in g.nodes() {
                 for t in g.nodes() {
                     let expected = route(&g, &failures, &p, s, t, max_hops).outcome;
@@ -734,8 +1072,8 @@ mod tests {
         let max_hops = state_space_bound(&g);
         let mut engine = SweepEngine::new(&g);
         for mask in 0..(1u64 << g.edge_count()) {
-            engine.load_mask(mask);
-            let failures = engine.failure_set(mask);
+            engine.load_mask(&mask);
+            let failures = engine.failure_set(&mask);
             for start in g.nodes() {
                 let expected = tour(&g, &failures, &p, start, max_hops).covered_component;
                 assert_eq!(
@@ -748,19 +1086,30 @@ mod tests {
     }
 
     #[test]
-    fn sweep_find_first_returns_smallest_mask() {
+    fn sweep_find_first_returns_first_in_gray_order() {
         let g = generators::cycle(5);
-        // Flag every mask with its own value; the smallest qualifying mask
-        // must win regardless of sharding.
-        let hit = sweep_find_first(&g, None, |_, mask| (mask >= 7).then_some(mask));
-        assert_eq!(hit, Some(7));
-        let none: Option<u64> = sweep_find_first(&g, None, |_, _| None);
+        // Flag masks by value; the first qualifying mask in the canonical
+        // Gray order must win regardless of sharding.
+        let expected = gray_order(5, None).into_iter().find(|&mask| mask >= 7);
+        let hit = sweep_find_first(&g, None, |engine| {
+            let mask = engine.current_mask().as_u64().unwrap();
+            (mask >= 7).then_some(mask)
+        });
+        assert_eq!(hit, expected);
+        assert!(hit.is_some());
+        let none: Option<u64> = sweep_find_first(&g, None, |_| None);
         assert_eq!(none, None);
-        // Bounded path.
-        let hit = sweep_find_first(&g, Some(1), |_, mask| {
+        // Bounded path: weight-ordered enumeration reaches the single-failure
+        // masks right after the empty mask.
+        let expected = gray_order(5, Some(1))
+            .into_iter()
+            .find(|&mask| mask.count_ones() == 1);
+        let hit = sweep_find_first(&g, Some(1), |engine| {
+            let mask = engine.current_mask().as_u64().unwrap();
             (mask.count_ones() == 1).then_some(mask)
         });
-        assert_eq!(hit, Some(1));
+        assert_eq!(hit, expected);
+        assert!(hit.is_some());
     }
 
     #[test]
@@ -768,52 +1117,71 @@ mod tests {
         use std::sync::Mutex;
         let g = generators::complete(5); // m = 10
         let seen = Mutex::new(Vec::new());
-        let none: Option<u64> = sweep_find_first_limited(&g, Some(2), None, |_, mask| {
-            seen.lock().unwrap().push(mask);
+        let none: Option<u64> = sweep_find_first_limited(&g, Some(2), None, |engine| {
+            seen.lock()
+                .unwrap()
+                .push(engine.current_mask().as_u64().unwrap());
             None
         });
         assert_eq!(none, None);
         let mut seen = seen.into_inner().unwrap();
         seen.sort_unstable();
-        let expected: Vec<u64> = FailureMasks::with_max_failures(10, Some(2)).collect();
-        assert_eq!(seen, expected);
-        assert_eq!(seen.len() as u64, capped_mask_count(10, 2));
-        // A budget of b examines exactly the first b enumerated masks.
-        let count = std::sync::atomic::AtomicU64::new(0);
-        let none: Option<u64> = sweep_find_first_limited(&g, Some(2), Some(7), |_, _| {
-            count.fetch_add(1, Ordering::Relaxed);
+        let mut expected: Vec<u64> = FailureMasks::with_max_failures(10, Some(2)).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected, "Gray sweep visits the same mask sets");
+        assert_eq!(
+            seen.len() as u128,
+            capped_mask_count(10, 2).exact().unwrap()
+        );
+        // A budget of b examines exactly the first b Gray-enumerated masks.
+        let seen = Mutex::new(Vec::new());
+        let none: Option<u64> = sweep_find_first_limited(&g, Some(2), Some(7), |engine| {
+            seen.lock()
+                .unwrap()
+                .push(engine.current_mask().as_u64().unwrap());
             None
         });
         assert_eq!(none, None);
-        assert_eq!(count.load(Ordering::Relaxed), 7);
+        let mut seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 7);
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = gray_order(10, Some(2)).into_iter().take(7).collect();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
     }
 
     #[test]
-    fn capped_mask_count_matches_binomial_sums() {
-        assert_eq!(capped_mask_count(0, 0), 1);
-        assert_eq!(capped_mask_count(10, 0), 1);
-        assert_eq!(capped_mask_count(10, 1), 11);
-        assert_eq!(capped_mask_count(10, 2), 56);
-        assert_eq!(capped_mask_count(10, 10), 1024);
-        assert_eq!(capped_mask_count(10, 99), 1024);
-        assert_eq!(capped_mask_count(40, 2), 1 + 40 + 780);
-        assert_eq!(capped_mask_count(62, 62), 1u64 << 62);
-        assert_eq!(capped_mask_count(80, 80), u64::MAX, "saturates");
-        for m in 0..=16usize {
-            for k in 0..=m {
-                let naive = (0..1u64 << m)
-                    .filter(|x| x.count_ones() as usize <= k)
-                    .count() as u64;
-                assert_eq!(capped_mask_count(m, k), naive, "m={m}, k={k}");
-            }
-        }
+    fn sweep_runs_beyond_64_links() {
+        // A 72-link ring: far past the old single-word wall.  With a rotor
+        // pattern the k=1 bounded sweep passes; flagging a specific
+        // two-failure set finds it.
+        let g = generators::cycle(72);
+        assert!(g.edge_count() > 64);
+        let p = RotorPattern::clockwise(&g);
+        let max_hops = state_space_bound(&g);
+        let miss: Option<()> = sweep_find_first(&g, Some(1), |engine| {
+            let start = Node(0);
+            (!engine.tour_covers(&p, start, max_hops) && engine.component_size(start) > 1)
+                .then_some(())
+        });
+        assert_eq!(miss, None, "one ring failure never strands the tour");
+        // Flag the mask failing edges 3 and 70 (different words).
+        let hit = sweep_find_first(&g, Some(2), |engine| {
+            let mask = engine.current_mask();
+            (mask.bit(3) && mask.bit(70) && mask.count_ones() == 2)
+                .then(|| engine.current_failure_set())
+        });
+        let hit = hit.expect("the flagged mask is enumerated");
+        assert_eq!(hit.len(), 2);
+        assert!(hit.contains_edge(g.edges()[3]));
+        assert!(hit.contains_edge(g.edges()[70]));
     }
 
     #[test]
     fn empty_and_trivial_graphs() {
         let g = frr_graph::Graph::new(1);
         let mut engine = SweepEngine::new(&g);
-        engine.load_mask(0);
+        engine.load_mask(&0u64);
         assert_eq!(engine.component_size(Node(0)), 1);
         let p = RotorPattern::clockwise(&g);
         assert!(engine.tour_covers(&p, Node(0), 10));
@@ -825,7 +1193,7 @@ mod tests {
         let g2 = frr_graph::Graph::new(2);
         let p2 = RotorPattern::clockwise(&g2);
         let mut engine2 = SweepEngine::new(&g2);
-        engine2.load_mask(0);
+        engine2.load_mask(&0u64);
         assert_eq!(
             engine2.route_outcome(&p2, Node(0), Node(1), 10),
             route(&g2, &FailureSet::new(), &p2, Node(0), Node(1), 10).outcome

@@ -91,8 +91,8 @@ fn compiled_routing_matches_interpreter_on_random_graphs() {
                 .expect("small graphs compile within budget");
             let mut sim = CompiledSim::new(&cp);
             for mask in sample_masks(&g, &mut rng) {
-                engine.load_mask(mask);
-                let failures = failure_set_from_mask(engine.edges(), mask);
+                engine.load_mask(&mask);
+                let failures = failure_set_from_mask(engine.edges(), &mask);
                 sim.load_failures(&cp, &failures);
                 for s in g.nodes() {
                     for t in g.nodes() {
@@ -145,8 +145,8 @@ fn compiled_touring_matches_interpreter_on_random_graphs() {
             let cp = pattern.compile(&g).expect("compiles");
             let mut sim = CompiledSim::new(&cp);
             for mask in sample_masks(&g, &mut rng) {
-                engine.load_mask(mask);
-                let failures = failure_set_from_mask(engine.edges(), mask);
+                engine.load_mask(&mask);
+                let failures = failure_set_from_mask(engine.edges(), &mask);
                 sim.load_failures(&cp, &failures);
                 for start in g.nodes() {
                     let reference = tour(&g, &failures, &pattern, start, max_hops);
@@ -178,7 +178,7 @@ fn compiled_pattern_next_hop_agrees_as_forwarding_pattern() {
             let max_hops = state_space_bound(&g);
             let mut rng = StdRng::seed_from_u64(5);
             for mask in sample_masks(&g, &mut rng) {
-                let failures = failure_set_from_mask(&g.edges(), mask);
+                let failures = failure_set_from_mask(&g.edges(), &mask);
                 for s in g.nodes() {
                     for t in g.nodes() {
                         assert_eq!(

@@ -48,8 +48,8 @@ fn mask_overlay_routing_matches_clone_based_routing() {
         let max_hops = state_space_bound(&g);
         let mut engine = SweepEngine::new(&g);
         for mask in sample_masks(&g, &mut rng) {
-            engine.load_mask(mask);
-            let failures = failure_set_from_mask(engine.edges(), mask);
+            engine.load_mask(&mask);
+            let failures = failure_set_from_mask(engine.edges(), &mask);
             for pattern in &patterns {
                 for s in g.nodes() {
                     for t in g.nodes() {
@@ -79,8 +79,8 @@ fn mask_overlay_connectivity_matches_surviving_graph() {
     for g in random_graphs(21, 12) {
         let mut engine = SweepEngine::new(&g);
         for mask in sample_masks(&g, &mut rng) {
-            engine.load_mask(mask);
-            let failures = failure_set_from_mask(engine.edges(), mask);
+            engine.load_mask(&mask);
+            let failures = failure_set_from_mask(engine.edges(), &mask);
             let surviving = failures.surviving_graph(&g);
             for s in g.nodes() {
                 for t in g.nodes() {
@@ -107,8 +107,8 @@ fn mask_overlay_touring_matches_clone_based_touring() {
         let max_hops = state_space_bound(&g);
         let mut engine = SweepEngine::new(&g);
         for mask in sample_masks(&g, &mut rng) {
-            engine.load_mask(mask);
-            let failures = failure_set_from_mask(engine.edges(), mask);
+            engine.load_mask(&mask);
+            let failures = failure_set_from_mask(engine.edges(), &mask);
             for start in g.nodes() {
                 assert_eq!(
                     engine.tour_covers(&p, start, max_hops),
@@ -148,7 +148,7 @@ fn failure_set_round_trips_through_masks() {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..50 {
             let mask = rng.gen_range(0..1u64 << edges.len());
-            let set = failure_set_from_mask(edges, mask);
+            let set = failure_set_from_mask(edges, &mask);
             assert_eq!(set.len(), mask.count_ones() as usize);
             let back = edges
                 .iter()
@@ -163,11 +163,12 @@ fn failure_set_round_trips_through_masks() {
 #[test]
 fn checkers_agree_with_historical_clone_based_sweep() {
     // Full end-to-end differential: the rewritten exhaustive checker vs a
-    // faithful reimplementation of the historical clone-per-failure-set loop.
+    // faithful reimplementation of the historical clone-per-failure-set loop,
+    // walked in the checker's canonical Gray enumeration order.
     for g in random_graphs(1234, 6) {
         let p = ShortestPathPattern::new(&g);
         let max_hops = state_space_bound(&g);
-        let reference = frr_routing::failure::AllFailureSets::new(&g).find_map(|failures| {
+        let reference = frr_routing::failure::GrayFailureSets::new(&g).find_map(|failures| {
             let surviving = failures.surviving_graph(&g);
             for s in g.nodes() {
                 for t in g.nodes() {
