@@ -3,21 +3,51 @@
 //! re-verified by the constructive patterns and the negative cells by the
 //! adversaries.
 //!
-//! Usage: `table1_landscape [--count N]` — `N` is the largest tolerance `r`
-//! to verify (default 3; CI bench-smoke runs `--count 1` for a cheap
-//! end-to-end pass over every cell kind).
+//! Usage: `table1_landscape [--count N] [--deadline-secs S] [--work-budget W]`
+//! — `N` is the largest tolerance `r` to verify (default 3; CI bench-smoke
+//! runs `--count 1` for a cheap end-to-end pass over every cell kind).  An
+//! oversized cell (graph past the exhaustive edge limit) prints a one-line
+//! skip and falls back to sampling instead of panicking; an expired budget
+//! marks cells `inconclusive` instead of fabricating a verdict.
 
 use frr_core::algorithms::{r_tolerant_bipartite_pattern, r_tolerant_complete_pattern};
 use frr_core::impossibility::r_tolerance_counterexample;
 use frr_core::landscape::table1_tolerance_rows;
-use frr_graph::{generators, Node};
+use frr_graph::{generators, Graph, Node};
+use frr_routing::budget::RunBudget;
+use frr_routing::compiled::CompilePattern;
 use frr_routing::pattern::ShortestPathPattern;
-use frr_routing::resilience::{is_r_tolerant, is_r_tolerant_sampled, SamplingBudget};
+use frr_routing::resilience::{
+    check_r_tolerance, is_r_tolerant_sampled, EdgeLimitExceeded, SamplingBudget,
+    EXHAUSTIVE_EDGE_LIMIT,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Outcome of one positive Table I cell.
+enum CellVerdict {
+    Verified,
+    Failed,
+    Inconclusive,
+}
+
+impl CellVerdict {
+    fn text(&self) -> &'static str {
+        match self {
+            CellVerdict::Verified => "verified r-tolerant",
+            CellVerdict::Failed => "VERIFICATION FAILED",
+            CellVerdict::Inconclusive => "inconclusive (budget)",
+        }
+    }
+}
+
 fn main() {
-    let count = frr_bench::parse_count_arg("table1_landscape", 3);
+    let args = frr_bench::parse_experiment_args("table1_landscape", 3);
+    let run = args.run_budget();
+    let links_limit = args
+        .links_limit
+        .unwrap_or(EXHAUSTIVE_EDGE_LIMIT)
+        .min(EXHAUSTIVE_EDGE_LIMIT);
     println!("=== Table I: r-tolerance landscape ===");
     println!(
         "{:<3} {:<28} {:<32} {:<30}",
@@ -27,70 +57,38 @@ fn main() {
         "K_{5r+3} impossible (Thm 1)"
     );
     let mut rng = StdRng::seed_from_u64(1);
-    for row in table1_tolerance_rows(count) {
+    for row in table1_tolerance_rows(args.count) {
         let r = row.r;
         // Positive: K_{2r+1} with the distance-2 pattern.
         let kc = generators::complete(row.complete_possible_nodes);
         let pc = r_tolerant_complete_pattern();
-        let complete_ok = if kc.edge_count() <= 20 {
-            kc.nodes()
-                .flat_map(|s| kc.nodes().map(move |t| (s, t)))
-                .filter(|(s, t)| s != t)
-                .all(|(s, t)| is_r_tolerant(&kc, &pc, s, t, r).is_ok())
-        } else {
-            is_r_tolerant_sampled(
-                &kc,
-                &pc,
-                Node(0),
-                Node(1),
-                r,
-                SamplingBudget::new(12, 150),
-                &mut rng,
-            )
-            .is_ok()
-        };
+        let complete_cell = verify_cell(&kc, &pc, Node(0), Node(1), r, links_limit, &run, &mut rng);
         // Positive: K_{2r-1,2r-1} with the bipartite distance-3 pattern.
         let part = row.bipartite_possible_part;
         let kb = generators::complete_bipartite(part, part);
         let pb = r_tolerant_bipartite_pattern(&kb);
-        let bipartite_ok = if kb.edge_count() <= 20 {
-            kb.nodes()
-                .flat_map(|s| kb.nodes().map(move |t| (s, t)))
-                .filter(|(s, t)| s != t)
-                .all(|(s, t)| is_r_tolerant(&kb, &pb, s, t, r).is_ok())
-        } else {
-            is_r_tolerant_sampled(
-                &kb,
-                &pb,
-                Node(0),
-                Node(part),
-                r,
-                SamplingBudget::new(12, 150),
-                &mut rng,
-            )
-            .is_ok()
-        };
+        let bipartite_cell = verify_cell(
+            &kb,
+            &pb,
+            Node(0),
+            Node(part),
+            r,
+            links_limit,
+            &run,
+            &mut rng,
+        );
         // Negative: K_{5r+3} defeated by the Theorem 1 adversary.
-        let big = generators::complete(row.complete_impossible_nodes);
-        let victim = ShortestPathPattern::new(&big);
+        let victim = ShortestPathPattern::new(&generators::complete(row.complete_impossible_nodes));
         let defeated = r_tolerance_counterexample(r, &victim).is_some();
 
         println!(
             "{:<3} K{:<3} {:<22} K{},{} {:<24} K{:<3} {:<24}",
             r,
             row.complete_possible_nodes,
-            if complete_ok {
-                "verified r-tolerant"
-            } else {
-                "VERIFICATION FAILED"
-            },
+            complete_cell.text(),
             part,
             part,
-            if bipartite_ok {
-                "verified r-tolerant"
-            } else {
-                "VERIFICATION FAILED"
-            },
+            bipartite_cell.text(),
             row.complete_impossible_nodes,
             if defeated {
                 "adversary defeats portfolio"
@@ -107,4 +105,58 @@ fn main() {
         "K_a,b possible for f < min(a,b)-1 [Chiesa et al.]; impossible for f >= 3a+4b-21 (Thm 15)"
     );
     println!("(run `thm14_15_few_failures` for the constructed failure sets and measured sizes)");
+}
+
+/// Verifies one positive cell: exhaustively over all `(s, t)` pairs when the
+/// graph is within the exhaustive edge limit (a one-line skip plus a sampled
+/// check otherwise — never a panic), honoring the run budget's deadline.
+#[allow(clippy::too_many_arguments)]
+fn verify_cell<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    sample_s: Node,
+    sample_t: Node,
+    r: usize,
+    links_limit: usize,
+    run: &RunBudget,
+    rng: &mut StdRng,
+) -> CellVerdict {
+    let sampled = |rng: &mut StdRng| {
+        let budget = SamplingBudget::new(12, 150);
+        if is_r_tolerant_sampled(g, pattern, sample_s, sample_t, r, budget, rng).is_ok() {
+            CellVerdict::Verified
+        } else {
+            CellVerdict::Failed
+        }
+    };
+    if g.edge_count() > links_limit {
+        let e = EdgeLimitExceeded {
+            links: g.edge_count(),
+            limit: links_limit,
+        };
+        println!("    [skip] exhaustive cell: {e}; sampling instead");
+        return sampled(rng);
+    }
+    for s in g.nodes() {
+        for t in g.nodes() {
+            if s == t {
+                continue;
+            }
+            if run.deadline_expired() || run.cancelled() {
+                return CellVerdict::Inconclusive;
+            }
+            match check_r_tolerance(g, pattern, s, t, r) {
+                Ok(Ok(())) => {}
+                Ok(Err(_)) => return CellVerdict::Failed,
+                Err(e) => {
+                    println!(
+                        "    [skip] K with {} links: {e}; sampling instead",
+                        g.edge_count()
+                    );
+                    return sampled(rng);
+                }
+            }
+        }
+    }
+    CellVerdict::Verified
 }

@@ -2,43 +2,40 @@
 //! complete bipartite graphs via the simulation argument: report the paper's
 //! failure budget next to the size of the failure set actually constructed.
 //!
-//! Usage: `thm14_15_few_failures [--count N]` — `N` limits how many rows of
-//! each table are produced (default: all; CI bench-smoke runs `--count 1` to
-//! exercise the simulation argument cheaply).
+//! Usage: `thm14_15_few_failures [--count N] [--deadline-secs S]
+//! [--work-budget W]` — `N` limits how many rows of each table are produced
+//! (default: all; CI bench-smoke runs `--count 1` to exercise the simulation
+//! argument cheaply).  When the deadline expires, remaining rows print a
+//! one-line `indeterminate` instead of running.  Topologies past the bounded
+//! sweep limit of [`frr_routing::resilience::BOUNDED_EDGE_LIMIT`] links are
+//! skipped with a one-line notice instead of panicking.
 
 use frr_core::impossibility::{
-    bipartite_few_failures_counterexample, complete_few_failures_counterexample,
+    bipartite_few_failures_with_budget, complete_few_failures_with_budget, FewFailuresVerdict,
 };
 use frr_graph::generators;
 use frr_routing::compiled::CompilePattern;
-use frr_routing::pattern::{ForwardingPattern, RotorPattern, ShortestPathPattern};
+use frr_routing::pattern::{RotorPattern, ShortestPathPattern};
+use frr_routing::resilience::{EdgeLimitExceeded, BOUNDED_EDGE_LIMIT};
 
 fn main() {
-    let count = frr_bench::parse_count_arg("thm14_15_few_failures", usize::MAX);
+    let args = frr_bench::parse_experiment_args("thm14_15_few_failures", usize::MAX);
+    let run = args.run_budget();
+    let links_limit = args.links_limit.unwrap_or(BOUNDED_EDGE_LIMIT);
     println!("=== Theorem 14: K_n fails within O(n) failures (paper budget 6n-33) ===");
     println!(
         "{:<5} {:<10} {:<36} {:>10} {:>10}",
         "n", "|E|", "pattern", "paper", "measured"
     );
-    for n in [8usize, 9, 10, 12, 14, 16].into_iter().take(count) {
+    for n in [8usize, 9, 10, 12, 14, 16].into_iter().take(args.count) {
         let g = generators::complete(n);
+        let label = format!("{n}");
+        if skip_oversized(&label, &g, links_limit) {
+            continue;
+        }
         for pattern in patterns(&g) {
-            match complete_few_failures_counterexample(&g, pattern.as_ref()) {
-                Some(res) => println!(
-                    "{:<5} {:<10} {:<36} {:>10} {:>10}",
-                    n,
-                    g.edge_count(),
-                    pattern.name(),
-                    res.paper_budget,
-                    res.counterexample.failures.len()
-                ),
-                None => println!(
-                    "{:<5} {:<10} {:<36} not defeated",
-                    n,
-                    g.edge_count(),
-                    pattern.name()
-                ),
-            }
+            let verdict = complete_few_failures_with_budget(&g, pattern.as_ref(), &run);
+            report_row(&label, &g, pattern.as_ref(), verdict, 5);
         }
     }
 
@@ -50,27 +47,59 @@ fn main() {
     );
     for (a, b) in [(4usize, 4usize), (5, 4), (5, 5), (6, 5), (7, 6)]
         .into_iter()
-        .take(count)
+        .take(args.count)
     {
         let g = generators::complete_bipartite(a, b);
-        for pattern in patterns(&g) {
-            match bipartite_few_failures_counterexample(&g, a, b, pattern.as_ref()) {
-                Some(res) => println!(
-                    "{:<8} {:<10} {:<36} {:>10} {:>10}",
-                    format!("{a},{b}"),
-                    g.edge_count(),
-                    pattern.name(),
-                    res.paper_budget,
-                    res.counterexample.failures.len()
-                ),
-                None => println!(
-                    "{:<8} {:<10} {:<36} not defeated",
-                    format!("{a},{b}"),
-                    g.edge_count(),
-                    pattern.name()
-                ),
-            }
+        let label = format!("{a},{b}");
+        if skip_oversized(&label, &g, links_limit) {
+            continue;
         }
+        for pattern in patterns(&g) {
+            let verdict = bipartite_few_failures_with_budget(&g, a, b, pattern.as_ref(), &run);
+            report_row(&label, &g, pattern.as_ref(), verdict, 8);
+        }
+    }
+}
+
+/// One-line graceful skip for a topology past the bounded sweep limit (the
+/// simulation argument replays the constructed set through the verifier,
+/// whose mask representation is sized for [`BOUNDED_EDGE_LIMIT`] links).
+fn skip_oversized(label: &str, g: &frr_graph::Graph, limit: usize) -> bool {
+    if g.edge_count() > limit {
+        let e = EdgeLimitExceeded {
+            links: g.edge_count(),
+            limit,
+        };
+        println!("{label:<5} skipped: {e}");
+        true
+    } else {
+        false
+    }
+}
+
+fn report_row(
+    label: &str,
+    g: &frr_graph::Graph,
+    pattern: &dyn CompilePattern,
+    verdict: Result<FewFailuresVerdict, frr_routing::budget::WorkerPanicked>,
+    label_width: usize,
+) {
+    let prefix = format!(
+        "{:<w$} {:<10} {:<36}",
+        label,
+        g.edge_count(),
+        pattern.name(),
+        w = label_width
+    );
+    match verdict {
+        Ok(FewFailuresVerdict::Defeated(res)) => println!(
+            "{prefix} {:>10} {:>10}",
+            res.paper_budget,
+            res.counterexample.failures.len()
+        ),
+        Ok(FewFailuresVerdict::NotDefeated) => println!("{prefix} not defeated"),
+        Ok(FewFailuresVerdict::Indeterminate) => println!("{prefix} indeterminate (budget)"),
+        Err(p) => println!("{prefix} worker panicked: {p}"),
     }
 }
 

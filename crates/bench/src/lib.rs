@@ -5,31 +5,107 @@
 //! `EXPERIMENTS.md` at the workspace root for the experiment index and the
 //! recorded results).
 
+// Library code must surface failures as typed errors or documented panics
+// (`expect` with a message), never a bare `unwrap` — CI lints with
+// `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 use frr_core::classify::{Classification, ClassifyBudget, Feasibility};
 use frr_graph::Graph;
+use frr_routing::budget::RunBudget;
 use frr_routing::compiled::CompilePattern;
 use frr_routing::pattern::{RotorPattern, ShortestPathPattern};
 use frr_topologies::Topology;
 use std::collections::BTreeMap;
 
-/// Parses the experiment bins' shared `[--count N]` command line: returns
-/// `default` when the flag is absent, panics with a usage message on unknown
-/// arguments or a malformed count.
-pub fn parse_count_arg(bin: &str, default: usize) -> usize {
-    let mut count = default;
-    let mut args = std::env::args().skip(1);
+/// The experiment bins' shared command line:
+/// `[--count N] [--deadline-secs S] [--work-budget W]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentArgs {
+    /// Row/instance count limit (`--count`, bin-specific default).
+    pub count: usize,
+    /// Wall-clock deadline for the whole run's budgeted checks
+    /// (`--deadline-secs`, fractional seconds).
+    pub deadline_secs: Option<f64>,
+    /// Work-unit budget for the budgeted checks (`--work-budget`, in the
+    /// check's own units — failure masks for the sweeps).
+    pub work_budget: Option<u64>,
+    /// Override for the exhaustive-sweep link-count limit (`--links-limit`):
+    /// topologies above it get the bins' graceful one-line skip instead of an
+    /// exhaustive run.  Defaults to the checkers' own limits.
+    pub links_limit: Option<usize>,
+}
+
+impl ExperimentArgs {
+    /// The [`RunBudget`] the flags describe ([`RunBudget::unlimited`] when
+    /// neither budget flag was given).
+    pub fn run_budget(&self) -> RunBudget {
+        RunBudget::from_flags(self.deadline_secs, self.work_budget)
+    }
+}
+
+/// Parses the shared experiment command line: returns the defaults for
+/// absent flags, panics with a usage message on unknown arguments or
+/// malformed values.
+pub fn parse_experiment_args(bin: &str, default_count: usize) -> ExperimentArgs {
+    parse_experiment_args_from(bin, default_count, std::env::args().skip(1))
+}
+
+fn parse_experiment_args_from(
+    bin: &str,
+    default_count: usize,
+    mut args: impl Iterator<Item = String>,
+) -> ExperimentArgs {
+    let mut parsed = ExperimentArgs {
+        count: default_count,
+        deadline_secs: None,
+        work_budget: None,
+        links_limit: None,
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--count" => {
-                count = args
+                parsed.count = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--count needs a number");
             }
-            other => panic!("unknown argument: {other} (usage: {bin} [--count N])"),
+            "--deadline-secs" => {
+                parsed.deadline_secs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline-secs needs a number of seconds"),
+                );
+            }
+            "--work-budget" => {
+                parsed.work_budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--work-budget needs a number of work units"),
+                );
+            }
+            "--links-limit" => {
+                parsed.links_limit = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--links-limit needs a number of links"),
+                );
+            }
+            other => panic!(
+                "unknown argument: {other} \
+                 (usage: {bin} [--count N] [--deadline-secs S] \
+                 [--work-budget W] [--links-limit L])"
+            ),
         }
     }
-    count
+    parsed
+}
+
+/// Parses the experiment bins' shared `[--count N]` command line: returns
+/// `default` when the flag is absent, panics with a usage message on unknown
+/// arguments or a malformed count.
+pub fn parse_count_arg(bin: &str, default: usize) -> usize {
+    parse_experiment_args(bin, default).count
 }
 
 /// The candidate-pattern portfolio the impossibility experiments probe.
@@ -118,6 +194,29 @@ mod tests {
     use super::*;
     use frr_graph::generators;
     use frr_topologies::builtin_topologies;
+
+    #[test]
+    fn experiment_args_parse_budget_flags() {
+        let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+        let parsed = parse_experiment_args_from(
+            "bin",
+            3,
+            to_args("--count 2 --deadline-secs 0.5").into_iter(),
+        );
+        assert_eq!(parsed.count, 2);
+        assert_eq!(parsed.deadline_secs, Some(0.5));
+        assert_eq!(parsed.work_budget, None);
+        assert!(!parsed.run_budget().is_unlimited());
+
+        let parsed =
+            parse_experiment_args_from("bin", 3, to_args("--work-budget 1000").into_iter());
+        assert_eq!(parsed.count, 3);
+        assert_eq!(parsed.run_budget().work_limit(), Some(1000));
+
+        let parsed = parse_experiment_args_from("bin", 7, to_args("").into_iter());
+        assert_eq!(parsed.count, 7);
+        assert!(parsed.run_budget().is_unlimited());
+    }
 
     #[test]
     fn portfolio_has_three_patterns() {

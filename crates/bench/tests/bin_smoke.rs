@@ -1,0 +1,103 @@
+//! Smoke tests for the sweeping experiment bins: graceful one-line skips for
+//! oversized topologies, honest `indeterminate` rows under an expired
+//! deadline, and a healthy default row — never a panic or a hang.
+
+use std::process::{Command, Output};
+
+fn run_bin(exe: &str, args: &[&str]) -> Output {
+    Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {exe}: {e}"))
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "bin exited with {:?}; stderr:\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn thm14_15_produces_a_defeated_row_by_default() {
+    let exe = env!("CARGO_BIN_EXE_thm14_15_few_failures");
+    let text = stdout_of(&run_bin(exe, &["--count", "1"]));
+    assert!(text.contains("=== Theorem 14"), "missing header:\n{text}");
+    // K8's paper budget is 6*8 - 33 = 15; at least one pattern row must show
+    // a constructed (defeated) failure set.
+    assert!(text.contains("15"), "missing K8 paper budget:\n{text}");
+    assert!(!text.contains("worker panicked"), "panic leaked:\n{text}");
+}
+
+#[test]
+fn thm14_15_skips_oversized_topologies_with_one_line() {
+    let exe = env!("CARGO_BIN_EXE_thm14_15_few_failures");
+    let text = stdout_of(&run_bin(exe, &["--count", "1", "--links-limit", "10"]));
+    // K8 has 28 links and K4,4 has 16 — both must be skipped gracefully.
+    assert!(
+        text.contains("skipped: bounded exhaustive check limited to 10 links, graph has 28"),
+        "missing K8 skip line:\n{text}"
+    );
+    assert!(
+        text.contains("graph has 16"),
+        "missing K4,4 skip line:\n{text}"
+    );
+}
+
+#[test]
+fn thm14_15_reports_indeterminate_on_an_expired_deadline() {
+    let exe = env!("CARGO_BIN_EXE_thm14_15_few_failures");
+    let text = stdout_of(&run_bin(exe, &["--count", "1", "--deadline-secs", "0"]));
+    assert!(
+        text.contains("indeterminate (budget)"),
+        "expired deadline must yield honest indeterminate rows:\n{text}"
+    );
+    assert!(!text.contains("worker panicked"), "panic leaked:\n{text}");
+}
+
+#[test]
+fn table1_skips_oversized_cells_and_falls_back_to_sampling() {
+    let exe = env!("CARGO_BIN_EXE_table1_landscape");
+    let text = stdout_of(&run_bin(exe, &["--count", "1", "--links-limit", "2"]));
+    // K3 (3 links) and K8 rows still complete: the oversized positive cells
+    // print the skip notice and sample instead of panicking.
+    assert!(
+        text.contains("[skip] exhaustive cell:"),
+        "missing skip line:\n{text}"
+    );
+    assert!(
+        text.contains("sampling instead"),
+        "missing sampling fallback notice:\n{text}"
+    );
+    assert!(
+        text.contains("verified r-tolerant"),
+        "sampled cells must still verify r=1:\n{text}"
+    );
+}
+
+#[test]
+fn table1_reports_inconclusive_on_an_expired_deadline() {
+    let exe = env!("CARGO_BIN_EXE_table1_landscape");
+    let text = stdout_of(&run_bin(exe, &["--count", "1", "--deadline-secs", "0"]));
+    assert!(
+        text.contains("inconclusive (budget)"),
+        "expired deadline must yield inconclusive cells:\n{text}"
+    );
+}
+
+#[test]
+fn table1_default_row_is_verified() {
+    let exe = env!("CARGO_BIN_EXE_table1_landscape");
+    let text = stdout_of(&run_bin(exe, &["--count", "1"]));
+    assert!(
+        text.contains("verified r-tolerant"),
+        "r = 1 cells must verify:\n{text}"
+    );
+    assert!(
+        text.contains("adversary defeats portfolio"),
+        "Thm 1 adversary must defeat shortest-path on K8:\n{text}"
+    );
+}

@@ -22,13 +22,17 @@
 //! classifies a whole topology list across `std::thread::scope` workers with
 //! a deterministic index-keyed merge and a run-wide minor-verdict cache.
 
+use crate::panic_message;
+use frr_graph::budget::StopSignal;
 use frr_graph::minors::{forbidden, MinorAnswer, MinorEngine};
 use frr_graph::outerplanar::{is_outerplanar_without, OuterplanarScratch};
 use frr_graph::planarity::is_planar_bit;
 use frr_graph::{BitGraph, Graph, Node};
+use frr_routing::budget::RunBudget;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Feasibility of perfect resilience in one routing model.
@@ -116,7 +120,14 @@ pub fn classify(g: &Graph) -> Classification {
 /// Classifies a network with an explicit budget.
 pub fn classify_with_budget(g: &Graph, budget: ClassifyBudget) -> Classification {
     let b = BitGraph::from_graph(g);
-    classify_impl(g, &b, budget, &mut Scratch::new(), None)
+    classify_impl(
+        g,
+        &b,
+        budget,
+        &mut Scratch::new(),
+        None,
+        &StopSignal::none(),
+    )
 }
 
 /// Classifies every graph in `graphs`, sharding the list across
@@ -131,58 +142,151 @@ pub fn classify_with_budget(g: &Graph, budget: ClassifyBudget) -> Classification
 /// by the canonical packed encoding of the graph and the pattern, so
 /// repeated (sub)topologies pay for each search once.
 pub fn batch(graphs: &[&Graph], budget: ClassifyBudget) -> Vec<Classification> {
+    match batch_with_budget(graphs, budget, &RunBudget::unlimited()) {
+        Ok(slots) => slots
+            .into_iter()
+            .map(|c| c.expect("unlimited batch classified every index"))
+            .collect(),
+        Err(p) => panic!("classification worker panicked: {p}"),
+    }
+}
+
+/// A classification worker panicked while classifying one input graph.
+///
+/// Surfaced as a typed error by [`batch_with_budget`]; siblings wind down
+/// cleanly instead of the whole batch aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyPanicked {
+    /// Index into the input slice of the graph whose classification panicked.
+    pub index: usize,
+    /// The panic payload, when it carried a string.
+    pub message: String,
+}
+
+impl fmt::Display for ClassifyPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "classification of graph {} panicked: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for ClassifyPanicked {}
+
+/// [`batch`] under a [`RunBudget`]: deadline/cancellation-aware and
+/// panic-isolated.
+///
+/// * Completed indices come back as `Some(classification)`; once the budget's
+///   deadline expires or its [`frr_routing::budget::CancelToken`] fires, no
+///   *new* graph is started and untouched slots stay `None`.  The stop signal
+///   is also threaded into the in-flight minor searches, which wind down at
+///   their next contraction poll and report an honest
+///   [`Feasibility::Unknown`] rather than a fabricated verdict.
+/// * A work budget of `w` classifies at most the first `w` graphs (one work
+///   unit per graph), deterministically.
+/// * A panic inside one graph's classification halts the batch: siblings
+///   finish their current graph and stop, and the earliest-index panic
+///   observed is returned as a typed [`ClassifyPanicked`].
+///
+/// Under [`RunBudget::unlimited`] the output is byte-identical to [`batch`]
+/// at any thread count.
+pub fn batch_with_budget(
+    graphs: &[&Graph],
+    budget: ClassifyBudget,
+    run: &RunBudget,
+) -> Result<Vec<Option<Classification>>, ClassifyPanicked> {
     let cache = MinorCache::default();
+    let stop = run.stop_signal();
+    let stop_active = !stop.is_idle();
     let n = graphs.len();
+    let quota = run.work_limit().map_or(n, |w| w.min(n as u64) as usize);
     let workers = std::thread::available_parallelism()
         .map_or(1, |c| c.get())
-        .min(n);
+        .min(quota);
+    let mut slots: Vec<Option<Classification>> = vec![None; n];
     if workers <= 1 {
         let mut scratch = Scratch::new();
-        return graphs
-            .iter()
-            .map(|g| {
-                classify_impl(
-                    g,
-                    &BitGraph::from_graph(g),
-                    budget,
-                    &mut scratch,
-                    Some(&cache),
-                )
-            })
-            .collect();
+        for (i, g) in graphs.iter().take(quota).enumerate() {
+            if stop_active && stop.should_stop() {
+                break;
+            }
+            let b = BitGraph::from_graph(g);
+            let scratch = &mut scratch;
+            match catch_unwind(AssertUnwindSafe(|| {
+                classify_impl(g, &b, budget, scratch, Some(&cache), &stop)
+            })) {
+                Ok(c) => slots[i] = Some(c),
+                Err(payload) => {
+                    return Err(ClassifyPanicked {
+                        index: i,
+                        message: panic_message(payload),
+                    })
+                }
+            }
+        }
+        return Ok(slots);
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<Classification>> = vec![None; n];
+    let halt = AtomicBool::new(false);
+    let panicked: Mutex<Option<ClassifyPanicked>> = Mutex::new(None);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (next, cache) = (&next, &cache);
+                let (next, cache, halt, panicked, stop) = (&next, &cache, &halt, &panicked, &stop);
                 scope.spawn(move || {
                     let mut scratch = Scratch::new();
                     let mut out = Vec::new();
                     loop {
+                        if halt.load(Ordering::Relaxed) || (stop_active && stop.should_stop()) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        if i >= quota {
                             break;
                         }
                         let g = graphs[i];
                         let b = BitGraph::from_graph(g);
-                        out.push((i, classify_impl(g, &b, budget, &mut scratch, Some(cache))));
+                        let scratch = &mut scratch;
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            classify_impl(g, &b, budget, scratch, Some(cache), stop)
+                        })) {
+                            Ok(c) => out.push((i, c)),
+                            Err(payload) => {
+                                halt.store(true, Ordering::Relaxed);
+                                let mut first = panicked.lock().unwrap_or_else(|e| e.into_inner());
+                                match first.as_ref() {
+                                    Some(p) if p.index <= i => {}
+                                    _ => {
+                                        *first = Some(ClassifyPanicked {
+                                            index: i,
+                                            message: panic_message(payload),
+                                        })
+                                    }
+                                }
+                                break;
+                            }
+                        }
                     }
                     out
                 })
             })
             .collect();
         for handle in handles {
-            for (i, c) in handle.join().expect("classification worker panicked") {
-                slots[i] = Some(c);
+            // Worker bodies catch their probes' panics; join still can't be
+            // allowed to abort the batch if something slips through.
+            if let Ok(out) = handle.join() {
+                for (i, c) in out {
+                    slots[i] = Some(c);
+                }
             }
         }
     });
-    slots
-        .into_iter()
-        .map(|c| c.expect("every index was classified"))
-        .collect()
+    match panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        Some(p) => Err(p),
+        None => Ok(slots),
+    }
 }
 
 /// Indices into [`Scratch::patterns`].
@@ -239,17 +343,21 @@ fn minor_verdict(
     scratch: &mut Scratch,
     cache: Option<&MinorCache>,
     graph_key: &mut Option<Box<[u64]>>,
+    stop: &StopSignal,
 ) -> MinorAnswer {
     let Some(cache) = cache else {
         return scratch
             .engine
-            .solve_bit(b, &scratch.patterns[which], minor_budget);
+            .solve_bit_with_stop(b, &scratch.patterns[which], minor_budget, stop);
     };
+    // A worker that panicked while holding the cache lock poisons it; the
+    // cache only ever gains complete verdict slots, so the map is still
+    // well-formed and siblings may keep using it.
     let key = graph_key.get_or_insert_with(|| canonical_key(b));
     if let Some(ans) = cache
         .0
         .lock()
-        .unwrap()
+        .unwrap_or_else(|e| e.into_inner())
         .get(key.as_ref())
         .and_then(|slots| slots[which])
     {
@@ -257,8 +365,17 @@ fn minor_verdict(
     }
     let ans = scratch
         .engine
-        .solve_bit(b, &scratch.patterns[which], minor_budget);
-    cache.0.lock().unwrap().entry(key.clone()).or_default()[which] = Some(ans);
+        .solve_bit_with_stop(b, &scratch.patterns[which], minor_budget, stop);
+    // A stop-truncated Unknown is budget-honest but not a fixed point of the
+    // key; caching it would leak this run's deadline into later lookups.
+    if !stop.should_stop() {
+        cache
+            .0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key.clone())
+            .or_default()[which] = Some(ans);
+    }
     ans
 }
 
@@ -268,6 +385,7 @@ fn classify_impl(
     budget: ClassifyBudget,
     scratch: &mut Scratch,
     cache: Option<&MinorCache>,
+    stop: &StopSignal,
 ) -> Classification {
     let planar = is_planar_bit(b);
     let outerplanar = planar && is_outerplanar_without(b, None, &mut scratch.outer);
@@ -297,6 +415,7 @@ fn classify_impl(
             scratch,
             cache,
             &mut graph_key,
+            stop,
         );
         let k33m1 = minor_verdict(
             b,
@@ -305,6 +424,7 @@ fn classify_impl(
             scratch,
             cache,
             &mut graph_key,
+            stop,
         );
         if k5m1.is_yes() || k33m1.is_yes() {
             Feasibility::Impossible
@@ -341,6 +461,7 @@ fn classify_impl(
                 scratch,
                 cache,
                 &mut graph_key,
+                stop,
             )
             .is_yes()
                 || minor_verdict(
@@ -350,6 +471,7 @@ fn classify_impl(
                     scratch,
                     cache,
                     &mut graph_key,
+                    stop,
                 )
                 .is_yes()
         };
@@ -661,6 +783,41 @@ mod tests {
         let c = classify(&g);
         let checked = spot_check_possible(&g, &c).expect("no counterexample");
         assert_eq!(checked, vec![RoutingModel::SourceDestination]);
+    }
+
+    #[test]
+    fn budgeted_batch_respects_work_and_cancellation() {
+        use frr_routing::budget::CancelToken;
+        let graphs = [
+            generators::wheel(5),
+            generators::complete(5),
+            generators::grid(3, 3),
+        ];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let budget = ClassifyBudget::default();
+        // Work budget: exactly the first two graphs are classified.
+        let run = RunBudget::unlimited().with_work_budget(2);
+        let slots = batch_with_budget(&refs, budget, &run).expect("no worker panicked");
+        assert_eq!(
+            slots[0].as_ref(),
+            Some(&classify_with_budget(&graphs[0], budget))
+        );
+        assert_eq!(
+            slots[1].as_ref(),
+            Some(&classify_with_budget(&graphs[1], budget))
+        );
+        assert!(slots[2].is_none());
+        // Pre-cancelled: nothing is started, nothing is fabricated.
+        let token = CancelToken::new();
+        token.cancel();
+        let run = RunBudget::unlimited().with_cancel_token(token);
+        let slots = batch_with_budget(&refs, budget, &run).expect("no worker panicked");
+        assert!(slots.iter().all(|s| s.is_none()));
+        // Unlimited: identical to the legacy entry point.
+        let slots =
+            batch_with_budget(&refs, budget, &RunBudget::unlimited()).expect("no worker panicked");
+        let full: Vec<Classification> = slots.into_iter().flatten().collect();
+        assert_eq!(full, batch(&refs, budget));
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::impossibility::small_graphs::{
 use frr_graph::ops::induced_subgraph;
 use frr_graph::{Edge, Graph, Node};
 use frr_routing::adversary::Counterexample;
+use frr_routing::budget::{RunBudget, WorkerPanicked};
 use frr_routing::compiled::CompilePattern;
 use frr_routing::failure::FailureSet;
 use frr_routing::model::{LocalContext, RoutingModel};
@@ -31,6 +32,67 @@ pub struct FewFailuresResult {
     pub counterexample: Counterexample,
     /// The failure budget the paper claims for this instance.
     pub paper_budget: usize,
+}
+
+/// Typed outcome of a budgeted bounded-failure construction.
+#[derive(Debug, Clone)]
+pub enum FewFailuresVerdict {
+    /// The construction produced and verified a defeating failure set.
+    Defeated(FewFailuresResult),
+    /// The inner small-graph adversary did not defeat the induced pattern
+    /// (the theorems say this cannot happen for a genuinely local pattern;
+    /// treat it as a finding about the pattern under test).
+    NotDefeated,
+    /// The run budget expired or was cancelled before the construction
+    /// finished; no claim is made either way.
+    Indeterminate,
+}
+
+/// [`complete_few_failures_counterexample`] under a [`RunBudget`]: refuses
+/// with an honest [`FewFailuresVerdict::Indeterminate`] when the budget has
+/// already expired or been cancelled (the embedded-core construction itself
+/// is polynomial and runs to completion once started), and converts a
+/// panicking pattern (or an out-of-domain input that trips the theorem's
+/// precondition assertions) into a typed [`WorkerPanicked`] instead of
+/// unwinding through the caller.
+pub fn complete_few_failures_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    run: &RunBudget,
+) -> Result<FewFailuresVerdict, WorkerPanicked> {
+    guarded_few_failures(run, || complete_few_failures_counterexample(g, pattern))
+}
+
+/// [`bipartite_few_failures_counterexample`] under a [`RunBudget`]; see
+/// [`complete_few_failures_with_budget`].
+pub fn bipartite_few_failures_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    a: usize,
+    b: usize,
+    pattern: &P,
+    run: &RunBudget,
+) -> Result<FewFailuresVerdict, WorkerPanicked> {
+    guarded_few_failures(run, || {
+        bipartite_few_failures_counterexample(g, a, b, pattern)
+    })
+}
+
+fn guarded_few_failures(
+    run: &RunBudget,
+    construct: impl FnOnce() -> Option<FewFailuresResult>,
+) -> Result<FewFailuresVerdict, WorkerPanicked> {
+    if run.cancelled() || run.deadline_expired() {
+        return Ok(FewFailuresVerdict::Indeterminate);
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(construct)) {
+        Ok(Some(res)) => Ok(FewFailuresVerdict::Defeated(res)),
+        Ok(None) => Ok(FewFailuresVerdict::NotDefeated),
+        Err(payload) => Err(WorkerPanicked {
+            position: 0,
+            failures: None,
+            message: crate::panic_message(payload),
+        }),
+    }
 }
 
 /// Builds the Theorem 14 failure set against `pattern` on the complete graph
@@ -278,6 +340,33 @@ mod tests {
             format!("{}", res.counterexample.failures),
             "{v0-v5, v0-v6, v0-v7, v1-v5, v2-v5, v2-v8, v3-v7, v3-v8, v4-v6, v4-v7, v4-v8}"
         );
+    }
+
+    #[test]
+    fn budgeted_few_failures_is_honest_and_typed() {
+        use frr_routing::budget::{CancelToken, RunBudget};
+        let k9 = generators::complete(9);
+        let rotor = RotorPattern::clockwise_with_shortcut(&k9);
+        // Unlimited: same defeat as the legacy entry point.
+        match complete_few_failures_with_budget(&k9, &rotor, &RunBudget::unlimited()) {
+            Ok(FewFailuresVerdict::Defeated(res)) => assert_eq!(res.paper_budget, 21),
+            other => panic!("expected Defeated, got {other:?}"),
+        }
+        // Cancelled: honest Indeterminate, not a fabricated defeat.
+        let token = CancelToken::new();
+        token.cancel();
+        let run = RunBudget::unlimited().with_cancel_token(token);
+        assert!(matches!(
+            complete_few_failures_with_budget(&k9, &rotor, &run),
+            Ok(FewFailuresVerdict::Indeterminate)
+        ));
+        // Out-of-domain input (K7 is below the theorem's n >= 8 floor): the
+        // precondition assert surfaces as a typed WorkerPanicked.
+        let k7 = generators::complete(7);
+        let rotor7 = RotorPattern::clockwise_with_shortcut(&k7);
+        let err = complete_few_failures_with_budget(&k7, &rotor7, &RunBudget::unlimited())
+            .expect_err("n = 7 must be rejected");
+        assert!(err.message.contains("n >= 8"), "got: {}", err.message);
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod locality_price;
 pub mod small_graphs;
 
 pub use few_failures::{
-    bipartite_few_failures_counterexample, complete_few_failures_counterexample,
+    bipartite_few_failures_counterexample, bipartite_few_failures_with_budget,
+    complete_few_failures_counterexample, complete_few_failures_with_budget, FewFailuresResult,
+    FewFailuresVerdict,
 };
 pub use locality_price::{r_tolerance_counterexample, theorem2_supergraph_pattern};
 pub use small_graphs::{

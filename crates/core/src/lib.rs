@@ -44,10 +44,28 @@
 //! assert!(frr_routing::resilience::is_perfectly_resilient(&g, &pattern).is_ok());
 //! ```
 
+// Library code must surface failures as typed errors or documented panics
+// (`expect` with a message), never a bare `unwrap` — CI lints with
+// `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod algorithms;
 pub mod classify;
 pub mod impossibility;
 pub mod landscape;
+
+/// Renders a `std::panic::catch_unwind` payload for typed worker-panic
+/// errors (duplicated from `frr_routing::sweep`, which keeps its helper
+/// crate-private).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<&'static str>() {
+        Ok(s) => (*s).to_string(),
+        Err(payload) => match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {

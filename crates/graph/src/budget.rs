@@ -1,0 +1,160 @@
+//! Cooperative cancellation primitives shared by every long-running search
+//! in the workspace.
+//!
+//! The exponential searches (failure-mask sweeps in `frr-routing`, the
+//! branch-and-bound minor engine here) cannot be preempted from outside; they
+//! *poll*.  [`CancelToken`] is the cross-thread stop request (an
+//! `Arc<AtomicBool>`), and [`StopSignal`] bundles it with an optional
+//! wall-clock deadline into the single value the hot loops poll.  Polling is
+//! cheap (one relaxed atomic load, plus one monotonic-clock read when a
+//! deadline is armed), so the loops can afford to check every few work units.
+//!
+//! The higher-level run-budget layer (verdicts, work-unit budgets, the
+//! graceful sampling degrade) lives in `frr_routing::budget`; this module is
+//! only the substrate-level primitive, placed here so the [`crate::minors`]
+//! engine can poll it without a dependency cycle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shared, cloneable cancellation flag.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same flag:
+/// call [`CancelToken::cancel`] from any thread and every search polling the
+/// token winds down at its next poll point, reporting an honest
+/// `Indeterminate`/`Unknown` instead of a fabricated verdict.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation.  Idempotent; there is no way to un-cancel.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The stop condition a cooperative loop polls: an optional [`CancelToken`]
+/// and an optional wall-clock deadline.
+///
+/// An *idle* signal (neither armed) is the common fast path: callers check
+/// [`StopSignal::is_idle`] once up front and skip polling entirely, so
+/// unbudgeted runs stay byte- and cycle-identical to the historical code.
+#[derive(Debug, Clone, Default)]
+pub struct StopSignal {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl StopSignal {
+    /// A signal that never fires (the unbudgeted fast path).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a signal from its parts.
+    pub fn new(deadline: Option<Instant>, cancel: Option<CancelToken>) -> Self {
+        StopSignal { cancel, deadline }
+    }
+
+    /// Arms a wall-clock deadline (keeps any existing token).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arms a cancellation token (keeps any existing deadline).
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` if neither a token nor a deadline is armed — polling can be
+    /// skipped altogether.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none()
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The armed token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// `true` because the token was cancelled (deadline expiry not counted).
+    #[inline]
+    pub fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// `true` because the deadline passed (cancellation not counted).
+    #[inline]
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// The poll: `true` once the loop should wind down (token cancelled or
+    /// deadline passed).
+    #[inline]
+    pub fn should_stop(&self) -> bool {
+        self.cancelled() || self.deadline_expired()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_cancellation_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled() && !c.is_cancelled());
+        c.cancel();
+        assert!(t.is_cancelled() && c.is_cancelled());
+    }
+
+    #[test]
+    fn idle_signal_never_stops() {
+        let s = StopSignal::none();
+        assert!(s.is_idle());
+        assert!(!s.should_stop());
+    }
+
+    #[test]
+    fn deadline_in_the_past_stops() {
+        let s = StopSignal::none().with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!s.is_idle());
+        assert!(s.deadline_expired());
+        assert!(s.should_stop());
+        assert!(!s.cancelled());
+    }
+
+    #[test]
+    fn cancelled_token_stops() {
+        let t = CancelToken::new();
+        let s = StopSignal::none().with_cancel(t.clone());
+        assert!(!s.should_stop());
+        t.cancel();
+        assert!(s.cancelled());
+        assert!(s.should_stop());
+        assert!(!s.deadline_expired());
+    }
+}

@@ -133,6 +133,38 @@ impl fmt::Display for Edge {
     }
 }
 
+/// Typed failure of [`Graph::try_add_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddEdgeError {
+    /// An endpoint is not a node of this graph.
+    OutOfRange {
+        /// The offending endpoint.
+        node: Node,
+        /// Number of nodes in the graph (valid ids are `0..node_count`).
+        node_count: usize,
+    },
+    /// Both endpoints are the same node.
+    SelfLoop(Node),
+    /// The edge is already present.
+    Duplicate(Edge),
+}
+
+impl fmt::Display for AddEdgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddEdgeError::OutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            AddEdgeError::SelfLoop(node) => {
+                write!(f, "self-loop at {node} (self-loops are not supported)")
+            }
+            AddEdgeError::Duplicate(edge) => write!(f, "duplicate edge {edge}"),
+        }
+    }
+}
+
+impl std::error::Error for AddEdgeError {}
+
 impl From<(usize, usize)> for Edge {
     fn from((u, v): (usize, usize)) -> Self {
         Edge::new(Node(u), Node(v))
@@ -243,6 +275,45 @@ impl Graph {
         self.adjacency[v.0].insert(u.0);
         self.edge_count += inserted as usize;
         inserted
+    }
+
+    /// Fallible [`Graph::add_edge`] for edges coming from *external input*
+    /// (parsed files, user-supplied topologies): returns a typed
+    /// [`AddEdgeError`] instead of panicking, and treats re-adding an
+    /// existing edge as an error rather than a silent no-op — a duplicate in
+    /// a topology document is almost always a transcription mistake the user
+    /// wants pointed out.
+    ///
+    /// ```
+    /// use frr_graph::{AddEdgeError, Graph, Node};
+    /// let mut g = Graph::new(3);
+    /// assert!(g.try_add_edge(Node(0), Node(1)).is_ok());
+    /// assert!(matches!(
+    ///     g.try_add_edge(Node(1), Node(0)),
+    ///     Err(AddEdgeError::Duplicate(_))
+    /// ));
+    /// assert!(matches!(
+    ///     g.try_add_edge(Node(1), Node(7)),
+    ///     Err(AddEdgeError::OutOfRange { .. })
+    /// ));
+    /// ```
+    pub fn try_add_edge(&mut self, u: Node, v: Node) -> Result<(), AddEdgeError> {
+        for node in [u, v] {
+            if node.0 >= self.node_count() {
+                return Err(AddEdgeError::OutOfRange {
+                    node,
+                    node_count: self.node_count(),
+                });
+            }
+        }
+        if u == v {
+            return Err(AddEdgeError::SelfLoop(u));
+        }
+        if self.add_edge(u, v) {
+            Ok(())
+        } else {
+            Err(AddEdgeError::Duplicate(Edge::new(u, v)))
+        }
     }
 
     /// Removes an undirected edge. Returns `true` if the edge existed.

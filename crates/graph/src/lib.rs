@@ -36,8 +36,14 @@
 //! assert!(minors::has_minor(&k5_minus_one, &k4).is_yes());
 //! ```
 
+// Library code must surface failures as typed errors or documented panics
+// (`expect` with a message), never a bare `unwrap` — CI lints with
+// `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod arborescence;
 pub mod bitgraph;
+pub mod budget;
 pub mod connectivity;
 pub mod generators;
 pub mod graph;
@@ -49,14 +55,15 @@ pub mod planarity;
 pub mod traversal;
 
 pub use bitgraph::BitGraph;
-pub use graph::{Edge, Graph, Node};
+pub use graph::{AddEdgeError, Edge, Graph, Node};
 
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
     pub use crate::bitgraph::BitGraph;
+    pub use crate::budget::{CancelToken, StopSignal};
     pub use crate::connectivity::{edge_connectivity, is_connected, st_edge_connectivity};
     pub use crate::generators;
-    pub use crate::graph::{Edge, Graph, Node};
+    pub use crate::graph::{AddEdgeError, Edge, Graph, Node};
     pub use crate::minors::{has_minor, MinorAnswer};
     pub use crate::outerplanar::is_outerplanar;
     pub use crate::planarity::is_planar;

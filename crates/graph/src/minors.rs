@@ -37,6 +37,7 @@
 //! and [`MinorAnswer::Unknown`] marks a meaningful search frontier.
 
 use crate::bitgraph::{BitGraph, BitIter};
+use crate::budget::StopSignal;
 use crate::graph::{Graph, Node};
 use std::collections::HashSet;
 
@@ -445,6 +446,9 @@ pub struct MinorEngine {
     sub_used: Vec<u64>,
     budget: u64,
     exhausted: bool,
+    /// Cooperative stop condition polled once per contraction; idle (and
+    /// skipped) for the plain [`MinorEngine::solve_bit`] entry point.
+    stop: StopSignal,
 }
 
 /// FNV-1a hashing for the memo table: the keys are long `u64` tuples hashed
@@ -510,6 +514,7 @@ impl MinorEngine {
             sub_used: Vec::new(),
             budget: 0,
             exhausted: false,
+            stop: StopSignal::none(),
         }
     }
 
@@ -521,6 +526,24 @@ impl MinorEngine {
 
     /// [`MinorEngine::solve`] on a [`BitGraph`] host.
     pub fn solve_bit(&mut self, g: &BitGraph, h: &Graph, budget: u64) -> MinorAnswer {
+        self.solve_bit_with_stop(g, h, budget, &StopSignal::none())
+    }
+
+    /// [`MinorEngine::solve_bit`] with a cooperative stop condition: the
+    /// search polls `stop` once per contraction and winds down with an honest
+    /// [`MinorAnswer::Unknown`] when it fires (a cancelled search is treated
+    /// exactly like an exhausted work budget — the frontier was not fully
+    /// explored, so neither `Yes` nor `No` can be claimed).
+    ///
+    /// With an idle signal this is byte-identical to [`MinorEngine::solve_bit`].
+    pub fn solve_bit_with_stop(
+        &mut self,
+        g: &BitGraph,
+        h: &Graph,
+        budget: u64,
+        stop: &StopSignal,
+    ) -> MinorAnswer {
+        self.stop = stop.clone();
         // Trivial patterns.
         if h.edge_count() == 0 {
             return if g.node_count() >= h.node_count() {
@@ -680,6 +703,14 @@ impl MinorEngine {
         let mut found = false;
         for &packed in edges.iter() {
             if self.budget == 0 {
+                self.exhausted = true;
+                break;
+            }
+            // Cooperative cancellation/deadline poll: one check per
+            // contraction (each contraction copies and reduces a full state,
+            // so the poll is noise).  A fired signal is an unexplored
+            // frontier, same as a spent budget.
+            if !self.stop.is_idle() && self.stop.should_stop() {
                 self.exhausted = true;
                 break;
             }
@@ -1119,8 +1150,32 @@ pub mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::{CancelToken, StopSignal};
     use crate::generators;
     use crate::ops;
+
+    #[test]
+    fn cancelled_minor_search_returns_unknown_not_a_fabricated_verdict() {
+        // Petersen has a K5 minor, but finding it needs contractions; with a
+        // pre-cancelled token the engine must wind down with Unknown instead
+        // of claiming Yes or No.
+        let token = CancelToken::new();
+        token.cancel();
+        let stop = StopSignal::none().with_cancel(token);
+        let mut engine = MinorEngine::new();
+        let host = BitGraph::from_graph(&generators::petersen());
+        let ans = engine.solve_bit_with_stop(&host, &generators::complete(5), 100_000, &stop);
+        assert!(ans.is_unknown());
+        // Idle signal: byte-identical to the plain entry point.
+        assert!(engine
+            .solve_bit_with_stop(
+                &host,
+                &generators::complete(5),
+                100_000,
+                &StopSignal::none()
+            )
+            .is_yes());
+    }
 
     #[test]
     fn subgraph_patterns_are_minors() {

@@ -9,11 +9,16 @@
 //! randomized search — used to cross-check them and to probe patterns on
 //! arbitrary graphs.
 
+use crate::budget::{Progress, RunBudget, StopCause, Verdict, WorkerPanicked};
 use crate::compiled::{CompilePattern, CompiledPattern, CompiledSim};
 use crate::failure::FailureSet;
 use crate::pattern::ForwardingPattern;
+use crate::resilience::compile_guarded;
 use crate::simulator::{route, state_space_bound, Outcome};
-use crate::sweep::{sharded_first, sweep_find_first_limited, SweepEngine};
+use crate::sweep::{
+    failure_set_at, sharded_first, sharded_first_controlled, sweep_find_first_budgeted,
+    sweep_find_first_limited, ShardEvent, SweepEnd, SweepEngine,
+};
 use frr_graph::{Edge, Graph, Node};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -145,6 +150,76 @@ impl Adversary for BruteForceAdversary {
     }
 }
 
+impl BruteForceAdversary {
+    /// Budgeted search: [`Adversary::find_counterexample`]'s enumeration
+    /// under a [`RunBudget`], returning a typed [`Verdict`].
+    ///
+    /// `Proven` means *no counterexample exists in the configured search
+    /// space* (failure sets within `max_failures`) — the full space was
+    /// enumerated, neither `max_sets` nor the budget clipped it.  Any early
+    /// stop (deadline, cancellation, `max_sets`, work budget) is an honest
+    /// [`Verdict::Indeterminate`] with progress; a panicking probe is a
+    /// typed [`WorkerPanicked`] with the offending failure set.
+    pub fn search_with_budget<P: CompilePattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+        budget: &RunBudget,
+    ) -> Result<Verdict, WorkerPanicked> {
+        let max_hops = state_space_bound(g);
+        let compiled = compile_guarded(g, pattern);
+        let compiled = compiled.as_ref();
+        let mask_budget = self.max_sets.min(budget.work_limit().unwrap_or(u64::MAX));
+        let report = sweep_find_first_budgeted(
+            g,
+            self.max_failures,
+            Some(mask_budget),
+            &budget.stop_signal(),
+            |engine: &mut SweepEngine<'_>| {
+                for s in g.nodes() {
+                    for t in g.nodes() {
+                        if s == t || !engine.same_component(s, t) {
+                            continue;
+                        }
+                        let outcome = match compiled {
+                            Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
+                            None => engine.route_outcome(pattern, s, t, max_hops),
+                        };
+                        if !outcome.is_delivered() {
+                            let failures = engine.current_failure_set();
+                            let result = route(g, &failures, pattern, s, t, max_hops);
+                            return Some(Counterexample {
+                                failures,
+                                source: s,
+                                destination: t,
+                                outcome: result.outcome,
+                                path: result.path,
+                            });
+                        }
+                    }
+                }
+                None
+            },
+        );
+        match report.end {
+            SweepEnd::Found(ce) => Ok(Verdict::Refuted(ce)),
+            SweepEnd::Exhausted => Ok(Verdict::Proven),
+            SweepEnd::Panicked { position, message } => Err(WorkerPanicked {
+                position,
+                failures: failure_set_at(g, self.max_failures, position),
+                message,
+            }),
+            SweepEnd::Stopped(cause) => Ok(Verdict::Indeterminate(Progress {
+                masks_examined: report.masks_examined,
+                weight_reached: report.max_weight,
+                elapsed: budget.elapsed(),
+                stopped_by: cause,
+                sampled_trials: 0,
+            })),
+        }
+    }
+}
+
 /// Randomized adversary: samples failure sets of random sizes and random
 /// source/destination pairs; reproducible via its seed.
 ///
@@ -180,10 +255,35 @@ impl RandomAdversary {
         )
     }
 
-    /// Probes one trial's scenario.  `pool` is a reusable scratch buffer that
-    /// is **re-initialized from `edges` every trial**, so the probed scenario
-    /// is a pure function of `(seed, trial)` — independent of which trials a
-    /// worker ran before (the deterministic sharded merge requires this).
+    /// Draws trial `trial`'s scenario — the failure set and `(s, t)` pair —
+    /// as a pure function of `(seed, trial)`.  `pool` is a reusable scratch
+    /// buffer that is **re-initialized from `edges` every call**, so the
+    /// scenario is independent of which trials a worker ran before (the
+    /// deterministic sharded merge requires this); it is also how the
+    /// budgeted search reconstructs the scenario of a panicking trial.
+    fn sample_scenario(
+        &self,
+        edges: &[Edge],
+        nodes: &[Node],
+        pool: &mut Vec<Edge>,
+        trial: u64,
+    ) -> (FailureSet, Node, Node) {
+        let mut rng = self.trial_rng(trial);
+        let k = rng.gen_range(0..=self.max_failures.min(edges.len()));
+        pool.clear();
+        pool.extend_from_slice(edges);
+        // Partial Fisher–Yates: the first k entries become a uniform k-subset.
+        for i in 0..k {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let failures = FailureSet::from_edges(pool[..k].iter().copied());
+        let s = nodes[rng.gen_range(0..nodes.len())];
+        let t = nodes[rng.gen_range(0..nodes.len())];
+        (failures, s, t)
+    }
+
+    /// Probes one trial's scenario ([`RandomAdversary::sample_scenario`]).
     /// `sim` carries the worker's compiled-pattern scratch; scenarios are
     /// simulated on the dense tables when the pattern compiled.
     #[allow(clippy::too_many_arguments)]
@@ -199,18 +299,7 @@ impl RandomAdversary {
         max_hops: usize,
         trial: u64,
     ) -> Option<Counterexample> {
-        let mut rng = self.trial_rng(trial);
-        let k = rng.gen_range(0..=self.max_failures.min(edges.len()));
-        pool.clear();
-        pool.extend_from_slice(edges);
-        // Partial Fisher–Yates: the first k entries become a uniform k-subset.
-        for i in 0..k {
-            let j = rng.gen_range(i..pool.len());
-            pool.swap(i, j);
-        }
-        let failures = FailureSet::from_edges(pool[..k].iter().copied());
-        let s = nodes[rng.gen_range(0..nodes.len())];
-        let t = nodes[rng.gen_range(0..nodes.len())];
+        let (failures, s, t) = self.sample_scenario(edges, nodes, pool, trial);
         if s == t || !failures.keeps_connected(g, s, t) {
             return None;
         }
@@ -274,6 +363,82 @@ impl Adversary for RandomAdversary {
             "random(trials={}, |F| <= {})",
             self.trials, self.max_failures
         )
+    }
+}
+
+impl RandomAdversary {
+    /// Budgeted search: [`Adversary::find_counterexample`]'s trial sweep
+    /// under a [`RunBudget`], returning a typed [`Verdict`].
+    ///
+    /// A randomized search can refute but never prove, so completing every
+    /// trial without a hit is still [`Verdict::Indeterminate`] (with
+    /// [`StopCause::WorkBudget`]: the trial budget was spent).  A panicking
+    /// trial surfaces as [`WorkerPanicked`] carrying the trial's failure set,
+    /// reconstructed by replaying the trial's deterministic
+    /// `(seed, trial)`-derived sampling.
+    pub fn search_with_budget<P: CompilePattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+        budget: &RunBudget,
+    ) -> Result<Verdict, WorkerPanicked> {
+        let max_hops = state_space_bound(g);
+        let nodes: Vec<Node> = g.nodes().collect();
+        let trials = (self.trials as u64).min(budget.work_limit().unwrap_or(u64::MAX));
+        let indeterminate = |probes: u64, cause: StopCause| {
+            Verdict::Indeterminate(Progress {
+                masks_examined: probes,
+                weight_reached: 0,
+                elapsed: budget.elapsed(),
+                stopped_by: cause,
+                sampled_trials: probes,
+            })
+        };
+        if nodes.len() < 2 {
+            return Ok(indeterminate(0, StopCause::WorkBudget));
+        }
+        let edges = g.edges();
+        let compiled = compile_guarded(g, pattern);
+        let compiled = compiled.as_ref();
+        let stop = budget.stop_signal();
+        let outcome = sharded_first_controlled(
+            trials,
+            64,
+            64,
+            &stop,
+            || {
+                (
+                    Vec::with_capacity(edges.len()),
+                    compiled.map(CompiledSim::new),
+                )
+            },
+            |(pool, sim), trial| {
+                self.probe_trial(
+                    g, pattern, compiled, &nodes, &edges, pool, sim, max_hops, trial,
+                )
+            },
+        );
+        match outcome.event {
+            Some((_, ShardEvent::Hit(ce))) => Ok(Verdict::Refuted(ce)),
+            Some((trial, ShardEvent::Panic(message))) => {
+                let mut pool = Vec::with_capacity(edges.len());
+                let (failures, _, _) = self.sample_scenario(&edges, &nodes, &mut pool, trial);
+                Err(WorkerPanicked {
+                    position: trial,
+                    failures: Some(failures),
+                    message,
+                })
+            }
+            None if outcome.stopped => Ok(indeterminate(
+                outcome.probes,
+                if stop.cancelled() {
+                    StopCause::Cancelled
+                } else {
+                    StopCause::Deadline
+                },
+            )),
+            None => Ok(indeterminate(outcome.probes, StopCause::WorkBudget)),
+        }
     }
 }
 

@@ -28,6 +28,12 @@
 //!   resilience, `r`-tolerance, bounded failures, touring),
 //! * [`adversary`] — generic brute-force and randomized adversaries that
 //!   search for failure scenarios defeating a given pattern,
+//! * [`budget`] — the run-budget control layer: wall-clock deadlines,
+//!   work-unit budgets, cooperative [`budget::CancelToken`] cancellation and
+//!   the typed [`budget::Verdict`] the `*_with_budget` API variants return,
+//! * [`hostile`] — deliberately misbehaving forwarding patterns (forwarding
+//!   into failed links, to non-neighbors, nondeterministically, panicking)
+//!   used by the chaos suite to pin fail-safe termination,
 //! * [`metrics`] — delivery-rate / stretch statistics for the benchmark
 //!   harness.
 //!
@@ -44,9 +50,16 @@
 //! assert!(result.outcome.is_delivered());
 //! ```
 
+// Library code must surface failures as typed errors or documented panics
+// (`expect` with a message), never a bare `unwrap` — CI lints with
+// `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod adversary;
+pub mod budget;
 pub mod compiled;
 pub mod failure;
+pub mod hostile;
 pub mod mask;
 pub mod metrics;
 pub mod model;
@@ -58,6 +71,9 @@ pub mod sweep;
 /// Convenience prelude bringing the most frequently used items into scope.
 pub mod prelude {
     pub use crate::adversary::{Adversary, BruteForceAdversary, Counterexample, RandomAdversary};
+    pub use crate::budget::{
+        CancelToken, Progress, RunBudget, StopCause, StopSignal, Verdict, WorkerPanicked,
+    };
     pub use crate::compiled::{CompilePattern, CompiledPattern, CompiledSim};
     pub use crate::failure::{FailureSet, GrayMasks};
     pub use crate::mask::{IntoMaskRef, MaskBuf, MaskCount, MaskRef};
@@ -65,7 +81,9 @@ pub mod prelude {
     pub use crate::model::{LocalContext, RoutingModel};
     pub use crate::pattern::{FnPattern, ForwardingPattern, RotorPattern, ShortestPathPattern};
     pub use crate::resilience::{
-        is_perfectly_resilient, is_perfectly_resilient_touring, is_r_tolerant, SamplingBudget,
+        check_bounded_r_resilience_with_budget, check_bounded_touring_resilience_with_budget,
+        is_perfectly_resilient, is_perfectly_resilient_touring, is_perfectly_resilient_with_budget,
+        is_r_tolerant, is_r_tolerant_with_budget, SamplingBudget,
     };
     pub use crate::simulator::{route, tour, Outcome, RouteResult, TourResult};
 }

@@ -17,14 +17,20 @@
 //! the canonical Gray order, at any thread count.
 
 use crate::adversary::Counterexample;
-use crate::compiled::{CompilePattern, CompiledSim};
+use crate::budget::{Progress, RunBudget, StopCause, Verdict, WorkerPanicked};
+use crate::compiled::{CompilePattern, CompiledPattern, CompiledSim};
 use crate::failure::{random_failure_set, FailureSet};
 use crate::pattern::ForwardingPattern;
 use crate::simulator::{route, state_space_bound, tour, Outcome};
-use crate::sweep::{sweep_find_first, SweepEngine};
+use crate::sweep::{
+    failure_set_at, sweep_find_first, sweep_find_first_budgeted, SweepEnd, SweepEngine, SweepReport,
+};
+use frr_graph::budget::StopSignal;
 use frr_graph::connectivity::st_edge_connectivity_filtered;
 use frr_graph::{Graph, Node};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Largest number of links for which the exhaustive checkers enumerate the
 /// full failure-set power set by default.
@@ -118,16 +124,34 @@ fn replay_tour<P: ForwardingPattern + ?Sized>(
     }
 }
 
+/// Compiles `pattern` for the budgeted sweeps, treating a *panicking*
+/// `compile` the same as a refusing one: the sweep keeps the interpreted
+/// trait-object path (outcomes are identical either way), and if the pattern
+/// also misbehaves at forwarding time the per-probe isolation reports it as
+/// a typed [`WorkerPanicked`] at the offending mask instead of a
+/// compile-time abort.
+pub(crate) fn compile_guarded<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+) -> Option<CompiledPattern> {
+    catch_unwind(AssertUnwindSafe(|| pattern.compile(g)))
+        .ok()
+        .flatten()
+}
+
 /// Shared sweep for the routing checkers: every failure mask (optionally
 /// popcount-capped), every still-connected `(s, t)` pair (optionally with a
-/// pinned destination), first counterexample in the canonical
-/// `(Gray-enumerated mask, source, destination)` order.
-fn sweep_routing<P: CompilePattern + ?Sized>(
+/// pinned destination), earliest event in the canonical
+/// `(Gray-enumerated mask, source, destination)` order — a counterexample,
+/// exhaustion, a cooperative stop, or an isolated probe panic.
+fn sweep_routing_budgeted<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     max_failures: Option<usize>,
     destination: Option<Node>,
-) -> Result<(), Counterexample> {
+    mask_budget: Option<u64>,
+    stop: &StopSignal,
+) -> SweepReport<Counterexample> {
     let max_hops = state_space_bound(g);
     let n = g.node_count();
     let (t_lo, t_hi) = match destination {
@@ -135,30 +159,60 @@ fn sweep_routing<P: CompilePattern + ?Sized>(
         None => (0, n),
     };
     // Compile once per sweep; the tables are shared by every worker thread.
-    // `None` (degree or tabulation budget exceeded) keeps the interpreted
-    // trait-object path — outcomes are identical either way.
-    let compiled = pattern.compile(g);
+    // `None` (degree or tabulation budget exceeded, or a panicking compile)
+    // keeps the interpreted trait-object path — outcomes are identical
+    // either way.
+    let compiled = compile_guarded(g, pattern);
     let compiled = compiled.as_ref();
-    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>| {
-        for s in (0..n).map(Node) {
-            for t in (t_lo..t_hi).map(Node) {
-                if s == t || !engine.same_component(s, t) {
-                    continue;
-                }
-                let outcome = match compiled {
-                    Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
-                    None => engine.route_outcome(pattern, s, t, max_hops),
-                };
-                if !outcome.is_delivered() {
-                    return Some(replay_route(g, pattern, engine.current_failure_set(), s, t));
+    sweep_find_first_budgeted(
+        g,
+        max_failures,
+        mask_budget,
+        stop,
+        |engine: &mut SweepEngine<'_>| {
+            for s in (0..n).map(Node) {
+                for t in (t_lo..t_hi).map(Node) {
+                    if s == t || !engine.same_component(s, t) {
+                        continue;
+                    }
+                    let outcome = match compiled {
+                        Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
+                        None => engine.route_outcome(pattern, s, t, max_hops),
+                    };
+                    if !outcome.is_delivered() {
+                        return Some(replay_route(g, pattern, engine.current_failure_set(), s, t));
+                    }
                 }
             }
+            None
+        },
+    )
+}
+
+/// [`sweep_routing_budgeted`] under no budget, collapsed to the historical
+/// `Result`: an unbudgeted sweep can only find, exhaust, or propagate a
+/// probe panic.
+fn sweep_routing<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    max_failures: Option<usize>,
+    destination: Option<Node>,
+) -> Result<(), Counterexample> {
+    let report = sweep_routing_budgeted(
+        g,
+        pattern,
+        max_failures,
+        destination,
+        None,
+        &StopSignal::none(),
+    );
+    match report.end {
+        SweepEnd::Found(ce) => Err(ce),
+        SweepEnd::Exhausted => Ok(()),
+        SweepEnd::Stopped(cause) => unreachable!("unbudgeted sweep stopped: {cause}"),
+        SweepEnd::Panicked { position, message } => {
+            panic!("resilience sweep worker panicked at enumeration position {position}: {message}")
         }
-        None
-    });
-    match found {
-        Some(ce) => Err(ce),
-        None => Ok(()),
     }
 }
 
@@ -219,9 +273,28 @@ pub fn check_bounded_r_resilience<P: CompilePattern + ?Sized>(
 /// Panicking wrapper over [`check_bounded_r_resilience`], kept for the
 /// historical call sites.
 ///
+/// Failure sets flow through the sweep as width-generic masks
+/// ([`crate::mask::MaskRef`] views over one `u64` word per 64 links); the
+/// returned [`Counterexample`] materializes the violating set as a
+/// [`FailureSet`], which round-trips back to mask form via
+/// [`FailureSet::from_mask`] / [`crate::mask::MaskBuf`] over the graph's
+/// ascending [`Graph::edges`] order.
+///
+/// ```
+/// use frr_graph::{generators, Node};
+/// use frr_routing::resilience::is_r_resilient;
+/// use frr_routing::pattern::ShortestPathPattern;
+///
+/// let g = generators::cycle(6);
+/// let p = ShortestPathPattern::new(&g);
+/// assert!(is_r_resilient(&g, &p, 1).is_ok());
+/// ```
+///
 /// # Panics
 ///
-/// Panics if the graph has more than [`BOUNDED_EDGE_LIMIT`] links.
+/// Panics if the graph has more than [`BOUNDED_EDGE_LIMIT`] links — use
+/// [`check_bounded_r_resilience`] (graceful `Err`) or
+/// [`check_bounded_r_resilience_with_budget`] (sampling degrade) instead.
 pub fn is_r_resilient<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
@@ -233,17 +306,19 @@ pub fn is_r_resilient<P: CompilePattern + ?Sized>(
 /// Checks `r`-tolerance (Definition 1) exhaustively for a fixed `(s, t)` pair:
 /// delivery is required for every failure set under which `s` and `t` remain
 /// `r`-connected (have `r` link-disjoint surviving paths).
-pub fn is_r_tolerant<P: CompilePattern + ?Sized>(
+///
+/// The outer `Result` reports whether the graph fits the exhaustive sweep at
+/// all (`Err(EdgeLimitExceeded)` above [`EXHAUSTIVE_EDGE_LIMIT`] links —
+/// callers print a skip or degrade to [`is_r_tolerant_sampled`] instead of
+/// aborting); the inner one carries the verdict.
+pub fn check_r_tolerance<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     s: Node,
     t: Node,
     r: usize,
-) -> Result<(), Counterexample> {
-    assert!(
-        g.edge_count() <= EXHAUSTIVE_EDGE_LIMIT,
-        "exhaustive r-tolerance check limited to {EXHAUSTIVE_EDGE_LIMIT} links"
-    );
+) -> Result<Result<(), Counterexample>, EdgeLimitExceeded> {
+    check_edge_limit(g, EXHAUSTIVE_EDGE_LIMIT)?;
     let max_hops = state_space_bound(g);
     let compiled = pattern.compile(g);
     let compiled = compiled.as_ref();
@@ -264,10 +339,34 @@ pub fn is_r_tolerant<P: CompilePattern + ?Sized>(
         }
         None
     });
-    match found {
+    Ok(match found {
         Some(ce) => Err(ce),
         None => Ok(()),
-    }
+    })
+}
+
+/// Panicking wrapper over [`check_r_tolerance`], kept for the historical
+/// call sites.
+///
+/// The returned [`Counterexample`] carries the violating failure set as a
+/// [`FailureSet`] (its mask form is recoverable via the graph's ascending
+/// [`Graph::edges`] order and a [`crate::mask::MaskBuf`]) plus the packet's
+/// replayed path.
+///
+/// # Panics
+///
+/// Panics if the graph has more than [`EXHAUSTIVE_EDGE_LIMIT`] links — use
+/// [`is_r_tolerant_sampled`] (or [`is_r_tolerant_with_budget`], which
+/// degrades to sampling on its own) for larger networks.
+pub fn is_r_tolerant<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    s: Node,
+    t: Node,
+    r: usize,
+) -> Result<(), Counterexample> {
+    check_r_tolerance(g, pattern, s, t, r)
+        .unwrap_or_else(|e| panic!("exhaustive r-tolerance check: {e}"))
 }
 
 /// Sampling effort for the randomized resilience checkers: for every failure
@@ -333,30 +432,52 @@ pub fn is_r_tolerant_sampled<P: CompilePattern + ?Sized, R: Rng>(
     Ok(())
 }
 
-/// Shared sweep for the touring checkers.
+/// Shared sweep for the touring checkers, budget-aware.
+fn sweep_touring_budgeted<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    max_failures: Option<usize>,
+    mask_budget: Option<u64>,
+    stop: &StopSignal,
+) -> SweepReport<Counterexample> {
+    let max_hops = state_space_bound(g);
+    let compiled = compile_guarded(g, pattern);
+    let compiled = compiled.as_ref();
+    sweep_find_first_budgeted(
+        g,
+        max_failures,
+        mask_budget,
+        stop,
+        |engine: &mut SweepEngine<'_>| {
+            for start in g.nodes() {
+                let covered = match compiled {
+                    Some(cp) => engine.tour_covers_compiled(cp, start, max_hops),
+                    None => engine.tour_covers(pattern, start, max_hops),
+                };
+                if !covered {
+                    return Some(replay_tour(g, pattern, engine.current_failure_set(), start));
+                }
+            }
+            None
+        },
+    )
+}
+
+/// [`sweep_touring_budgeted`] under no budget, collapsed to the historical
+/// `Result`.
 fn sweep_touring<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
     max_failures: Option<usize>,
 ) -> Result<(), Counterexample> {
-    let max_hops = state_space_bound(g);
-    let compiled = pattern.compile(g);
-    let compiled = compiled.as_ref();
-    let found = sweep_find_first(g, max_failures, |engine: &mut SweepEngine<'_>| {
-        for start in g.nodes() {
-            let covered = match compiled {
-                Some(cp) => engine.tour_covers_compiled(cp, start, max_hops),
-                None => engine.tour_covers(pattern, start, max_hops),
-            };
-            if !covered {
-                return Some(replay_tour(g, pattern, engine.current_failure_set(), start));
-            }
+    let report = sweep_touring_budgeted(g, pattern, max_failures, None, &StopSignal::none());
+    match report.end {
+        SweepEnd::Found(ce) => Err(ce),
+        SweepEnd::Exhausted => Ok(()),
+        SweepEnd::Stopped(cause) => unreachable!("unbudgeted sweep stopped: {cause}"),
+        SweepEnd::Panicked { position, message } => {
+            panic!("touring sweep worker panicked at enumeration position {position}: {message}")
         }
-        None
-    });
-    match found {
-        Some(ce) => Err(ce),
-        None => Ok(()),
     }
 }
 
@@ -392,9 +513,27 @@ pub fn check_bounded_touring_resilience<P: CompilePattern + ?Sized>(
 /// Panicking wrapper over [`check_bounded_touring_resilience`], kept for the
 /// historical call sites.
 ///
+/// As with the routing checkers, the sweep's failure sets are width-generic
+/// masks ([`crate::mask::MaskRef`] / [`crate::mask::MaskBuf`], one `u64`
+/// word per 64 links), and the returned [`Counterexample`] materializes the
+/// violating set as a [`FailureSet`] with the failing tour's walk attached.
+///
+/// ```
+/// use frr_graph::generators;
+/// use frr_routing::pattern::RotorPattern;
+/// use frr_routing::resilience::is_k_resilient_touring;
+///
+/// let star = generators::star(4);
+/// let p = RotorPattern::clockwise(&star);
+/// assert!(is_k_resilient_touring(&star, &p, 2).is_ok());
+/// ```
+///
 /// # Panics
 ///
-/// Panics if the graph has more than [`BOUNDED_EDGE_LIMIT`] links.
+/// Panics if the graph has more than [`BOUNDED_EDGE_LIMIT`] links — use
+/// [`check_bounded_touring_resilience`] (graceful `Err`) or
+/// [`check_bounded_touring_resilience_with_budget`] (sampling degrade)
+/// instead.
 pub fn is_k_resilient_touring<P: CompilePattern + ?Sized>(
     g: &Graph,
     pattern: &P,
@@ -445,6 +584,384 @@ pub fn sampled_resilience_violation<P: CompilePattern + ?Sized, R: Rng>(
         }
     }
     None
+}
+
+/// Randomly samples failure scenarios and start nodes on a (possibly large)
+/// graph and returns the first violation of touring resilience found — the
+/// touring twin of [`sampled_resilience_violation`].
+pub fn sampled_touring_violation<P: CompilePattern + ?Sized, R: Rng>(
+    g: &Graph,
+    pattern: &P,
+    trials: usize,
+    max_failures: usize,
+    rng: &mut R,
+) -> Option<Counterexample> {
+    let max_hops = state_space_bound(g);
+    let nodes: Vec<Node> = g.nodes().collect();
+    if nodes.is_empty() {
+        return None;
+    }
+    for _ in 0..trials {
+        let k = rng.gen_range(0..=max_failures.min(g.edge_count()));
+        let failures = random_failure_set(g, k, rng);
+        let start = nodes[rng.gen_range(0..nodes.len())];
+        let result = tour(g, &failures, pattern, start, max_hops);
+        if !result.covered_component {
+            return Some(Counterexample {
+                failures,
+                source: start,
+                destination: start,
+                outcome: Outcome::Loop,
+                path: result.path,
+            });
+        }
+    }
+    None
+}
+
+/// Trials the graceful sampling fallback spends after a budgeted exhaustive
+/// sweep stops early (per [`StopCause::Deadline`] / [`StopCause::WorkBudget`]
+/// stop, and for [`StopCause::EdgeLimit`] oversize graphs).
+pub const FALLBACK_SAMPLING_TRIALS: usize = 256;
+
+/// Seed of the fallback sampler — fixed, so budgeted runs that degrade to
+/// sampling stay reproducible run to run.
+const FALLBACK_SAMPLING_SEED: u64 = 0x5EED_FA11;
+
+/// Runs `f` with panic isolation, mapping a panic to a typed
+/// [`WorkerPanicked`] (position 0, no mask: sampler trials have no Gray
+/// enumeration position).
+fn guard_fallback<T>(f: impl FnOnce() -> T) -> Result<T, WorkerPanicked> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| WorkerPanicked {
+        position: 0,
+        failures: None,
+        message: crate::sweep::panic_message(payload),
+    })
+}
+
+/// Assembles the [`Verdict`] for a routing sweep that stopped early: degrade
+/// to the reproducible sampler on deadline/work-budget expiry (and for
+/// oversize graphs that never swept), report honest `Indeterminate` when the
+/// sampler finds nothing, and skip sampling entirely on explicit
+/// cancellation — a cancelled caller wants the run gone, not more work.
+fn routing_stop_verdict<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    sampler_max_failures: usize,
+    budget: &RunBudget,
+    masks_examined: u64,
+    weight_reached: usize,
+    cause: StopCause,
+) -> Result<Verdict, WorkerPanicked> {
+    let mut sampled_trials = 0u64;
+    if cause != StopCause::Cancelled {
+        let mut rng = StdRng::seed_from_u64(FALLBACK_SAMPLING_SEED);
+        sampled_trials = FALLBACK_SAMPLING_TRIALS as u64;
+        let found = guard_fallback(|| {
+            sampled_resilience_violation(
+                g,
+                pattern,
+                FALLBACK_SAMPLING_TRIALS,
+                sampler_max_failures,
+                &mut rng,
+            )
+        })?;
+        if let Some(ce) = found {
+            return Ok(Verdict::Refuted(ce));
+        }
+    }
+    Ok(Verdict::Indeterminate(Progress {
+        masks_examined,
+        weight_reached,
+        elapsed: budget.elapsed(),
+        stopped_by: cause,
+        sampled_trials,
+    }))
+}
+
+/// The touring twin of [`routing_stop_verdict`], degrading to
+/// [`sampled_touring_violation`].
+fn touring_stop_verdict<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    sampler_max_failures: usize,
+    budget: &RunBudget,
+    masks_examined: u64,
+    weight_reached: usize,
+    cause: StopCause,
+) -> Result<Verdict, WorkerPanicked> {
+    let mut sampled_trials = 0u64;
+    if cause != StopCause::Cancelled {
+        let mut rng = StdRng::seed_from_u64(FALLBACK_SAMPLING_SEED);
+        sampled_trials = FALLBACK_SAMPLING_TRIALS as u64;
+        let found = guard_fallback(|| {
+            sampled_touring_violation(
+                g,
+                pattern,
+                FALLBACK_SAMPLING_TRIALS,
+                sampler_max_failures,
+                &mut rng,
+            )
+        })?;
+        if let Some(ce) = found {
+            return Ok(Verdict::Refuted(ce));
+        }
+    }
+    Ok(Verdict::Indeterminate(Progress {
+        masks_examined,
+        weight_reached,
+        elapsed: budget.elapsed(),
+        stopped_by: cause,
+        sampled_trials,
+    }))
+}
+
+/// Collapses a budgeted routing sweep report into the typed [`Verdict`],
+/// reconstructing the offending mask of a panicked probe.
+fn finish_routing_report<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    cap: Option<usize>,
+    sampler_max_failures: usize,
+    budget: &RunBudget,
+    report: SweepReport<Counterexample>,
+) -> Result<Verdict, WorkerPanicked> {
+    match report.end {
+        SweepEnd::Found(ce) => Ok(Verdict::Refuted(ce)),
+        SweepEnd::Exhausted => Ok(Verdict::Proven),
+        SweepEnd::Panicked { position, message } => Err(WorkerPanicked {
+            position,
+            failures: failure_set_at(g, cap, position),
+            message,
+        }),
+        SweepEnd::Stopped(cause) => routing_stop_verdict(
+            g,
+            pattern,
+            sampler_max_failures,
+            budget,
+            report.masks_examined,
+            report.max_weight,
+            cause,
+        ),
+    }
+}
+
+/// The touring twin of [`finish_routing_report`].
+fn finish_touring_report<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    cap: Option<usize>,
+    sampler_max_failures: usize,
+    budget: &RunBudget,
+    report: SweepReport<Counterexample>,
+) -> Result<Verdict, WorkerPanicked> {
+    match report.end {
+        SweepEnd::Found(ce) => Ok(Verdict::Refuted(ce)),
+        SweepEnd::Exhausted => Ok(Verdict::Proven),
+        SweepEnd::Panicked { position, message } => Err(WorkerPanicked {
+            position,
+            failures: failure_set_at(g, cap, position),
+            message,
+        }),
+        SweepEnd::Stopped(cause) => touring_stop_verdict(
+            g,
+            pattern,
+            sampler_max_failures,
+            budget,
+            report.masks_examined,
+            report.max_weight,
+            cause,
+        ),
+    }
+}
+
+/// Budgeted [`is_perfectly_resilient`]: the exhaustive perfect-resilience
+/// sweep under a [`RunBudget`].
+///
+/// * Under [`RunBudget::unlimited`] the sweep is the exact unbudgeted code
+///   path: `Proven` / `Refuted` correspond byte-for-byte to the historical
+///   `Ok` / `Err` results (same canonical first counterexample at any
+///   thread count).
+/// * A deadline or work-budget stop degrades to the reproducible
+///   [`sampled_resilience_violation`] sampler; if it finds nothing the
+///   verdict is an honest [`Verdict::Indeterminate`] with progress.
+/// * Oversize graphs (beyond [`EXHAUSTIVE_EDGE_LIMIT`]) never panic here:
+///   they go straight to the sampler with [`StopCause::EdgeLimit`].
+/// * A probe panic (a misbehaving pattern, a tripped debug assertion)
+///   surfaces as `Err(WorkerPanicked)` with the offending mask.
+pub fn is_perfectly_resilient_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    budget: &RunBudget,
+) -> Result<Verdict, WorkerPanicked> {
+    if g.edge_count() > EXHAUSTIVE_EDGE_LIMIT {
+        return routing_stop_verdict(
+            g,
+            pattern,
+            g.edge_count(),
+            budget,
+            0,
+            0,
+            StopCause::EdgeLimit,
+        );
+    }
+    let report = sweep_routing_budgeted(
+        g,
+        pattern,
+        None,
+        None,
+        budget.work_limit(),
+        &budget.stop_signal(),
+    );
+    finish_routing_report(g, pattern, None, g.edge_count(), budget, report)
+}
+
+/// Budgeted [`check_bounded_r_resilience`]: `r`-bounded resilience under a
+/// [`RunBudget`], with the same degrade ladder as
+/// [`is_perfectly_resilient_with_budget`] (sampler capped at `r` failures;
+/// oversize graphs beyond [`BOUNDED_EDGE_LIMIT`] sample with
+/// [`StopCause::EdgeLimit`] instead of returning an error).
+pub fn check_bounded_r_resilience_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    r: usize,
+    budget: &RunBudget,
+) -> Result<Verdict, WorkerPanicked> {
+    if g.edge_count() > BOUNDED_EDGE_LIMIT {
+        return routing_stop_verdict(g, pattern, r, budget, 0, 0, StopCause::EdgeLimit);
+    }
+    let report = sweep_routing_budgeted(
+        g,
+        pattern,
+        Some(r),
+        None,
+        budget.work_limit(),
+        &budget.stop_signal(),
+    );
+    finish_routing_report(g, pattern, Some(r), r, budget, report)
+}
+
+/// Budgeted [`is_perfectly_resilient_touring`]: the exhaustive touring sweep
+/// under a [`RunBudget`], degrading to [`sampled_touring_violation`].
+pub fn is_perfectly_resilient_touring_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    budget: &RunBudget,
+) -> Result<Verdict, WorkerPanicked> {
+    if g.edge_count() > EXHAUSTIVE_EDGE_LIMIT {
+        return touring_stop_verdict(
+            g,
+            pattern,
+            g.edge_count(),
+            budget,
+            0,
+            0,
+            StopCause::EdgeLimit,
+        );
+    }
+    let report =
+        sweep_touring_budgeted(g, pattern, None, budget.work_limit(), &budget.stop_signal());
+    finish_touring_report(g, pattern, None, g.edge_count(), budget, report)
+}
+
+/// Budgeted [`check_bounded_touring_resilience`]: `k`-bounded touring under
+/// a [`RunBudget`].
+pub fn check_bounded_touring_resilience_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    k: usize,
+    budget: &RunBudget,
+) -> Result<Verdict, WorkerPanicked> {
+    if g.edge_count() > BOUNDED_EDGE_LIMIT {
+        return touring_stop_verdict(g, pattern, k, budget, 0, 0, StopCause::EdgeLimit);
+    }
+    let report = sweep_touring_budgeted(
+        g,
+        pattern,
+        Some(k),
+        budget.work_limit(),
+        &budget.stop_signal(),
+    );
+    finish_touring_report(g, pattern, Some(k), k, budget, report)
+}
+
+/// Budgeted [`check_r_tolerance`]: `r`-tolerance for a fixed `(s, t)` pair
+/// under a [`RunBudget`], degrading to [`is_r_tolerant_sampled`] (with a
+/// fixed seed, so degraded runs stay reproducible).
+pub fn is_r_tolerant_with_budget<P: CompilePattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    s: Node,
+    t: Node,
+    r: usize,
+    budget: &RunBudget,
+) -> Result<Verdict, WorkerPanicked> {
+    let tolerance_fallback = |masks_examined: u64,
+                              weight_reached: usize,
+                              cause: StopCause|
+     -> Result<Verdict, WorkerPanicked> {
+        let mut sampled_trials = 0u64;
+        if cause != StopCause::Cancelled {
+            let sampling = SamplingBudget::new(
+                (2 * r.max(1)).min(g.edge_count()),
+                FALLBACK_SAMPLING_TRIALS / 8,
+            );
+            sampled_trials = (sampling.trials * (sampling.max_failures + 1)) as u64;
+            let mut rng = StdRng::seed_from_u64(FALLBACK_SAMPLING_SEED);
+            let found =
+                guard_fallback(|| is_r_tolerant_sampled(g, pattern, s, t, r, sampling, &mut rng))?;
+            if let Err(ce) = found {
+                return Ok(Verdict::Refuted(ce));
+            }
+        }
+        Ok(Verdict::Indeterminate(Progress {
+            masks_examined,
+            weight_reached,
+            elapsed: budget.elapsed(),
+            stopped_by: cause,
+            sampled_trials,
+        }))
+    };
+    if g.edge_count() > EXHAUSTIVE_EDGE_LIMIT {
+        return tolerance_fallback(0, 0, StopCause::EdgeLimit);
+    }
+    let max_hops = state_space_bound(g);
+    let compiled = compile_guarded(g, pattern);
+    let compiled = compiled.as_ref();
+    let report = sweep_find_first_budgeted(
+        g,
+        None,
+        budget.work_limit(),
+        &budget.stop_signal(),
+        |engine: &mut SweepEngine<'_>| {
+            let promise = r == 0
+                || s == t
+                || st_edge_connectivity_filtered(g, s, t, |u, v| !engine.link_failed(u, v)) >= r;
+            if !promise {
+                return None;
+            }
+            let outcome = match compiled {
+                Some(cp) => engine.route_outcome_compiled(cp, s, t, max_hops),
+                None => engine.route_outcome(pattern, s, t, max_hops),
+            };
+            if !outcome.is_delivered() {
+                return Some(replay_route(g, pattern, engine.current_failure_set(), s, t));
+            }
+            None
+        },
+    );
+    match report.end {
+        SweepEnd::Found(ce) => Ok(Verdict::Refuted(ce)),
+        SweepEnd::Exhausted => Ok(Verdict::Proven),
+        SweepEnd::Panicked { position, message } => Err(WorkerPanicked {
+            position,
+            failures: failure_set_at(g, None, position),
+            message,
+        }),
+        SweepEnd::Stopped(cause) => {
+            tolerance_fallback(report.masks_examined, report.max_weight, cause)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 //! chunked loop body never runs and only the scalar remainder executes, so
 //! the `W = 1` path stays as tight as the historical single-`u64` code.
 
+use crate::budget::StopCause;
 use crate::compiled::CompiledPattern;
 use crate::failure::{capped_mask_count, FailureSet, GrayMasks};
 use crate::mask::{mask_words, IntoMaskRef, MaskBuf, MaskRef};
@@ -53,8 +54,10 @@ use crate::model::LocalContext;
 use crate::pattern::ForwardingPattern;
 use crate::simulator::Outcome;
 use frr_graph::bitgraph::{BitGraph, BitIter};
+use frr_graph::budget::StopSignal;
 use frr_graph::{Edge, Graph, Node};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 const WORD_BITS: usize = u64::BITS as usize;
 
@@ -715,7 +718,42 @@ impl<'g> SweepEngine<'g> {
     }
 }
 
-/// Deterministic sharded first-hit search over the index range `0..total`.
+/// The terminal event of one sharded search: the earliest probe that hit
+/// (`Hit`) or panicked (`Panic`).  Panics participate in the same
+/// earliest-position merge as hits — a sequential scan would have reached
+/// the earlier event first, whichever kind it is.
+#[derive(Debug)]
+pub(crate) enum ShardEvent<T> {
+    /// The probe returned `Some`.
+    Hit(T),
+    /// The probe panicked; the payload message is preserved.
+    Panic(String),
+}
+
+/// What a controlled sharded search observed.
+#[derive(Debug)]
+pub(crate) struct ShardOutcome<T> {
+    /// The earliest-position event, if any probe hit or panicked.
+    pub event: Option<(u64, ShardEvent<T>)>,
+    /// Total probe invocations across all workers (masks/trials examined).
+    pub probes: u64,
+    /// Whether any worker wound down because the stop signal fired.
+    pub stopped: bool,
+}
+
+/// Extracts a printable message from a panic payload.
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Deterministic sharded first-hit search over the index range `0..total`,
+/// with cooperative stopping and panic isolation.
 ///
 /// The range is split into **contiguous** chunks, one `std::thread::scope`
 /// worker per chunk, each with its own worker-local state from `init`
@@ -730,8 +768,145 @@ impl<'g> SweepEngine<'g> {
 /// abort early (polled every `poll_interval` indices); that is an
 /// optimization, never a correctness input.
 ///
+/// Robustness properties layered on top of the deterministic merge:
+///
+/// * **Cooperative stopping** — `stop` is polled every `poll_interval`
+///   indices (same cadence as the best-index poll).  When it fires, every
+///   worker winds down at its next poll point and the outcome records
+///   `stopped`; an idle signal is checked once up front and costs the hot
+///   loop nothing, keeping unbudgeted runs byte- and cycle-identical.
+/// * **Panic isolation** — every probe runs under `catch_unwind`.  A
+///   panicking probe becomes a [`ShardEvent::Panic`] at its index,
+///   participates in the earliest-position merge exactly like a hit (so the
+///   reported panic is the one a sequential scan would have tripped first),
+///   and makes sibling shards abort early through the shared best index.
+///   The worker's state is dropped without reuse after a panic — a
+///   half-updated engine overlay is never probed again.
+///
 /// Runs sequentially when the machine has one core or the range is smaller
-/// than `min_chunk` per worker.
+/// than `min_chunk` per worker; the sequential path performs the identical
+/// stop checks and panic capture.
+pub(crate) fn sharded_first_controlled<S, T, I, F>(
+    total: u64,
+    min_chunk: u64,
+    poll_interval: u64,
+    stop: &StopSignal,
+    init: I,
+    probe: F,
+) -> ShardOutcome<T>
+where
+    S: Send,
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, u64) -> Option<T> + Sync,
+{
+    let stop_active = !stop.is_idle();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let workers = cores.min(total / min_chunk.max(1)).max(1);
+    if workers <= 1 {
+        let mut state = init();
+        let mut probes = 0u64;
+        for i in 0..total {
+            if stop_active && i % poll_interval == 0 && stop.should_stop() {
+                return ShardOutcome {
+                    event: None,
+                    probes,
+                    stopped: true,
+                };
+            }
+            probes += 1;
+            match catch_unwind(AssertUnwindSafe(|| probe(&mut state, i))) {
+                Ok(None) => {}
+                Ok(Some(t)) => {
+                    return ShardOutcome {
+                        event: Some((i, ShardEvent::Hit(t))),
+                        probes,
+                        stopped: false,
+                    }
+                }
+                Err(payload) => {
+                    return ShardOutcome {
+                        event: Some((i, ShardEvent::Panic(panic_message(payload)))),
+                        probes,
+                        stopped: false,
+                    }
+                }
+            }
+        }
+        return ShardOutcome {
+            event: None,
+            probes,
+            stopped: false,
+        };
+    }
+
+    let best = AtomicU64::new(u64::MAX);
+    let total_probes = AtomicU64::new(0);
+    let any_stopped = AtomicBool::new(false);
+    let chunk = total.div_ceil(workers);
+    let events: Vec<Option<(u64, ShardEvent<T>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(total));
+                let (best, init, probe) = (&best, &init, &probe);
+                let (total_probes, any_stopped) = (&total_probes, &any_stopped);
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut probes = 0u64;
+                    let mut event = None;
+                    for i in lo..hi {
+                        if i % poll_interval == 0 {
+                            // A strictly smaller index already has an event:
+                            // no index of this range can win the merge.
+                            if best.load(Ordering::Relaxed) < i {
+                                break;
+                            }
+                            if stop_active
+                                && (any_stopped.load(Ordering::Relaxed) || stop.should_stop())
+                            {
+                                any_stopped.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        probes += 1;
+                        match catch_unwind(AssertUnwindSafe(|| probe(&mut state, i))) {
+                            Ok(None) => {}
+                            Ok(Some(t)) => {
+                                best.fetch_min(i, Ordering::Relaxed);
+                                event = Some((i, ShardEvent::Hit(t)));
+                                break;
+                            }
+                            Err(payload) => {
+                                best.fetch_min(i, Ordering::Relaxed);
+                                event = Some((i, ShardEvent::Panic(panic_message(payload))));
+                                break;
+                            }
+                        }
+                    }
+                    total_probes.fetch_add(probes, Ordering::Relaxed);
+                    event
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    ShardOutcome {
+        event: events.into_iter().flatten().min_by_key(|&(i, _)| i),
+        probes: total_probes.load(Ordering::Relaxed),
+        stopped: any_stopped.load(Ordering::Relaxed),
+    }
+}
+
+/// [`sharded_first_controlled`] without stopping or panic recovery: the
+/// historical interface.  A probe panic is re-raised on the calling thread
+/// (after sibling shards have wound down cleanly) so unbudgeted callers keep
+/// their fail-fast semantics.
 pub(crate) fn sharded_first<S, T, I, F>(
     total: u64,
     min_chunk: u64,
@@ -745,47 +920,21 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, u64) -> Option<T> + Sync,
 {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
-    let workers = cores.min(total / min_chunk.max(1)).max(1);
-    if workers <= 1 {
-        let mut state = init();
-        return (0..total).find_map(|i| probe(&mut state, i));
+    let outcome = sharded_first_controlled(
+        total,
+        min_chunk,
+        poll_interval,
+        &StopSignal::none(),
+        init,
+        probe,
+    );
+    match outcome.event {
+        Some((_, ShardEvent::Hit(t))) => Some(t),
+        Some((i, ShardEvent::Panic(msg))) => {
+            panic!("sharded worker panicked at index {i}: {msg}")
+        }
+        None => None,
     }
-
-    let best = AtomicU64::new(u64::MAX);
-    let chunk = total.div_ceil(workers);
-    let results: Vec<Option<(u64, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let (lo, hi) = (w * chunk, ((w + 1) * chunk).min(total));
-                let (best, init, probe) = (&best, &init, &probe);
-                scope.spawn(move || {
-                    let mut state = init();
-                    for i in lo..hi {
-                        // A strictly smaller index already has a result: no
-                        // index of this range can win the deterministic merge.
-                        if i % poll_interval == 0 && best.load(Ordering::Relaxed) < i {
-                            break;
-                        }
-                        if let Some(t) = probe(&mut state, i) {
-                            best.fetch_min(i, Ordering::Relaxed);
-                            return Some((i, t));
-                        }
-                    }
-                    None
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sharded worker panicked"))
-            .collect()
-    });
-    results
-        .into_iter()
-        .flatten()
-        .min_by_key(|&(i, _)| i)
-        .map(|(_, t)| t)
 }
 
 /// Runs `check` over every failure mask of `g` (optionally popcount-capped)
@@ -814,10 +963,60 @@ where
     sweep_find_first_limited(g, max_failures, None, check)
 }
 
+/// How a budgeted sweep ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepEnd<T> {
+    /// The earliest position whose `check` returned `Some`.
+    Found(T),
+    /// Every mask in the (possibly popcount-capped) space was examined and
+    /// none hit — the only end that proves anything.
+    Exhausted,
+    /// The sweep stopped early: deadline, cancellation, or mask budget.
+    Stopped(StopCause),
+    /// A `check` call panicked at this enumeration position; sibling shards
+    /// wound down cleanly.  Recover the mask with [`failure_set_at`].
+    Panicked {
+        /// Gray enumeration position of the panicking probe.
+        position: u64,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+/// The outcome of a budgeted sweep plus how far it got.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport<T> {
+    /// How the sweep ended.
+    pub end: SweepEnd<T>,
+    /// Probe invocations across all workers.  Sharded workers each examine
+    /// their own range, so after an early end this can exceed the earliest
+    /// event's position (work beyond it ran concurrently, then aborted).
+    pub masks_examined: u64,
+    /// Largest failure-set weight any worker's enumerator reached.
+    pub max_weight: usize,
+}
+
+/// The failure set at a Gray enumeration `position` of `g`'s sweep space
+/// (popcount-capped by `max_failures`), or `None` past the end.  Used to
+/// reconstruct the offending mask of a [`SweepEnd::Panicked`] report;
+/// costs one enumerator replay to `position`.
+pub fn failure_set_at(g: &Graph, max_failures: Option<usize>, position: u64) -> Option<FailureSet> {
+    let m = g.edge_count();
+    let cap = max_failures.map(|k| k.min(m));
+    let mut masks = GrayMasks::with_max_failures(m, cap);
+    for _ in 0..=position {
+        if !masks.advance() {
+            return None;
+        }
+    }
+    Some(FailureSet::from_mask(&g.edges(), masks.current()))
+}
+
 /// [`sweep_find_first`] with an optional budget on the number of enumerated
 /// masks: only the first `mask_budget` masks (in Gray enumeration order, so
 /// smallest failure sets first) are examined.  Used by the budgeted
-/// brute-force adversary.
+/// brute-force adversary.  A `check` panic is re-raised on the calling
+/// thread; deadline-aware callers want [`sweep_find_first_budgeted`].
 pub fn sweep_find_first_limited<T, F>(
     g: &Graph,
     max_failures: Option<usize>,
@@ -828,11 +1027,46 @@ where
     T: Send,
     F: Fn(&mut SweepEngine<'_>) -> Option<T> + Sync,
 {
+    let report =
+        sweep_find_first_budgeted(g, max_failures, mask_budget, &StopSignal::none(), check);
+    match report.end {
+        SweepEnd::Found(t) => Some(t),
+        SweepEnd::Exhausted | SweepEnd::Stopped(_) => None,
+        SweepEnd::Panicked { position, message } => {
+            panic!("sweep worker panicked at enumeration position {position}: {message}")
+        }
+    }
+}
+
+/// The fully controlled sweep: [`sweep_find_first_limited`]'s enumeration
+/// plus cooperative stopping and panic isolation, reporting *how* the sweep
+/// ended and how far it got instead of a bare `Option`.
+///
+/// * `stop` is polled at the sharded driver's poll cadence (every 64
+///   positions on capped sweeps, every 256 uncapped); an idle signal is
+///   checked once and adds nothing to the hot loop, so unbudgeted callers
+///   get byte-identical results to [`sweep_find_first_limited`].
+/// * A `check` panic surfaces as [`SweepEnd::Panicked`] with the earliest
+///   panicking position (deterministic merge, same rule as hits) while
+///   sibling shards abort early.
+/// * `masks_examined` / `max_weight` feed the `Progress` reports of the
+///   `*_with_budget` checkers in [`crate::resilience`].
+pub fn sweep_find_first_budgeted<T, F>(
+    g: &Graph,
+    max_failures: Option<usize>,
+    mask_budget: Option<u64>,
+    stop: &StopSignal,
+    check: F,
+) -> SweepReport<T>
+where
+    T: Send,
+    F: Fn(&mut SweepEngine<'_>) -> Option<T> + Sync,
+{
     let m = g.edge_count();
     let cap = max_failures.map(|k| k.min(m));
-    let total = capped_mask_count(m, cap.unwrap_or(m))
-        .clamp_u64()
-        .min(mask_budget.unwrap_or(u64::MAX));
+    let full = capped_mask_count(m, cap.unwrap_or(m)).clamp_u64();
+    let total = full.min(mask_budget.unwrap_or(u64::MAX));
+    let clipped = total < full;
     // Capped sweeps amortize a lazier enumerator advance, so they prefer
     // larger chunks; both values predate the Gray rewrite.
     let (min_chunk, poll) = if cap.is_some() {
@@ -849,16 +1083,22 @@ where
         /// Whether the engine overlay tracks the enumerator (true from the
         /// worker's first in-range position on).
         synced: bool,
+        /// Popcount of the enumerator's current mask (weight blocks ascend,
+        /// so this is also the largest weight this worker has reached).
+        weight: usize,
     }
-    sharded_first(
+    let max_weight = AtomicU64::new(0);
+    let outcome = sharded_first_controlled(
         total,
         min_chunk,
         poll,
+        stop,
         || SweepState {
             engine: SweepEngine::new(g),
             masks: GrayMasks::with_max_failures(m, cap),
             pos: 0,
             synced: false,
+            weight: 0,
         },
         |state, i| {
             while state.pos <= i {
@@ -871,18 +1111,42 @@ where
                     // date — incrementally when it already tracks the
                     // sequence, by a full load at the worker's range start.
                     if state.synced {
-                        for &f in state.masks.last_flips() {
+                        let flips = state.masks.last_flips();
+                        if flips.len() == 1 {
+                            // Weight-boundary step: one added edge.
+                            state.weight += 1;
+                            max_weight.fetch_max(state.weight as u64, Ordering::Relaxed);
+                        }
+                        for &f in flips {
                             state.engine.toggle_edge(f as usize);
                         }
                     } else {
                         state.engine.load_mask(state.masks.current());
                         state.synced = true;
+                        state.weight = state.masks.current().count_ones() as usize;
+                        max_weight.fetch_max(state.weight as u64, Ordering::Relaxed);
                     }
                 }
             }
             check(&mut state.engine)
         },
-    )
+    );
+    let end = match outcome.event {
+        Some((_, ShardEvent::Hit(t))) => SweepEnd::Found(t),
+        Some((position, ShardEvent::Panic(message))) => SweepEnd::Panicked { position, message },
+        None if outcome.stopped => SweepEnd::Stopped(if stop.cancelled() {
+            StopCause::Cancelled
+        } else {
+            StopCause::Deadline
+        }),
+        None if clipped => SweepEnd::Stopped(StopCause::WorkBudget),
+        None => SweepEnd::Exhausted,
+    };
+    SweepReport {
+        end,
+        masks_examined: outcome.probes,
+        max_weight: max_weight.load(Ordering::Relaxed) as usize,
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,360 @@
+//! Chaos suite: drives the verification stack with deliberately misbehaving
+//! forwarding patterns and hostile run conditions, and pins the control
+//! layer's fail-safe contract — every checker and adversary terminates with
+//! a typed error or an honest `Indeterminate`, never a hang, a wrong
+//! `Proven`, or a process abort.
+//!
+//! Wall-clock safety: every scenario here either runs on a tiny graph, or
+//! carries its own deadline; CI additionally wraps the suite in a 60 s
+//! per-test timeout.
+
+use frr_graph::{generators, Node};
+use frr_routing::adversary::{Adversary, BruteForceAdversary, RandomAdversary};
+use frr_routing::budget::{CancelToken, RunBudget, StopCause, Verdict};
+use frr_routing::hostile::{
+    FailedLinkForwarder, NoCompile, NonNeighborForwarder, NondeterministicPattern, PanicPattern,
+};
+use frr_routing::pattern::RotorPattern;
+use frr_routing::resilience::{
+    check_bounded_r_resilience, check_bounded_r_resilience_with_budget, is_perfectly_resilient,
+    is_perfectly_resilient_touring_with_budget, is_perfectly_resilient_with_budget,
+    is_r_tolerant_with_budget,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Forwarding faults terminate with honest refutations, never a wrong Proven.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failed_link_forwarder_is_refuted_not_proven() {
+    let g = generators::cycle(6);
+    let verdict =
+        is_perfectly_resilient_with_budget(&g, &FailedLinkForwarder, &RunBudget::unlimited())
+            .expect("no panic involved");
+    // The pattern misroutes into dead links the moment anything fails (and
+    // bounces on its first neighbor even without them); the sweep must find
+    // a failing scenario, not claim resilience.
+    assert!(verdict.is_refuted(), "got {verdict:?}");
+    assert!(verdict.counterexample().is_some());
+}
+
+#[test]
+fn non_neighbor_forwarder_is_refuted_not_proven() {
+    let g = generators::cycle(6);
+    let verdict =
+        is_perfectly_resilient_with_budget(&g, &NonNeighborForwarder, &RunBudget::unlimited())
+            .expect("no panic involved");
+    assert!(verdict.is_refuted(), "got {verdict:?}");
+}
+
+#[test]
+fn nondeterministic_pattern_terminates_with_a_typed_verdict() {
+    // Nondeterminism can evade exact loop detection, but every probe is
+    // bounded by the hop limit: the sweep terminates with SOME verdict and
+    // never hangs or aborts.
+    let g = generators::complete(4);
+    let pattern = NondeterministicPattern::new();
+    let started = Instant::now();
+    let verdict = is_perfectly_resilient_with_budget(&g, &pattern, &RunBudget::unlimited())
+        .expect("no panic involved");
+    assert!(
+        verdict.is_proven() || verdict.is_refuted(),
+        "unlimited run must settle: {verdict:?}"
+    );
+    assert!(started.elapsed() < Duration::from_secs(30));
+}
+
+#[test]
+fn touring_checker_survives_hostile_patterns() {
+    let g = generators::star(4);
+    for (name, verdict) in [
+        (
+            "failed-link",
+            is_perfectly_resilient_touring_with_budget(
+                &g,
+                &FailedLinkForwarder,
+                &RunBudget::unlimited(),
+            ),
+        ),
+        (
+            "non-neighbor",
+            is_perfectly_resilient_touring_with_budget(
+                &g,
+                &NonNeighborForwarder,
+                &RunBudget::unlimited(),
+            ),
+        ),
+    ] {
+        let verdict = verdict.expect("no panic involved");
+        assert!(
+            !verdict.is_proven(),
+            "{name} must not tour-cover: {verdict:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panicking probes surface as typed WorkerPanicked, siblings wind down.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panicking_pattern_yields_typed_worker_panicked_with_the_mask() {
+    let g = generators::cycle(6);
+    let err = is_perfectly_resilient_with_budget(&g, &PanicPattern, &RunBudget::unlimited())
+        .expect_err("the pattern panics on any failure");
+    // The empty mask (position 0) routes fine; the panic fires on a later
+    // mask, and the error names the offending failure set.
+    assert!(err.position > 0, "empty-mask probe must pass: {err}");
+    let failures = err.failures.as_ref().expect("mask is reconstructible");
+    assert!(!failures.is_empty());
+    assert!(
+        err.message.contains("hostile pattern panic"),
+        "got: {}",
+        err.message
+    );
+    let shown = format!("{err}");
+    assert!(shown.contains("position"), "got: {shown}");
+    assert!(shown.contains("examining F ="), "got: {shown}");
+}
+
+#[test]
+fn legacy_api_still_panics_but_with_the_typed_message() {
+    let g = generators::cycle(6);
+    let panic = catch_unwind(AssertUnwindSafe(|| {
+        let _ = is_perfectly_resilient(&g, &PanicPattern);
+    }))
+    .expect_err("legacy API preserves the panicking contract");
+    let message = panic.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+        panic
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .unwrap_or_default()
+    });
+    assert!(
+        message.contains("resilience sweep worker panicked at enumeration position"),
+        "got: {message}"
+    );
+}
+
+#[test]
+fn brute_force_adversary_reports_panics_as_typed_errors() {
+    let g = generators::cycle(6);
+    let adversary = BruteForceAdversary::default();
+    let err = adversary
+        .search_with_budget(&g, &PanicPattern, &RunBudget::unlimited())
+        .expect_err("the pattern panics mid-search");
+    assert!(err.failures.is_some());
+    assert!(err.message.contains("hostile pattern panic"));
+    // The legacy entry point must still find counterexamples for honest
+    // hostile patterns (no panic, just misbehavior).
+    assert!(adversary
+        .find_counterexample(&g, &FailedLinkForwarder)
+        .is_some());
+}
+
+#[test]
+fn random_adversary_reports_panics_with_the_reconstructed_trial() {
+    let g = generators::cycle(8);
+    let adversary = RandomAdversary::new(4096, 3, 0xC0FFEE);
+    let err = adversary
+        .search_with_budget(&g, &PanicPattern, &RunBudget::unlimited())
+        .expect_err("some trial draws a non-empty failure set");
+    let failures = err.failures.as_ref().expect("trial is replayable");
+    assert!(!failures.is_empty());
+}
+
+#[test]
+fn random_adversary_never_claims_proven() {
+    let g = generators::cycle(5);
+    // RotorPattern is perfectly resilient on a cycle, so no trial hits — a
+    // randomized search must come back Indeterminate, not Proven.
+    let adversary = RandomAdversary::new(64, 2, 7);
+    let verdict = adversary
+        .search_with_budget(&g, &RotorPattern::clockwise(&g), &RunBudget::unlimited())
+        .expect("benign pattern");
+    match verdict {
+        Verdict::Indeterminate(p) => assert_eq!(p.stopped_by, StopCause::WorkBudget),
+        other => panic!("randomized search cannot prove: {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cancellation: prompt, honest Indeterminate with progress.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn short_deadline_on_a_big_sweep_returns_prompt_indeterminate_with_progress() {
+    // 100-link topology: the r = 2 sweep has ~5000 masks plus compile work;
+    // a ~10 ms deadline cannot finish it honestly at debug-build speeds, but
+    // the poll points must surface the expiry promptly.
+    let g = generators::cycle(100);
+    let pattern = RotorPattern::clockwise_with_shortcut(&g);
+    let budget = RunBudget::unlimited().with_deadline(Duration::from_millis(10));
+    let started = Instant::now();
+    let verdict = check_bounded_r_resilience_with_budget(&g, &pattern, 2, &budget)
+        .expect("no panic involved");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "deadline must cut the sweep promptly, took {elapsed:?}"
+    );
+    match verdict {
+        Verdict::Indeterminate(p) => {
+            assert_eq!(p.stopped_by, StopCause::Deadline);
+            assert!(
+                p.masks_examined > 0 || p.sampled_trials > 0,
+                "progress must be non-zero: {p:?}"
+            );
+        }
+        // The graceful degrade runs the reproducible sampler after expiry; on
+        // a fast machine it may genuinely refute the pattern instead.
+        Verdict::Refuted(_) => {}
+        Verdict::Proven => panic!("a clipped sweep can never prove"),
+    }
+}
+
+#[test]
+fn pre_cancelled_token_returns_indeterminate_without_sampling() {
+    let g = generators::cycle(100);
+    let pattern = RotorPattern::clockwise_with_shortcut(&g);
+    let token = CancelToken::new();
+    token.cancel();
+    let budget = RunBudget::unlimited().with_cancel_token(token);
+    let verdict = check_bounded_r_resilience_with_budget(&g, &pattern, 2, &budget)
+        .expect("no panic involved");
+    match verdict {
+        Verdict::Indeterminate(p) => {
+            assert_eq!(p.stopped_by, StopCause::Cancelled);
+            // A cancelled caller wants the run gone: no sampling fallback.
+            assert_eq!(p.sampled_trials, 0);
+        }
+        other => panic!("cancellation must be honest: {other:?}"),
+    }
+}
+
+#[test]
+fn oversize_graph_degrades_to_sampling_instead_of_erroring() {
+    // cycle(200) is past BOUNDED_EDGE_LIMIT: the budgeted API samples and
+    // reports EdgeLimit as the stop cause instead of panicking or erroring.
+    let g = generators::cycle(200);
+    let pattern = RotorPattern::clockwise_with_shortcut(&g);
+    let verdict = check_bounded_r_resilience_with_budget(&g, &pattern, 2, &RunBudget::unlimited())
+        .expect("no panic involved");
+    match verdict {
+        Verdict::Indeterminate(p) => {
+            assert_eq!(p.stopped_by, StopCause::EdgeLimit);
+            assert!(p.sampled_trials > 0, "sampler must have run: {p:?}");
+        }
+        Verdict::Refuted(_) => {}
+        Verdict::Proven => panic!("sampling can never prove"),
+    }
+}
+
+#[test]
+fn r_tolerance_with_budget_survives_a_panicking_pattern() {
+    // K5 keeps the r = 1 connectivity promise under single failures, so the
+    // probe actually routes (a cycle would fail the promise check first and
+    // never wake the pattern).
+    let g = generators::complete(5);
+    let err = is_r_tolerant_with_budget(
+        &g,
+        &PanicPattern,
+        Node(0),
+        Node(3),
+        1,
+        &RunBudget::unlimited(),
+    )
+    .expect_err("the pattern panics once a failure is incident to the route");
+    assert!(
+        err.message.contains("hostile pattern panic"),
+        "got: {}",
+        err.message
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Differential pins: unlimited budgets are byte-identical to the legacy API.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unlimited_budget_matches_legacy_results_at_multiple_thread_counts() {
+    // Small graph (sequential sweep path) and a bounded sweep large enough
+    // to engage the parallel sharded path: the budgeted API with no limits
+    // must reproduce the legacy results byte for byte.
+    for (g, r) in [
+        (generators::cycle(6), 2usize),
+        (generators::cycle(40), 2),
+        (generators::complete(7), 2),
+    ] {
+        let pattern = RotorPattern::clockwise_with_shortcut(&g);
+        let legacy =
+            check_bounded_r_resilience(&g, &pattern, r).expect("within the bounded edge limit");
+        let verdict =
+            check_bounded_r_resilience_with_budget(&g, &pattern, r, &RunBudget::unlimited())
+                .expect("no panic involved");
+        match (&legacy, &verdict) {
+            (Ok(()), Verdict::Proven) => {}
+            (Err(expected), Verdict::Refuted(found)) => {
+                assert_eq!(
+                    expected.failures,
+                    found.failures,
+                    "on {} nodes",
+                    g.node_count()
+                );
+                assert_eq!(expected.source, found.source);
+                assert_eq!(expected.destination, found.destination);
+                assert_eq!(expected.outcome, found.outcome);
+                assert_eq!(expected.path, found.path);
+            }
+            other => panic!(
+                "legacy/budgeted divergence on {} nodes: {other:?}",
+                g.node_count()
+            ),
+        }
+    }
+}
+
+#[test]
+fn compile_refusal_falls_back_to_the_interpreted_path_with_identical_results() {
+    let g = generators::cycle(6);
+    let compiled_run = is_perfectly_resilient_with_budget(
+        &g,
+        &RotorPattern::clockwise(&g),
+        &RunBudget::unlimited(),
+    )
+    .expect("benign pattern");
+    let interpreted_run = is_perfectly_resilient_with_budget(
+        &g,
+        &NoCompile(RotorPattern::clockwise(&g)),
+        &RunBudget::unlimited(),
+    )
+    .expect("benign pattern");
+    match (compiled_run, interpreted_run) {
+        (Verdict::Proven, Verdict::Proven) => {}
+        (Verdict::Refuted(a), Verdict::Refuted(b)) => {
+            assert_eq!(a.failures, b.failures);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.destination, b.destination);
+        }
+        other => panic!("compiled/interpreted divergence: {other:?}"),
+    }
+}
+
+#[test]
+fn work_budget_clips_the_sweep_honestly() {
+    let g = generators::cycle(30);
+    let pattern = RotorPattern::clockwise_with_shortcut(&g);
+    let budget = RunBudget::unlimited().with_work_budget(5);
+    let verdict = check_bounded_r_resilience_with_budget(&g, &pattern, 2, &budget)
+        .expect("no panic involved");
+    match verdict {
+        Verdict::Indeterminate(p) => {
+            assert_eq!(p.stopped_by, StopCause::WorkBudget);
+            assert!(p.masks_examined <= 5 + 1, "clipped at the budget: {p:?}");
+        }
+        Verdict::Refuted(_) => {}
+        Verdict::Proven => panic!("5 masks cannot prove a ~450-mask sweep"),
+    }
+}

@@ -4,7 +4,7 @@
 //! is public knowledge (they also appear in the Internet Topology Zoo).  They
 //! anchor the synthetic zoo with genuinely real instances.
 
-use frr_graph::Graph;
+use frr_graph::{Graph, Node};
 
 /// A named topology.
 #[derive(Debug, Clone)]
@@ -19,10 +19,21 @@ pub struct Topology {
 
 impl Topology {
     /// Creates a topology from a name and an edge list over `n` nodes.
+    ///
+    /// The edge lists are hand-transcribed external data, so each edge goes
+    /// through [`Graph::try_add_edge`]: an out-of-range endpoint, self-loop
+    /// or duplicate is a transcription mistake, reported with the topology
+    /// name and the offending pair.
     pub fn from_edges(name: &str, n: usize, edges: &[(usize, usize)], real: bool) -> Self {
+        let mut graph = Graph::new(n);
+        for &(u, v) in edges {
+            if let Err(e) = graph.try_add_edge(Node(u), Node(v)) {
+                panic!("topology {name}: bad edge ({u}, {v}): {e}");
+            }
+        }
         Topology {
             name: name.to_string(),
-            graph: Graph::from_edges(n, edges),
+            graph,
             real,
         }
     }

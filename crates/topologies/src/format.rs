@@ -38,7 +38,8 @@ pub fn to_edge_list(g: &Graph) -> String {
 /// # Errors
 ///
 /// Returns a [`ParseTopologyError`] for missing/invalid headers, malformed
-/// lines, out-of-range endpoints or self-loops.
+/// lines, out-of-range endpoints, self-loops or duplicate edges — each
+/// anchored to its 1-based line number.
 pub fn parse_edge_list(text: &str) -> Result<Graph, ParseTopologyError> {
     let mut graph: Option<Graph> = None;
     for (idx, raw) in text.lines().enumerate() {
@@ -76,19 +77,13 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseTopologyError> {
             })
         };
         let (u, v) = (parse(u)?, parse(v)?);
-        if u >= g.node_count() || v >= g.node_count() {
-            return Err(ParseTopologyError {
+        // `try_add_edge` rejects out-of-range endpoints, self-loops and
+        // duplicate edges with a typed reason; re-anchor it to the line.
+        g.try_add_edge(Node(u), Node(v))
+            .map_err(|e| ParseTopologyError {
                 line: line_no,
-                message: format!("node id out of range in '{line}'"),
-            });
-        }
-        if u == v {
-            return Err(ParseTopologyError {
-                line: line_no,
-                message: "self-loops are not supported".to_string(),
-            });
-        }
-        g.add_edge(Node(u), Node(v));
+                message: e.to_string(),
+            })?;
     }
     graph.ok_or(ParseTopologyError {
         line: 0,
@@ -127,5 +122,20 @@ mod tests {
         let err = parse_edge_list("nodes 3\n0 9\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_edges_are_rejected_with_the_line_number() {
+        // Same orientation and the reversed orientation are both duplicates
+        // of an undirected edge.
+        for text in ["nodes 3\n0 1\n1 2\n0 1\n", "nodes 3\n0 1\n1 2\n1 0\n"] {
+            let err = parse_edge_list(text).unwrap_err();
+            assert_eq!(err.line, 4, "in {text:?}");
+            assert!(
+                err.message.contains("duplicate edge v0-v1"),
+                "got: {}",
+                err.message
+            );
+        }
     }
 }

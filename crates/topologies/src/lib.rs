@@ -15,6 +15,11 @@
 //! and a few dense outliers — which preserves the properties the experiment
 //! actually consumes (planarity, outerplanarity, forbidden minors, density).
 
+// Library code must surface failures as typed errors or documented panics
+// (`expect` with a message), never a bare `unwrap` — CI lints with
+// `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod builtin;
 pub mod format;
 pub mod stats;
