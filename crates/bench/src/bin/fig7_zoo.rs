@@ -1,17 +1,19 @@
 //! Experiment E-F7 — regenerates Figure 7: the per-class percentage of
 //! Topology-Zoo instances for each routing model.
 //!
-//! Usage: `fig7_zoo [--count N]` — `N` limits the number of synthetic
-//! topologies (default 250; CI smoke runs use a small `N` to catch
-//! classification regressions quickly).
+//! Usage: `fig7_zoo [--count N] [--threads T]` — `N` limits the number of
+//! synthetic topologies (default 250; CI smoke runs use a small `N` to catch
+//! classification regressions quickly); `T` pins the classification worker
+//! pool (0 = one per core) without changing any result byte.
 
-use frr_bench::{format_percentages, parse_count_arg, ZooClassification};
+use frr_bench::{format_percentages, parse_experiment_args, ZooClassification};
 use frr_core::classify::ClassifyBudget;
 use frr_topologies::{full_zoo, ZooConfig};
 
 fn main() {
     let mut config = ZooConfig::default();
-    config.count = parse_count_arg("fig7_zoo", config.count);
+    let args = parse_experiment_args("fig7_zoo", config.count);
+    config.count = args.count;
     let zoo = full_zoo(&config);
     println!(
         "classifying {} topologies ({} bundled + {} synthetic)...",
@@ -19,7 +21,8 @@ fn main() {
         zoo.len() - config.count,
         config.count
     );
-    let zc = ZooClassification::classify_all(&zoo, ClassifyBudget::default());
+    let zc =
+        ZooClassification::classify_all_with_threads(&zoo, ClassifyBudget::default(), args.threads);
 
     println!();
     println!("=== Figure 7: perfect-resilience classification of the zoo ===");

@@ -14,7 +14,7 @@ use frr_core::algorithms::{r_tolerant_bipartite_pattern, r_tolerant_complete_pat
 use frr_core::impossibility::r_tolerance_counterexample;
 use frr_core::landscape::table1_tolerance_rows;
 use frr_graph::{generators, Graph, Node};
-use frr_routing::budget::RunBudget;
+use frr_routing::budget::{Progress, RunBudget, StopCause};
 use frr_routing::compiled::CompilePattern;
 use frr_routing::pattern::ShortestPathPattern;
 use frr_routing::resilience::{
@@ -28,15 +28,17 @@ use rand::SeedableRng;
 enum CellVerdict {
     Verified,
     Failed,
-    Inconclusive,
+    /// The run budget stopped the exhaustive (s, t) sweep; the payload says
+    /// how many pairs were checked and why the sweep stopped.
+    Inconclusive(Progress),
 }
 
 impl CellVerdict {
-    fn text(&self) -> &'static str {
+    fn text(&self) -> String {
         match self {
-            CellVerdict::Verified => "verified r-tolerant",
-            CellVerdict::Failed => "VERIFICATION FAILED",
-            CellVerdict::Inconclusive => "inconclusive (budget)",
+            CellVerdict::Verified => "verified r-tolerant".to_string(),
+            CellVerdict::Failed => "VERIFICATION FAILED".to_string(),
+            CellVerdict::Inconclusive(p) => format!("inconclusive: {p}"),
         }
     }
 }
@@ -137,14 +139,26 @@ fn verify_cell<P: CompilePattern + ?Sized>(
         println!("    [skip] exhaustive cell: {e}; sampling instead");
         return sampled(rng);
     }
+    let mut pairs_checked = 0u64;
     for s in g.nodes() {
         for t in g.nodes() {
             if s == t {
                 continue;
             }
             if run.deadline_expired() || run.cancelled() {
-                return CellVerdict::Inconclusive;
+                return CellVerdict::Inconclusive(Progress {
+                    masks_examined: pairs_checked,
+                    weight_reached: r,
+                    elapsed: run.elapsed(),
+                    stopped_by: if run.cancelled() {
+                        StopCause::Cancelled
+                    } else {
+                        StopCause::Deadline
+                    },
+                    sampled_trials: 0,
+                });
             }
+            pairs_checked += 1;
             match check_r_tolerance(g, pattern, s, t, r) {
                 Ok(Ok(())) => {}
                 Ok(Err(_)) => return CellVerdict::Failed,

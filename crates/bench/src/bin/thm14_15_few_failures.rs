@@ -98,7 +98,7 @@ fn report_row(
             res.counterexample.failures.len()
         ),
         Ok(FewFailuresVerdict::NotDefeated) => println!("{prefix} not defeated"),
-        Ok(FewFailuresVerdict::Indeterminate) => println!("{prefix} indeterminate (budget)"),
+        Ok(FewFailuresVerdict::Indeterminate(p)) => println!("{prefix} indeterminate: {p}"),
         Err(p) => println!("{prefix} worker panicked: {p}"),
     }
 }

@@ -19,7 +19,8 @@ use frr_topologies::Topology;
 use std::collections::BTreeMap;
 
 /// The experiment bins' shared command line:
-/// `[--count N] [--deadline-secs S] [--work-budget W]`.
+/// `[--count N] [--deadline-secs S] [--work-budget W] [--links-limit L]
+/// [--threads T]`.
 #[derive(Debug, Clone, Copy)]
 pub struct ExperimentArgs {
     /// Row/instance count limit (`--count`, bin-specific default).
@@ -34,6 +35,10 @@ pub struct ExperimentArgs {
     /// topologies above it get the bins' graceful one-line skip instead of an
     /// exhaustive run.  Defaults to the checkers' own limits.
     pub links_limit: Option<usize>,
+    /// Worker threads for the sharded drivers (`--threads`, 0 = one per
+    /// available core).  Shared by the experiment bins and `frr-serve
+    /// replay` instead of per-binary environment variables.
+    pub threads: usize,
 }
 
 impl ExperimentArgs {
@@ -44,61 +49,121 @@ impl ExperimentArgs {
     }
 }
 
+/// The shared flags' one-line usage string.
+pub fn experiment_usage(bin: &str) -> String {
+    format!(
+        "usage: {bin} [--count N] [--deadline-secs S] [--work-budget W] \
+         [--links-limit L] [--threads T]"
+    )
+}
+
 /// Parses the shared experiment command line: returns the defaults for
-/// absent flags, panics with a usage message on unknown arguments or
-/// malformed values.
+/// absent flags.  An unknown flag or malformed value prints a one-line
+/// usage error to stderr and exits with status 2 — never a panic, never a
+/// silent ignore.
 pub fn parse_experiment_args(bin: &str, default_count: usize) -> ExperimentArgs {
-    parse_experiment_args_from(bin, default_count, std::env::args().skip(1))
+    match parse_experiment_args_from(bin, default_count, std::env::args().skip(1)) {
+        Ok((parsed, extras)) => {
+            if let Some(first) = extras.first() {
+                eprintln!(
+                    "{bin}: unknown argument {first:?} ({})",
+                    experiment_usage(bin)
+                );
+                std::process::exit(2);
+            }
+            parsed
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// [`parse_experiment_args`] for binaries with their own extra flags
+/// (`frr-serve replay`): the shared flags are consumed, everything
+/// unrecognized comes back verbatim and in order for the caller to parse —
+/// and to reject with its own one-line usage error if *it* does not know
+/// the flag either.
+///
+/// Malformed values for the shared flags are a one-line `Err` here (the
+/// caller decides how to exit).
+pub fn parse_experiment_args_with_extras(
+    bin: &str,
+    default_count: usize,
+    args: impl Iterator<Item = String>,
+) -> Result<(ExperimentArgs, Vec<String>), String> {
+    parse_experiment_args_from(bin, default_count, args)
 }
 
 fn parse_experiment_args_from(
     bin: &str,
     default_count: usize,
     mut args: impl Iterator<Item = String>,
-) -> ExperimentArgs {
+) -> Result<(ExperimentArgs, Vec<String>), String> {
     let mut parsed = ExperimentArgs {
         count: default_count,
         deadline_secs: None,
         work_budget: None,
         links_limit: None,
+        threads: 0,
     };
+    let mut extras = Vec::new();
     while let Some(arg) = args.next() {
+        let mut value = |flag: &str, what: &str| -> Result<String, String> {
+            args.next()
+                .ok_or_else(|| format!("{bin}: {flag} needs {what} ({})", experiment_usage(bin)))
+        };
         match arg.as_str() {
             "--count" => {
-                parsed.count = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--count needs a number");
+                let v = value("--count", "a number")?;
+                parsed.count = v.parse().map_err(|_| {
+                    format!(
+                        "{bin}: --count needs a number, got {v:?} ({})",
+                        experiment_usage(bin)
+                    )
+                })?;
             }
             "--deadline-secs" => {
-                parsed.deadline_secs = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--deadline-secs needs a number of seconds"),
-                );
+                let v = value("--deadline-secs", "a number of seconds")?;
+                parsed.deadline_secs = Some(v.parse().map_err(|_| {
+                    format!(
+                        "{bin}: --deadline-secs needs a number of seconds, got {v:?} ({})",
+                        experiment_usage(bin)
+                    )
+                })?);
             }
             "--work-budget" => {
-                parsed.work_budget = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--work-budget needs a number of work units"),
-                );
+                let v = value("--work-budget", "a number of work units")?;
+                parsed.work_budget = Some(v.parse().map_err(|_| {
+                    format!(
+                        "{bin}: --work-budget needs a number of work units, got {v:?} ({})",
+                        experiment_usage(bin)
+                    )
+                })?);
             }
             "--links-limit" => {
-                parsed.links_limit = Some(
-                    args.next()
-                        .and_then(|v| v.parse().ok())
-                        .expect("--links-limit needs a number of links"),
-                );
+                let v = value("--links-limit", "a number of links")?;
+                parsed.links_limit = Some(v.parse().map_err(|_| {
+                    format!(
+                        "{bin}: --links-limit needs a number of links, got {v:?} ({})",
+                        experiment_usage(bin)
+                    )
+                })?);
             }
-            other => panic!(
-                "unknown argument: {other} \
-                 (usage: {bin} [--count N] [--deadline-secs S] \
-                 [--work-budget W] [--links-limit L])"
-            ),
+            "--threads" => {
+                let v = value("--threads", "a thread count")?;
+                parsed.threads = v.parse().map_err(|_| {
+                    format!(
+                        "{bin}: --threads needs a thread count, got {v:?} ({})",
+                        experiment_usage(bin)
+                    )
+                })?;
+            }
+            _ => extras.push(arg),
         }
     }
-    parsed
+    Ok((parsed, extras))
 }
 
 /// Parses the experiment bins' shared `[--count N]` command line: returns
@@ -130,8 +195,31 @@ impl ZooClassification {
     /// verdict-caching [`frr_core::classify::batch`] driver (deterministic:
     /// the output is identical to classifying each topology sequentially).
     pub fn classify_all(topologies: &[Topology], budget: ClassifyBudget) -> Self {
+        Self::classify_all_with_threads(topologies, budget, 0)
+    }
+
+    /// [`Self::classify_all`] with an explicit worker-thread count
+    /// (`0` = one per available core) — the backing for the shared
+    /// `--threads` experiment flag.  Results are byte-identical at any
+    /// thread count.
+    pub fn classify_all_with_threads(
+        topologies: &[Topology],
+        budget: ClassifyBudget,
+        threads: usize,
+    ) -> Self {
         let graphs: Vec<&frr_graph::Graph> = topologies.iter().map(|t| &t.graph).collect();
-        let classifications = frr_core::classify::batch(&graphs, budget);
+        let classifications = match frr_core::classify::batch_with_budget_and_workers(
+            &graphs,
+            budget,
+            &frr_routing::budget::RunBudget::unlimited(),
+            threads,
+        ) {
+            Ok(slots) => slots
+                .into_iter()
+                .map(|c| c.expect("unlimited batch classified every index"))
+                .collect::<Vec<_>>(),
+            Err(p) => panic!("classification worker panicked: {p}"),
+        };
         let per_topology = topologies
             .iter()
             .zip(classifications)
@@ -198,24 +286,54 @@ mod tests {
     #[test]
     fn experiment_args_parse_budget_flags() {
         let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
-        let parsed = parse_experiment_args_from(
+        let (parsed, extras) = parse_experiment_args_from(
             "bin",
             3,
             to_args("--count 2 --deadline-secs 0.5").into_iter(),
-        );
+        )
+        .unwrap();
+        assert!(extras.is_empty());
         assert_eq!(parsed.count, 2);
         assert_eq!(parsed.deadline_secs, Some(0.5));
         assert_eq!(parsed.work_budget, None);
+        assert_eq!(parsed.threads, 0);
         assert!(!parsed.run_budget().is_unlimited());
 
-        let parsed =
-            parse_experiment_args_from("bin", 3, to_args("--work-budget 1000").into_iter());
+        let (parsed, _) =
+            parse_experiment_args_from("bin", 3, to_args("--work-budget 1000").into_iter())
+                .unwrap();
         assert_eq!(parsed.count, 3);
         assert_eq!(parsed.run_budget().work_limit(), Some(1000));
 
-        let parsed = parse_experiment_args_from("bin", 7, to_args("").into_iter());
+        let (parsed, _) = parse_experiment_args_from("bin", 7, to_args("").into_iter()).unwrap();
         assert_eq!(parsed.count, 7);
         assert!(parsed.run_budget().is_unlimited());
+    }
+
+    #[test]
+    fn experiment_args_parse_threads_and_pass_extras_through_in_order() {
+        let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+        let (parsed, extras) = parse_experiment_args_with_extras(
+            "frr-serve",
+            40,
+            to_args("--events 12 --threads 8 --inject panic-compile@5 --count 9").into_iter(),
+        )
+        .unwrap();
+        assert_eq!(parsed.threads, 8);
+        assert_eq!(parsed.count, 9);
+        assert_eq!(extras, to_args("--events 12 --inject panic-compile@5"));
+    }
+
+    #[test]
+    fn experiment_args_reject_malformed_values_with_one_line_usage() {
+        let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+        let err = parse_experiment_args_from("bin", 3, to_args("--threads lots").into_iter())
+            .unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("usage:"), "{err}");
+        assert!(!err.contains('\n'), "usage errors are one line: {err}");
+        let err = parse_experiment_args_from("bin", 3, to_args("--count").into_iter()).unwrap_err();
+        assert!(err.contains("--count needs"), "{err}");
     }
 
     #[test]

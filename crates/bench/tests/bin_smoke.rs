@@ -51,9 +51,11 @@ fn thm14_15_skips_oversized_topologies_with_one_line() {
 fn thm14_15_reports_indeterminate_on_an_expired_deadline() {
     let exe = env!("CARGO_BIN_EXE_thm14_15_few_failures");
     let text = stdout_of(&run_bin(exe, &["--count", "1", "--deadline-secs", "0"]));
+    // The Indeterminate verdict now carries a Progress payload, printed via
+    // its Display: "indeterminate: deadline expired after 0 masks (...)".
     assert!(
-        text.contains("indeterminate (budget)"),
-        "expired deadline must yield honest indeterminate rows:\n{text}"
+        text.contains("indeterminate: deadline expired"),
+        "expired deadline must yield honest indeterminate rows with progress:\n{text}"
     );
     assert!(!text.contains("worker panicked"), "panic leaked:\n{text}");
 }
@@ -83,9 +85,41 @@ fn table1_reports_inconclusive_on_an_expired_deadline() {
     let exe = env!("CARGO_BIN_EXE_table1_landscape");
     let text = stdout_of(&run_bin(exe, &["--count", "1", "--deadline-secs", "0"]));
     assert!(
-        text.contains("inconclusive (budget)"),
-        "expired deadline must yield inconclusive cells:\n{text}"
+        text.contains("inconclusive: deadline expired"),
+        "expired deadline must yield inconclusive cells with progress:\n{text}"
     );
+}
+
+#[test]
+fn unknown_flag_is_a_one_line_usage_error_with_exit_2() {
+    let exe = env!("CARGO_BIN_EXE_table1_landscape");
+    let out = run_bin(exe, &["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "unknown flag must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "usage error must be one line:\n{stderr}"
+    );
+    assert!(stderr.contains("usage:"), "missing usage string:\n{stderr}");
+    assert!(
+        stderr.contains("--no-such-flag"),
+        "must name the offending flag:\n{stderr}"
+    );
+}
+
+#[test]
+fn malformed_flag_value_is_a_one_line_usage_error_with_exit_2() {
+    let exe = env!("CARGO_BIN_EXE_thm14_15_few_failures");
+    let out = run_bin(exe, &["--threads", "many"]);
+    assert_eq!(out.status.code(), Some(2), "malformed value must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        stderr.trim().lines().count(),
+        1,
+        "usage error must be one line:\n{stderr}"
+    );
+    assert!(stderr.contains("usage:"), "missing usage string:\n{stderr}");
 }
 
 #[test]

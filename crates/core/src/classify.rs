@@ -197,14 +197,33 @@ pub fn batch_with_budget(
     budget: ClassifyBudget,
     run: &RunBudget,
 ) -> Result<Vec<Option<Classification>>, ClassifyPanicked> {
+    batch_with_budget_and_workers(graphs, budget, run, 0)
+}
+
+/// [`batch_with_budget`] with an explicit worker-thread count.
+///
+/// `workers = 0` sizes the pool to the available parallelism (the
+/// [`batch_with_budget`] default); any other value pins the pool, which the
+/// experiment bins expose as `--threads N`.  The output is byte-identical at
+/// every worker count, so the flag trades wall-clock for core pressure
+/// without touching results.
+pub fn batch_with_budget_and_workers(
+    graphs: &[&Graph],
+    budget: ClassifyBudget,
+    run: &RunBudget,
+    workers: usize,
+) -> Result<Vec<Option<Classification>>, ClassifyPanicked> {
     let cache = MinorCache::default();
     let stop = run.stop_signal();
     let stop_active = !stop.is_idle();
     let n = graphs.len();
     let quota = run.work_limit().map_or(n, |w| w.min(n as u64) as usize);
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |c| c.get())
-        .min(quota);
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |c| c.get())
+    } else {
+        workers
+    }
+    .min(quota);
     let mut slots: Vec<Option<Classification>> = vec![None; n];
     if workers <= 1 {
         let mut scratch = Scratch::new();

@@ -18,7 +18,7 @@ use crate::impossibility::small_graphs::{
 use frr_graph::ops::induced_subgraph;
 use frr_graph::{Edge, Graph, Node};
 use frr_routing::adversary::Counterexample;
-use frr_routing::budget::{RunBudget, WorkerPanicked};
+use frr_routing::budget::{Progress, RunBudget, StopCause, WorkerPanicked};
 use frr_routing::compiled::CompilePattern;
 use frr_routing::failure::FailureSet;
 use frr_routing::model::{LocalContext, RoutingModel};
@@ -44,8 +44,11 @@ pub enum FewFailuresVerdict {
     /// treat it as a finding about the pattern under test).
     NotDefeated,
     /// The run budget expired or was cancelled before the construction
-    /// finished; no claim is made either way.
-    Indeterminate,
+    /// finished; no claim is made either way.  The payload records how far
+    /// the run got and why it stopped, exactly like
+    /// [`frr_routing::budget::Verdict::Indeterminate`] — the bins print it
+    /// via its `Display`.
+    Indeterminate(Progress),
 }
 
 /// [`complete_few_failures_counterexample`] under a [`RunBudget`]: refuses
@@ -82,7 +85,20 @@ fn guarded_few_failures(
     construct: impl FnOnce() -> Option<FewFailuresResult>,
 ) -> Result<FewFailuresVerdict, WorkerPanicked> {
     if run.cancelled() || run.deadline_expired() {
-        return Ok(FewFailuresVerdict::Indeterminate);
+        // The construction is all-or-nothing (a single polynomial build), so
+        // a budgeted refusal reports zero masks examined — honest about the
+        // fact that no adversary work happened at all.
+        return Ok(FewFailuresVerdict::Indeterminate(Progress {
+            masks_examined: 0,
+            weight_reached: 0,
+            elapsed: run.elapsed(),
+            stopped_by: if run.cancelled() {
+                StopCause::Cancelled
+            } else {
+                StopCause::Deadline
+            },
+            sampled_trials: 0,
+        }));
     }
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(construct)) {
         Ok(Some(res)) => Ok(FewFailuresVerdict::Defeated(res)),
@@ -356,10 +372,14 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let run = RunBudget::unlimited().with_cancel_token(token);
-        assert!(matches!(
-            complete_few_failures_with_budget(&k9, &rotor, &run),
-            Ok(FewFailuresVerdict::Indeterminate)
-        ));
+        match complete_few_failures_with_budget(&k9, &rotor, &run) {
+            Ok(FewFailuresVerdict::Indeterminate(p)) => {
+                use frr_routing::budget::StopCause;
+                assert_eq!(p.stopped_by, StopCause::Cancelled);
+                assert_eq!(p.masks_examined, 0);
+            }
+            other => panic!("expected Indeterminate, got {other:?}"),
+        }
         // Out-of-domain input (K7 is below the theorem's n >= 8 floor): the
         // precondition assert surfaces as a typed WorkerPanicked.
         let k7 = generators::complete(7);

@@ -53,6 +53,46 @@ use std::collections::BTreeSet;
 
 const WORD_BITS: usize = u64::BITS as usize;
 
+/// Minimal FNV-1a 64 accumulator for the stable artifact digests.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh accumulator at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Folds one 64-bit word, byte by byte (little-endian).
+    pub fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds a `u32` slice (length-prefixed, so `[1][]` ≠ `[][1]`).
+    pub fn words_u32(&mut self, words: &[u32]) {
+        self.word(words.len() as u64);
+        for &w in words {
+            self.word(u64::from(w));
+        }
+    }
+
+    /// The accumulated digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Marker word: the state's rule slice is a dense failed-mask-indexed map
 /// (`2^deg` entries follow) instead of a priority list.
 const DENSE: u32 = u32::MAX;
@@ -211,6 +251,10 @@ enum Tables {
     PerDestination(Vec<RuleTable>),
     /// Source–destination model: `tables[s * n + t]`.
     PerPair(Vec<RuleTable>),
+    /// Destination-only model, a single destination's table — the
+    /// control-plane rebuild unit (see [`CompilePattern::compile_destination`]).
+    /// Only valid for packets addressed to exactly that destination.
+    SingleDestination { destination: u32, table: RuleTable },
 }
 
 /// A forwarding pattern compiled to dense rule tables over a [`PortGraph`].
@@ -250,7 +294,54 @@ impl CompiledPattern {
             Tables::PerDestination(ts) | Tables::PerPair(ts) => {
                 ts.iter().map(|t| t.rules.len()).sum()
             }
+            Tables::SingleDestination { table, .. } => table.rules.len(),
         }
+    }
+
+    /// For a single-destination compile
+    /// ([`CompilePattern::compile_destination`]): the one destination this
+    /// pattern can serve.  `None` for whole-graph compiles.
+    pub fn destination(&self) -> Option<Node> {
+        match &self.tables {
+            Tables::SingleDestination { destination, .. } => Some(Node(*destination as usize)),
+            _ => None,
+        }
+    }
+
+    /// A stable 64-bit FNV-1a digest of the compiled artifact: the CSR port
+    /// layout plus every rule table (including which destination a
+    /// single-destination compile serves).  Two compiles of the same pattern
+    /// on the same graph digest identically; any rule, shape or destination
+    /// difference changes the digest.  Used by the control plane's epoch
+    /// digests and by determinism tests.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.word(match self.model {
+            RoutingModel::Touring => 1,
+            RoutingModel::DestinationOnly => 2,
+            RoutingModel::SourceDestination => 3,
+        });
+        h.word(self.csr.n as u64);
+        h.words_u32(&self.csr.port_offset);
+        h.words_u32(&self.csr.ports);
+        fn fold_table(h: &mut Fnv, t: &RuleTable) {
+            h.words_u32(&t.offsets);
+            h.words_u32(&t.rules);
+        }
+        match &self.tables {
+            Tables::Uniform(t) => fold_table(&mut h, t),
+            Tables::PerDestination(ts) | Tables::PerPair(ts) => {
+                ts.iter().for_each(|t| fold_table(&mut h, t))
+            }
+            Tables::SingleDestination {
+                destination,
+                table: t,
+            } => {
+                fold_table(&mut h, t);
+                h.word(u64::from(*destination) | 1 << 63);
+            }
+        }
+        h.finish()
     }
 
     /// The rule table serving a packet with header `(source, destination)`.
@@ -260,6 +351,17 @@ impl CompiledPattern {
             Tables::Uniform(t) => t,
             Tables::PerDestination(ts) => &ts[destination.index()],
             Tables::PerPair(ts) => &ts[source.index() * self.csr.n + destination.index()],
+            Tables::SingleDestination {
+                destination: built_for,
+                table,
+            } => {
+                debug_assert_eq!(
+                    *built_for as usize,
+                    destination.index(),
+                    "single-destination table for v{built_for} asked to serve v{destination}"
+                );
+                table
+            }
         }
     }
 
@@ -335,11 +437,36 @@ pub trait CompilePattern: ForwardingPattern {
     fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
         tabulate(g, self)
     }
+
+    /// Compiles **only the table serving destination `t`** — the
+    /// control-plane rebuild unit: a long-running service recompiles one
+    /// `(graph, destination)` table at a time and swaps it in without
+    /// touching the other destinations' tables.
+    ///
+    /// Only destination-only patterns support this (the touring model has a
+    /// single shared table and the source–destination model would need a
+    /// table per source); others return `None`, as do the same refusal cases
+    /// as [`CompilePattern::compile`].  The returned pattern answers
+    /// [`CompiledPattern::destination`] with `Some(t)` and must only be asked
+    /// to serve packets addressed to `t`.
+    ///
+    /// The provided default tabulates `t`'s table exactly like [`tabulate`];
+    /// patterns with direct compilers override it via
+    /// [`compile_lists_destination`].  For any destination `t`, routing on
+    /// `compile_destination(g, t)` is identical to routing on the `t` slice
+    /// of `compile(g)` (pinned by the differential tests).
+    fn compile_destination(&self, g: &Graph, t: Node) -> Option<CompiledPattern> {
+        tabulate_destination(g, self, t)
+    }
 }
 
 impl<P: CompilePattern + ?Sized> CompilePattern for &P {
     fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
         (**self).compile(g)
+    }
+
+    fn compile_destination(&self, g: &Graph, t: Node) -> Option<CompiledPattern> {
+        (**self).compile_destination(g, t)
     }
 }
 
@@ -347,11 +474,33 @@ impl<P: CompilePattern + ?Sized> CompilePattern for Box<P> {
     fn compile(&self, g: &Graph) -> Option<CompiledPattern> {
         (**self).compile(g)
     }
+
+    fn compile_destination(&self, g: &Graph, t: Node) -> Option<CompiledPattern> {
+        (**self).compile_destination(g, t)
+    }
 }
 
 impl CompilePattern for CompiledPattern {
     fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
         Some(self.clone())
+    }
+
+    fn compile_destination(&self, _g: &Graph, t: Node) -> Option<CompiledPattern> {
+        match &self.tables {
+            Tables::PerDestination(ts) if t.index() < ts.len() => Some(CompiledPattern {
+                model: self.model,
+                name: self.name.clone(),
+                csr: self.csr.clone(),
+                tables: Tables::SingleDestination {
+                    destination: t.index() as u32,
+                    table: ts[t.index()].clone(),
+                },
+            }),
+            Tables::SingleDestination { destination, .. } if *destination as usize == t.index() => {
+                Some(self.clone())
+            }
+            _ => None,
+        }
     }
 }
 
@@ -395,14 +544,7 @@ pub fn tabulate<P: ForwardingPattern + ?Sized>(g: &Graph, pattern: &P) -> Option
     let model = pattern.model();
     let n = g.node_count();
     let csr = PortGraph::new(g);
-    let mut per_table: u64 = 0;
-    for v in 0..n {
-        let deg = csr.degree(v) as u64;
-        if deg >= 64 {
-            return None;
-        }
-        per_table = per_table.checked_add((deg + 1).checked_mul(1u64 << deg)?)?;
-    }
+    let per_table = tabulate_cost_per_table(&csr)?;
     let headers = header_pairs(model, n);
     if per_table.checked_mul(headers.len().max(1) as u64)? > TABULATE_CONTEXT_BUDGET {
         return None;
@@ -412,63 +554,15 @@ pub fn tabulate<P: ForwardingPattern + ?Sized>(g: &Graph, pattern: &P) -> Option
     let mut failed_buf: Vec<Node> = Vec::new();
     let mut tables = Vec::with_capacity(headers.len());
     for &(source, destination) in &headers {
-        let mut table = RuleTable {
-            offsets: vec![0],
-            rules: Vec::new(),
-        };
-        for v in 0..n {
-            let neighbors = csr.ports_of(v).to_vec();
-            let deg = neighbors.len() as u32;
-            for inport_idx in 0..=deg {
-                let inport =
-                    (inport_idx < deg).then(|| Node(neighbors[inport_idx as usize] as usize));
-                decisions.clear();
-                for mask in 0..(1u64 << deg) {
-                    // Contexts failing the in-port link are unreachable (the
-                    // packet arrived over it); never evaluated, never read.
-                    if inport_idx < deg && mask & (1u64 << inport_idx) != 0 {
-                        decisions.push(DROP);
-                        continue;
-                    }
-                    failed_buf.clear();
-                    failed_buf.extend(
-                        neighbors
-                            .iter()
-                            .enumerate()
-                            .filter(|&(i, _)| mask & (1u64 << i) != 0)
-                            .map(|(_, &u)| Node(u as usize)),
-                    );
-                    let ctx = LocalContext {
-                        node: Node(v),
-                        inport,
-                        source,
-                        destination,
-                        failed_neighbors: &failed_buf,
-                        graph: g,
-                    };
-                    let decision = match pattern.next_hop(&ctx) {
-                        None => DROP,
-                        Some(h) => match csr.port_of(v, h.index()) {
-                            // Non-neighbor or failed link: the simulator
-                            // faults (Stuck / tour break) exactly as on a
-                            // drop, at the same hop with the same path.
-                            None => DROP,
-                            Some(p) if mask & (1u64 << p) != 0 => DROP,
-                            Some(p) => p,
-                        },
-                    };
-                    decisions.push(decision);
-                }
-                push_state_rules(
-                    &mut table.rules,
-                    &decisions,
-                    deg,
-                    (inport_idx < deg).then_some(inport_idx),
-                );
-                table.offsets.push(table.rules.len() as u32);
-            }
-        }
-        tables.push(table);
+        tables.push(tabulate_table(
+            g,
+            &csr,
+            pattern,
+            source,
+            destination,
+            &mut decisions,
+            &mut failed_buf,
+        ));
     }
     Some(CompiledPattern {
         model,
@@ -476,6 +570,126 @@ pub fn tabulate<P: ForwardingPattern + ?Sized>(g: &Graph, pattern: &P) -> Option
         csr,
         tables: wrap_tables(model, tables),
     })
+}
+
+/// Tabulates only destination `t`'s table of a **destination-only** pattern
+/// — the default implementation of [`CompilePattern::compile_destination`].
+///
+/// Refuses (`None`) for other routing models, out-of-range `t`, a node of
+/// degree ≥ 64, or a per-table context count above
+/// [`TABULATE_CONTEXT_BUDGET`] (note: the budget gates one table here, not
+/// the whole per-destination family, so a graph whose full [`tabulate`] is
+/// over budget can still compile destination by destination).
+pub fn tabulate_destination<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    pattern: &P,
+    t: Node,
+) -> Option<CompiledPattern> {
+    if pattern.model() != RoutingModel::DestinationOnly || t.index() >= g.node_count() {
+        return None;
+    }
+    let csr = PortGraph::new(g);
+    let per_table = tabulate_cost_per_table(&csr)?;
+    if per_table > TABULATE_CONTEXT_BUDGET {
+        return None;
+    }
+    let mut decisions: Vec<u32> = Vec::new();
+    let mut failed_buf: Vec<Node> = Vec::new();
+    // Destination-only headers pass `source = t`, exactly like `tabulate`.
+    let table = tabulate_table(g, &csr, pattern, t, t, &mut decisions, &mut failed_buf);
+    Some(CompiledPattern {
+        model: RoutingModel::DestinationOnly,
+        name: pattern.name(),
+        csr,
+        tables: Tables::SingleDestination {
+            destination: t.index() as u32,
+            table,
+        },
+    })
+}
+
+/// Total local contexts one header table costs to tabulate
+/// (`Σ_v (deg(v)+1)·2^deg(v)`); `None` on a degree ≥ 64 or overflow.
+fn tabulate_cost_per_table(csr: &PortGraph) -> Option<u64> {
+    let mut per_table: u64 = 0;
+    for v in 0..csr.n {
+        let deg = csr.degree(v) as u64;
+        if deg >= 64 {
+            return None;
+        }
+        per_table = per_table.checked_add((deg + 1).checked_mul(1u64 << deg)?)?;
+    }
+    Some(per_table)
+}
+
+/// Tabulates one header's rule table by exhaustive local-context enumeration
+/// (the shared body of [`tabulate`] and [`tabulate_destination`]).
+fn tabulate_table<P: ForwardingPattern + ?Sized>(
+    g: &Graph,
+    csr: &PortGraph,
+    pattern: &P,
+    source: Node,
+    destination: Node,
+    decisions: &mut Vec<u32>,
+    failed_buf: &mut Vec<Node>,
+) -> RuleTable {
+    let n = csr.n;
+    let mut table = RuleTable {
+        offsets: vec![0],
+        rules: Vec::new(),
+    };
+    for v in 0..n {
+        let neighbors = csr.ports_of(v).to_vec();
+        let deg = neighbors.len() as u32;
+        for inport_idx in 0..=deg {
+            let inport = (inport_idx < deg).then(|| Node(neighbors[inport_idx as usize] as usize));
+            decisions.clear();
+            for mask in 0..(1u64 << deg) {
+                // Contexts failing the in-port link are unreachable (the
+                // packet arrived over it); never evaluated, never read.
+                if inport_idx < deg && mask & (1u64 << inport_idx) != 0 {
+                    decisions.push(DROP);
+                    continue;
+                }
+                failed_buf.clear();
+                failed_buf.extend(
+                    neighbors
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| mask & (1u64 << i) != 0)
+                        .map(|(_, &u)| Node(u as usize)),
+                );
+                let ctx = LocalContext {
+                    node: Node(v),
+                    inport,
+                    source,
+                    destination,
+                    failed_neighbors: failed_buf,
+                    graph: g,
+                };
+                let decision = match pattern.next_hop(&ctx) {
+                    None => DROP,
+                    Some(h) => match csr.port_of(v, h.index()) {
+                        // Non-neighbor or failed link: the simulator
+                        // faults (Stuck / tour break) exactly as on a
+                        // drop, at the same hop with the same path.
+                        None => DROP,
+                        Some(p) if mask & (1u64 << p) != 0 => DROP,
+                        Some(p) => p,
+                    },
+                };
+                decisions.push(decision);
+            }
+            push_state_rules(
+                &mut table.rules,
+                decisions,
+                deg,
+                (inport_idx < deg).then_some(inport_idx),
+            );
+            table.offsets.push(table.rules.len() as u32);
+        }
+    }
+    table
 }
 
 /// Appends one state's rules to the arena: a verified priority list if the
@@ -559,30 +773,7 @@ where
     let mut out: Vec<Node> = Vec::new();
     let mut tables = Vec::with_capacity(headers.len());
     for &(source, destination) in &headers {
-        let mut table = RuleTable {
-            offsets: vec![0],
-            rules: Vec::new(),
-        };
-        for v in 0..n {
-            let deg = csr.degree(v);
-            for inport_idx in 0..=deg {
-                let inport =
-                    (inport_idx < deg).then(|| Node(csr.ports_of(v)[inport_idx as usize] as usize));
-                out.clear();
-                rule(source, destination, Node(v), inport, &mut out);
-                let mut seen = 0u64;
-                for &u in &out {
-                    if let Some(p) = csr.port_of(v, u.index()) {
-                        if seen & (1u64 << p) == 0 {
-                            seen |= 1u64 << p;
-                            table.rules.push(p);
-                        }
-                    }
-                }
-                table.offsets.push(table.rules.len() as u32);
-            }
-        }
-        tables.push(table);
+        tables.push(lists_table(&csr, source, destination, &mut rule, &mut out));
     }
     Some(CompiledPattern {
         model,
@@ -590,6 +781,80 @@ where
         csr,
         tables: wrap_tables(model, tables),
     })
+}
+
+/// [`compile_lists`] for only destination `t`'s table of a destination-only
+/// pattern — the direct-compiler counterpart of [`tabulate_destination`],
+/// used by patterns overriding [`CompilePattern::compile_destination`].
+///
+/// Returns `None` if some node has degree ≥ 64 or `t` is out of range.
+pub fn compile_lists_destination<F>(
+    g: &Graph,
+    name: Cow<'static, str>,
+    t: Node,
+    mut rule: F,
+) -> Option<CompiledPattern>
+where
+    F: FnMut(Node, Node, Node, Option<Node>, &mut Vec<Node>),
+{
+    if t.index() >= g.node_count() {
+        return None;
+    }
+    let csr = PortGraph::new(g);
+    if (0..csr.n).any(|v| csr.degree(v) >= 64) {
+        return None;
+    }
+    let mut out: Vec<Node> = Vec::new();
+    // Destination-only headers pass `source = t`, exactly like the full
+    // compile.
+    let table = lists_table(&csr, t, t, &mut rule, &mut out);
+    Some(CompiledPattern {
+        model: RoutingModel::DestinationOnly,
+        name,
+        csr,
+        tables: Tables::SingleDestination {
+            destination: t.index() as u32,
+            table,
+        },
+    })
+}
+
+/// Builds one header's rule table from priority lists (the shared body of
+/// [`compile_lists`] and [`compile_lists_destination`]).
+fn lists_table<F>(
+    csr: &PortGraph,
+    source: Node,
+    destination: Node,
+    rule: &mut F,
+    out: &mut Vec<Node>,
+) -> RuleTable
+where
+    F: FnMut(Node, Node, Node, Option<Node>, &mut Vec<Node>),
+{
+    let mut table = RuleTable {
+        offsets: vec![0],
+        rules: Vec::new(),
+    };
+    for v in 0..csr.n {
+        let deg = csr.degree(v);
+        for inport_idx in 0..=deg {
+            let inport =
+                (inport_idx < deg).then(|| Node(csr.ports_of(v)[inport_idx as usize] as usize));
+            out.clear();
+            rule(source, destination, Node(v), inport, out);
+            let mut seen = 0u64;
+            for &u in out.iter() {
+                if let Some(p) = csr.port_of(v, u.index()) {
+                    if seen & (1u64 << p) == 0 {
+                        seen |= 1u64 << p;
+                        table.rules.push(p);
+                    }
+                }
+            }
+            table.offsets.push(table.rules.len() as u32);
+        }
+    }
+    table
 }
 
 /// Reusable scratch for simulating compiled patterns against materialized
@@ -809,6 +1074,96 @@ mod tests {
                 assert_eq!(pg.ports_of(u as usize)[back] as usize, v);
             }
         }
+    }
+
+    #[test]
+    fn single_destination_compile_matches_the_full_compile_slice() {
+        // Direct compilers (rotor, shortest-path) and the generic tabulator:
+        // routing on `compile_destination(g, t)` must be identical to routing
+        // on the `t` slice of `compile(g)` for every source and failure set.
+        let graphs = [
+            generators::cycle(6),
+            generators::complete(5),
+            generators::petersen(),
+        ];
+        for g in &graphs {
+            let patterns: Vec<Box<dyn CompilePattern>> = vec![
+                Box::new(RotorPattern::clockwise_with_shortcut(g)),
+                Box::new(ShortestPathPattern::new(g)),
+                Box::new(FnPattern::new(
+                    RoutingModel::DestinationOnly,
+                    "first-alive",
+                    |ctx: &LocalContext<'_>| ctx.alive_neighbors().first().copied(),
+                )),
+            ];
+            let max_hops = state_space_bound(g);
+            for pattern in &patterns {
+                let full = pattern.compile(g).expect("within budget");
+                for t in g.nodes() {
+                    let single = pattern
+                        .compile_destination(g, t)
+                        .expect("destination-only pattern");
+                    assert_eq!(single.destination(), Some(t));
+                    assert_eq!(single.model(), RoutingModel::DestinationOnly);
+                    let mut sim_full = CompiledSim::new(&full);
+                    let mut sim_single = CompiledSim::new(&single);
+                    // Sample the failure sets: empty, every single link.
+                    let mut masks = vec![0u64];
+                    masks.extend((0..g.edge_count()).map(|i| 1u64 << i));
+                    for mask in masks {
+                        let failures = crate::failure::failure_set_from_mask(&g.edges(), &mask);
+                        sim_full.load_failures(&full, &failures);
+                        sim_single.load_failures(&single, &failures);
+                        for s in g.nodes() {
+                            let a = sim_full.route(&full, s, t, max_hops);
+                            let b = sim_single.route(&single, s, t, max_hops);
+                            assert_eq!(a.outcome, b.outcome, "{} {s}->{t} F={mask:b}", full.name());
+                            assert_eq!(a.path, b.path);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_destination_compile_refuses_other_models() {
+        let g = generators::cycle(5);
+        let touring = RotorPattern::clockwise(&g);
+        assert!(touring.compile_destination(&g, Node(0)).is_none());
+        assert!(tabulate_destination(&g, &touring, Node(0)).is_none());
+        let sp = ShortestPathPattern::new(&g);
+        assert!(
+            sp.compile_destination(&g, Node(9)).is_none(),
+            "out of range"
+        );
+    }
+
+    #[test]
+    fn compiled_pattern_extracts_its_own_destination_slice() {
+        let g = generators::complete(4);
+        let full = ShortestPathPattern::new(&g).compile(&g).expect("compiles");
+        let slice = full
+            .compile_destination(&g, Node(2))
+            .expect("per-destination slice");
+        assert_eq!(slice.destination(), Some(Node(2)));
+        // Re-slicing the slice for the same destination is the identity; a
+        // different destination is refused.
+        assert!(slice.compile_destination(&g, Node(2)).is_some());
+        assert!(slice.compile_destination(&g, Node(1)).is_none());
+    }
+
+    #[test]
+    fn digests_are_stable_and_destination_sensitive() {
+        let g = generators::petersen();
+        let p = ShortestPathPattern::new(&g);
+        let a = p.compile_destination(&g, Node(3)).expect("compiles");
+        let b = p.compile_destination(&g, Node(3)).expect("compiles");
+        assert_eq!(a.digest(), b.digest(), "same build, same digest");
+        let c = p.compile_destination(&g, Node(4)).expect("compiles");
+        assert_ne!(a.digest(), c.digest(), "different destination");
+        let full = p.compile(&g).expect("compiles");
+        assert_ne!(a.digest(), full.digest(), "slice differs from full");
     }
 
     #[test]

@@ -54,6 +54,10 @@ impl CompilePattern for FailedLinkForwarder {
     fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
         None
     }
+
+    fn compile_destination(&self, _g: &Graph, _t: Node) -> Option<CompiledPattern> {
+        None
+    }
 }
 
 /// Forwards to a node that is *not a neighbor* whenever one exists (the
@@ -88,6 +92,10 @@ impl ForwardingPattern for NonNeighborForwarder {
 
 impl CompilePattern for NonNeighborForwarder {
     fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
+        None
+    }
+
+    fn compile_destination(&self, _g: &Graph, _t: Node) -> Option<CompiledPattern> {
         None
     }
 }
@@ -137,6 +145,10 @@ impl CompilePattern for NondeterministicPattern {
     fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
         None
     }
+
+    fn compile_destination(&self, _g: &Graph, _t: Node) -> Option<CompiledPattern> {
+        None
+    }
 }
 
 /// Panics the moment it is asked to forward past an incident failed link;
@@ -183,6 +195,45 @@ impl CompilePattern for PanicPattern {
     fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
         None
     }
+
+    fn compile_destination(&self, _g: &Graph, _t: Node) -> Option<CompiledPattern> {
+        None
+    }
+}
+
+/// Panics the moment anyone tries to *compile* it (whole-graph or
+/// per-destination); behaves as a benign first-alive-neighbor forwarder when
+/// interpreted.
+///
+/// This is the fault injector for the control plane's recompile workers: a
+/// rebuild job calling [`CompilePattern::compile_destination`] must catch the
+/// unwind, retry with backoff, and finally mark the destination degraded —
+/// the panic must never escape a supervised worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PanicOnCompile;
+
+impl ForwardingPattern for PanicOnCompile {
+    fn model(&self) -> RoutingModel {
+        RoutingModel::DestinationOnly
+    }
+
+    fn next_hop(&self, ctx: &LocalContext<'_>) -> Option<Node> {
+        ctx.alive_neighbors().first().copied()
+    }
+
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("hostile:panic-on-compile")
+    }
+}
+
+impl CompilePattern for PanicOnCompile {
+    fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
+        panic!("hostile pattern panic: compile invoked");
+    }
+
+    fn compile_destination(&self, _g: &Graph, t: Node) -> Option<CompiledPattern> {
+        panic!("hostile pattern panic: compile_destination invoked for {t}");
+    }
 }
 
 /// Wraps any forwarding pattern and refuses to compile it, forcing the
@@ -210,6 +261,10 @@ impl<P: ForwardingPattern> ForwardingPattern for NoCompile<P> {
 
 impl<P: ForwardingPattern> CompilePattern for NoCompile<P> {
     fn compile(&self, _g: &Graph) -> Option<CompiledPattern> {
+        None
+    }
+
+    fn compile_destination(&self, _g: &Graph, _t: Node) -> Option<CompiledPattern> {
         None
     }
 }
@@ -284,5 +339,52 @@ mod tests {
         assert!(NoCompile(ShortestPathPattern::new(&g))
             .compile(&g)
             .is_none());
+        // The per-destination rebuild unit is refused identically, so the
+        // faults stay on the interpreted probe path there too.
+        assert!(FailedLinkForwarder
+            .compile_destination(&g, Node(0))
+            .is_none());
+        assert!(NonNeighborForwarder
+            .compile_destination(&g, Node(0))
+            .is_none());
+        assert!(NondeterministicPattern::new()
+            .compile_destination(&g, Node(0))
+            .is_none());
+        assert!(PanicPattern.compile_destination(&g, Node(0)).is_none());
+        assert!(NoCompile(ShortestPathPattern::new(&g))
+            .compile_destination(&g, Node(0))
+            .is_none());
+    }
+
+    #[test]
+    fn panic_on_compile_panics_in_both_compile_entry_points() {
+        let g = generators::cycle(4);
+        // Interpreted forwarding is benign...
+        let r = route(
+            &g,
+            &FailureSet::new(),
+            &PanicOnCompile,
+            Node(0),
+            Node(1),
+            64,
+        );
+        assert_eq!(r.outcome, Outcome::Delivered);
+        // ...but both compile entry points unwind with the typed message.
+        for f in [
+            Box::new(|| {
+                let _ = PanicOnCompile.compile(&generators::cycle(4));
+            }) as Box<dyn FnOnce() + std::panic::UnwindSafe>,
+            Box::new(|| {
+                let _ = PanicOnCompile.compile_destination(&generators::cycle(4), Node(2));
+            }),
+        ] {
+            let err = std::panic::catch_unwind(f).expect_err("must panic");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(msg.contains("hostile pattern panic"), "got: {msg}");
+        }
     }
 }

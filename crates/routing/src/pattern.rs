@@ -6,7 +6,7 @@
 //! only read the [`LocalContext`] (in-port, incident failed links and —
 //! depending on the routing model — source and destination).
 
-use crate::compiled::{compile_lists, CompilePattern, CompiledPattern};
+use crate::compiled::{compile_lists, compile_lists_destination, CompilePattern, CompiledPattern};
 use crate::model::{LocalContext, RoutingModel};
 use frr_graph::traversal::distances_from;
 use frr_graph::{Graph, Node};
@@ -220,6 +220,18 @@ impl CompilePattern for RotorPattern {
             out.extend(Self::sweep_order(&self.rotation, v, inport));
         })
     }
+
+    fn compile_destination(&self, g: &Graph, t: Node) -> Option<CompiledPattern> {
+        if self.model != RoutingModel::DestinationOnly {
+            return None;
+        }
+        compile_lists_destination(g, self.name.clone(), t, |_s, t, v, inport, out| {
+            if self.destination_shortcut {
+                out.push(t);
+            }
+            out.extend(Self::sweep_order(&self.rotation, v, inport));
+        })
+    }
 }
 
 /// A destination-based shortest-path pattern with rotor fallback: every node
@@ -307,6 +319,20 @@ impl CompilePattern for ShortestPathPattern {
                 out.extend(RotorPattern::sweep_order(self.rotor.rotation(), v, inport));
             },
         )
+    }
+
+    fn compile_destination(&self, g: &Graph, t: Node) -> Option<CompiledPattern> {
+        compile_lists_destination(g, self.name(), t, |_s, t, v, inport, out| {
+            // Same priority lists as `compile`, restricted to one header.
+            out.push(t);
+            if let Some(primary) = self.primary[v.index()][t.index()] {
+                if inport != Some(primary) {
+                    out.push(primary);
+                }
+            }
+            out.push(t);
+            out.extend(RotorPattern::sweep_order(self.rotor.rotation(), v, inport));
+        })
     }
 }
 

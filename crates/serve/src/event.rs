@@ -1,0 +1,321 @@
+//! Control-plane events and the trace format the replay driver consumes.
+//!
+//! The service ingests four kinds of event: a link going down, a link coming
+//! back up, a whole-topology load, and a fault injection that swaps the
+//! forwarding-pattern spec used for subsequent table rebuilds.  Events arrive
+//! from hostile sources (operators, replay traces, flaky monitors), so
+//! everything about them is validated twice:
+//!
+//! * **syntactically** at parse time ([`parse_trace_line`]) — an unknown
+//!   verb, a malformed endpoint or a self-loop is a typed [`EventError`], not
+//!   a panic;
+//! * **semantically** at apply time (`Service::apply`) — a link that is not
+//!   part of the loaded topology, a `down` for a link that is already down
+//!   (out-of-order delivery) or an unknown topology name is rejected with a
+//!   typed error and counted in the quarantine counter instead of crashing
+//!   or silently corrupting the down-set.
+
+use std::fmt;
+
+/// Which deliberately misbehaving pattern family a fault injection installs
+/// (see `frr_routing::hostile`), or `WellBehaved` to restore the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostileKind {
+    /// [`frr_routing::hostile::PanicOnCompile`]: every table rebuild panics.
+    PanicOnCompile,
+    /// A compile-refusing wrapper: rebuilds deterministically return `None`,
+    /// forcing the interpreted fallback path.
+    RefuseCompile,
+    /// [`frr_routing::hostile::NondeterministicPattern`]: refuses to compile
+    /// and forwards nondeterministically on the interpreted path.
+    Nondeterministic,
+    /// Restore the service's default (well-behaved) pattern spec.
+    WellBehaved,
+}
+
+impl HostileKind {
+    /// The trace-file spelling (`inject <kind>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HostileKind::PanicOnCompile => "panic-compile",
+            HostileKind::RefuseCompile => "refuse-compile",
+            HostileKind::Nondeterministic => "nondeterministic",
+            HostileKind::WellBehaved => "well-behaved",
+        }
+    }
+
+    /// Parses the trace-file spelling.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "panic-compile" => Some(HostileKind::PanicOnCompile),
+            "refuse-compile" => Some(HostileKind::RefuseCompile),
+            "nondeterministic" => Some(HostileKind::Nondeterministic),
+            "well-behaved" => Some(HostileKind::WellBehaved),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HostileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One control-plane event.  Link endpoints are normalized to `u < v` at
+/// construction so the ingest queue's per-link coalescing key is canonical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Link `{u, v}` failed.
+    LinkDown { u: usize, v: usize },
+    /// Link `{u, v}` was repaired.
+    LinkUp { u: usize, v: usize },
+    /// Replace the whole topology with the named one from the catalog.
+    Load { name: String },
+    /// Swap the forwarding-pattern spec used for subsequent rebuilds.
+    Inject { kind: HostileKind },
+}
+
+impl Event {
+    /// A normalized link-down event.
+    pub fn down(a: usize, b: usize) -> Self {
+        Event::LinkDown {
+            u: a.min(b),
+            v: a.max(b),
+        }
+    }
+
+    /// A normalized link-up event.
+    pub fn up(a: usize, b: usize) -> Self {
+        Event::LinkUp {
+            u: a.min(b),
+            v: a.max(b),
+        }
+    }
+
+    /// The per-link coalescing key, for link events.
+    pub fn link_key(&self) -> Option<(usize, usize)> {
+        match *self {
+            Event::LinkDown { u, v } | Event::LinkUp { u, v } => Some((u, v)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::LinkDown { u, v } => write!(f, "down {u} {v}"),
+            Event::LinkUp { u, v } => write!(f, "up {u} {v}"),
+            Event::Load { name } => write!(f, "load {name}"),
+            Event::Inject { kind } => write!(f, "inject {kind}"),
+        }
+    }
+}
+
+/// Why an event was quarantined instead of applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventError {
+    /// Trace line with an unrecognized verb.
+    UnknownVerb { line: usize, verb: String },
+    /// Trace line whose endpoint token is not a number.
+    MalformedEndpoint { line: usize, token: String },
+    /// Trace line missing a required field.
+    MissingField { line: usize, verb: &'static str },
+    /// A link event naming the same node twice.
+    SelfLoop { line: usize, node: usize },
+    /// An `inject` line with an unknown hostile kind.
+    UnknownInjection { line: usize, kind: String },
+    /// An endpoint outside the loaded topology's node range.
+    NodeOutOfRange { node: usize, nodes: usize },
+    /// A link event for a pair that is not an edge of the loaded topology.
+    UnknownLink { u: usize, v: usize },
+    /// A `down` for a link that is already down (out-of-order delivery).
+    AlreadyDown { u: usize, v: usize },
+    /// An `up` for a link that is already up (out-of-order delivery).
+    AlreadyUp { u: usize, v: usize },
+    /// A `load` naming a topology absent from the catalog.
+    UnknownTopology { name: String },
+}
+
+impl fmt::Display for EventError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventError::UnknownVerb { line, verb } => {
+                write!(f, "line {line}: unknown event verb {verb:?}")
+            }
+            EventError::MalformedEndpoint { line, token } => {
+                write!(f, "line {line}: malformed endpoint {token:?}")
+            }
+            EventError::MissingField { line, verb } => {
+                write!(f, "line {line}: {verb} event is missing a field")
+            }
+            EventError::SelfLoop { line, node } => {
+                write!(f, "line {line}: self-loop on node {node}")
+            }
+            EventError::UnknownInjection { line, kind } => {
+                write!(f, "line {line}: unknown injection kind {kind:?}")
+            }
+            EventError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (topology has {nodes} nodes)")
+            }
+            EventError::UnknownLink { u, v } => {
+                write!(f, "link {u}-{v} is not part of the loaded topology")
+            }
+            EventError::AlreadyDown { u, v } => {
+                write!(f, "out-of-order event: link {u}-{v} is already down")
+            }
+            EventError::AlreadyUp { u, v } => {
+                write!(f, "out-of-order event: link {u}-{v} is already up")
+            }
+            EventError::UnknownTopology { name } => {
+                write!(f, "topology {name:?} is not in the catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventError {}
+
+/// Parses one trace line (1-based `line` for error reporting).  Returns
+/// `Ok(None)` for blank lines and `#` comments.
+///
+/// Grammar: `down U V` | `up U V` | `load NAME` | `inject KIND`.
+pub fn parse_trace_line(line: usize, text: &str) -> Result<Option<Event>, EventError> {
+    let text = text.trim();
+    if text.is_empty() || text.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = text.split_whitespace();
+    let verb = parts.next().unwrap_or_default();
+    let endpoint = |token: Option<&str>, verb: &'static str| -> Result<usize, EventError> {
+        let token = token.ok_or(EventError::MissingField { line, verb })?;
+        token.parse().map_err(|_| EventError::MalformedEndpoint {
+            line,
+            token: token.to_string(),
+        })
+    };
+    match verb {
+        "down" | "up" => {
+            let static_verb: &'static str = if verb == "down" { "down" } else { "up" };
+            let u = endpoint(parts.next(), static_verb)?;
+            let v = endpoint(parts.next(), static_verb)?;
+            if u == v {
+                return Err(EventError::SelfLoop { line, node: u });
+            }
+            Ok(Some(if static_verb == "down" {
+                Event::down(u, v)
+            } else {
+                Event::up(u, v)
+            }))
+        }
+        "load" => {
+            let name = parts
+                .next()
+                .ok_or(EventError::MissingField { line, verb: "load" })?;
+            Ok(Some(Event::Load {
+                name: name.to_string(),
+            }))
+        }
+        "inject" => {
+            let kind = parts.next().ok_or(EventError::MissingField {
+                line,
+                verb: "inject",
+            })?;
+            let kind = HostileKind::parse(kind).ok_or_else(|| EventError::UnknownInjection {
+                line,
+                kind: kind.to_string(),
+            })?;
+            Ok(Some(Event::Inject { kind }))
+        }
+        other => Err(EventError::UnknownVerb {
+            line,
+            verb: other.to_string(),
+        }),
+    }
+}
+
+/// Parses a whole trace: good lines become events, bad lines become typed
+/// errors (the caller counts them into its quarantine counter).  One bad
+/// line never poisons the rest of the trace.
+pub fn parse_trace(text: &str) -> (Vec<Event>, Vec<EventError>) {
+    let mut events = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        match parse_trace_line(i + 1, raw) {
+            Ok(Some(ev)) => events.push(ev),
+            Ok(None) => {}
+            Err(e) => errors.push(e),
+        }
+    }
+    (events, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_grammar() {
+        let text = "# trace\n\ndown 3 1\nup 1 3\nload Abilene\ninject panic-compile\n";
+        let (events, errors) = parse_trace(text);
+        assert!(errors.is_empty());
+        assert_eq!(
+            events,
+            vec![
+                Event::down(1, 3),
+                Event::up(1, 3),
+                Event::Load {
+                    name: "Abilene".to_string()
+                },
+                Event::Inject {
+                    kind: HostileKind::PanicOnCompile
+                },
+            ]
+        );
+        // Display re-emits parseable lines (with normalized endpoints).
+        for ev in &events {
+            let (again, errs) = parse_trace(&ev.to_string());
+            assert!(errs.is_empty());
+            assert_eq!(&again[0], ev);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_become_typed_errors_not_panics() {
+        let text = "reboot 1 2\ndown x 2\ndown 4\ndown 5 5\ninject sparks\nup 0 1\n";
+        let (events, errors) = parse_trace(text);
+        assert_eq!(events, vec![Event::up(0, 1)]);
+        assert_eq!(errors.len(), 5);
+        assert!(matches!(errors[0], EventError::UnknownVerb { line: 1, .. }));
+        assert!(matches!(
+            errors[1],
+            EventError::MalformedEndpoint { line: 2, .. }
+        ));
+        assert!(matches!(
+            errors[2],
+            EventError::MissingField { line: 3, .. }
+        ));
+        assert!(matches!(
+            errors[3],
+            EventError::SelfLoop { line: 4, node: 5 }
+        ));
+        assert!(matches!(
+            errors[4],
+            EventError::UnknownInjection { line: 5, .. }
+        ));
+    }
+
+    #[test]
+    fn hostile_kind_spellings_round_trip() {
+        for kind in [
+            HostileKind::PanicOnCompile,
+            HostileKind::RefuseCompile,
+            HostileKind::Nondeterministic,
+            HostileKind::WellBehaved,
+        ] {
+            assert_eq!(HostileKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(HostileKind::parse("gremlins"), None);
+    }
+}

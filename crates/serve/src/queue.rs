@@ -1,0 +1,185 @@
+//! The bounded ingest queue with deterministic coalesce-on-overflow.
+//!
+//! A churning network can emit link events faster than tables rebuild, and an
+//! unbounded queue would turn that into unbounded memory plus unbounded
+//! staleness.  This queue is bounded; when an event arrives at a full queue
+//! the policy is deterministic and documented rather than "whatever the
+//! allocator felt like":
+//!
+//! 1. **Coalesce, last-writer-wins per link.**  If the arriving event is a
+//!    link event and a queued event targets the same (normalized) link, the
+//!    queued event is overwritten *in place* — only the newest state of a
+//!    flapping link survives, and its queue position (arrival order of the
+//!    first event for that link) is preserved, so replay stays deterministic.
+//! 2. **Drop-oldest.**  Otherwise the oldest queued event is dropped to make
+//!    room.  Dropping the oldest (not the newest) keeps the queue converging
+//!    toward the *latest* intent of the event source.
+//!
+//! Both actions are counted ([`QueueStats`]) so degradation is visible in
+//! the replay report instead of silent.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+
+/// What happened to a pushed event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Appended normally.
+    Enqueued,
+    /// Overwrote a queued event for the same link (queue was full).
+    Coalesced,
+    /// Appended after evicting the oldest queued event (queue was full and
+    /// nothing could be coalesced).
+    DroppedOldest,
+}
+
+/// Ingest-queue health counters, copied into every published snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events appended normally.
+    pub enqueued: u64,
+    /// Events merged into a queued event for the same link.
+    pub coalesced: u64,
+    /// Queued events evicted to admit a newer one.
+    pub dropped: u64,
+}
+
+/// Bounded FIFO of control-plane events with the coalesce-on-overflow
+/// policy described in the module docs.
+#[derive(Debug)]
+pub struct IngestQueue {
+    capacity: usize,
+    items: VecDeque<Event>,
+    stats: QueueStats,
+}
+
+impl IngestQueue {
+    /// An empty queue holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        IngestQueue {
+            capacity: capacity.max(1),
+            items: VecDeque::new(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Queued event count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The health counters so far.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Admits `event` under the bounded-queue policy.
+    pub fn push(&mut self, event: Event) -> Admission {
+        if self.items.len() < self.capacity {
+            self.items.push_back(event);
+            self.stats.enqueued += 1;
+            return Admission::Enqueued;
+        }
+        // Full: last-writer-wins per link first, drop-oldest as the fallback.
+        if let Some(key) = event.link_key() {
+            if let Some(slot) = self
+                .items
+                .iter_mut()
+                .find(|queued| queued.link_key() == Some(key))
+            {
+                *slot = event;
+                self.stats.coalesced += 1;
+                return Admission::Coalesced;
+            }
+        }
+        self.items.pop_front();
+        self.items.push_back(event);
+        self.stats.dropped += 1;
+        Admission::DroppedOldest
+    }
+
+    /// Removes and returns up to `max` events in arrival order.
+    pub fn drain_batch(&mut self, max: usize) -> Vec<Event> {
+        let take = max.min(self.items.len());
+        self.items.drain(..take).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::HostileKind;
+
+    #[test]
+    fn under_capacity_is_plain_fifo() {
+        let mut q = IngestQueue::new(4);
+        assert_eq!(q.push(Event::down(0, 1)), Admission::Enqueued);
+        assert_eq!(q.push(Event::up(0, 1)), Admission::Enqueued);
+        assert_eq!(q.drain_batch(10), vec![Event::down(0, 1), Event::up(0, 1)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_coalesces_last_writer_wins_per_link() {
+        let mut q = IngestQueue::new(2);
+        q.push(Event::down(0, 1));
+        q.push(Event::down(2, 3));
+        // Full; a newer event for link 0-1 overwrites in place.
+        assert_eq!(q.push(Event::up(0, 1)), Admission::Coalesced);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.drain_batch(10), vec![Event::up(0, 1), Event::down(2, 3)]);
+        let stats = q.stats();
+        assert_eq!((stats.enqueued, stats.coalesced, stats.dropped), (2, 1, 0));
+    }
+
+    #[test]
+    fn overflow_without_a_coalescing_partner_drops_the_oldest() {
+        let mut q = IngestQueue::new(2);
+        q.push(Event::down(0, 1));
+        q.push(Event::down(2, 3));
+        assert_eq!(q.push(Event::down(4, 5)), Admission::DroppedOldest);
+        assert_eq!(
+            q.drain_batch(10),
+            vec![Event::down(2, 3), Event::down(4, 5)]
+        );
+        assert_eq!(q.stats().dropped, 1);
+    }
+
+    #[test]
+    fn non_link_events_never_coalesce() {
+        let mut q = IngestQueue::new(1);
+        q.push(Event::Inject {
+            kind: HostileKind::PanicOnCompile,
+        });
+        assert_eq!(
+            q.push(Event::Inject {
+                kind: HostileKind::WellBehaved
+            }),
+            Admission::DroppedOldest
+        );
+        assert_eq!(
+            q.drain_batch(10),
+            vec![Event::Inject {
+                kind: HostileKind::WellBehaved
+            }]
+        );
+    }
+
+    #[test]
+    fn normalized_endpoints_share_one_coalescing_key() {
+        let mut q = IngestQueue::new(1);
+        q.push(Event::down(5, 2));
+        assert_eq!(q.push(Event::up(2, 5)), Admission::Coalesced);
+        assert_eq!(q.drain_batch(10), vec![Event::up(2, 5)]);
+    }
+}

@@ -1,0 +1,392 @@
+//! The supervised recompile pool.
+//!
+//! Every `(graph, destination)` table rebuild runs under `catch_unwind` with
+//! an optional per-attempt [`RunBudget`] deadline.  A panicked or expired
+//! rebuild is retried with exponential backoff up to a configured cap; after
+//! that the destination is reported failed and the service degrades it
+//! (keeps serving its last good table) instead of crashing or blocking.
+//!
+//! Workers follow the same deterministic sharding discipline as
+//! `frr_core::classify::batch`: a shared atomic work index hands out
+//! destinations, each outcome is recorded at its input position, and the
+//! merged result is therefore byte-identical at any worker-thread count —
+//! the property the replay determinism suite pins.
+
+use crate::service::PatternSpec;
+use frr_graph::budget::StopSignal;
+use frr_graph::{Graph, Node};
+use frr_routing::budget::RunBudget;
+use frr_routing::compiled::{CompilePattern, CompiledPattern};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Rebuild-pool tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+    /// Per-attempt wall-clock deadline; `None` disables the clock (the
+    /// replay driver's default, so digests don't depend on machine speed).
+    pub deadline: Option<Duration>,
+    /// Attempts per destination before giving up (minimum 1).
+    pub max_attempts: u32,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            threads: 0,
+            deadline: None,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// The resolved worker count for `jobs` rebuild jobs.
+    pub fn workers_for(&self, jobs: usize) -> usize {
+        let configured = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |c| c.get())
+        } else {
+            self.threads
+        };
+        configured.min(jobs).max(1)
+    }
+
+    /// The backoff before retry number `attempt` (1-based attempt that just
+    /// failed): `base << (attempt - 1)`, clamped to the cap.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << (attempt - 1).min(16);
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+}
+
+/// Why one destination's rebuild did not produce a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildFailure {
+    /// Every attempt panicked; the last panic message is kept.
+    Panicked(String),
+    /// The pattern refused to compile (deterministic — not retried).
+    Refused,
+    /// The per-attempt deadline expired on every attempt.
+    DeadlineExpired,
+    /// The stop signal fired before this destination was attempted.
+    Cancelled,
+}
+
+/// The merged result for one destination, at its input position.
+#[derive(Debug, Clone)]
+pub struct RebuildOutcome {
+    /// The destination node index.
+    pub destination: usize,
+    /// The freshly built table, when an attempt succeeded.
+    pub table: Option<Arc<CompiledPattern>>,
+    /// Attempts actually spent (0 only for [`RebuildFailure::Cancelled`]).
+    pub attempts: u32,
+    /// The terminal failure, when no attempt succeeded.
+    pub failure: Option<RebuildFailure>,
+}
+
+/// Installs a process-wide panic hook that swallows the *expected* panics —
+/// the hostile patterns' `"hostile pattern panic: ..."` payloads that the
+/// supervised pool catches by design — and delegates everything else to the
+/// previous hook.  Without this, a chaos replay prints one backtrace per
+/// supervised attempt, drowning the actual report; with it, unexpected
+/// panics still get the full default treatment.
+pub fn silence_supervised_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        if message.is_some_and(|m| m.contains("hostile pattern panic")) {
+            return;
+        }
+        previous(info);
+    }));
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One destination's supervised rebuild: `catch_unwind` around the compile,
+/// deadline check per attempt, exponential backoff between retries.
+///
+/// Refusals (`compile_destination` returning `None`) are deterministic, so
+/// they fail fast without retries; panics and deadline expiries are retried
+/// because they may be transient (a hostile input mix, a loaded machine).
+fn rebuild_one(
+    survivor: &Graph,
+    spec: &PatternSpec,
+    destination: usize,
+    cfg: &SupervisorConfig,
+) -> RebuildOutcome {
+    let max_attempts = cfg.max_attempts.max(1);
+    let mut last_failure = RebuildFailure::Refused;
+    for attempt in 1..=max_attempts {
+        let budget = match cfg.deadline {
+            Some(d) => RunBudget::unlimited().with_deadline(d),
+            None => RunBudget::unlimited(),
+        };
+        let built = catch_unwind(AssertUnwindSafe(|| {
+            spec.pattern(survivor)
+                .compile_destination(survivor, Node(destination))
+        }));
+        match built {
+            Ok(Some(table)) if !budget.deadline_expired() => {
+                return RebuildOutcome {
+                    destination,
+                    table: Some(Arc::new(table)),
+                    attempts: attempt,
+                    failure: None,
+                };
+            }
+            Ok(Some(_)) => last_failure = RebuildFailure::DeadlineExpired,
+            Ok(None) => {
+                // Deterministic refusal: retrying cannot change the answer.
+                return RebuildOutcome {
+                    destination,
+                    table: None,
+                    attempts: attempt,
+                    failure: Some(RebuildFailure::Refused),
+                };
+            }
+            Err(payload) => last_failure = RebuildFailure::Panicked(panic_message(payload)),
+        }
+        if attempt < max_attempts {
+            std::thread::sleep(cfg.backoff_after(attempt));
+        }
+    }
+    RebuildOutcome {
+        destination,
+        table: None,
+        attempts: max_attempts,
+        failure: Some(last_failure),
+    }
+}
+
+/// Rebuilds the tables for `destinations` on `survivor` (the current base
+/// graph minus its down links) under supervision.
+///
+/// Outcomes come back in input order regardless of worker count or
+/// scheduling; destinations never reached because `stop` fired are reported
+/// as [`RebuildFailure::Cancelled`] with zero attempts.
+pub fn rebuild_tables(
+    survivor: &Graph,
+    spec: &PatternSpec,
+    destinations: &[usize],
+    cfg: &SupervisorConfig,
+    stop: &StopSignal,
+) -> Vec<RebuildOutcome> {
+    let stop_active = !stop.is_idle();
+    let cancelled = |destination: usize| RebuildOutcome {
+        destination,
+        table: None,
+        attempts: 0,
+        failure: Some(RebuildFailure::Cancelled),
+    };
+    let workers = cfg.workers_for(destinations.len());
+    if workers <= 1 {
+        return destinations
+            .iter()
+            .map(|&t| {
+                if stop_active && stop.should_stop() {
+                    cancelled(t)
+                } else {
+                    rebuild_one(survivor, spec, t, cfg)
+                }
+            })
+            .collect();
+    }
+    let mut slots: Vec<Option<RebuildOutcome>> = (0..destinations.len()).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= destinations.len() {
+                            break;
+                        }
+                        let t = destinations[i];
+                        let outcome = if stop_active && stop.should_stop() {
+                            cancelled(t)
+                        } else {
+                            rebuild_one(survivor, spec, t, cfg)
+                        };
+                        out.push((i, outcome));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            // rebuild_one catches its probes' panics; a join error would mean
+            // the worker harness itself unwound, which must not take out the
+            // sibling shards or the service.
+            if let Ok(out) = handle.join() {
+                for (i, outcome) in out {
+                    slots[i] = Some(outcome);
+                }
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .zip(destinations)
+        .map(|(slot, &t)| slot.unwrap_or_else(|| cancelled(t)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::HostileKind;
+    use frr_graph::generators;
+
+    #[test]
+    fn well_behaved_spec_builds_every_destination() {
+        let g = generators::cycle(5);
+        let cfg = SupervisorConfig::default();
+        let dests: Vec<usize> = (0..5).collect();
+        let out = rebuild_tables(
+            &g,
+            &PatternSpec::ShortestPath,
+            &dests,
+            &cfg,
+            &StopSignal::none(),
+        );
+        assert_eq!(out.len(), 5);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.destination, i);
+            assert_eq!(o.attempts, 1);
+            assert!(o.failure.is_none());
+            let table = o.table.as_ref().expect("table built");
+            assert_eq!(table.destination(), Some(Node(i)));
+        }
+    }
+
+    #[test]
+    fn panicking_spec_retries_then_degrades_without_aborting() {
+        let g = generators::cycle(4);
+        let cfg = SupervisorConfig {
+            max_attempts: 3,
+            backoff_base: Duration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        let out = rebuild_tables(
+            &g,
+            &PatternSpec::Hostile(HostileKind::PanicOnCompile),
+            &[0, 1],
+            &cfg,
+            &StopSignal::none(),
+        );
+        for o in &out {
+            assert_eq!(o.attempts, 3);
+            assert!(o.table.is_none());
+            assert!(matches!(o.failure, Some(RebuildFailure::Panicked(_))));
+        }
+    }
+
+    #[test]
+    fn refusing_spec_fails_fast_without_retries() {
+        let g = generators::cycle(4);
+        let out = rebuild_tables(
+            &g,
+            &PatternSpec::Hostile(HostileKind::RefuseCompile),
+            &[2],
+            &SupervisorConfig::default(),
+            &StopSignal::none(),
+        );
+        assert_eq!(out[0].attempts, 1);
+        assert_eq!(out[0].failure, Some(RebuildFailure::Refused));
+    }
+
+    #[test]
+    fn outcome_order_is_identical_at_any_worker_count() {
+        let g = generators::petersen();
+        let dests: Vec<usize> = (0..10).collect();
+        let reference: Vec<_> = rebuild_tables(
+            &g,
+            &PatternSpec::ShortestPath,
+            &dests,
+            &SupervisorConfig {
+                threads: 1,
+                ..SupervisorConfig::default()
+            },
+            &StopSignal::none(),
+        )
+        .iter()
+        .map(|o| (o.destination, o.table.as_ref().map(|t| t.digest())))
+        .collect();
+        for threads in [2, 8] {
+            let cfg = SupervisorConfig {
+                threads,
+                ..SupervisorConfig::default()
+            };
+            let got: Vec<_> = rebuild_tables(
+                &g,
+                &PatternSpec::ShortestPath,
+                &dests,
+                &cfg,
+                &StopSignal::none(),
+            )
+            .iter()
+            .map(|o| (o.destination, o.table.as_ref().map(|t| t.digest())))
+            .collect();
+            assert_eq!(got, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn a_fired_stop_signal_reports_cancelled_not_degraded_panics() {
+        let g = generators::cycle(4);
+        let token = frr_graph::budget::CancelToken::new();
+        token.cancel();
+        let stop = StopSignal::none().with_cancel(token);
+        let out = rebuild_tables(
+            &g,
+            &PatternSpec::ShortestPath,
+            &[0, 1, 2, 3],
+            &SupervisorConfig::default(),
+            &stop,
+        );
+        for o in &out {
+            assert_eq!(o.failure, Some(RebuildFailure::Cancelled));
+            assert_eq!(o.attempts, 0);
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let cfg = SupervisorConfig {
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(5),
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(cfg.backoff_after(1), Duration::from_millis(2));
+        assert_eq!(cfg.backoff_after(2), Duration::from_millis(4));
+        assert_eq!(cfg.backoff_after(3), Duration::from_millis(5));
+        assert_eq!(cfg.backoff_after(31), Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,166 @@
+//! The chaos acceptance suite: a churn replay laced with hostile pattern
+//! injections and malformed events must leave the service *answering* —
+//! degraded and stale where honest, but never wrong, never aborted — with
+//! byte-identical digest sequences at any worker-thread count.
+//!
+//! "Never wrong" is checked post hoc: every compiled answer in the ledger is
+//! recomputed from its recorded provenance (the build-time graph, the spec
+//! that built the table, the overlay of query failures plus links lost since
+//! the build) and must match exactly.
+
+use std::collections::BTreeSet;
+
+use frr_graph::{Edge, Node};
+use frr_routing::compiled::{CompilePattern, CompiledSim};
+use frr_routing::failure::FailureSet;
+use frr_serve::event::HostileKind;
+use frr_serve::replay::{replay, ReplayConfig, ReplayOutcome};
+use frr_serve::service::{AnswerSource, TableState};
+use frr_topologies::builtin_topologies;
+
+fn chaos_cfg(threads: usize) -> ReplayConfig {
+    ReplayConfig {
+        topology: "Abilene".to_string(),
+        events: 28,
+        batch: 2,
+        seed: 11,
+        threads,
+        keep_ledger: true,
+        malformed_every: Some(6),
+        injections: vec![
+            (5, HostileKind::PanicOnCompile),
+            (9, HostileKind::WellBehaved),
+            (13, HostileKind::RefuseCompile),
+            (17, HostileKind::Nondeterministic),
+            (21, HostileKind::WellBehaved),
+        ],
+        ..ReplayConfig::default()
+    }
+}
+
+fn run_chaos(threads: usize) -> ReplayOutcome {
+    replay(&builtin_topologies(), &chaos_cfg(threads)).expect("known topology")
+}
+
+fn edges_of(pairs: &[(usize, usize)]) -> Vec<Edge> {
+    pairs
+        .iter()
+        .map(|&(u, v)| Edge::new(Node(u), Node(v)))
+        .collect()
+}
+
+#[test]
+fn hostile_injections_degrade_answers_but_never_abort_or_lie() {
+    let outcome = run_chaos(1);
+
+    // Malformed (duplicate) events were quarantined, not fatal.
+    assert!(outcome.quarantined > 0, "malformed events must quarantine");
+
+    // Every driver query got an answer (typed errors would also count as
+    // answered in the outcome, but this trace must produce none).
+    assert_eq!(outcome.queries, outcome.answered);
+    assert!(outcome.queries > 0);
+    for entry in &outcome.ledger {
+        assert!(
+            entry.answer.is_ok(),
+            "query ({}, {}) at epoch {} errored: {:?}",
+            entry.s,
+            entry.t,
+            entry.epoch,
+            entry.answer
+        );
+    }
+
+    // The hostile periods are visible: some answers were served from a
+    // degraded entry's last-good table.
+    assert!(
+        outcome
+            .ledger
+            .iter()
+            .any(|e| e.state == TableState::Degraded),
+        "injections must degrade some answers"
+    );
+
+    // The final well-behaved injection plus trailing churn heal the tables.
+    assert!(
+        outcome.degraded_final.is_empty(),
+        "service must recover after the well-behaved injection: {:?}",
+        outcome.degraded_final
+    );
+}
+
+#[test]
+fn chaos_digests_and_ledgers_are_identical_at_1_2_and_8_threads() {
+    let reference = run_chaos(1);
+    for threads in [2, 8] {
+        let got = run_chaos(threads);
+        assert_eq!(
+            got.digests, reference.digests,
+            "digests @ {threads} threads"
+        );
+        assert_eq!(
+            got.degraded_final, reference.degraded_final,
+            "degraded set @ {threads} threads"
+        );
+        assert_eq!(
+            format!("{:?}", got.ledger),
+            format!("{:?}", reference.ledger),
+            "ledger @ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn every_compiled_answer_matches_post_hoc_recomputation_from_its_provenance() {
+    let base = builtin_topologies()
+        .into_iter()
+        .find(|t| t.name == "Abilene")
+        .expect("Abilene is bundled")
+        .graph;
+    let outcome = run_chaos(1);
+    let mut verified = 0usize;
+    for entry in &outcome.ledger {
+        let answer = entry.answer.as_ref().expect("chaos queries all answer");
+        if answer.source != AnswerSource::Compiled {
+            continue;
+        }
+        assert!(
+            entry.built_with.is_deterministic(),
+            "a compiled table can only come from a deterministic spec"
+        );
+        // Rebuild the exact table the service served from: the spec recorded
+        // in the ledger, compiled on the base graph minus the links that were
+        // down when the table was built.
+        let down_at_build: BTreeSet<Edge> = edges_of(&entry.down_at_build).into_iter().collect();
+        let g_build = base.without_edges(&down_at_build);
+        let table = entry
+            .built_with
+            .pattern(&g_build)
+            .compile_destination(&g_build, Node(entry.t))
+            .expect("served tables come from compilable specs");
+        // The stale-answer contract: query failures overlaid with every link
+        // that went down after the build.
+        let mut overlay = FailureSet::new();
+        for e in edges_of(&entry.failures) {
+            overlay.insert(e);
+        }
+        for e in edges_of(&entry.down_now) {
+            if !down_at_build.contains(&e) {
+                overlay.insert(e);
+            }
+        }
+        let max_hops = table.csr().state_count() + 1;
+        assert_eq!(answer.max_hops, max_hops, "hop bound provenance");
+        let mut sim = CompiledSim::new(&table);
+        sim.load_failures(&table, &overlay);
+        let reference = sim.route(&table, Node(entry.s), Node(entry.t), max_hops);
+        assert_eq!(answer.outcome, reference.outcome, "outcome for {entry:?}");
+        assert_eq!(answer.path, reference.path, "path for {entry:?}");
+        assert_eq!(answer.hops, reference.hops, "hops for {entry:?}");
+        verified += 1;
+    }
+    assert!(
+        verified > 0,
+        "the chaos ledger must contain compiled answers to verify"
+    );
+}

@@ -1,0 +1,65 @@
+//! Replay determinism: the same seed and trace must produce byte-identical
+//! digest sequences, degraded sets and query ledgers at 1, 2 and 8 worker
+//! threads.  This is the property that makes the chaos suite trustworthy —
+//! any scheduling-dependent state would show up here first.
+
+use frr_serve::replay::{replay, ReplayConfig, ReplayOutcome};
+use frr_topologies::builtin_topologies;
+
+fn run_at(threads: usize, seed: u64) -> ReplayOutcome {
+    let cfg = ReplayConfig {
+        topology: "Abilene".to_string(),
+        events: 32,
+        batch: 3,
+        seed,
+        threads,
+        keep_ledger: true,
+        ..ReplayConfig::default()
+    };
+    replay(&builtin_topologies(), &cfg).expect("known topology")
+}
+
+#[test]
+fn digest_sequence_and_ledger_are_identical_at_1_2_and_8_threads() {
+    let reference = run_at(1, 7);
+    assert!(
+        reference.digests.len() > 1,
+        "replay must publish epochs beyond the initial snapshot"
+    );
+    assert_eq!(
+        reference.queries, reference.answered,
+        "every query answered"
+    );
+    for threads in [2, 8] {
+        let got = run_at(threads, 7);
+        assert_eq!(
+            got.digests, reference.digests,
+            "digests @ {threads} threads"
+        );
+        assert_eq!(
+            got.final_digest, reference.final_digest,
+            "final digest @ {threads} threads"
+        );
+        assert_eq!(
+            got.degraded_final, reference.degraded_final,
+            "degraded set @ {threads} threads"
+        );
+        assert_eq!(got.queries, reference.queries);
+        assert_eq!(got.answered, reference.answered);
+        assert_eq!(
+            format!("{:?}", got.ledger),
+            format!("{:?}", reference.ledger),
+            "ledger @ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_digest_sequences() {
+    let a = run_at(1, 7);
+    let b = run_at(1, 8);
+    assert_ne!(
+        a.digests, b.digests,
+        "the digest must be sensitive to the trace"
+    );
+}

@@ -1,0 +1,67 @@
+//! The edge-list text format is a *canonical* encoding: emit is a fixed
+//! point (`parse(emit(g))` re-emits byte-identically) and any messy but
+//! valid document — shuffled edge order, reversed endpoint orientation,
+//! comments, blank lines, stray whitespace — canonicalizes to the same
+//! bytes.  Pinned over the whole topology zoo, bundled and synthetic.
+
+use frr_topologies::format::{parse_edge_list, to_edge_list};
+use frr_topologies::{full_zoo, ZooConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn whole_zoo_round_trips_and_emit_is_a_fixed_point() {
+    let zoo = full_zoo(&ZooConfig::default());
+    assert!(zoo.len() > 250, "zoo unexpectedly small: {}", zoo.len());
+    for topo in &zoo {
+        let text = to_edge_list(&topo.graph);
+        let parsed = parse_edge_list(&text)
+            .unwrap_or_else(|e| panic!("{}: emitted text failed to parse: {e}", topo.name));
+        assert_eq!(parsed, topo.graph, "{}: parse(emit(g)) != g", topo.name);
+        let again = to_edge_list(&parsed);
+        assert_eq!(again, text, "{}: emit is not a fixed point", topo.name);
+    }
+}
+
+#[test]
+fn messy_documents_canonicalize_to_the_same_bytes() {
+    let zoo = full_zoo(&ZooConfig {
+        count: 20,
+        ..ZooConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(0xf0_52_a7);
+    for topo in &zoo {
+        let canonical = to_edge_list(&topo.graph);
+        // Rebuild the document by hand: shuffled edge order, each edge
+        // randomly flipped to its reversed orientation, sprinkled with
+        // comments, blank lines and leading/trailing whitespace.
+        let mut edges: Vec<(usize, usize)> = topo
+            .graph
+            .edges()
+            .into_iter()
+            .map(|e| (e.u().index(), e.v().index()))
+            .collect();
+        edges.shuffle(&mut rng);
+        let mut messy = String::from("# scrambled document\n\n");
+        messy.push_str(&format!("nodes {}\n", topo.graph.node_count()));
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if i % 5 == 0 {
+                messy.push_str("  # interleaved comment\n\n");
+            }
+            if rng.gen_bool(0.5) {
+                messy.push_str(&format!("  {v}   {u}\t\n"));
+            } else {
+                messy.push_str(&format!("{u} {v}\n"));
+            }
+        }
+        let parsed = parse_edge_list(&messy)
+            .unwrap_or_else(|e| panic!("{}: messy text failed to parse: {e}", topo.name));
+        assert_eq!(
+            to_edge_list(&parsed),
+            canonical,
+            "{}: messy document did not canonicalize",
+            topo.name
+        );
+    }
+}
