@@ -1,10 +1,12 @@
 //! Experiment E-F7 — regenerates Figure 7: the per-class percentage of
 //! Topology-Zoo instances for each routing model.
 //!
-//! Usage: `fig7_zoo [--count N] [--threads T]` — `N` limits the number of
-//! synthetic topologies (default 250; CI smoke runs use a small `N` to catch
-//! classification regressions quickly); `T` pins the classification worker
-//! pool (0 = one per core) without changing any result byte.
+//! Usage: `fig7_zoo [--count N] [--threads T] [--metrics]` — `N` limits the
+//! number of synthetic topologies (default 250; CI smoke runs use a small
+//! `N` to catch classification regressions quickly); `T` pins the
+//! classification worker pool (0 = one per core) without changing any result
+//! byte; `--metrics` appends the process-wide telemetry table (classify
+//! shard timings, cache hit rates, sweep and minor-engine counters).
 
 use frr_bench::{format_percentages, parse_experiment_args, ZooClassification};
 use frr_core::classify::ClassifyBudget;
@@ -68,4 +70,9 @@ fn main() {
          (paper: 31.3%)",
         100.0 * planar_impossible
     );
+    if args.metrics {
+        println!();
+        println!("=== telemetry (process-wide registry) ===");
+        print!("{}", frr_obs::global().snapshot().to_table());
+    }
 }

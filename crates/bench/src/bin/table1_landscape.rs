@@ -3,12 +3,14 @@
 //! re-verified by the constructive patterns and the negative cells by the
 //! adversaries.
 //!
-//! Usage: `table1_landscape [--count N] [--deadline-secs S] [--work-budget W]`
-//! — `N` is the largest tolerance `r` to verify (default 3; CI bench-smoke
-//! runs `--count 1` for a cheap end-to-end pass over every cell kind).  An
-//! oversized cell (graph past the exhaustive edge limit) prints a one-line
-//! skip and falls back to sampling instead of panicking; an expired budget
-//! marks cells `inconclusive` instead of fabricating a verdict.
+//! Usage: `table1_landscape [--count N] [--deadline-secs S] [--work-budget W]
+//! [--metrics]` — `N` is the largest tolerance `r` to verify (default 3; CI
+//! bench-smoke runs `--count 1` for a cheap end-to-end pass over every cell
+//! kind).  An oversized cell (graph past the exhaustive edge limit) prints a
+//! one-line skip and falls back to sampling instead of panicking; an expired
+//! budget marks cells `inconclusive` instead of fabricating a verdict.
+//! `--metrics` appends the process-wide telemetry table (sweep counters,
+//! minor-engine memo statistics) after the landscape.
 
 use frr_core::algorithms::{r_tolerant_bipartite_pattern, r_tolerant_complete_pattern};
 use frr_core::impossibility::r_tolerance_counterexample;
@@ -107,6 +109,11 @@ fn main() {
         "K_a,b possible for f < min(a,b)-1 [Chiesa et al.]; impossible for f >= 3a+4b-21 (Thm 15)"
     );
     println!("(run `thm14_15_few_failures` for the constructed failure sets and measured sizes)");
+    if args.metrics {
+        println!();
+        println!("=== telemetry (process-wide registry) ===");
+        print!("{}", frr_obs::global().snapshot().to_table());
+    }
 }
 
 /// Verifies one positive cell: exhaustively over all `(s, t)` pairs when the

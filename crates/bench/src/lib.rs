@@ -9,6 +9,10 @@
 // (`expect` with a message), never a bare `unwrap` — CI lints with
 // `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// Library code never prints to stdout — results flow through return values
+// and the frr-obs registry; the bins own the terminal.  CI lints with
+// `-D warnings`, so a stray println! in a library gates.
+#![cfg_attr(not(test), warn(clippy::print_stdout))]
 
 use frr_core::classify::{Classification, ClassifyBudget, Feasibility};
 use frr_graph::Graph;
@@ -39,6 +43,10 @@ pub struct ExperimentArgs {
     /// available core).  Shared by the experiment bins and `frr-serve
     /// replay` instead of per-binary environment variables.
     pub threads: usize,
+    /// Print the process-wide telemetry registry when the run finishes
+    /// (`--metrics`): the experiment bins render [`frr_obs`]'s table, the
+    /// replay driver also embeds the snapshot in its JSON artifact.
+    pub metrics: bool,
 }
 
 impl ExperimentArgs {
@@ -53,7 +61,7 @@ impl ExperimentArgs {
 pub fn experiment_usage(bin: &str) -> String {
     format!(
         "usage: {bin} [--count N] [--deadline-secs S] [--work-budget W] \
-         [--links-limit L] [--threads T]"
+         [--links-limit L] [--threads T] [--metrics]"
     )
 }
 
@@ -107,6 +115,7 @@ fn parse_experiment_args_from(
         work_budget: None,
         links_limit: None,
         threads: 0,
+        metrics: false,
     };
     let mut extras = Vec::new();
     while let Some(arg) = args.next() {
@@ -160,6 +169,7 @@ fn parse_experiment_args_from(
                     )
                 })?;
             }
+            "--metrics" => parsed.metrics = true,
             _ => extras.push(arg),
         }
     }
@@ -321,7 +331,19 @@ mod tests {
         .unwrap();
         assert_eq!(parsed.threads, 8);
         assert_eq!(parsed.count, 9);
+        assert!(!parsed.metrics);
         assert_eq!(extras, to_args("--events 12 --inject panic-compile@5"));
+    }
+
+    #[test]
+    fn experiment_args_parse_the_shared_metrics_switch() {
+        let to_args = |s: &str| s.split_whitespace().map(str::to_string).collect::<Vec<_>>();
+        let (parsed, extras) =
+            parse_experiment_args_with_extras("bin", 3, to_args("--metrics --count 4").into_iter())
+                .unwrap();
+        assert!(parsed.metrics);
+        assert_eq!(parsed.count, 4);
+        assert!(extras.is_empty(), "--metrics takes no value");
     }
 
     #[test]

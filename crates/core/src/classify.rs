@@ -32,8 +32,9 @@ use frr_routing::budget::RunBudget;
 use std::collections::HashMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Feasibility of perfect resilience in one routing model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,27 +226,55 @@ pub fn batch_with_budget_and_workers(
     }
     .min(quota);
     let mut slots: Vec<Option<Classification>> = vec![None; n];
+    // Telemetry handles are created once per batch (cold); the per-graph
+    // cost is one histogram record and one counter increment.  Wall-clock
+    // readings stay inside the registry — classifications are pure functions
+    // of their inputs either way.
+    let registry = frr_obs::global();
+    let graphs_done = registry.counter("classify.graphs");
+    let graph_ns = registry.histogram("classify.graph_ns");
+    let shard_ns = registry.histogram("classify.shard_ns");
+    let flush_cache_stats = |cache: &MinorCache| {
+        registry.add_counts([
+            ("classify.cache_hits", cache.hits.load(Ordering::Relaxed)),
+            (
+                "classify.cache_misses",
+                cache.misses.load(Ordering::Relaxed),
+            ),
+        ]);
+    };
     if workers <= 1 {
+        let shard_started = Instant::now();
         let mut scratch = Scratch::new();
+        let mut result = Ok(());
         for (i, g) in graphs.iter().take(quota).enumerate() {
             if stop_active && stop.should_stop() {
                 break;
             }
             let b = BitGraph::from_graph(g);
+            let started = Instant::now();
             let scratch = &mut scratch;
             match catch_unwind(AssertUnwindSafe(|| {
                 classify_impl(g, &b, budget, scratch, Some(&cache), &stop)
             })) {
-                Ok(c) => slots[i] = Some(c),
+                Ok(c) => {
+                    graph_ns.record_duration(started.elapsed());
+                    graphs_done.inc();
+                    slots[i] = Some(c);
+                }
                 Err(payload) => {
-                    return Err(ClassifyPanicked {
+                    result = Err(ClassifyPanicked {
                         index: i,
                         message: panic_message(payload),
-                    })
+                    });
+                    break;
                 }
             }
         }
-        return Ok(slots);
+        flush_memo_stats(scratch.engine.take_memo_stats(), registry);
+        shard_ns.record_duration(shard_started.elapsed());
+        flush_cache_stats(&cache);
+        return result.map(|()| slots);
     }
     let next = AtomicUsize::new(0);
     let halt = AtomicBool::new(false);
@@ -254,7 +283,10 @@ pub fn batch_with_budget_and_workers(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let (next, cache, halt, panicked, stop) = (&next, &cache, &halt, &panicked, &stop);
+                let (graphs_done, graph_ns, shard_ns) =
+                    (graphs_done.clone(), graph_ns.clone(), shard_ns.clone());
                 scope.spawn(move || {
+                    let shard_started = Instant::now();
                     let mut scratch = Scratch::new();
                     let mut out = Vec::new();
                     loop {
@@ -267,11 +299,16 @@ pub fn batch_with_budget_and_workers(
                         }
                         let g = graphs[i];
                         let b = BitGraph::from_graph(g);
+                        let started = Instant::now();
                         let scratch = &mut scratch;
                         match catch_unwind(AssertUnwindSafe(|| {
                             classify_impl(g, &b, budget, scratch, Some(cache), stop)
                         })) {
-                            Ok(c) => out.push((i, c)),
+                            Ok(c) => {
+                                graph_ns.record_duration(started.elapsed());
+                                graphs_done.inc();
+                                out.push((i, c));
+                            }
                             Err(payload) => {
                                 halt.store(true, Ordering::Relaxed);
                                 let mut first = panicked.lock().unwrap_or_else(|e| e.into_inner());
@@ -288,6 +325,8 @@ pub fn batch_with_budget_and_workers(
                             }
                         }
                     }
+                    flush_memo_stats(scratch.engine.take_memo_stats(), frr_obs::global());
+                    shard_ns.record_duration(shard_started.elapsed());
                     out
                 })
             })
@@ -302,6 +341,7 @@ pub fn batch_with_budget_and_workers(
             }
         }
     });
+    flush_cache_stats(&cache);
     match panicked.into_inner().unwrap_or_else(|e| e.into_inner()) {
         Some(p) => Err(p),
         None => Ok(slots),
@@ -344,7 +384,28 @@ impl Scratch {
 type VerdictSlots = [Option<MinorAnswer>; 4];
 
 #[derive(Default)]
-struct MinorCache(Mutex<HashMap<Box<[u64]>, VerdictSlots>>);
+struct MinorCache {
+    map: Mutex<HashMap<Box<[u64]>, VerdictSlots>>,
+    /// Verdicts answered from the cache / by a fresh search.  Atomics rather
+    /// than plain fields because the cache is shared across workers; one
+    /// relaxed increment per *verdict* (not per explored state) is noise
+    /// next to the minor search it accounts for.
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Flushes one engine's [`MemoStats`] tallies into `registry` under the
+/// `minors.*` counter names — the cold half of the "plain counters on the
+/// hot path" contract (`frr-graph` itself takes no telemetry dependency).
+fn flush_memo_stats(stats: frr_graph::minors::MemoStats, registry: &frr_obs::Registry) {
+    registry.add_counts([
+        ("minors.memo_probes", stats.probes),
+        ("minors.memo_hits", stats.hits),
+        ("minors.memo_inserts", stats.inserts),
+        ("minors.contractions", stats.contractions),
+        ("minors.subiso_checks", stats.subiso_checks),
+    ]);
+}
 
 /// Canonical labelled encoding of a graph: node count followed by the packed
 /// adjacency words.
@@ -374,14 +435,16 @@ fn minor_verdict(
     // well-formed and siblings may keep using it.
     let key = graph_key.get_or_insert_with(|| canonical_key(b));
     if let Some(ans) = cache
-        .0
+        .map
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .get(key.as_ref())
         .and_then(|slots| slots[which])
     {
+        cache.hits.fetch_add(1, Ordering::Relaxed);
         return ans;
     }
+    cache.misses.fetch_add(1, Ordering::Relaxed);
     let ans = scratch
         .engine
         .solve_bit_with_stop(b, &scratch.patterns[which], minor_budget, stop);
@@ -389,7 +452,7 @@ fn minor_verdict(
     // key; caching it would leak this run's deadline into later lookups.
     if !stop.should_stop() {
         cache
-            .0
+            .map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .entry(key.clone())
@@ -837,6 +900,25 @@ mod tests {
             batch_with_budget(&refs, budget, &RunBudget::unlimited()).expect("no worker panicked");
         let full: Vec<Classification> = slots.into_iter().flatten().collect();
         assert_eq!(full, batch(&refs, budget));
+    }
+
+    #[test]
+    fn batch_flushes_classification_telemetry() {
+        let before = frr_obs::global().snapshot();
+        let count = |snap: &frr_obs::MetricsSnapshot, name: &str| snap.counter(name).unwrap_or(0);
+        // wheel(5) is planar but not outerplanar, so classification must run
+        // minor searches — the cache sees misses and the engines contract.
+        let graphs = [generators::wheel(5), generators::wheel(5)];
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        batch(&refs, ClassifyBudget::default());
+        let after = frr_obs::global().snapshot();
+        // The global registry is shared with sibling tests, so only lower
+        // bounds are assertable.
+        assert!(count(&after, "classify.graphs") >= count(&before, "classify.graphs") + 2);
+        assert!(count(&after, "classify.cache_misses") > count(&before, "classify.cache_misses"));
+        assert!(count(&after, "minors.memo_probes") > count(&before, "minors.memo_probes"));
+        let timed = after.histogram("classify.graph_ns").map_or(0, |v| v.count);
+        assert!(timed >= before.histogram("classify.graph_ns").map_or(0, |v| v.count) + 2);
     }
 
     #[test]

@@ -48,6 +48,10 @@
 // (`expect` with a message), never a bare `unwrap` — CI lints with
 // `-D warnings`, so this gates. Tests keep `unwrap` for brevity.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+// Library code never prints to stdout — results flow through return values
+// and the frr-obs registry; the bins own the terminal.  CI lints with
+// `-D warnings`, so a stray println! in a library gates.
+#![cfg_attr(not(test), warn(clippy::print_stdout))]
 
 pub mod algorithms;
 pub mod classify;

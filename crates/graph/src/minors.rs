@@ -429,6 +429,39 @@ impl PatternData {
 /// assert!(engine.solve_bit(&host, &generators::complete(5), 100_000).is_yes());
 /// assert!(engine.solve_bit(&host, &generators::complete(6), 100_000).is_no());
 /// ```
+/// What a [`MinorEngine`] did: memo-table traffic and search work.
+///
+/// Plain `u64` fields incremented inline on the search hot path (an atomic
+/// here would tax every explored state); this crate takes no telemetry
+/// dependency, so callers that want these in a registry read them via
+/// [`MinorEngine::take_memo_stats`] on their own cold paths (see
+/// `frr-core`'s `classify::batch`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Memo-table lookups (one per memoizable explored state).
+    pub probes: u64,
+    /// Lookups that hit — the whole subtree was skipped.
+    pub hits: u64,
+    /// Fresh encodings inserted (= probes − hits).
+    pub inserts: u64,
+    /// Edge contractions performed (budget units actually spent).
+    pub contractions: u64,
+    /// Subgraph-isomorphism checks that ran their backtracking search
+    /// (states surviving the degree-sequence filter).
+    pub subiso_checks: u64,
+}
+
+impl MemoStats {
+    /// Folds `other` into `self` (plain addition; used by shard merges).
+    pub fn accumulate(&mut self, other: &MemoStats) {
+        self.probes += other.probes;
+        self.hits += other.hits;
+        self.inserts += other.inserts;
+        self.contractions += other.contractions;
+        self.subiso_checks += other.subiso_checks;
+    }
+}
+
 pub struct MinorEngine {
     states: Vec<StateBuf>,
     /// Per-depth branch edge lists, packed `degsum << 32 | a << 16 | b` with
@@ -446,6 +479,9 @@ pub struct MinorEngine {
     sub_used: Vec<u64>,
     budget: u64,
     exhausted: bool,
+    /// Memo/search work tallies — plain `u64`s (this crate stays
+    /// dependency-free; callers flush them into their telemetry).
+    memo_stats: MemoStats,
     /// Cooperative stop condition polled once per contraction; idle (and
     /// skipped) for the plain [`MinorEngine::solve_bit`] entry point.
     stop: StopSignal,
@@ -514,8 +550,22 @@ impl MinorEngine {
             sub_used: Vec::new(),
             budget: 0,
             exhausted: false,
+            memo_stats: MemoStats::default(),
             stop: StopSignal::none(),
         }
+    }
+
+    /// The engine's memo/search work tallies since construction (or the last
+    /// [`MinorEngine::take_memo_stats`]).  Tallies accumulate across
+    /// `solve`/`solve_bit` calls — one engine classifies many graphs.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo_stats
+    }
+
+    /// Returns the work tallies and resets them to zero — the flush
+    /// handshake for callers that forward them into a telemetry registry.
+    pub fn take_memo_stats(&mut self) -> MemoStats {
+        std::mem::take(&mut self.memo_stats)
     }
 
     /// Decides whether `h` is a minor of `g` using at most `budget`
@@ -634,6 +684,7 @@ impl MinorEngine {
                 states,
                 key_buf,
                 seen,
+                memo_stats,
                 ..
             } = self;
             let st = &states[depth];
@@ -642,9 +693,12 @@ impl MinorEngine {
             for v in st.active_nodes() {
                 key_buf.extend_from_slice(st.row(v));
             }
+            memo_stats.probes += 1;
             if seen.contains(key_buf.as_slice()) {
+                memo_stats.hits += 1;
                 return false;
             }
+            memo_stats.inserts += 1;
             seen.insert(key_buf.as_slice().into());
         }
 
@@ -715,6 +769,7 @@ impl MinorEngine {
                 break;
             }
             self.budget -= 1;
+            self.memo_stats.contractions += 1;
             let (a, b) = ((packed >> 16 & 0xFFFF) as usize, (packed & 0xFFFF) as usize);
             self.ensure_depth(depth + 1);
             let (parents, children) = self.states.split_at_mut(depth + 1);
@@ -762,6 +817,7 @@ impl MinorEngine {
             }
             st.words
         };
+        self.memo_stats.subiso_checks += 1;
 
         self.sub_assign.clear();
         self.sub_assign.resize(pat.n, u32::MAX);
@@ -1333,6 +1389,32 @@ mod tests {
                 assert_eq!(new, old, "engines disagree on {} vs pattern", g.summary());
             }
         }
+    }
+
+    #[test]
+    fn memo_stats_track_search_work() {
+        let mut engine = MinorEngine::new();
+        assert_eq!(engine.memo_stats(), MemoStats::default());
+        // Petersen has a K5 minor but no K5 subgraph: the search must
+        // contract edges and probe the memo table before succeeding.
+        let g = generators::petersen();
+        let k5 = generators::complete(5);
+        assert!(engine.solve(&g, &k5, 100_000).is_yes());
+        let stats = engine.take_memo_stats();
+        assert!(stats.contractions > 0);
+        assert!(stats.probes > 0);
+        assert_eq!(stats.probes, stats.hits + stats.inserts);
+        assert!(stats.subiso_checks > 0);
+        // take resets; tallies accumulate across solves otherwise.
+        assert_eq!(engine.memo_stats(), MemoStats::default());
+        assert!(engine.solve(&g, &k5, 100_000).is_yes());
+        assert!(engine.solve(&g, &k5, 100_000).is_yes());
+        let twice = engine.memo_stats();
+        assert_eq!(twice.contractions, 2 * stats.contractions);
+        let mut folded = MemoStats::default();
+        folded.accumulate(&stats);
+        folded.accumulate(&stats);
+        assert_eq!(folded.contractions, twice.contractions);
     }
 
     #[test]

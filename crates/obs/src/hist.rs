@@ -1,0 +1,266 @@
+//! The fixed-boundary log₂-bucket histogram.
+//!
+//! Bucket boundaries are powers of two: bucket `i` holds values whose bit
+//! length is `i`, i.e. value 0 in bucket 0 and value `v > 0` in bucket
+//! `64 − v.leading_zeros()` (so bucket `i ≥ 1` covers `[2^{i−1}, 2^i)`).
+//! Fixed boundaries buy three properties the workspace's determinism
+//! discipline needs:
+//!
+//! * **Lock-free recording** — one relaxed `fetch_add` into a preallocated
+//!   bucket, plus count/sum adds and a `fetch_max` for the exact maximum.
+//!   No resizing, no locking, no allocation, ever.
+//! * **Deterministic merge** — merging is bucket-wise addition plus a max,
+//!   which is associative and commutative, so any sharding of the recording
+//!   threads merges to the same snapshot (pinned by the 1/2/8-thread test).
+//! * **Stable quantiles** — a quantile is the upper bound of the bucket the
+//!   nearest-rank falls in, clamped to the exact recorded maximum; the same
+//!   multiset of values always reports the same `p50/p90/p99/max`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Bucket count: one per possible bit length of a `u64`, plus bucket 0 for
+/// the value 0.
+pub const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> Self {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log₂-bucket histogram handle (see module docs).  Clones share
+/// the same cells.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCells>);
+
+/// Bucket index of `v`: its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// A detached histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value — four relaxed atomic instructions, no allocation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let cells = &*self.0;
+        cells.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts an RAII span recording into this histogram on drop.
+    pub fn time(&self) -> crate::Span {
+        crate::Span::start(self)
+    }
+
+    /// Folds `other`'s recorded distribution into this histogram.
+    /// Bucket-wise addition plus a max: associative, commutative, and
+    /// independent of the interleaving that produced either side.
+    pub fn merge_from(&self, other: &Histogram) {
+        let view = other.view();
+        let cells = &*self.0;
+        for (i, &c) in view.buckets.iter().enumerate() {
+            if c != 0 {
+                cells.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        cells.count.fetch_add(view.count, Ordering::Relaxed);
+        cells.sum.fetch_add(view.sum, Ordering::Relaxed);
+        cells.max.fetch_max(view.max, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn view(&self) -> HistogramView {
+        let cells = &*self.0;
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, cell) in buckets.iter_mut().zip(cells.buckets.iter()) {
+            *slot = cell.load(Ordering::Relaxed);
+        }
+        HistogramView {
+            buckets,
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            max: cells.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `true` when `other` is a handle to the same underlying cells.
+    pub(crate) fn same_cell(&self, other: &Histogram) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// An immutable copy of a histogram's state, with quantile accessors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramView {
+    /// Per-bucket counts (bucket `i` = values of bit length `i`).
+    pub buckets: [u64; BUCKETS],
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping beyond 2⁶⁴, like any counter).
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramView {
+    /// The `q`-quantile (`0 < q ≤ 1`) by nearest rank: the upper bound of
+    /// the bucket containing the rank, clamped to the exact maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_bit_lengths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn records_count_sum_max_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let view = h.view();
+        assert_eq!(view.count, 6);
+        assert_eq!(view.sum, 1106);
+        assert_eq!(view.max, 1000);
+        // Ranks: q=0.5 → rank 3 → value 2's bucket [2,3] → upper bound 3.
+        assert_eq!(view.quantile(0.5), 3);
+        // q=1.0 → the top bucket, clamped to the exact max.
+        assert_eq!(view.quantile(1.0), 1000);
+        assert!((view.mean() - 1106.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let view = Histogram::new().view();
+        assert_eq!(view.count, 0);
+        assert_eq!(view.quantile(0.5), 0);
+        assert_eq!(view.quantile(0.99), 0);
+        assert_eq!(view.mean(), 0.0);
+    }
+
+    /// Records `values` sharded across `threads` recording threads, each
+    /// into its own histogram, then merges the shards into one.
+    fn sharded(values: &[u64], threads: usize) -> HistogramView {
+        let shards: Vec<Histogram> = (0..threads).map(|_| Histogram::new()).collect();
+        std::thread::scope(|scope| {
+            for (t, shard) in shards.iter().enumerate() {
+                scope.spawn(move || {
+                    for &v in values.iter().skip(t).step_by(threads) {
+                        shard.record(v);
+                    }
+                });
+            }
+        });
+        let merged = Histogram::new();
+        for shard in &shards {
+            merged.merge_from(shard);
+        }
+        merged.view()
+    }
+
+    #[test]
+    fn merge_is_associative_across_1_2_8_threads() {
+        let values: Vec<u64> = (0..10_000u64)
+            .map(|i| i.wrapping_mul(2654435761) >> 20)
+            .collect();
+        let one = sharded(&values, 1);
+        let two = sharded(&values, 2);
+        let eight = sharded(&values, 8);
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+        assert_eq!(one.count, values.len() as u64);
+        assert_eq!(one.sum, values.iter().sum::<u64>());
+        assert_eq!(one.max, *values.iter().max().unwrap());
+        // Merge order doesn't matter either: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for (i, &v) in values.iter().enumerate() {
+            [&a, &b, &c][i % 3].record(v);
+        }
+        let left = Histogram::new();
+        left.merge_from(&a);
+        left.merge_from(&b);
+        left.merge_from(&c);
+        let right = Histogram::new();
+        right.merge_from(&c);
+        right.merge_from(&b);
+        right.merge_from(&a);
+        assert_eq!(left.view(), right.view());
+        assert_eq!(left.view(), one);
+    }
+}

@@ -1,0 +1,55 @@
+//! # frr-obs
+//!
+//! A zero-dependency (std-only) telemetry layer for the fastreroute
+//! workspace: what the long-running service and the multi-hour batch sweeps
+//! are doing *right now* — queue depth, epoch age, recompile latency,
+//! masks/sec — instead of only end-state results.
+//!
+//! Four primitives and a directory:
+//!
+//! * [`Counter`] — a monotone atomic `u64` (events, masks swept, drops),
+//! * [`Gauge`] — a settable atomic `i64` level (queue depth, degraded
+//!   destinations, current epoch),
+//! * [`Histogram`] — fixed log₂-bucket distribution with lock-free
+//!   recording, an exact atomic max, and a **deterministic, associative
+//!   merge** (bucket-wise addition), the source of every `p50/p90/p99/max`
+//!   this workspace reports,
+//! * [`Span`] — an RAII wall-clock timer that records its elapsed
+//!   nanoseconds into a histogram on drop,
+//! * [`Registry`] — a process-wide directory of named metrics rendering to a
+//!   stable JSON snapshot ([`MetricsSnapshot::to_json`]) and a
+//!   human-readable table ([`MetricsSnapshot::to_table`]).
+//!
+//! # The no-perturbation rule
+//!
+//! Telemetry must never change what it observes:
+//!
+//! * **Recording never allocates on the hot path.**  Handles are `Arc`s to
+//!   preallocated atomics; [`Counter::inc`], [`Gauge::set`] and
+//!   [`Histogram::record`] are a handful of relaxed atomic instructions.
+//!   Allocation happens only at registration time (cold).
+//! * **Wall-clock values live only in telemetry.**  Spans and latency
+//!   histograms hold `Instant` deltas, but nothing from this crate may flow
+//!   into a replay digest, a ledger, or any other deterministic output —
+//!   the serve crate's differential suite pins byte-identical digests with
+//!   telemetry enabled and disabled.
+//! * **The noop recorder compiles the layer out.**  [`Registry::noop`]
+//!   hands out detached handles that are never rendered; instrumented code
+//!   is written once against the same API and the differential tests run it
+//!   both ways.
+
+// Library code must surface failures as typed errors or documented panics
+// (`expect` with a message), never a bare `unwrap`; stdout belongs to the
+// bins — telemetry output flows through the registry's render methods.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(not(test), warn(clippy::print_stdout))]
+
+mod hist;
+mod metric;
+mod registry;
+mod span;
+
+pub use hist::{Histogram, HistogramView, BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::{global, MetricsSnapshot, Registry};
+pub use span::Span;

@@ -1,0 +1,122 @@
+//! The scalar metrics: monotone counters and settable gauges.
+//!
+//! Both are cheap cloneable handles (`Arc` to one atomic); every clone
+//! observes and mutates the same underlying cell, which is how one metric is
+//! shared between the instrumented code and the registry that renders it.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+///
+/// All operations are single relaxed atomic instructions — safe on any hot
+/// path, never a lock, never an allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not registered anywhere).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// `true` when `other` is a handle to the same underlying cell.
+    #[cfg(test)]
+    pub(crate) fn same_cell(&self, other: &Counter) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// An instantaneous level: queue depth, degraded-destination count, current
+/// epoch.  Signed so transient decrements below an unsynchronized zero read
+/// cannot wrap to 2⁶⁴.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_clones_share_the_cell() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let d = c.clone();
+        d.inc();
+        assert_eq!(c.get(), 6);
+        assert!(c.same_cell(&d));
+        assert!(!c.same_cell(&Counter::new()));
+    }
+
+    #[test]
+    fn gauge_sets_and_survives_negative_excursions() {
+        let g = Gauge::new();
+        g.set(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+        g.set(0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn counters_are_exact_under_contention() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,450 @@
+//! The process-wide metric directory.
+//!
+//! A [`Registry`] maps stable dotted names (`"serve.queue.dropped"`,
+//! `"sweep.masks"`) to shared metric handles.  Handles are created cold
+//! (get-or-create takes a lock and may allocate) and then recorded into hot
+//! (lock-free, see [`crate::Counter`] / [`crate::Histogram`]).
+//!
+//! Two flavors exist behind one type:
+//!
+//! * an **active** registry ([`Registry::new`] or the process-wide
+//!   [`global()`]) retains every handle it vends and renders them via
+//!   [`Registry::snapshot`];
+//! * the **noop** registry ([`Registry::noop`]) vends detached handles that
+//!   are never retained or rendered — instrumented code is identical either
+//!   way, which is what the serve crate's differential tests exploit.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::sync::{Mutex, OnceLock};
+
+use crate::{Counter, Gauge, Histogram, HistogramView};
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A directory of named metrics (see module docs).  Cloning is cheap and
+/// clones address the same directory.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Arc<RegistryInner>>,
+}
+
+impl Registry {
+    /// A fresh active registry.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(RegistryInner::default())),
+        }
+    }
+
+    /// The noop registry: vends detached handles, renders nothing.
+    pub fn noop() -> Self {
+        Registry { inner: None }
+    }
+
+    /// `true` when this registry discards everything recorded through it.
+    pub fn is_noop(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    fn poisoned() -> ! {
+        // A poisoned metrics mutex means a panic mid-BTreeMap-insert; the
+        // map may be inconsistent, and telemetry must not limp on silently.
+        panic!("frr-obs registry lock poisoned")
+    }
+
+    /// Returns the counter registered under `name`, creating it if needed.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::new(),
+            Some(inner) => inner
+                .counters
+                .lock()
+                .unwrap_or_else(|_| Self::poisoned())
+                .entry(name.to_owned())
+                .or_default()
+                .clone(),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it if needed.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            None => Gauge::new(),
+            Some(inner) => inner
+                .gauges
+                .lock()
+                .unwrap_or_else(|_| Self::poisoned())
+                .entry(name.to_owned())
+                .or_default()
+                .clone(),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it if needed.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            None => Histogram::new(),
+            Some(inner) => inner
+                .histograms
+                .lock()
+                .unwrap_or_else(|_| Self::poisoned())
+                .entry(name.to_owned())
+                .or_default()
+                .clone(),
+        }
+    }
+
+    /// Registers an existing histogram handle under `name`, so a component
+    /// that owns a local histogram (e.g. replay's driver-latency histogram)
+    /// can expose it without double recording.  If `name` already maps to a
+    /// *different* histogram, the existing one absorbs `hist`'s distribution
+    /// instead of being replaced, so no recorded data is lost.
+    pub fn adopt_histogram(&self, name: &str, hist: &Histogram) {
+        let Some(inner) = &self.inner else { return };
+        let mut map = inner.histograms.lock().unwrap_or_else(|_| Self::poisoned());
+        match map.get(name) {
+            None => {
+                map.insert(name.to_owned(), hist.clone());
+            }
+            Some(existing) if existing.same_cell(hist) => {}
+            Some(existing) => existing.merge_from(hist),
+        }
+    }
+
+    /// Folds counted values into named counters in one cold call — the flush
+    /// path for engines that accumulate plain (non-atomic) `u64` statistics
+    /// on their hot loops.
+    pub fn add_counts<'a>(&self, counts: impl IntoIterator<Item = (&'a str, u64)>) {
+        if self.inner.is_none() {
+            return;
+        }
+        for (name, n) in counts {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .unwrap_or_else(|_| Self::poisoned())
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .unwrap_or_else(|_| Self::poisoned())
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .unwrap_or_else(|_| Self::poisoned())
+            .iter()
+            .map(|(name, h)| (name.clone(), h.view()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// The process-wide registry.  Always active; code that must be able to run
+/// telemetry-free should take a [`Registry`] parameter instead and let the
+/// caller choose between a clone of this and [`Registry::noop`].
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// An immutable, name-sorted copy of a registry's metrics, renderable as
+/// stable JSON or a human-readable table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, view)` pairs, ascending by name.
+    pub histograms: Vec<(String, HistogramView)>,
+}
+
+/// Escapes a metric name for embedding in a JSON string literal.  Names are
+/// dotted ASCII identifiers by convention, so this only has to be correct,
+/// not fast.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as one stable JSON object:
+    ///
+    /// ```json
+    /// {"counters":{"a.b":1},
+    ///  "gauges":{"c.d":-2},
+    ///  "histograms":{"e.f":{"count":3,"sum":10,"max":7,
+    ///                       "p50":3,"p90":7,"p99":7,
+    ///                       "buckets":[[1,1],[3,1],[7,1]]}}}
+    /// ```
+    ///
+    /// Keys are sorted, empty buckets are omitted (`[le, count]` pairs where
+    /// `le` is the bucket's inclusive upper bound), and the same registry
+    /// state always renders to the same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(name), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, view)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                json_escape(name),
+                view.count,
+                view.sum,
+                view.max,
+                view.quantile(0.50),
+                view.quantile(0.90),
+                view.quantile(0.99),
+            ));
+            let mut first = true;
+            for (idx, &c) in view.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let le = if idx >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << idx) - 1
+                };
+                out.push_str(&format!("[{le},{c}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot as an aligned human-readable table, one metric
+    /// per line, empty string when nothing is registered.
+    pub fn to_table(&self) -> String {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter  {name:<width$}  {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge    {name:<width$}  {v}\n"));
+        }
+        for (name, view) in &self.histograms {
+            out.push_str(&format!(
+                "hist     {name:<width$}  count={} p50={} p90={} p99={} max={}\n",
+                view.count,
+                view.quantile(0.50),
+                view.quantile(0.90),
+                view.quantile(0.99),
+                view.max,
+            ));
+        }
+        out
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram view by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramView> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_cell() {
+        let reg = Registry::new();
+        assert!(!reg.is_noop());
+        let a = reg.counter("serve.queue.enqueued");
+        let b = reg.counter("serve.queue.enqueued");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        let g = reg.gauge("serve.fresh");
+        g.set(7);
+        assert_eq!(reg.gauge("serve.fresh").get(), 7);
+        let h = reg.histogram("serve.latency");
+        h.record(42);
+        assert_eq!(reg.histogram("serve.latency").view().count, 1);
+    }
+
+    #[test]
+    fn noop_hands_out_detached_handles_and_renders_nothing() {
+        let reg = Registry::noop();
+        assert!(reg.is_noop());
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 0, "noop handles must not share state");
+        reg.gauge("y").set(9);
+        reg.histogram("z").record(1);
+        reg.adopt_histogram("w", &Histogram::new());
+        reg.add_counts([("x", 5)]);
+        let snap = reg.snapshot();
+        assert_eq!(snap, MetricsSnapshot::default());
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+        assert_eq!(snap.to_table(), "");
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_stable() {
+        let reg = Registry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").add(1);
+        reg.gauge("level").set(-3);
+        let h = reg.histogram("lat");
+        h.record(0);
+        h.record(1);
+        h.record(5);
+        let json = reg.snapshot().to_json();
+        assert_eq!(
+            json,
+            concat!(
+                "{\"counters\":{\"a.first\":1,\"b.second\":2},",
+                "\"gauges\":{\"level\":-3},",
+                "\"histograms\":{\"lat\":{\"count\":3,\"sum\":6,\"max\":5,",
+                "\"p50\":1,\"p90\":5,\"p99\":5,",
+                "\"buckets\":[[0,1],[1,1],[7,1]]}}}"
+            )
+        );
+        // Re-rendering the same state yields the same bytes.
+        assert_eq!(reg.snapshot().to_json(), json);
+        // Lookup helpers agree with the render.
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.first"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("level"), Some(-3));
+        assert_eq!(snap.histogram("lat").map(|v| v.count), Some(3));
+    }
+
+    #[test]
+    fn adopt_histogram_shares_then_merges() {
+        let reg = Registry::new();
+        let local = Histogram::new();
+        local.record(10);
+        reg.adopt_histogram("replay.latency", &local);
+        // Adopted: registry sees everything recorded later.
+        local.record(20);
+        assert_eq!(
+            reg.snapshot().histogram("replay.latency").map(|v| v.count),
+            Some(2)
+        );
+        // Adopting the same cell again is a no-op.
+        reg.adopt_histogram("replay.latency", &local);
+        assert_eq!(
+            reg.snapshot().histogram("replay.latency").map(|v| v.count),
+            Some(2)
+        );
+        // A different histogram under the same name is absorbed, not dropped.
+        let other = Histogram::new();
+        other.record(30);
+        reg.adopt_histogram("replay.latency", &other);
+        assert_eq!(
+            reg.snapshot().histogram("replay.latency").map(|v| v.count),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn add_counts_flushes_in_one_call() {
+        let reg = Registry::new();
+        reg.add_counts([("sweep.masks", 100u64), ("sweep.bridge_tests", 7)]);
+        reg.add_counts([("sweep.masks", 11)]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sweep.masks"), Some(111));
+        assert_eq!(snap.counter("sweep.bridge_tests"), Some(7));
+    }
+
+    #[test]
+    fn table_renders_one_line_per_metric() {
+        let reg = Registry::new();
+        reg.counter("c").add(1);
+        reg.gauge("gg").set(2);
+        reg.histogram("hhh").record(3);
+        let table = reg.snapshot().to_table();
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("counter  c  "));
+        assert!(table.contains("gauge    gg "));
+        assert!(table.contains("count=1 p50=3 p90=3 p99=3 max=3"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let c = global().counter("obs.test.global");
+        c.add(3);
+        assert_eq!(global().snapshot().counter("obs.test.global"), Some(3));
+    }
+}

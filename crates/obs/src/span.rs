@@ -1,0 +1,77 @@
+//! RAII wall-clock spans.
+//!
+//! A [`Span`] captures an `Instant` on construction and records the elapsed
+//! nanoseconds into its histogram when dropped, so instrumented scopes cannot
+//! forget to stop the timer on early return or unwind.  The recorded value is
+//! wall-clock and therefore nondeterministic — spans exist only in telemetry
+//! and must never feed a digest or ledger (see the crate-level
+//! no-perturbation rule).
+
+use std::time::Instant;
+
+use crate::Histogram;
+
+/// A timer recording its scope's elapsed nanoseconds into a histogram on
+/// drop.  Construct via [`Span::start`] or [`Histogram::time`].
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    started: Instant,
+}
+
+impl Span {
+    /// Starts timing now; the handle records into `hist` when dropped.
+    pub fn start(hist: &Histogram) -> Self {
+        Span {
+            hist: hist.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed so far (saturating), without stopping the span.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_exactly_once_on_drop() {
+        let h = Histogram::new();
+        {
+            let _span = h.time();
+            std::thread::yield_now();
+        }
+        let view = h.view();
+        assert_eq!(view.count, 1);
+
+        // Early return / unwind still records: drop runs during panic unwind.
+        let caught = std::panic::catch_unwind(|| {
+            let _span = Span::start(&h);
+            panic!("boom");
+        });
+        assert!(caught.is_err());
+        assert_eq!(h.view().count, 2);
+    }
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let h = Histogram::new();
+        let span = h.time();
+        let a = span.elapsed_ns();
+        std::thread::yield_now();
+        let b = span.elapsed_ns();
+        assert!(b >= a);
+        drop(span);
+        assert!(h.view().max >= b);
+    }
+}

@@ -166,6 +166,65 @@ pub struct SweepEngine<'g> {
     visit_a: Vec<u64>,
     visit_b: Vec<u64>,
     visit_c: Vec<u64>,
+    /// Hot-loop work counters — plain `u64`s, not atomics, so the sweep
+    /// loops pay one register increment; flushed to a registry only on cold
+    /// paths (see [`SweepStats`]).
+    stats: SweepStats,
+}
+
+/// What one [`SweepEngine`] did: overlay installs, incremental patches and
+/// the simulator queries run against them.
+///
+/// Counters are plain `u64` fields incremented inline — telemetry here must
+/// not put atomics in loops that examine millions of masks per second.  The
+/// sweep drivers flush per-worker tallies to the process-wide
+/// [`frr_obs::global`] registry when a worker retires (cold), under these
+/// names: `sweep.masks_loaded`, `sweep.edges_toggled`, `sweep.bridge_tests`,
+/// `sweep.bridges_found`, `sweep.component_merges`, `sweep.routes`,
+/// `sweep.tours`, plus the driver-level `sweep.masks_swept`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Full overlay installs ([`SweepEngine::load_mask`]).
+    pub masks_loaded: u64,
+    /// Incremental overlay patches ([`SweepEngine::toggle_edge`]).
+    pub edges_toggled: u64,
+    /// Early-exit alive-BFS bridge tests run by edge-failure toggles.
+    pub bridge_tests: u64,
+    /// Bridge tests that found a bridge (component actually split).
+    pub bridges_found: u64,
+    /// Edge revivals that merged two components.
+    pub component_merges: u64,
+    /// Routing simulations (`route_outcome` + `route_outcome_compiled`).
+    pub routes: u64,
+    /// Touring simulations (`tour_covers` + `tour_covers_compiled`).
+    pub tours: u64,
+}
+
+impl SweepStats {
+    /// Folds `other` into `self` (plain addition; used by worker merges).
+    pub fn accumulate(&mut self, other: &SweepStats) {
+        self.masks_loaded += other.masks_loaded;
+        self.edges_toggled += other.edges_toggled;
+        self.bridge_tests += other.bridge_tests;
+        self.bridges_found += other.bridges_found;
+        self.component_merges += other.component_merges;
+        self.routes += other.routes;
+        self.tours += other.tours;
+    }
+
+    /// Adds the tallies to `registry` under the `sweep.*` counter names.
+    /// One registry interaction per flush — call from cold paths only.
+    pub fn flush_to(&self, registry: &frr_obs::Registry) {
+        registry.add_counts([
+            ("sweep.masks_loaded", self.masks_loaded),
+            ("sweep.edges_toggled", self.edges_toggled),
+            ("sweep.bridge_tests", self.bridge_tests),
+            ("sweep.bridges_found", self.bridges_found),
+            ("sweep.component_merges", self.component_merges),
+            ("sweep.routes", self.routes),
+            ("sweep.tours", self.tours),
+        ]);
+    }
 }
 
 impl<'g> SweepEngine<'g> {
@@ -206,9 +265,22 @@ impl<'g> SweepEngine<'g> {
             visit_a: vec![0; words],
             visit_b: vec![0; words],
             visit_c: vec![0; words],
+            stats: SweepStats::default(),
             bits,
             edges,
         }
+    }
+
+    /// The engine's work counters since construction (or the last
+    /// [`SweepEngine::take_stats`]).
+    pub fn stats(&self) -> SweepStats {
+        self.stats
+    }
+
+    /// Returns the work counters and resets them to zero — the flush
+    /// handshake for drivers that tally per-worker engines.
+    pub fn take_stats(&mut self) -> SweepStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// The graph the engine sweeps.
@@ -254,6 +326,7 @@ impl<'g> SweepEngine<'g> {
     /// allocation-free in steady state.  Accepts any mask shape via
     /// [`IntoMaskRef`] — pass `&mask` for a historical `u64` mask.
     pub fn load_mask<'m>(&mut self, mask: impl IntoMaskRef<'m>) {
+        self.stats.masks_loaded += 1;
         let mask = mask.into_mask_ref();
         // Reset the scratch of the previous mask.
         for &v in &self.touched {
@@ -296,6 +369,7 @@ impl<'g> SweepEngine<'g> {
     /// (asserted by the differential suite), at a fraction of the cost for
     /// Gray-code mask sequences.
     pub fn toggle_edge(&mut self, edge_index: usize) {
+        self.stats.edges_toggled += 1;
         let e = self.edges[edge_index];
         let (u, v) = (e.u().index(), e.v().index());
         let (pu, pv) = self.edge_local[edge_index];
@@ -408,6 +482,7 @@ impl<'g> SweepEngine<'g> {
     /// component beforehand): early-exit alive-BFS from `u` towards `v`; if
     /// `v` is unreachable, `u`'s side becomes a fresh component.
     fn split_components(&mut self, u: usize, v: usize) {
+        self.stats.bridge_tests += 1;
         debug_assert_eq!(self.comp_id[u], self.comp_id[v]);
         let words = self.words;
         self.visit_a.fill(0);
@@ -443,6 +518,7 @@ impl<'g> SweepEngine<'g> {
         }
         // Bridge: visit_a holds u's side.  Give it a fresh (possibly
         // recycled) id and shrink the old component.
+        self.stats.bridges_found += 1;
         let old = self.comp_id[u] as usize;
         let id = match self.free_comp.pop() {
             Some(id) => id,
@@ -467,6 +543,7 @@ impl<'g> SweepEngine<'g> {
         if keep == dead {
             return;
         }
+        self.stats.component_merges += 1;
         for id in self.comp_id.iter_mut() {
             if *id == dead {
                 *id = keep;
@@ -503,6 +580,7 @@ impl<'g> SweepEngine<'g> {
         destination: Node,
         max_hops: usize,
     ) -> Outcome {
+        self.stats.routes += 1;
         if source == destination {
             return Outcome::Delivered;
         }
@@ -551,6 +629,7 @@ impl<'g> SweepEngine<'g> {
         start: Node,
         max_hops: usize,
     ) -> bool {
+        self.stats.tours += 1;
         // Track how many component members remain unvisited; visit_a doubles
         // as the visited-node bitset.
         let mut remaining = self.component_size(start) - 1;
@@ -638,6 +717,7 @@ impl<'g> SweepEngine<'g> {
         destination: Node,
         max_hops: usize,
     ) -> Outcome {
+        self.stats.routes += 1;
         debug_assert!(cp.matches_shape(self.n, self.edges.len()));
         if source == destination {
             return Outcome::Delivered;
@@ -676,6 +756,7 @@ impl<'g> SweepEngine<'g> {
         start: Node,
         max_hops: usize,
     ) -> bool {
+        self.stats.tours += 1;
         debug_assert!(cp.matches_shape(self.n, self.edges.len()));
         let mut remaining = self.component_size(start) - 1;
         if remaining == 0 {
@@ -1077,6 +1158,8 @@ where
     struct SweepState<'g> {
         engine: SweepEngine<'g>,
         masks: GrayMasks,
+        /// Where this worker's engine tallies land when it retires.
+        stats_sink: &'g frr_obs::Registry,
         /// Number of masks emitted so far (the enumerator sits on position
         /// `pos - 1`).
         pos: u64,
@@ -1087,7 +1170,16 @@ where
         /// so this is also the largest weight this worker has reached).
         weight: usize,
     }
+    impl Drop for SweepState<'_> {
+        // Flush on drop so every exit — hit, exhaustion, early abort, probe
+        // panic — still accounts the worker's sweep work.  One registry
+        // interaction per worker lifetime: cold by construction.
+        fn drop(&mut self) {
+            self.engine.take_stats().flush_to(self.stats_sink);
+        }
+    }
     let max_weight = AtomicU64::new(0);
+    let registry = frr_obs::global();
     let outcome = sharded_first_controlled(
         total,
         min_chunk,
@@ -1096,6 +1188,7 @@ where
         || SweepState {
             engine: SweepEngine::new(g),
             masks: GrayMasks::with_max_failures(m, cap),
+            stats_sink: registry,
             pos: 0,
             synced: false,
             weight: 0,
@@ -1142,6 +1235,7 @@ where
         None if clipped => SweepEnd::Stopped(StopCause::WorkBudget),
         None => SweepEnd::Exhausted,
     };
+    registry.counter("sweep.masks_swept").add(outcome.probes);
     SweepReport {
         end,
         masks_examined: outcome.probes,
@@ -1217,6 +1311,60 @@ mod tests {
         assert!(!engine.same_component(Node(1), Node(4)));
         assert_eq!(engine.component_size(Node(1)), 3);
         assert_eq!(engine.component_size(Node(0)), 3);
+    }
+
+    #[test]
+    fn sweep_stats_count_engine_work() {
+        // cycle(5) edges ascend: {0,1},{0,4},{1,2},{2,3},{3,4}.
+        let g = generators::cycle(5);
+        let mut engine = SweepEngine::new(&g);
+        assert_eq!(engine.stats(), SweepStats::default());
+        engine.load_mask(&0u64);
+        // Failing {0,1} leaves the cycle connected: a bridge test, no split.
+        engine.toggle_edge(0);
+        // Failing {0,4} too isolates node 0: this one splits.
+        engine.toggle_edge(1);
+        // Reviving {0,1} merges the components back.
+        engine.toggle_edge(0);
+        let stats = engine.take_stats();
+        assert_eq!(stats.masks_loaded, 1);
+        assert_eq!(stats.edges_toggled, 3);
+        assert_eq!(stats.bridge_tests, 2);
+        assert_eq!(stats.bridges_found, 1);
+        assert_eq!(stats.component_merges, 1);
+        // take_stats resets; accumulate folds.
+        assert_eq!(engine.stats(), SweepStats::default());
+        let mut total = SweepStats::default();
+        total.accumulate(&stats);
+        total.accumulate(&stats);
+        assert_eq!(total.edges_toggled, 6);
+        // Flushing lands under the sweep.* counter names.
+        let reg = frr_obs::Registry::new();
+        stats.flush_to(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sweep.edges_toggled"), Some(3));
+        assert_eq!(snap.counter("sweep.bridge_tests"), Some(2));
+    }
+
+    #[test]
+    fn budgeted_sweep_flushes_worker_stats_globally() {
+        let g = generators::cycle(6);
+        let before = frr_obs::global()
+            .snapshot()
+            .counter("sweep.masks_swept")
+            .unwrap_or(0);
+        let report = sweep_find_first_budgeted(&g, Some(2), None, &StopSignal::none(), |_| {
+            Option::<()>::None
+        });
+        assert_eq!(report.end, SweepEnd::Exhausted);
+        let after = frr_obs::global()
+            .snapshot()
+            .counter("sweep.masks_swept")
+            .unwrap_or(0);
+        // Sibling tests may sweep concurrently (shared global registry), so
+        // only a lower bound is assertable.
+        assert!(report.masks_examined > 0);
+        assert!(after - before >= report.masks_examined);
     }
 
     #[test]

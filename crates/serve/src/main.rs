@@ -9,26 +9,35 @@
 //!
 //! ```text
 //! frr-serve replay [--count N] [--threads T] [--deadline-secs S] [--work-budget W]
-//!                  [--topology NAME] [--seed S] [--batch B] [--queries-per-epoch Q]
-//!                  [--inject KIND@POS]... [--malformed-every K] [--hammer N]
-//!                  [--resilience-r R] [--json-name NAME] [--no-json]
+//!                  [--metrics] [--topology NAME] [--seed S] [--batch B]
+//!                  [--queries-per-epoch Q] [--inject KIND@POS]...
+//!                  [--malformed-every K] [--hammer N] [--resilience-r R]
+//!                  [--json-name NAME] [--no-json]
+//! frr-serve metrics [--count N] [--threads T] [--topology NAME] [--seed S] [--json]
 //! ```
 //!
 //! `--count` is the number of churn events (the bin's natural instance
 //! count); `--deadline-secs` becomes the per-attempt rebuild deadline;
 //! `--work-budget` caps each `is_r_resilient` probe; `--threads` pins the
-//! recompile pool.  An unknown flag or malformed value prints a one-line
-//! usage error to stderr and exits with status 2.
+//! recompile pool.  `--metrics` wires the service to the process-wide
+//! telemetry registry: the replay prints a live metrics table every few
+//! batches, embeds the snapshot in the JSON artifact and renders the final
+//! table.  The `metrics` subcommand runs a short wired replay and prints
+//! just the registry (table by default, stable JSON with `--json`).  An
+//! unknown flag or malformed value prints a one-line usage error to stderr
+//! and exits with status 2.
 
 use frr_serve::event::HostileKind;
-use frr_serve::replay::{bench_results_dir, replay, ReplayConfig};
+use frr_serve::replay::{bench_results_dir, replay_with_observer, ReplayConfig};
 use frr_topologies::builtin_topologies;
 
 fn usage() -> String {
     format!(
         "{} [--topology NAME] [--seed S] [--batch B] [--queries-per-epoch Q] \
          [--inject KIND@POS] [--malformed-every K] [--hammer N] [--resilience-r R] \
-         [--json-name NAME] [--no-json]",
+         [--json-name NAME] [--no-json]\n\
+         usage: frr-serve metrics [--count N] [--threads T] [--topology NAME] \
+         [--seed S] [--json]",
         frr_bench::experiment_usage("frr-serve replay")
     )
 }
@@ -54,6 +63,7 @@ fn run_replay(args: impl Iterator<Item = String>) {
         events: shared.count,
         threads: shared.threads,
         deadline_secs: shared.deadline_secs,
+        metrics: shared.metrics,
         ..ReplayConfig::default()
     };
     if let Some(work) = shared.work_budget {
@@ -150,7 +160,11 @@ fn run_replay(args: impl Iterator<Item = String>) {
     }
 
     let catalog = builtin_topologies();
-    let outcome = match replay(&catalog, &cfg) {
+    let observer = |batches: usize, snapshot: &frr_obs::MetricsSnapshot| {
+        println!("--- metrics after {batches} batches ---");
+        print!("{}", snapshot.to_table());
+    };
+    let outcome = match replay_with_observer(&catalog, &cfg, observer) {
         Ok(outcome) => outcome,
         Err(error) => fail(format_args!("frr-serve replay: {error}")),
     };
@@ -178,9 +192,25 @@ fn run_replay(args: impl Iterator<Item = String>) {
         "queue: {} enqueued, {} coalesced, {} dropped-oldest",
         outcome.queue.enqueued, outcome.queue.coalesced, outcome.queue.dropped
     );
+    if outcome.queue.lossy() {
+        eprintln!(
+            "warning: ingest queue lost information — {} coalesced, {} dropped \
+             ({} link, {} control); raise --batch or slow the trace to keep every event",
+            outcome.queue.coalesced,
+            outcome.queue.dropped,
+            outcome.queue.dropped_link,
+            outcome.queue.dropped_control,
+        );
+    }
     println!(
-        "latency: p50 {} ns, p99 {} ns; {:.1} epochs/sec; final digest {:#018x}",
-        outcome.p50_ns, outcome.p99_ns, outcome.epochs_per_sec, outcome.final_digest
+        "latency: p50 {} ns, p90 {} ns, p99 {} ns, max {} ns; {:.1} epochs/sec; \
+         final digest {:#018x}",
+        outcome.p50_ns,
+        outcome.p90_ns,
+        outcome.p99_ns,
+        outcome.max_ns,
+        outcome.epochs_per_sec,
+        outcome.final_digest
     );
     if outcome.degraded_final.is_empty() {
         println!("final snapshot: all destinations fresh");
@@ -199,6 +229,74 @@ fn run_replay(args: impl Iterator<Item = String>) {
             )),
         }
     }
+    if let Some(metrics) = &outcome.metrics {
+        println!();
+        println!("=== telemetry (process-wide registry) ===");
+        print!("{}", metrics.to_table());
+    }
+}
+
+/// `frr-serve metrics` — runs a short wired replay and prints only the
+/// resulting registry snapshot: the aligned table by default, the stable
+/// JSON document with `--json`.
+fn run_metrics(args: impl Iterator<Item = String>) {
+    let (shared, extras) =
+        match frr_bench::parse_experiment_args_with_extras("frr-serve metrics", 24, args) {
+            Ok(parsed) => parsed,
+            Err(message) => fail(format_args!("{message}\n{}", usage())),
+        };
+    let mut cfg = ReplayConfig {
+        events: shared.count,
+        threads: shared.threads,
+        deadline_secs: shared.deadline_secs,
+        metrics: true,
+        ..ReplayConfig::default()
+    };
+    let mut as_json = false;
+    let mut extras = extras.into_iter();
+    while let Some(arg) = extras.next() {
+        match arg.as_str() {
+            "--topology" => {
+                cfg.topology = extras.next().unwrap_or_else(|| {
+                    fail(format_args!(
+                        "frr-serve metrics: --topology needs a topology name\n{}",
+                        usage()
+                    ))
+                })
+            }
+            "--seed" => {
+                let v = extras.next().unwrap_or_else(|| {
+                    fail(format_args!(
+                        "frr-serve metrics: --seed needs a number\n{}",
+                        usage()
+                    ))
+                });
+                cfg.seed = v.parse().unwrap_or_else(|_| {
+                    fail(format_args!(
+                        "frr-serve metrics: --seed needs a number, got {v:?}\n{}",
+                        usage()
+                    ))
+                });
+            }
+            "--json" => as_json = true,
+            other => fail(format_args!(
+                "frr-serve metrics: unknown argument {other:?}\n{}",
+                usage()
+            )),
+        }
+    }
+    let outcome = match replay_with_observer(&builtin_topologies(), &cfg, |_, _| {}) {
+        Ok(outcome) => outcome,
+        Err(error) => fail(format_args!("frr-serve metrics: {error}")),
+    };
+    let metrics = outcome
+        .metrics
+        .expect("a wired replay always attaches its registry snapshot");
+    if as_json {
+        println!("{}", metrics.to_json());
+    } else {
+        print!("{}", metrics.to_table());
+    }
 }
 
 fn main() {
@@ -206,6 +304,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("replay") => run_replay(args),
+        Some("metrics") => run_metrics(args),
         Some("--help" | "-h" | "help") => println!("{}", usage()),
         Some(other) => fail(format_args!(
             "frr-serve: unknown subcommand {other:?}\n{}",

@@ -15,10 +15,16 @@
 //!    room.  Dropping the oldest (not the newest) keeps the queue converging
 //!    toward the *latest* intent of the event source.
 //!
-//! Both actions are counted ([`QueueStats`]) so degradation is visible in
-//! the replay report instead of silent.
+//! Both actions are counted per cause ([`QueueStats`]) so degradation is
+//! visible in the replay report instead of silent — a dropped *link* event
+//! loses topology intent (a later event for the same link may supersede it),
+//! while a dropped *control* event (load switch, fault injection) loses an
+//! operator action outright.  When wired to a registry
+//! ([`IngestQueue::with_registry`]) the same tallies stream to live
+//! `serve.queue.*` counters and a depth gauge.
 
 use crate::event::Event;
+use frr_obs::{Counter, Gauge, Registry};
 use std::collections::VecDeque;
 
 /// What happened to a pushed event.
@@ -40,8 +46,44 @@ pub struct QueueStats {
     pub enqueued: u64,
     /// Events merged into a queued event for the same link.
     pub coalesced: u64,
-    /// Queued events evicted to admit a newer one.
+    /// Queued events evicted to admit a newer one (all causes).
     pub dropped: u64,
+    /// Evicted events that were link up/down events — topology intent lost
+    /// (possibly superseded by a later event for the same link).
+    pub dropped_link: u64,
+    /// Evicted `Load`/`Inject` events — operator actions lost outright.
+    pub dropped_control: u64,
+}
+
+impl QueueStats {
+    /// `true` when the queue has ever coalesced or dropped an event — the
+    /// replay report prints its information-loss warning off this.
+    pub fn lossy(&self) -> bool {
+        self.coalesced > 0 || self.dropped > 0
+    }
+}
+
+/// Live registry handles mirroring [`QueueStats`].  Detached (noop) by
+/// default, so an unwired queue pays four dead atomic cells and nothing else.
+#[derive(Debug, Clone, Default)]
+struct QueueTelemetry {
+    enqueued: Counter,
+    coalesced: Counter,
+    dropped_link: Counter,
+    dropped_control: Counter,
+    depth: Gauge,
+}
+
+impl QueueTelemetry {
+    fn from_registry(registry: &Registry) -> Self {
+        QueueTelemetry {
+            enqueued: registry.counter("serve.queue.enqueued"),
+            coalesced: registry.counter("serve.queue.coalesced"),
+            dropped_link: registry.counter("serve.queue.dropped_link"),
+            dropped_control: registry.counter("serve.queue.dropped_control"),
+            depth: registry.gauge("serve.queue.depth"),
+        }
+    }
 }
 
 /// Bounded FIFO of control-plane events with the coalesce-on-overflow
@@ -51,16 +93,28 @@ pub struct IngestQueue {
     capacity: usize,
     items: VecDeque<Event>,
     stats: QueueStats,
+    telemetry: QueueTelemetry,
 }
 
 impl IngestQueue {
-    /// An empty queue holding at most `capacity` events (min 1).
+    /// An empty queue holding at most `capacity` events (min 1), without
+    /// live telemetry (the [`QueueStats`] counters still accumulate).
     pub fn new(capacity: usize) -> Self {
         IngestQueue {
             capacity: capacity.max(1),
             items: VecDeque::new(),
             stats: QueueStats::default(),
+            telemetry: QueueTelemetry::default(),
         }
+    }
+
+    /// [`IngestQueue::new`] plus live `serve.queue.*` counters and a depth
+    /// gauge in `registry`.  Pass [`Registry::noop`] to compile the
+    /// telemetry out (identical admission behavior either way).
+    pub fn with_registry(capacity: usize, registry: &Registry) -> Self {
+        let mut q = IngestQueue::new(capacity);
+        q.telemetry = QueueTelemetry::from_registry(registry);
+        q
     }
 
     /// Queued event count.
@@ -88,6 +142,8 @@ impl IngestQueue {
         if self.items.len() < self.capacity {
             self.items.push_back(event);
             self.stats.enqueued += 1;
+            self.telemetry.enqueued.inc();
+            self.telemetry.depth.set(self.items.len() as i64);
             return Admission::Enqueued;
         }
         // Full: last-writer-wins per link first, drop-oldest as the fallback.
@@ -99,19 +155,32 @@ impl IngestQueue {
             {
                 *slot = event;
                 self.stats.coalesced += 1;
+                self.telemetry.coalesced.inc();
                 return Admission::Coalesced;
             }
         }
-        self.items.pop_front();
+        let evicted = self.items.pop_front();
         self.items.push_back(event);
         self.stats.dropped += 1;
+        match evicted.and_then(|e| e.link_key()) {
+            Some(_) => {
+                self.stats.dropped_link += 1;
+                self.telemetry.dropped_link.inc();
+            }
+            None => {
+                self.stats.dropped_control += 1;
+                self.telemetry.dropped_control.inc();
+            }
+        }
         Admission::DroppedOldest
     }
 
     /// Removes and returns up to `max` events in arrival order.
     pub fn drain_batch(&mut self, max: usize) -> Vec<Event> {
         let take = max.min(self.items.len());
-        self.items.drain(..take).collect()
+        let batch = self.items.drain(..take).collect();
+        self.telemetry.depth.set(self.items.len() as i64);
+        batch
     }
 }
 
@@ -127,6 +196,7 @@ mod tests {
         assert_eq!(q.push(Event::up(0, 1)), Admission::Enqueued);
         assert_eq!(q.drain_batch(10), vec![Event::down(0, 1), Event::up(0, 1)]);
         assert!(q.is_empty());
+        assert!(!q.stats().lossy());
     }
 
     #[test]
@@ -140,6 +210,7 @@ mod tests {
         assert_eq!(q.drain_batch(10), vec![Event::up(0, 1), Event::down(2, 3)]);
         let stats = q.stats();
         assert_eq!((stats.enqueued, stats.coalesced, stats.dropped), (2, 1, 0));
+        assert!(stats.lossy());
     }
 
     #[test]
@@ -152,7 +223,12 @@ mod tests {
             q.drain_batch(10),
             vec![Event::down(2, 3), Event::down(4, 5)]
         );
-        assert_eq!(q.stats().dropped, 1);
+        let stats = q.stats();
+        assert_eq!(stats.dropped, 1);
+        // The evicted event was a link event.
+        assert_eq!(stats.dropped_link, 1);
+        assert_eq!(stats.dropped_control, 0);
+        assert!(stats.lossy());
     }
 
     #[test]
@@ -173,6 +249,10 @@ mod tests {
                 kind: HostileKind::WellBehaved
             }]
         );
+        // The evicted event was a control (inject) event.
+        let stats = q.stats();
+        assert_eq!(stats.dropped_link, 0);
+        assert_eq!(stats.dropped_control, 1);
     }
 
     #[test]
@@ -181,5 +261,27 @@ mod tests {
         q.push(Event::down(5, 2));
         assert_eq!(q.push(Event::up(2, 5)), Admission::Coalesced);
         assert_eq!(q.drain_batch(10), vec![Event::up(2, 5)]);
+    }
+
+    #[test]
+    fn registry_wiring_mirrors_stats_and_depth() {
+        let reg = Registry::new();
+        let mut q = IngestQueue::with_registry(2, &reg);
+        q.push(Event::down(0, 1));
+        q.push(Event::down(2, 3));
+        q.push(Event::up(0, 1)); // coalesce
+        q.push(Event::down(4, 5)); // drop-oldest (link event evicted)
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.queue.enqueued"), Some(2));
+        assert_eq!(snap.counter("serve.queue.coalesced"), Some(1));
+        assert_eq!(snap.counter("serve.queue.dropped_link"), Some(1));
+        assert_eq!(snap.counter("serve.queue.dropped_control"), Some(0));
+        assert_eq!(snap.gauge("serve.queue.depth"), Some(2));
+        q.drain_batch(1);
+        assert_eq!(reg.snapshot().gauge("serve.queue.depth"), Some(1));
+        // Noop wiring admits identically and renders nothing.
+        let mut silent = IngestQueue::with_registry(2, &Registry::noop());
+        assert_eq!(silent.push(Event::down(0, 1)), Admission::Enqueued);
+        assert!(Registry::noop().snapshot().counters.is_empty());
     }
 }

@@ -23,6 +23,7 @@ use crate::queue::QueueStats;
 use crate::service::{AnswerSource, PatternSpec, QueryError, RouteAnswer, Service, TableState};
 use crate::supervisor::SupervisorConfig;
 use frr_graph::{Edge, Graph, Node};
+use frr_obs::{MetricsSnapshot, Registry};
 use frr_routing::budget::RunBudget;
 use frr_routing::failure::FailureSet;
 use frr_topologies::Topology;
@@ -75,6 +76,11 @@ pub struct ReplayConfig {
     pub resilience_r: usize,
     /// Work budget (failure masks) for each resilience query.
     pub resilience_work: u64,
+    /// Wire the service to the process-wide metrics registry and attach the
+    /// registry snapshot to the outcome.  The differential replay test pins
+    /// that flipping this changes *only* telemetry — digests and ledgers
+    /// stay byte-identical.
+    pub metrics: bool,
 }
 
 impl Default for ReplayConfig {
@@ -95,6 +101,7 @@ impl Default for ReplayConfig {
             keep_ledger: false,
             resilience_r: 1,
             resilience_work: 256,
+            metrics: false,
         }
     }
 }
@@ -162,10 +169,14 @@ pub struct ReplayOutcome {
     pub hammer_queries: u64,
     /// Budgeted resilience queries issued.
     pub resilience_queries: usize,
-    /// Median driver-query latency.
+    /// Median driver-query latency (log₂-bucket upper bound, exact max).
     pub p50_ns: u64,
+    /// 90th-percentile driver-query latency.
+    pub p90_ns: u64,
     /// 99th-percentile driver-query latency.
     pub p99_ns: u64,
+    /// Slowest driver query (exact, from the histogram's atomic max).
+    pub max_ns: u64,
     /// Published snapshots per wall-clock second.
     pub epochs_per_sec: f64,
     /// Total wall-clock time.
@@ -174,6 +185,9 @@ pub struct ReplayOutcome {
     pub quarantined: u64,
     /// Ingest-queue counters.
     pub queue: QueueStats,
+    /// The process-wide registry snapshot at the end of the run (only when
+    /// [`ReplayConfig::metrics`] was set).
+    pub metrics: Option<MetricsSnapshot>,
     /// The per-query provenance ledger (empty unless `keep_ledger`).
     pub ledger: Vec<LedgerEntry>,
 }
@@ -226,14 +240,6 @@ fn splice_injections(mut trace: Vec<Event>, injections: &[(usize, HostileKind)])
     trace
 }
 
-fn percentile_ns(sorted: &[Duration], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
-    sorted[rank.min(sorted.len() - 1)].as_nanos() as u64
-}
-
 fn pairs(edges: impl IntoIterator<Item = Edge>) -> Vec<(usize, usize)> {
     edges
         .into_iter()
@@ -241,10 +247,27 @@ fn pairs(edges: impl IntoIterator<Item = Edge>) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Batches between two metrics-observer invocations (metrics runs only).
+const OBSERVE_EVERY_BATCHES: usize = 8;
+
 /// Runs one replay (see module docs).  Fails only on a config error (unknown
 /// topology); everything the trace throws at the service is survived by
 /// design.
 pub fn replay(catalog: &[Topology], cfg: &ReplayConfig) -> Result<ReplayOutcome, EventError> {
+    replay_with_observer(catalog, cfg, |_, _| {})
+}
+
+/// [`replay`] with a periodic metrics observer: when
+/// [`ReplayConfig::metrics`] is set, `observer(batches_done, &snapshot)` is
+/// called every [`OBSERVE_EVERY_BATCHES`] batches with a fresh registry
+/// snapshot (the CLI prints a live table off this).  The observer is never
+/// called on an unwired run, and observation cannot perturb the
+/// deterministic record — it only reads telemetry cells.
+pub fn replay_with_observer(
+    catalog: &[Topology],
+    cfg: &ReplayConfig,
+    mut observer: impl FnMut(usize, &MetricsSnapshot),
+) -> Result<ReplayOutcome, EventError> {
     let base = catalog
         .iter()
         .find(|t| t.name == cfg.topology)
@@ -263,16 +286,26 @@ pub fn replay(catalog: &[Topology], cfg: &ReplayConfig) -> Result<ReplayOutcome,
         backoff_base: Duration::from_millis(cfg.backoff_base_ms),
         ..SupervisorConfig::default()
     };
-    let mut service = Service::new(
+    // The whole difference between a wired and an unwired replay is which
+    // registry the handles point at; a detached histogram still records, so
+    // the latency summary below works identically either way.
+    let noop = Registry::noop();
+    let registry: &Registry = if cfg.metrics {
+        frr_obs::global()
+    } else {
+        &noop
+    };
+    let mut service = Service::with_registry(
         catalog.to_vec(),
         &cfg.topology,
         PatternSpec::ShortestPath,
         sup,
         (cfg.batch.max(1)) * 4,
+        registry,
     )?;
     let mut digests = vec![service.snapshot().digest()];
     let mut query_rng = StdRng::seed_from_u64(cfg.seed ^ 0x7175_6572_795f_3332);
-    let mut latencies: Vec<Duration> = Vec::new();
+    let query_ns = registry.histogram("serve.replay.query_ns");
     let mut ledger: Vec<LedgerEntry> = Vec::new();
     let mut queries = 0usize;
     let mut answered = 0usize;
@@ -342,7 +375,7 @@ pub fn replay(catalog: &[Topology], cfg: &ReplayConfig) -> Result<ReplayOutcome,
                 queries += 1;
                 let t0 = Instant::now();
                 let answer = snap.route(Node(s), Node(t), &failures);
-                latencies.push(t0.elapsed());
+                query_ns.record_duration(t0.elapsed());
                 answered += 1;
                 if cfg.keep_ledger {
                     let entry = &snap.entries[t];
@@ -365,6 +398,9 @@ pub fn replay(catalog: &[Topology], cfg: &ReplayConfig) -> Result<ReplayOutcome,
                 let budget = RunBudget::unlimited().with_work_budget(cfg.resilience_work);
                 let _ = snap.resilience(cfg.resilience_r, &budget);
             }
+            if cfg.metrics && (batch_idx + 1) % OBSERVE_EVERY_BATCHES == 0 {
+                observer(batch_idx + 1, &registry.snapshot());
+            }
         }
         stop.store(true, Ordering::Relaxed);
         for h in hammers {
@@ -374,7 +410,7 @@ pub fn replay(catalog: &[Topology], cfg: &ReplayConfig) -> Result<ReplayOutcome,
     });
     let elapsed = started.elapsed();
     let final_snapshot = service.snapshot();
-    latencies.sort();
+    let latency = query_ns.view();
     Ok(ReplayOutcome {
         topology: cfg.topology.clone(),
         threads: cfg.threads,
@@ -386,12 +422,15 @@ pub fn replay(catalog: &[Topology], cfg: &ReplayConfig) -> Result<ReplayOutcome,
         answered,
         hammer_queries: hammered.load(Ordering::Relaxed),
         resilience_queries,
-        p50_ns: percentile_ns(&latencies, 50.0),
-        p99_ns: percentile_ns(&latencies, 99.0),
+        p50_ns: latency.quantile(0.50),
+        p90_ns: latency.quantile(0.90),
+        p99_ns: latency.quantile(0.99),
+        max_ns: latency.max,
         epochs_per_sec: digests.len() as f64 / elapsed.as_secs_f64().max(1e-9),
         elapsed,
         quarantined: service.quarantined(),
         queue: service.queue_stats(),
+        metrics: cfg.metrics.then(|| registry.snapshot()),
         digests,
         ledger,
     })
@@ -416,14 +455,24 @@ pub fn bench_results_dir() -> PathBuf {
 
 impl ReplayOutcome {
     /// The one-object JSON document (schema documented in EXPERIMENTS.md).
+    /// The `metrics` key is present exactly when the run was wired
+    /// ([`ReplayConfig::metrics`]) and holds the registry snapshot in the
+    /// stable [`MetricsSnapshot::to_json`] schema.
     pub fn to_json(&self) -> String {
+        let metrics = self
+            .metrics
+            .as_ref()
+            .map(|m| format!(",\"metrics\":{}", m.to_json()))
+            .unwrap_or_default();
         format!(
             concat!(
                 "{{\"name\":\"frr_serve_replay\",\"topology\":\"{}\",\"threads\":{},",
                 "\"seed\":{},\"events\":{},\"epochs\":{},\"queries\":{},\"answered\":{},",
-                "\"hammer_queries\":{},\"resilience_queries\":{},\"p50_ns\":{},\"p99_ns\":{},",
+                "\"hammer_queries\":{},\"resilience_queries\":{},",
+                "\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{},",
                 "\"epochs_per_sec\":{:.2},\"elapsed_ms\":{},\"degraded\":{},\"quarantined\":{},",
-                "\"queue_coalesced\":{},\"queue_dropped\":{},\"final_digest\":\"{:#018x}\"}}\n"
+                "\"queue_coalesced\":{},\"queue_dropped\":{},\"queue_dropped_link\":{},",
+                "\"queue_dropped_control\":{},\"final_digest\":\"{:#018x}\"{}}}\n"
             ),
             self.topology.replace('\\', "\\\\").replace('"', "\\\""),
             self.threads,
@@ -435,14 +484,19 @@ impl ReplayOutcome {
             self.hammer_queries,
             self.resilience_queries,
             self.p50_ns,
+            self.p90_ns,
             self.p99_ns,
+            self.max_ns,
             self.epochs_per_sec,
             self.elapsed.as_millis(),
             self.degraded_final.len(),
             self.quarantined,
             self.queue.coalesced,
             self.queue.dropped,
+            self.queue.dropped_link,
+            self.queue.dropped_control,
             self.final_digest,
+            metrics,
         )
     }
 
@@ -554,6 +608,46 @@ mod tests {
         assert!(json.contains("\"name\":\"frr_serve_replay\""));
         assert!(json.contains("\"p50_ns\""));
         assert!(json.contains("\"epochs_per_sec\""));
+        // Unwired run: latency summary present, metrics section absent.
+        assert!(out.metrics.is_none());
+        assert!(!json.contains("\"metrics\""));
+        assert!(out.max_ns >= out.p99_ns);
+        assert!(out.p99_ns >= out.p90_ns && out.p90_ns >= out.p50_ns);
+        assert!(out.max_ns > 0, "queries ran, so the max latency is real");
+    }
+
+    #[test]
+    fn a_wired_replay_attaches_and_emits_the_metrics_snapshot() {
+        let cfg = ReplayConfig {
+            events: 20,
+            batch: 2,
+            queries_per_epoch: 2,
+            threads: 1,
+            seed: 9,
+            metrics: true,
+            ..ReplayConfig::default()
+        };
+        let mut observations = 0usize;
+        let out = replay_with_observer(&builtin_topologies(), &cfg, |batches, snap| {
+            observations += 1;
+            assert!(batches > 0);
+            assert!(snap.counter("serve.epoch.published").is_some());
+        })
+        .expect("Abilene exists");
+        // 10 batches at OBSERVE_EVERY_BATCHES=8 → exactly one observation.
+        assert_eq!(observations, 1);
+        let metrics = out.metrics.as_ref().expect("wired run keeps a snapshot");
+        // Lower bounds only: the global registry is shared with sibling
+        // tests in this process.
+        assert!(metrics.counter("serve.epoch.published").unwrap_or(0) >= 21);
+        assert!(metrics.counter("serve.queue.enqueued").unwrap_or(0) >= 20);
+        assert!(metrics.counter("serve.rebuild.attempts").unwrap_or(0) > 0);
+        assert!(metrics
+            .histogram("serve.replay.query_ns")
+            .is_some_and(|h| h.count > 0));
+        let json = out.to_json();
+        assert!(json.contains(",\"metrics\":{\"counters\":{"));
+        assert!(json.contains("serve.epoch.published"));
     }
 
     #[test]
@@ -566,13 +660,5 @@ mod tests {
             replay(&builtin_topologies(), &cfg),
             Err(EventError::UnknownTopology { .. })
         ));
-    }
-
-    #[test]
-    fn percentiles_use_nearest_rank() {
-        let ms: Vec<Duration> = (1..=100).map(Duration::from_nanos).collect();
-        assert_eq!(percentile_ns(&ms, 50.0), 50);
-        assert_eq!(percentile_ns(&ms, 99.0), 99);
-        assert_eq!(percentile_ns(&[], 99.0), 0);
     }
 }

@@ -40,6 +40,7 @@ use crate::queue::{Admission, IngestQueue, QueueStats};
 use crate::supervisor::{rebuild_tables, RebuildFailure, RebuildOutcome, SupervisorConfig};
 use frr_graph::budget::{CancelToken, StopSignal};
 use frr_graph::{Edge, Graph, Node};
+use frr_obs::{Counter, Gauge, Histogram, Registry};
 use frr_routing::budget::{RunBudget, Verdict};
 use frr_routing::compiled::{CompilePattern, CompiledPattern, CompiledSim, Fnv};
 use frr_routing::failure::FailureSet;
@@ -52,6 +53,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How the service constructs the forwarding pattern for a given graph —
 /// the rebuild recipe carried by every snapshot and swapped by fault
@@ -208,6 +210,104 @@ pub enum Phase {
     Settled,
 }
 
+/// Query-latency histograms split by the answer's staleness, carried by
+/// every snapshot as cloned handles to shared cells.  Detached (noop) when
+/// the service is unwired, and **never** part of [`Snapshot::digest`] — that
+/// digest enumerates its hashed fields, so telemetry cannot perturb it.
+#[derive(Debug, Clone, Default)]
+struct QueryMetrics {
+    fresh: Histogram,
+    stale: Histogram,
+    degraded: Histogram,
+}
+
+impl QueryMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        QueryMetrics {
+            fresh: registry.histogram("serve.query.fresh_ns"),
+            stale: registry.histogram("serve.query.stale_ns"),
+            degraded: registry.histogram("serve.query.degraded_ns"),
+        }
+    }
+
+    fn record(&self, staleness: Staleness, started: Instant) {
+        let hist = match staleness {
+            Staleness::Fresh => &self.fresh,
+            Staleness::Stale { .. } => &self.stale,
+            Staleness::Degraded { .. } => &self.degraded,
+        };
+        hist.record_duration(started.elapsed());
+    }
+}
+
+/// The service's live control-plane telemetry: epoch publish counters and
+/// age, per-state destination gauges, and rebuild outcome counters.  All
+/// handles are detached when constructed via [`Service::new`]; wire a real
+/// registry with [`Service::with_registry`].  Wall-clock time feeds *only*
+/// these cells — never a digest, ledger or published snapshot field.
+#[derive(Debug, Clone, Default)]
+struct ServiceMetrics {
+    epoch_published: Counter,
+    epoch: Gauge,
+    epoch_age_ns: Histogram,
+    dest_fresh: Gauge,
+    dest_rebuilding: Gauge,
+    dest_degraded: Gauge,
+    rebuilt: Counter,
+    refused: Counter,
+    panicked: Counter,
+    expired: Counter,
+    cancelled: Counter,
+    query: QueryMetrics,
+}
+
+impl ServiceMetrics {
+    fn from_registry(registry: &Registry) -> Self {
+        ServiceMetrics {
+            epoch_published: registry.counter("serve.epoch.published"),
+            epoch: registry.gauge("serve.epoch"),
+            epoch_age_ns: registry.histogram("serve.epoch.age_ns"),
+            dest_fresh: registry.gauge("serve.dest.fresh"),
+            dest_rebuilding: registry.gauge("serve.dest.rebuilding"),
+            dest_degraded: registry.gauge("serve.dest.degraded"),
+            rebuilt: registry.counter("serve.rebuild.ok"),
+            refused: registry.counter("serve.rebuild.refused"),
+            panicked: registry.counter("serve.rebuild.panicked"),
+            expired: registry.counter("serve.rebuild.expired"),
+            cancelled: registry.counter("serve.rebuild.cancelled"),
+            query: QueryMetrics::from_registry(registry),
+        }
+    }
+
+    /// Accounts one publication: bumps the publish counter, tracks the
+    /// epoch gauge, records how long the superseded epoch lived, and counts
+    /// destinations per state-machine position.
+    fn note_publish(&self, snapshot: &Snapshot, superseded_at: Instant) {
+        self.epoch_published.inc();
+        self.epoch.set(snapshot.epoch as i64);
+        self.epoch_age_ns.record_duration(superseded_at.elapsed());
+        let (mut fresh, mut rebuilding, mut degraded) = (0i64, 0i64, 0i64);
+        for entry in &snapshot.entries {
+            match entry.state {
+                TableState::Fresh => fresh += 1,
+                TableState::Rebuilding => rebuilding += 1,
+                TableState::Degraded => degraded += 1,
+            }
+        }
+        self.dest_fresh.set(fresh);
+        self.dest_rebuilding.set(rebuilding);
+        self.dest_degraded.set(degraded);
+    }
+
+    fn note_rebuilds(&self, summary: &RebuildSummary) {
+        self.rebuilt.add(summary.rebuilt as u64);
+        self.refused.add(summary.refused as u64);
+        self.panicked.add(summary.panicked as u64);
+        self.expired.add(summary.expired as u64);
+        self.cancelled.add(summary.cancelled as u64);
+    }
+}
+
 /// One immutable published epoch: everything a query needs, behind one `Arc`.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -231,6 +331,8 @@ pub struct Snapshot {
     pub quarantined: u64,
     /// Ingest-queue health counters at publication time.
     pub queue: QueueStats,
+    /// Query-latency handles (cloned cells, not hashed by the digest).
+    metrics: QueryMetrics,
 }
 
 /// A route query failed before any routing happened.
@@ -327,6 +429,7 @@ impl Snapshot {
         t: Node,
         failures: &FailureSet,
     ) -> Result<RouteAnswer, QueryError> {
+        let started = Instant::now();
         let nodes = self.base.node_count();
         for node in [s, t] {
             if node.index() >= nodes {
@@ -351,11 +454,13 @@ impl Snapshot {
             let mut sim = CompiledSim::new(table);
             sim.load_failures(table, &overlay);
             let result = sim.route(table, s, t, max_hops);
+            let staleness = self.staleness_of(entry);
+            self.metrics.record(staleness, started);
             return Ok(RouteAnswer {
                 outcome: result.outcome,
                 path: result.path,
                 hops: result.hops,
-                staleness: self.staleness_of(entry),
+                staleness,
                 source: AnswerSource::Compiled,
                 state: entry.state,
                 epoch: self.epoch,
@@ -383,11 +488,13 @@ impl Snapshot {
                     .unwrap_or_else(|| "non-string panic payload".to_string()),
             )
         })?;
+        let staleness = self.staleness_of(entry);
+        self.metrics.record(staleness, started);
         Ok(RouteAnswer {
             outcome: result.outcome,
             path: result.path,
             hops: result.hops,
-            staleness: self.staleness_of(entry),
+            staleness,
             source: AnswerSource::Interpreted,
             state: entry.state,
             epoch: self.epoch,
@@ -525,6 +632,8 @@ pub struct Service {
     quarantined: u64,
     quarantine_log: Vec<EventError>,
     epoch: u64,
+    metrics: ServiceMetrics,
+    last_publish: Instant,
 }
 
 /// Cap on the retained quarantine log (the counter is unbounded).
@@ -533,12 +642,37 @@ const QUARANTINE_LOG_CAP: usize = 64;
 impl Service {
     /// Stands the service up on the named topology from `catalog`, builds
     /// every destination's table under supervision and publishes epoch 1.
+    /// Telemetry is detached; see [`Service::with_registry`] to wire it.
     pub fn new(
         catalog: Vec<Topology>,
         initial_topology: &str,
         spec: PatternSpec,
         cfg: SupervisorConfig,
         queue_capacity: usize,
+    ) -> Result<Self, EventError> {
+        Service::with_registry(
+            catalog,
+            initial_topology,
+            spec,
+            cfg,
+            queue_capacity,
+            &Registry::noop(),
+        )
+    }
+
+    /// [`Service::new`] with live telemetry in `registry`: `serve.queue.*`
+    /// ingest counters, `serve.epoch.*` publication tracking, `serve.dest.*`
+    /// state gauges, `serve.rebuild.*` outcome counters and the
+    /// `serve.query.*_ns` latency histograms.  Pass [`Registry::noop`] to
+    /// get exactly [`Service::new`] — the differential replay test pins that
+    /// the two produce byte-identical digests and ledgers.
+    pub fn with_registry(
+        catalog: Vec<Topology>,
+        initial_topology: &str,
+        spec: PatternSpec,
+        cfg: SupervisorConfig,
+        queue_capacity: usize,
+        registry: &Registry,
     ) -> Result<Self, EventError> {
         let topo = catalog
             .iter()
@@ -552,10 +686,13 @@ impl Service {
         let down = BTreeSet::new();
         let n = base.node_count();
         let dests: Vec<usize> = (0..n).collect();
+        let started = Instant::now();
+        let metrics = ServiceMetrics::from_registry(registry);
         let outcomes = rebuild_tables(&base, &spec, &dests, &cfg, &StopSignal::none());
         let down_arc = Arc::new(down.clone());
         let prev: Vec<DestEntry> = (0..n).map(|_| DestEntry::empty(spec)).collect();
-        let (entries, _) = merge_outcomes(&prev, &outcomes, 1, &down_arc, spec);
+        let (entries, summary) = merge_outcomes(&prev, &outcomes, 1, &down_arc, spec);
+        metrics.note_rebuilds(&summary);
         let snapshot = Snapshot {
             epoch: 1,
             phase: Phase::Settled,
@@ -567,17 +704,21 @@ impl Service {
             entries,
             quarantined: 0,
             queue: QueueStats::default(),
+            metrics: metrics.query.clone(),
         };
+        metrics.note_publish(&snapshot, started);
         Ok(Service {
             catalog,
             default_spec: spec,
             cfg,
             cell: Arc::new(EpochCell::new(snapshot)),
-            queue: IngestQueue::new(queue_capacity),
+            queue: IngestQueue::with_registry(queue_capacity, registry),
             cancel,
             quarantined: 0,
             quarantine_log: Vec::new(),
             epoch: 1,
+            metrics,
+            last_publish: Instant::now(),
         })
     }
 
@@ -636,6 +777,14 @@ impl Service {
         (queued, bad)
     }
 
+    /// Publishes `snapshot` and accounts it in the live telemetry (publish
+    /// count, epoch gauge, superseded-epoch age, per-state gauges).
+    fn publish(&mut self, snapshot: Snapshot) {
+        self.metrics.note_publish(&snapshot, self.last_publish);
+        self.last_publish = Instant::now();
+        self.cell.publish(snapshot);
+    }
+
     fn note_quarantine(&mut self, err: EventError) {
         self.quarantined += 1;
         if self.quarantine_log.len() == QUARANTINE_LOG_CAP {
@@ -688,7 +837,7 @@ impl Service {
                 ..(*prev).clone()
             };
             let digest = snapshot.digest();
-            self.cell.publish(snapshot);
+            self.publish(snapshot);
             return Some(BatchReport {
                 applied,
                 quarantined: quarantined_now,
@@ -731,9 +880,10 @@ impl Service {
             entries: marked.clone(),
             quarantined: self.quarantined,
             queue: self.queue.stats(),
+            metrics: self.metrics.query.clone(),
         };
         let digest_ingested = ingested.digest();
-        self.cell.publish(ingested);
+        self.publish(ingested);
 
         let dests: Vec<usize> = (0..n).collect();
         let stop = StopSignal::none().with_cancel(self.cancel.clone());
@@ -742,6 +892,7 @@ impl Service {
         let epoch_settled = self.epoch;
         let down_arc = Arc::new(down.clone());
         let (entries, summary) = merge_outcomes(&marked, &outcomes, epoch_settled, &down_arc, spec);
+        self.metrics.note_rebuilds(&summary);
         let settled = Snapshot {
             epoch: epoch_settled,
             phase: Phase::Settled,
@@ -753,10 +904,11 @@ impl Service {
             entries,
             quarantined: self.quarantined,
             queue: self.queue.stats(),
+            metrics: self.metrics.query.clone(),
         };
         let digest_settled = settled.digest();
         let degraded = settled.degraded();
-        self.cell.publish(settled);
+        self.publish(settled);
         Some(BatchReport {
             applied,
             quarantined: quarantined_now,
@@ -1127,6 +1279,73 @@ mod tests {
         s3.submit(Event::down(0, 1));
         s3.tick(usize::MAX);
         assert_ne!(s1.snapshot().digest(), s3.snapshot().digest());
+    }
+
+    #[test]
+    fn wired_service_streams_epoch_state_and_query_telemetry() {
+        let reg = Registry::new();
+        let mut s = Service::with_registry(
+            tiny_catalog(),
+            "cycle6",
+            PatternSpec::ShortestPath,
+            SupervisorConfig {
+                threads: 1,
+                backoff_base: std::time::Duration::ZERO,
+                ..SupervisorConfig::default()
+            },
+            32,
+            &reg,
+        )
+        .expect("catalog has cycle6");
+        let snap = reg.snapshot();
+        // Epoch 1 published with all six destinations fresh.
+        assert_eq!(snap.counter("serve.epoch.published"), Some(1));
+        assert_eq!(snap.gauge("serve.epoch"), Some(1));
+        assert_eq!(snap.gauge("serve.dest.fresh"), Some(6));
+        assert_eq!(snap.counter("serve.rebuild.ok"), Some(6));
+        // One batch = two more publications; a panic injection degrades all.
+        s.submit(Event::Inject {
+            kind: HostileKind::PanicOnCompile,
+        });
+        s.tick(usize::MAX);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("serve.epoch.published"), Some(3));
+        assert_eq!(snap.gauge("serve.epoch"), Some(3));
+        assert_eq!(snap.gauge("serve.dest.degraded"), Some(6));
+        assert_eq!(snap.counter("serve.rebuild.panicked"), Some(6));
+        // Queries record into the staleness-split latency histograms.
+        let view = s.snapshot();
+        view.route(Node(0), Node(3), &FailureSet::new())
+            .expect("in range");
+        let snap = reg.snapshot();
+        let degraded = snap
+            .histogram("serve.query.degraded_ns")
+            .expect("histogram registered");
+        assert_eq!(degraded.count, 1);
+        assert_eq!(
+            snap.histogram("serve.query.fresh_ns").map(|h| h.count),
+            Some(0)
+        );
+        // The epoch-age histogram saw both superseded epochs.
+        assert_eq!(
+            snap.histogram("serve.epoch.age_ns").map(|h| h.count),
+            Some(3)
+        );
+        // An unwired service leaves a fresh registry empty.
+        let noop = Registry::noop();
+        let _ = Service::with_registry(
+            tiny_catalog(),
+            "cycle6",
+            PatternSpec::ShortestPath,
+            SupervisorConfig {
+                threads: 1,
+                ..SupervisorConfig::default()
+            },
+            32,
+            &noop,
+        )
+        .expect("catalog has cycle6");
+        assert!(noop.snapshot().counters.is_empty());
     }
 
     #[test]

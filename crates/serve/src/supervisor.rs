@@ -116,6 +116,28 @@ pub fn silence_supervised_panics() {
     }));
 }
 
+/// Plain per-worker tallies for the supervised pool, flushed to the global
+/// registry once per worker — individual attempts never touch an atomic.
+#[derive(Default)]
+struct RebuildTally {
+    attempts: u64,
+    panics: u64,
+    backoffs: u64,
+    expiries: u64,
+}
+
+impl RebuildTally {
+    fn flush(&mut self) {
+        let t = std::mem::take(self);
+        frr_obs::global().add_counts([
+            ("serve.rebuild.attempts", t.attempts),
+            ("serve.rebuild.attempt_panics", t.panics),
+            ("serve.rebuild.backoffs", t.backoffs),
+            ("serve.rebuild.attempt_expiries", t.expiries),
+        ]);
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
@@ -137,10 +159,12 @@ fn rebuild_one(
     spec: &PatternSpec,
     destination: usize,
     cfg: &SupervisorConfig,
+    tally: &mut RebuildTally,
 ) -> RebuildOutcome {
     let max_attempts = cfg.max_attempts.max(1);
     let mut last_failure = RebuildFailure::Refused;
     for attempt in 1..=max_attempts {
+        tally.attempts += 1;
         let budget = match cfg.deadline {
             Some(d) => RunBudget::unlimited().with_deadline(d),
             None => RunBudget::unlimited(),
@@ -158,7 +182,10 @@ fn rebuild_one(
                     failure: None,
                 };
             }
-            Ok(Some(_)) => last_failure = RebuildFailure::DeadlineExpired,
+            Ok(Some(_)) => {
+                tally.expiries += 1;
+                last_failure = RebuildFailure::DeadlineExpired;
+            }
             Ok(None) => {
                 // Deterministic refusal: retrying cannot change the answer.
                 return RebuildOutcome {
@@ -168,9 +195,13 @@ fn rebuild_one(
                     failure: Some(RebuildFailure::Refused),
                 };
             }
-            Err(payload) => last_failure = RebuildFailure::Panicked(panic_message(payload)),
+            Err(payload) => {
+                tally.panics += 1;
+                last_failure = RebuildFailure::Panicked(panic_message(payload));
+            }
         }
         if attempt < max_attempts {
+            tally.backoffs += 1;
             std::thread::sleep(cfg.backoff_after(attempt));
         }
     }
@@ -203,17 +234,22 @@ pub fn rebuild_tables(
         failure: Some(RebuildFailure::Cancelled),
     };
     let workers = cfg.workers_for(destinations.len());
+    let duration_ns = frr_obs::global().histogram("serve.rebuild.duration_ns");
     if workers <= 1 {
-        return destinations
+        let mut tally = RebuildTally::default();
+        let out = destinations
             .iter()
             .map(|&t| {
                 if stop_active && stop.should_stop() {
                     cancelled(t)
                 } else {
-                    rebuild_one(survivor, spec, t, cfg)
+                    let _span = frr_obs::Span::start(&duration_ns);
+                    rebuild_one(survivor, spec, t, cfg, &mut tally)
                 }
             })
             .collect();
+        tally.flush();
+        return out;
     }
     let mut slots: Vec<Option<RebuildOutcome>> = (0..destinations.len()).map(|_| None).collect();
     let next = AtomicUsize::new(0);
@@ -221,7 +257,9 @@ pub fn rebuild_tables(
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let next = &next;
+                let duration_ns = duration_ns.clone();
                 scope.spawn(move || {
+                    let mut tally = RebuildTally::default();
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -232,10 +270,12 @@ pub fn rebuild_tables(
                         let outcome = if stop_active && stop.should_stop() {
                             cancelled(t)
                         } else {
-                            rebuild_one(survivor, spec, t, cfg)
+                            let _span = frr_obs::Span::start(&duration_ns);
+                            rebuild_one(survivor, spec, t, cfg, &mut tally)
                         };
                         out.push((i, outcome));
                     }
+                    tally.flush();
                     out
                 })
             })
@@ -375,6 +415,42 @@ mod tests {
             assert_eq!(o.failure, Some(RebuildFailure::Cancelled));
             assert_eq!(o.attempts, 0);
         }
+    }
+
+    #[test]
+    fn supervised_rebuilds_flush_attempt_telemetry_globally() {
+        let registry = frr_obs::global();
+        let before = registry.snapshot();
+        let (attempts0, panics0, backoffs0) = (
+            before.counter("serve.rebuild.attempts").unwrap_or(0),
+            before.counter("serve.rebuild.attempt_panics").unwrap_or(0),
+            before.counter("serve.rebuild.backoffs").unwrap_or(0),
+        );
+        let g = generators::cycle(4);
+        let cfg = SupervisorConfig {
+            max_attempts: 3,
+            backoff_base: Duration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        rebuild_tables(
+            &g,
+            &PatternSpec::Hostile(HostileKind::PanicOnCompile),
+            &[0, 1],
+            &cfg,
+            &StopSignal::none(),
+        );
+        // Lower bounds only: sibling tests share the process-wide registry.
+        let after = registry.snapshot();
+        let attempts = after.counter("serve.rebuild.attempts").unwrap_or(0);
+        let panics = after.counter("serve.rebuild.attempt_panics").unwrap_or(0);
+        let backoffs = after.counter("serve.rebuild.backoffs").unwrap_or(0);
+        assert!(attempts >= attempts0 + 6, "2 dests x 3 attempts");
+        assert!(panics >= panics0 + 6, "every attempt panicked");
+        assert!(backoffs >= backoffs0 + 4, "2 backoffs between 3 attempts");
+        let durations = after
+            .histogram("serve.rebuild.duration_ns")
+            .expect("duration histogram registered");
+        assert!(durations.count >= 2);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The no-perturbation rule, pinned: wiring the replay to the live metrics
+//! registry must change *telemetry only*.  Digest sequences, degraded sets
+//! and the full query ledger are byte-identical between a wired run and a
+//! `Registry::noop()` run at 1, 2 and 8 worker threads — and the JSON
+//! artifact's schema (including the `metrics` section and the histogram
+//! latency summary) stays stable.
+
+use frr_serve::event::HostileKind;
+use frr_serve::replay::{replay, ReplayConfig, ReplayOutcome};
+use frr_topologies::builtin_topologies;
+
+fn run(threads: usize, metrics: bool) -> ReplayOutcome {
+    let cfg = ReplayConfig {
+        topology: "Abilene".to_string(),
+        events: 28,
+        batch: 3,
+        seed: 11,
+        threads,
+        keep_ledger: true,
+        metrics,
+        // A panic injection plus duplicates so the degraded and quarantine
+        // paths are inside the differential, not just the happy path.
+        injections: vec![
+            (9, HostileKind::PanicOnCompile),
+            (15, HostileKind::WellBehaved),
+        ],
+        malformed_every: Some(6),
+        ..ReplayConfig::default()
+    };
+    replay(&builtin_topologies(), &cfg).expect("known topology")
+}
+
+#[test]
+fn metrics_on_and_off_produce_byte_identical_records_at_1_2_and_8_threads() {
+    for threads in [1, 2, 8] {
+        let wired = run(threads, true);
+        let silent = run(threads, false);
+        assert!(
+            wired.metrics.is_some() && silent.metrics.is_none(),
+            "wiring toggles only the attached snapshot"
+        );
+        assert_eq!(
+            wired.digests, silent.digests,
+            "digest sequence @ {threads} threads"
+        );
+        assert_eq!(wired.final_digest, silent.final_digest);
+        assert_eq!(wired.degraded_final, silent.degraded_final);
+        assert_eq!(wired.quarantined, silent.quarantined);
+        assert_eq!(wired.queue, silent.queue);
+        assert_eq!(
+            format!("{:?}", wired.ledger),
+            format!("{:?}", silent.ledger),
+            "ledger @ {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn replay_json_schema_keys_are_pinned() {
+    let silent = run(1, false);
+    let json = silent.to_json();
+    for key in [
+        "\"name\":\"frr_serve_replay\"",
+        "\"topology\":",
+        "\"threads\":",
+        "\"seed\":",
+        "\"events\":",
+        "\"epochs\":",
+        "\"queries\":",
+        "\"answered\":",
+        "\"hammer_queries\":",
+        "\"resilience_queries\":",
+        "\"p50_ns\":",
+        "\"p90_ns\":",
+        "\"p99_ns\":",
+        "\"max_ns\":",
+        "\"epochs_per_sec\":",
+        "\"elapsed_ms\":",
+        "\"degraded\":",
+        "\"quarantined\":",
+        "\"queue_coalesced\":",
+        "\"queue_dropped\":",
+        "\"queue_dropped_link\":",
+        "\"queue_dropped_control\":",
+        "\"final_digest\":",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(
+        !json.contains("\"metrics\":"),
+        "unwired runs must omit the metrics section"
+    );
+    // Histogram-sourced summary: ordered and max-exact.
+    assert!(silent.p50_ns <= silent.p90_ns);
+    assert!(silent.p90_ns <= silent.p99_ns);
+    assert!(silent.p99_ns <= silent.max_ns);
+
+    let wired = run(1, true);
+    let json = wired.to_json();
+    assert!(json.contains(",\"metrics\":{\"counters\":{"));
+    for name in [
+        "serve.queue.enqueued",
+        "serve.queue.coalesced",
+        "serve.queue.dropped_link",
+        "serve.queue.dropped_control",
+        "serve.epoch.published",
+        "serve.epoch.age_ns",
+        "serve.dest.fresh",
+        "serve.dest.rebuilding",
+        "serve.dest.degraded",
+        "serve.rebuild.ok",
+        "serve.rebuild.panicked",
+        "serve.rebuild.attempts",
+        "serve.rebuild.duration_ns",
+        "serve.query.fresh_ns",
+        "serve.query.stale_ns",
+        "serve.query.degraded_ns",
+        "serve.replay.query_ns",
+    ] {
+        assert!(json.contains(name), "missing metric {name} in JSON");
+    }
+    // The injected panics actually hit the wired counters.
+    let metrics = wired.metrics.expect("wired");
+    assert!(metrics.counter("serve.rebuild.panicked").unwrap_or(0) > 0);
+    assert!(metrics.counter("serve.rebuild.attempt_panics").unwrap_or(0) > 0);
+}
