@@ -1,0 +1,142 @@
+//! Micro-benchmark: the cold table path (construct the pattern, compile it,
+//! write the artifact into a fresh store — what a `--table-cache` run pays
+//! on its first pass) vs the warm path (a digest-verified [`TableStore`]
+//! load under a known key — what `frr-serve` warm restart and every repeat
+//! run pays).  The custom `main` re-measures both paths after the criterion
+//! groups run and exits nonzero unless warm is at least 5× faster than
+//! cold, so a perf regression in the artifact reader fails `cargo bench`
+//! loudly.
+
+use criterion::{criterion_group, Criterion};
+use frr_routing::artifact::TableStore;
+use frr_routing::model::RoutingModel;
+use frr_routing::pattern::{ForwardingPattern, ShortestPathPattern};
+use frr_topologies::{full_zoo, Topology, ZooConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// A per-process temp root: benches must not collide across parallel
+/// `cargo bench` invocations or leave state behind for the next run.
+fn bench_root() -> PathBuf {
+    std::env::temp_dir().join(format!("frr-compile-cache-bench-{}", std::process::id()))
+}
+
+/// The benched slice of the zoo: deterministic, small enough that a cold
+/// pass stays in milliseconds, large enough to amortize per-file open/seek
+/// noise in the warm pass.
+fn zoo() -> Vec<Topology> {
+    full_zoo(&ZooConfig {
+        count: 20,
+        max_nodes: 96,
+        ..ZooConfig::default()
+    })
+}
+
+/// One cold pass: construct, compile, and persist the shortest-path
+/// portfolio baseline for every topology into a fresh store.
+fn compile_all_into(zoo: &[Topology], store: &TableStore) -> usize {
+    let mut bytes = 0;
+    for t in zoo {
+        let pattern = ShortestPathPattern::new(&t.graph);
+        let (cp, _) = store
+            .get_or_compile(&t.graph, &pattern, None)
+            .expect("shortest-path compiles on every zoo topology");
+        bytes += black_box(&cp).bytes_estimate();
+    }
+    bytes
+}
+
+/// One warm pass: load every table back under its known key — no pattern
+/// construction, exactly like the control plane's warm restart.
+fn load_all(zoo: &[Topology], store: &TableStore, name: &str, model: RoutingModel) -> usize {
+    let mut bytes = 0;
+    for t in zoo {
+        let loaded = store
+            .load(&t.graph, name, model, None)
+            .expect("benched store artifacts verify")
+            .expect("benched store is fully populated");
+        bytes += black_box(&loaded).bytes_estimate();
+    }
+    bytes
+}
+
+/// The constant store key of the benched pattern.
+fn key(zoo: &[Topology]) -> (String, RoutingModel) {
+    let probe = ShortestPathPattern::new(&zoo[0].graph);
+    (probe.name().into_owned(), probe.model())
+}
+
+fn bench_compile_cache(c: &mut Criterion) {
+    let zoo = zoo();
+    let (name, model) = key(&zoo);
+    let warm_store = TableStore::open(bench_root().join("warm")).expect("temp store opens");
+    compile_all_into(&zoo, &warm_store);
+
+    let mut group = c.benchmark_group("compile_cache");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut cold_iter = 0u64;
+    group.bench_function("cold/compile-and-store-zoo20", |b| {
+        b.iter(|| {
+            cold_iter += 1;
+            let dir = bench_root().join(format!("cold-{cold_iter}"));
+            let store = TableStore::open(&dir).expect("temp store opens");
+            let out = black_box(compile_all_into(&zoo, &store));
+            let _ = std::fs::remove_dir_all(&dir);
+            out
+        })
+    });
+    group.bench_function("warm/load-zoo20", |b| {
+        b.iter(|| black_box(load_all(&zoo, &warm_store, &name, model)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_cache);
+
+/// Best-of-N wall time — the minimum is the right statistic for a ratio
+/// gate: it is the run least disturbed by scheduler noise.
+fn best_of(n: usize, mut f: impl FnMut()) -> Duration {
+    (0..n)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .min()
+        .expect("n > 0")
+}
+
+fn main() {
+    benches();
+
+    let zoo = zoo();
+    let (name, model) = key(&zoo);
+    let warm_store = TableStore::open(bench_root().join("warm")).expect("temp store opens");
+    compile_all_into(&zoo, &warm_store);
+    let mut gate_iter = 0u64;
+    let cold = best_of(3, || {
+        gate_iter += 1;
+        let dir = bench_root().join(format!("gate-cold-{gate_iter}"));
+        let store = TableStore::open(&dir).expect("temp store opens");
+        black_box(compile_all_into(&zoo, &store));
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    let warm = best_of(3, || {
+        black_box(load_all(&zoo, &warm_store, &name, model));
+    });
+    let _ = std::fs::remove_dir_all(bench_root());
+
+    eprintln!(
+        "compile_cache gate: cold {:.3} ms, warm {:.3} ms ({:.1}x)",
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-12),
+    );
+    if warm * 5 > cold {
+        eprintln!("compile_cache gate FAILED: warm load is not >= 5x faster than cold compile");
+        std::process::exit(1);
+    }
+}

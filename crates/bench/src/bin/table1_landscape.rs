@@ -4,7 +4,8 @@
 //! adversaries.
 //!
 //! Usage: `table1_landscape [--count N] [--deadline-secs S] [--work-budget W]
-//! [--metrics]` — `N` is the largest tolerance `r` to verify (default 3; CI
+//! [--metrics] [--table-cache DIR]` — `N` is the largest tolerance `r` to
+//! verify (default 3; CI
 //! bench-smoke runs `--count 1` for a cheap end-to-end pass over every cell
 //! kind).  An oversized cell (graph past the exhaustive edge limit) prints a
 //! one-line skip and falls back to sampling instead of panicking; an expired
@@ -48,6 +49,7 @@ impl CellVerdict {
 fn main() {
     let args = frr_bench::parse_experiment_args("table1_landscape", 3);
     let run = args.run_budget();
+    let store = args.open_table_store();
     let links_limit = args
         .links_limit
         .unwrap_or(EXHAUSTIVE_EDGE_LIMIT)
@@ -65,15 +67,29 @@ fn main() {
         let r = row.r;
         // Positive: K_{2r+1} with the distance-2 pattern.
         let kc = generators::complete(row.complete_possible_nodes);
-        let pc = r_tolerant_complete_pattern();
-        let complete_cell = verify_cell(&kc, &pc, Node(0), Node(1), r, links_limit, &run, &mut rng);
+        let pc =
+            frr_bench::through_store(store.as_ref(), &kc, Box::new(r_tolerant_complete_pattern()));
+        let complete_cell = verify_cell(
+            &kc,
+            pc.as_ref(),
+            Node(0),
+            Node(1),
+            r,
+            links_limit,
+            &run,
+            &mut rng,
+        );
         // Positive: K_{2r-1,2r-1} with the bipartite distance-3 pattern.
         let part = row.bipartite_possible_part;
         let kb = generators::complete_bipartite(part, part);
-        let pb = r_tolerant_bipartite_pattern(&kb);
+        let pb = frr_bench::through_store(
+            store.as_ref(),
+            &kb,
+            Box::new(r_tolerant_bipartite_pattern(&kb)),
+        );
         let bipartite_cell = verify_cell(
             &kb,
-            &pb,
+            pb.as_ref(),
             Node(0),
             Node(part),
             r,

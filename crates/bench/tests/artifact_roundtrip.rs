@@ -1,0 +1,134 @@
+//! Round-trip differential over the full topology zoo: every builtin
+//! pattern on every one of the 260 zoo networks must survive
+//! encode → store → load byte-identically, and a second warm pass must be
+//! 100% store hits.
+
+use frr_routing::artifact::{encode_bytes, TableSource, TableStore};
+use frr_routing::compiled::{CompilePattern, CompiledPattern, CompiledSim};
+use frr_routing::failure::failure_set_from_mask;
+use frr_routing::pattern::{RotorPattern, ShortestPathPattern};
+use frr_routing::simulator::state_space_bound;
+use frr_topologies::{full_zoo, Topology, ZooConfig};
+
+fn builtin_patterns(g: &frr_graph::Graph) -> Vec<Box<dyn CompilePattern>> {
+    vec![
+        Box::new(RotorPattern::clockwise_with_shortcut(g)),
+        Box::new(RotorPattern::clockwise(g)),
+        Box::new(ShortestPathPattern::new(g)),
+    ]
+}
+
+/// Routes every source to destination 0 under a few failure masks on both
+/// the freshly compiled and the loaded pattern — they must agree move for
+/// move (belt and braces on top of byte identity).
+fn differential(t: &Topology, compiled: &CompiledPattern, loaded: &CompiledPattern) {
+    let g = &t.graph;
+    let max_hops = state_space_bound(g);
+    let mut sim_a = CompiledSim::new(compiled);
+    let mut sim_b = CompiledSim::new(loaded);
+    for mask in [0u64, 1, 0b101] {
+        let failures = failure_set_from_mask(&g.edges(), &mask);
+        sim_a.load_failures(compiled, &failures);
+        sim_b.load_failures(loaded, &failures);
+        let dest = frr_graph::Node(0);
+        for s in g.nodes() {
+            assert_eq!(
+                sim_a.route(compiled, s, dest, max_hops),
+                sim_b.route(loaded, s, dest, max_hops),
+                "{}: {} {s}->{dest:?} diverged after reload (mask {mask:b})",
+                t.name,
+                compiled.name(),
+            );
+        }
+    }
+}
+
+#[test]
+fn full_zoo_round_trips_every_builtin_pattern() {
+    let zoo = full_zoo(&ZooConfig::default());
+    assert!(zoo.len() >= 260, "zoo shrank to {}", zoo.len());
+    let dir = std::env::temp_dir().join(format!("frr-artifact-roundtrip-{}", std::process::id()));
+    let registry = frr_obs::Registry::new();
+    let store = TableStore::with_registry(&dir, &registry).expect("store opens");
+
+    let mut compiled_count = 0usize;
+    let mut duplicate_hits = 0usize;
+    let mut refused = 0usize;
+    // The synthetic zoo contains a few byte-identical labelled graphs; their
+    // second occurrence legitimately hits the store on the first pass.
+    let mut seen_graphs = std::collections::HashSet::new();
+    for (i, t) in zoo.iter().enumerate() {
+        let first_time = seen_graphs.insert(frr_routing::artifact::canonical_graph_key(
+            &frr_graph::BitGraph::from_graph(&t.graph),
+        ));
+        for pattern in builtin_patterns(&t.graph) {
+            let Some((cp, source)) = store.get_or_compile(&t.graph, pattern.as_ref(), None) else {
+                refused += 1;
+                continue;
+            };
+            if first_time {
+                assert_eq!(
+                    source,
+                    TableSource::Compiled,
+                    "{}: {} unexpectedly already cached",
+                    t.name,
+                    cp.name()
+                );
+            } else {
+                assert_eq!(
+                    source,
+                    TableSource::Store,
+                    "{}: duplicate graph did not hit the store",
+                    t.name
+                );
+                duplicate_hits += 1;
+            }
+            let loaded = store
+                .load(&t.graph, &cp.name(), cp.model(), None)
+                .expect("fresh artifact verifies")
+                .expect("fresh artifact present");
+            assert_eq!(loaded.digest(), cp.digest(), "{}: digest drift", t.name);
+            assert_eq!(loaded.name(), cp.name());
+            assert_eq!(loaded.model(), cp.model());
+            assert_eq!(
+                encode_bytes(&loaded),
+                encode_bytes(&cp),
+                "{}: {} re-encode is not byte-identical",
+                t.name,
+                cp.name()
+            );
+            // Full routing differential on a deterministic sample of the
+            // zoo; byte identity covers the rest.
+            if i % 16 == 0 {
+                differential(t, &cp, &loaded);
+            }
+            compiled_count += 1;
+        }
+    }
+    assert!(
+        compiled_count >= 2 * zoo.len(),
+        "only {compiled_count} of {} pattern instances compiled ({refused} refused)",
+        3 * zoo.len()
+    );
+
+    // The warm pass: every table must come back from the store.
+    let mut hits = 0usize;
+    for t in &zoo {
+        for pattern in builtin_patterns(&t.graph) {
+            match store.get_or_compile(&t.graph, pattern.as_ref(), None) {
+                Some((_, TableSource::Store)) => hits += 1,
+                Some((_, source)) => panic!("{}: warm pass got {source:?}", t.name),
+                None => {}
+            }
+        }
+    }
+    assert_eq!(hits, compiled_count, "warm pass was not 100% hits");
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter("store.hit"),
+        Some((duplicate_hits + 2 * compiled_count) as u64)
+    );
+    assert_eq!(snap.counter("store.reject"), Some(0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -408,13 +408,10 @@ fn flush_memo_stats(stats: frr_graph::minors::MemoStats, registry: &frr_obs::Reg
 }
 
 /// Canonical labelled encoding of a graph: node count followed by the packed
-/// adjacency words.
-fn canonical_key(b: &BitGraph) -> Box<[u64]> {
-    let mut key = Vec::with_capacity(1 + b.words().len());
-    key.push(b.node_count() as u64);
-    key.extend_from_slice(b.words());
-    key.into_boxed_slice()
-}
+/// adjacency words.  Shared with the compiled-table store, which keys its
+/// on-disk artifacts by the same encoding (plus pattern name, model and
+/// destination) so identical graphs dedupe across processes.
+pub use frr_routing::artifact::canonical_graph_key as canonical_key;
 
 fn minor_verdict(
     b: &BitGraph,

@@ -1,0 +1,1134 @@
+//! Persistent compiled-table artifacts: a versioned on-disk format for
+//! [`CompiledPattern`] and a directory store with canonical-key dedupe.
+//!
+//! Compilation is recomputed from scratch in every process today — experiment
+//! bins, CI smoke runs, and every `frr-serve` restart pay the full
+//! tabulate/compile cost before answering a single query.  A compiled pattern
+//! is already flat `u32` arenas, so a stable serialized form is nearly free:
+//!
+//! * [`encode_bytes`] / [`decode`] — the wire format.  A fixed header (magic,
+//!   format version, layout fingerprint, routing model, table kind,
+//!   destination, the pattern's own FNV digest, shape, name), then every CSR
+//!   array and every rule-table arena as **length-prefixed little-endian
+//!   `u32` blocks**, then a 2-word FNV trailer checksum over the header and
+//!   name (the bulk is covered by the digest embedded in the hashed header,
+//!   so loads hash the body once, not twice).  Decoding converts the file to
+//!   one shared word buffer and
+//!   hands out zero-copy [`Words`](crate::compiled) views into it — no
+//!   per-rule parsing, no second allocation per array.
+//! * [`TableStore`] — a directory cache keyed by
+//!   `(canonical graph encoding, pattern name, model, destination)`.
+//!   Entries are hardlinks into a content-addressed `objects/` pool (the
+//!   trailer checksum is the object name), so byte-identical artifacts are
+//!   stored once no matter how many keys reach them.  Every load re-verifies
+//!   the trailer checksum, the structural invariants the simulators rely on,
+//!   and the pattern digest; anything truncated, corrupt, or from a different
+//!   format/layout is rejected with a typed [`ArtifactError`] and the caller
+//!   falls back to a fresh compile ([`TableStore::get_or_compile`]) — never a
+//!   panic, never a silently wrong table.
+//!
+//! The store reports `store.{hit,miss,write,reject}` counters,
+//! `store.{load_ns,compile_ns}` histograms, and `store.{bytes,disk_bytes}`
+//! gauges through [`frr_obs`].
+
+use crate::compiled::{
+    CompilePattern, CompiledPattern, Fnv, PortGraph, RuleTable, Tables, Words, DENSE, DROP,
+};
+use crate::model::RoutingModel;
+use frr_graph::{BitGraph, Graph, Node};
+use frr_obs::{Counter, Gauge, Histogram, Registry, Span};
+use std::borrow::Cow;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// `b"FRRT"` — first magic word.
+const MAGIC0: u32 = u32::from_le_bytes(*b"FRRT");
+/// `b"BL01"` — second magic word.
+const MAGIC1: u32 = u32::from_le_bytes(*b"BL01");
+/// Bumped on any incompatible change to the word layout below.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed header words before the (padded) name bytes.
+const HEADER_WORDS: usize = 13;
+/// Trailer words (the 2-word FNV checksum).
+const TRAILER_WORDS: usize = 2;
+
+/// Fingerprint of the in-memory table layout this build produces: format
+/// version, crate version, and the arena marker constants.  Artifacts from a
+/// build with a different fingerprint are rejected before any parsing.
+pub fn layout_fingerprint() -> u64 {
+    let mut h = Fnv::new();
+    h.word(u64::from(FORMAT_VERSION));
+    h.word(u64::from(DENSE));
+    h.word(u64::from(DROP));
+    let version = env!("CARGO_PKG_VERSION").as_bytes();
+    h.word(version.len() as u64);
+    for &b in version {
+        h.word(u64::from(b));
+    }
+    h.finish()
+}
+
+/// Why an artifact was refused.  Every variant is a *recoverable* verdict:
+/// the store surfaces it and the caller compiles fresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Filesystem failure (message carries the `io::Error` rendering).
+    Io {
+        /// The operation that failed (`"read"`, `"write"`, ...).
+        op: &'static str,
+        /// The rendered OS error.
+        message: String,
+    },
+    /// The file is shorter than its layout requires.
+    Truncated {
+        /// Words the layout needed.
+        expected: usize,
+        /// Words actually present.
+        actual: usize,
+    },
+    /// The first two words are not the artifact magic.
+    BadMagic {
+        /// The words found in their place.
+        found: [u32; 2],
+    },
+    /// Written by a different format version.
+    VersionMismatch {
+        /// Version in the file.
+        found: u32,
+        /// This build's [`FORMAT_VERSION`].
+        expected: u32,
+    },
+    /// Written by a build with a different table layout.
+    FingerprintMismatch {
+        /// Fingerprint in the file.
+        found: u64,
+        /// This build's [`layout_fingerprint`].
+        expected: u64,
+    },
+    /// The trailer checksum does not cover the bytes on disk (bit rot,
+    /// torn write, deliberate corruption).
+    ChecksumMismatch {
+        /// Checksum stored in the trailer.
+        stored: u64,
+        /// Checksum of the bytes actually read.
+        computed: u64,
+    },
+    /// The decoded tables do not reproduce the digest in the header.
+    DigestMismatch {
+        /// Digest stored in the header.
+        stored: u64,
+        /// [`CompiledPattern::digest`] of the decoded tables.
+        computed: u64,
+    },
+    /// A structural invariant the simulators rely on does not hold.
+    Malformed(&'static str),
+    /// The artifact decodes cleanly but describes a different
+    /// `(graph, pattern, model, destination)` than the store key asked for.
+    KeyMismatch(&'static str),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io { op, message } => write!(f, "artifact {op} failed: {message}"),
+            ArtifactError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "artifact truncated: {actual} words, layout needs {expected}"
+                )
+            }
+            ArtifactError::BadMagic { found } => {
+                write!(
+                    f,
+                    "not an artifact (magic {:08x} {:08x})",
+                    found[0], found[1]
+                )
+            }
+            ArtifactError::VersionMismatch { found, expected } => {
+                write!(f, "format version {found}, this build reads {expected}")
+            }
+            ArtifactError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "layout fingerprint {found:016x}, this build is {expected:016x}"
+            ),
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: trailer {stored:016x}, bytes hash to {computed:016x}"
+            ),
+            ArtifactError::DigestMismatch { stored, computed } => write!(
+                f,
+                "digest mismatch: header {stored:016x}, tables digest to {computed:016x}"
+            ),
+            ArtifactError::Malformed(what) => write!(f, "malformed artifact: {what}"),
+            ArtifactError::KeyMismatch(what) => {
+                write!(f, "artifact does not match the requested key: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> ArtifactError {
+    move |e| ArtifactError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
+fn model_tag(model: RoutingModel) -> u32 {
+    match model {
+        RoutingModel::Touring => 1,
+        RoutingModel::DestinationOnly => 2,
+        RoutingModel::SourceDestination => 3,
+    }
+}
+
+/// Table-family kind tags (word 6 of the header).
+const KIND_UNIFORM: u32 = 0;
+const KIND_PER_DESTINATION: u32 = 1;
+const KIND_PER_PAIR: u32 = 2;
+const KIND_SINGLE_DESTINATION: u32 = 3;
+
+fn push_u64(words: &mut Vec<u32>, v: u64) {
+    words.push(v as u32);
+    words.push((v >> 32) as u32);
+}
+
+fn read_u64(words: &[u32], at: usize) -> u64 {
+    u64::from(words[at]) | u64::from(words[at + 1]) << 32
+}
+
+fn push_block(words: &mut Vec<u32>, block: &[u32]) {
+    words.push(block.len() as u32);
+    words.extend_from_slice(block);
+}
+
+/// The trailer checksum covers the header and name words only: the header
+/// embeds the pattern digest, which [`decode`] recomputes over every CSR and
+/// rule word anyway, so hashing the multi-megabyte body a second time would
+/// only slow warm loads down.  Because the digest words are inside the
+/// hashed prefix, the checksum is still content-sensitive end to end and
+/// doubles as the store's object address.
+fn trailer_checksum(header_and_name: &[u32]) -> u64 {
+    let mut h = Fnv::new();
+    h.words_u32(header_and_name);
+    h.finish()
+}
+
+/// Serializes a compiled pattern to the artifact word stream (header, name,
+/// length-prefixed CSR and table blocks, trailer checksum).
+pub(crate) fn encode_words(cp: &CompiledPattern) -> Vec<u32> {
+    let csr = cp.csr();
+    let (kind, destination, tables): (u32, u32, Vec<&RuleTable>) = match cp.tables() {
+        Tables::Uniform(t) => (KIND_UNIFORM, u32::MAX, vec![t]),
+        Tables::PerDestination(ts) => (KIND_PER_DESTINATION, u32::MAX, ts.iter().collect()),
+        Tables::PerPair(ts) => (KIND_PER_PAIR, u32::MAX, ts.iter().collect()),
+        Tables::SingleDestination { destination, table } => {
+            (KIND_SINGLE_DESTINATION, *destination, vec![table])
+        }
+    };
+    let name = cp.name();
+    let name_bytes = name.as_bytes();
+    let mut words = Vec::with_capacity(
+        HEADER_WORDS
+            + name_bytes.len().div_ceil(4)
+            + 3
+            + csr.port_offsets().len()
+            + 2 * csr.ports_raw().len()
+            + tables
+                .iter()
+                .map(|t| 2 + t.offsets_raw().len() + t.rules_raw().len())
+                .sum::<usize>()
+            + TRAILER_WORDS,
+    );
+    words.push(MAGIC0);
+    words.push(MAGIC1);
+    words.push(FORMAT_VERSION);
+    push_u64(&mut words, layout_fingerprint());
+    words.push(model_tag(cp.model()));
+    words.push(kind);
+    words.push(destination);
+    push_u64(&mut words, cp.digest());
+    words.push(csr.node_count() as u32);
+    words.push(tables.len() as u32);
+    words.push(name_bytes.len() as u32);
+    for chunk in name_bytes.chunks(4) {
+        let mut b = [0u8; 4];
+        b[..chunk.len()].copy_from_slice(chunk);
+        words.push(u32::from_le_bytes(b));
+    }
+    push_block(&mut words, csr.port_offsets());
+    push_block(&mut words, csr.ports_raw());
+    push_block(&mut words, csr.reverse_ports_raw());
+    for t in &tables {
+        push_block(&mut words, t.offsets_raw());
+        push_block(&mut words, t.rules_raw());
+    }
+    let checksum = trailer_checksum(&words[..HEADER_WORDS + name_bytes.len().div_ceil(4)]);
+    push_u64(&mut words, checksum);
+    words
+}
+
+/// Serializes a compiled pattern to its on-disk bytes (little-endian words).
+pub fn encode_bytes(cp: &CompiledPattern) -> Vec<u8> {
+    let words = encode_words(cp);
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+/// Cursor over the word stream handing out zero-copy views.
+struct Blocks {
+    buf: Arc<[u32]>,
+    cursor: usize,
+    end: usize,
+}
+
+impl Blocks {
+    fn take(&mut self) -> Result<Words, ArtifactError> {
+        if self.cursor >= self.end {
+            return Err(ArtifactError::Truncated {
+                expected: self.cursor + 1,
+                actual: self.end,
+            });
+        }
+        let len = self.buf[self.cursor] as usize;
+        let start = self.cursor + 1;
+        if start + len > self.end {
+            return Err(ArtifactError::Truncated {
+                expected: start + len,
+                actual: self.end,
+            });
+        }
+        self.cursor = start + len;
+        Ok(Words::view(self.buf.clone(), start, len))
+    }
+}
+
+/// Deserializes and fully verifies an artifact: magic, version, layout
+/// fingerprint, trailer checksum, every structural invariant the simulators
+/// index by, and finally the pattern digest.  The returned pattern's arrays
+/// are zero-copy views into one buffer holding the whole file.
+pub fn decode(bytes: &[u8]) -> Result<CompiledPattern, ArtifactError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(ArtifactError::Truncated {
+            expected: bytes.len().div_ceil(4),
+            actual: bytes.len() / 4,
+        });
+    }
+    let buf: Arc<[u32]> = bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect::<Vec<u32>>()
+        .into();
+    decode_words(buf)
+}
+
+/// The core decoder over an already word-converted buffer ([`read_file`]
+/// converts while streaming the file so the bytes are only traversed once).
+fn decode_words(buf: Arc<[u32]>) -> Result<CompiledPattern, ArtifactError> {
+    let words = &buf[..];
+    if words.len() < HEADER_WORDS + TRAILER_WORDS {
+        return Err(ArtifactError::Truncated {
+            expected: HEADER_WORDS + TRAILER_WORDS,
+            actual: words.len(),
+        });
+    }
+    if words[0] != MAGIC0 || words[1] != MAGIC1 {
+        return Err(ArtifactError::BadMagic {
+            found: [words[0], words[1]],
+        });
+    }
+    if words[2] != FORMAT_VERSION {
+        return Err(ArtifactError::VersionMismatch {
+            found: words[2],
+            expected: FORMAT_VERSION,
+        });
+    }
+    let fingerprint = read_u64(words, 3);
+    if fingerprint != layout_fingerprint() {
+        return Err(ArtifactError::FingerprintMismatch {
+            found: fingerprint,
+            expected: layout_fingerprint(),
+        });
+    }
+    let body_end = words.len() - TRAILER_WORDS;
+    let model = match words[5] {
+        1 => RoutingModel::Touring,
+        2 => RoutingModel::DestinationOnly,
+        3 => RoutingModel::SourceDestination,
+        _ => return Err(ArtifactError::Malformed("unknown routing-model tag")),
+    };
+    let kind = words[6];
+    let destination = words[7];
+    let stored_digest = read_u64(words, 8);
+    let n = words[10] as usize;
+    let table_count = words[11] as usize;
+    let name_len = words[12] as usize;
+
+    let name_words = name_len.div_ceil(4);
+    if HEADER_WORDS + name_words > body_end {
+        return Err(ArtifactError::Truncated {
+            expected: HEADER_WORDS + name_words + TRAILER_WORDS,
+            actual: words.len(),
+        });
+    }
+    // A corrupted `name_len` changes the hashed prefix, so the checksum
+    // protects its own extent.
+    let stored_checksum = read_u64(words, body_end);
+    let computed_checksum = trailer_checksum(&words[..HEADER_WORDS + name_words]);
+    if stored_checksum != computed_checksum {
+        return Err(ArtifactError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed: computed_checksum,
+        });
+    }
+    let mut name_bytes = Vec::with_capacity(name_len);
+    for w in &words[HEADER_WORDS..HEADER_WORDS + name_words] {
+        name_bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    name_bytes.truncate(name_len);
+    let name = String::from_utf8(name_bytes)
+        .map_err(|_| ArtifactError::Malformed("pattern name is not valid UTF-8"))?;
+
+    let expected_tables = match (kind, model) {
+        (KIND_UNIFORM, RoutingModel::Touring) => 1,
+        (KIND_PER_DESTINATION, RoutingModel::DestinationOnly) => n,
+        (KIND_PER_PAIR, RoutingModel::SourceDestination) => n * n,
+        (KIND_SINGLE_DESTINATION, RoutingModel::DestinationOnly) => {
+            if destination as usize >= n {
+                return Err(ArtifactError::Malformed("destination out of range"));
+            }
+            1
+        }
+        _ => {
+            return Err(ArtifactError::Malformed(
+                "table kind does not fit the model",
+            ))
+        }
+    };
+    if table_count != expected_tables {
+        return Err(ArtifactError::Malformed(
+            "table count does not fit the kind",
+        ));
+    }
+
+    let mut blocks = Blocks {
+        buf: buf.clone(),
+        cursor: HEADER_WORDS + name_words,
+        end: body_end,
+    };
+    let port_offset = blocks.take()?;
+    let ports = blocks.take()?;
+    let reverse_port = blocks.take()?;
+    validate_csr(n, &port_offset, &ports, &reverse_port)?;
+    let state_count = ports.len() + n;
+
+    let mut rule_tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let offsets = blocks.take()?;
+        let rules = blocks.take()?;
+        validate_table(&port_offset, state_count, &offsets, &rules)?;
+        rule_tables.push(RuleTable::from_raw_parts(offsets, rules));
+    }
+    if blocks.cursor != body_end {
+        return Err(ArtifactError::Malformed(
+            "trailing words after the last table",
+        ));
+    }
+
+    let tables = match kind {
+        KIND_UNIFORM => Tables::Uniform(rule_tables.pop().expect("one table")),
+        KIND_PER_DESTINATION => Tables::PerDestination(rule_tables),
+        KIND_PER_PAIR => Tables::PerPair(rule_tables),
+        _ => Tables::SingleDestination {
+            destination,
+            table: rule_tables.pop().expect("one table"),
+        },
+    };
+    let csr = PortGraph::from_raw_parts(n, port_offset, ports, reverse_port);
+    let cp = CompiledPattern::from_raw_parts(model, Cow::Owned(name), csr, tables);
+    let computed_digest = cp.digest();
+    if computed_digest != stored_digest {
+        return Err(ArtifactError::DigestMismatch {
+            stored: stored_digest,
+            computed: computed_digest,
+        });
+    }
+    Ok(cp)
+}
+
+/// Checks every CSR invariant the simulators index by without bounds checks
+/// in their hot loops: offset monotonicity, degree < 64, ascending in-range
+/// neighbor lists, and `reverse_port` being the exact port inverse.
+fn validate_csr(
+    n: usize,
+    port_offset: &[u32],
+    ports: &[u32],
+    reverse_port: &[u32],
+) -> Result<(), ArtifactError> {
+    if port_offset.len() != n + 1 {
+        return Err(ArtifactError::Malformed("port_offset length is not n + 1"));
+    }
+    if port_offset[0] != 0 || port_offset[n] as usize != ports.len() {
+        return Err(ArtifactError::Malformed("port_offset does not span ports"));
+    }
+    if reverse_port.len() != ports.len() {
+        return Err(ArtifactError::Malformed(
+            "reverse_port length differs from ports",
+        ));
+    }
+    // Monotonicity over the whole array FIRST: with the span check above it
+    // bounds every offset by `ports.len()`, so the slicing below cannot
+    // panic on a corrupted middle offset.
+    if port_offset.windows(2).any(|w| w[0] > w[1]) {
+        return Err(ArtifactError::Malformed("port_offset is not monotone"));
+    }
+    let slice_of = |v: usize| &ports[port_offset[v] as usize..port_offset[v + 1] as usize];
+    for v in 0..n {
+        let (lo, hi) = (port_offset[v], port_offset[v + 1]);
+        if hi - lo >= 64 {
+            return Err(ArtifactError::Malformed("node of degree 64 or more"));
+        }
+        let row = slice_of(v);
+        for (i, &u) in row.iter().enumerate() {
+            if u as usize >= n {
+                return Err(ArtifactError::Malformed("neighbor out of range"));
+            }
+            if i > 0 && row[i - 1] >= u {
+                return Err(ArtifactError::Malformed("neighbor list not ascending"));
+            }
+            let back = reverse_port[lo as usize + i] as usize;
+            let far = slice_of(u as usize);
+            if back >= far.len() || far[back] as usize != v {
+                return Err(ArtifactError::Malformed("reverse_port is not the inverse"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks one rule table: offset shape, and every state slice either a
+/// priority list of in-range local ports or a full `DENSE` map with in-range
+/// (or `DROP`) entries — exactly what `decide` indexes without checks.
+fn validate_table(
+    port_offset: &[u32],
+    state_count: usize,
+    offsets: &[u32],
+    rules: &[u32],
+) -> Result<(), ArtifactError> {
+    if offsets.len() != state_count + 1 {
+        return Err(ArtifactError::Malformed(
+            "table offsets length is not state_count + 1",
+        ));
+    }
+    if offsets[0] != 0 || offsets[state_count] as usize != rules.len() {
+        return Err(ArtifactError::Malformed("table offsets do not span rules"));
+    }
+    // Monotone over the whole array first (see `validate_csr`): together
+    // with the span check it bounds every offset by `rules.len()`.
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(ArtifactError::Malformed("table offsets are not monotone"));
+    }
+    let n = port_offset.len() - 1;
+    let mut state = 0usize;
+    for v in 0..n {
+        let deg = port_offset[v + 1] - port_offset[v];
+        for _inport in 0..=deg {
+            let (lo, hi) = (offsets[state] as usize, offsets[state + 1] as usize);
+            let slice = &rules[lo..hi];
+            state += 1;
+            match slice.first() {
+                None => {}
+                Some(&DENSE) => {
+                    if slice.len() != 1 + (1usize << deg) {
+                        return Err(ArtifactError::Malformed("dense map has the wrong size"));
+                    }
+                    // Accumulate instead of early-exiting: the reject path is
+                    // the cold one, and the branchless form vectorizes over
+                    // the multi-megabyte dense arenas.
+                    let bad = slice[1..]
+                        .iter()
+                        .fold(false, |bad, &e| bad | (e != DROP && e >= deg));
+                    if bad {
+                        return Err(ArtifactError::Malformed("dense entry out of range"));
+                    }
+                }
+                Some(_) => {
+                    let bad = slice.iter().fold(false, |bad, &p| bad | (p >= deg));
+                    if bad {
+                        return Err(ArtifactError::Malformed("priority entry out of range"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes `cp` to `path` (the raw format, no store keying).
+pub fn write_file(path: &Path, cp: &CompiledPattern) -> Result<(), ArtifactError> {
+    fs::write(path, encode_bytes(cp)).map_err(io_err("write"))
+}
+
+/// Reads and verifies an artifact from `path`, converting bytes to words in
+/// streaming chunks while they are still cache-hot — the warm-load path
+/// traverses the raw file bytes exactly once.
+pub fn read_file(path: &Path) -> Result<CompiledPattern, ArtifactError> {
+    use std::io::Read;
+    let mut file = fs::File::open(path).map_err(io_err("open"))?;
+    let len = file.metadata().map_err(io_err("stat")).map(|m| m.len())? as usize;
+    if !len.is_multiple_of(4) {
+        return Err(ArtifactError::Truncated {
+            expected: len.div_ceil(4),
+            actual: len / 4,
+        });
+    }
+    let mut words: Vec<u32> = Vec::with_capacity(len / 4);
+    let mut chunk = [0u8; 1 << 16];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        file.read_exact(&mut chunk[..take])
+            .map_err(io_err("read"))?;
+        words.extend(
+            chunk[..take]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+        );
+        remaining -= take;
+    }
+    decode_words(words.into())
+}
+
+/// Canonical labelled encoding of a graph: node count followed by the packed
+/// adjacency words.  This is the store's graph key and the same encoding the
+/// classification minor cache memoizes on (re-exported there).
+pub fn canonical_graph_key(b: &BitGraph) -> Box<[u64]> {
+    let mut key = Vec::with_capacity(1 + b.words().len());
+    key.push(b.node_count() as u64);
+    key.extend_from_slice(b.words());
+    key.into_boxed_slice()
+}
+
+/// Where a table produced by [`TableStore::get_or_compile`] came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableSource {
+    /// Loaded and verified from the store.
+    Store,
+    /// Compiled fresh (store miss).
+    Compiled,
+    /// Compiled fresh after the stored artifact was rejected.
+    CompiledAfterReject(ArtifactError),
+}
+
+#[derive(Debug, Clone)]
+struct StoreMetrics {
+    hit: Counter,
+    miss: Counter,
+    write: Counter,
+    reject: Counter,
+    load_ns: Histogram,
+    compile_ns: Histogram,
+    bytes: Gauge,
+    disk_bytes: Gauge,
+}
+
+impl StoreMetrics {
+    fn new(registry: &Registry) -> Self {
+        StoreMetrics {
+            hit: registry.counter("store.hit"),
+            miss: registry.counter("store.miss"),
+            write: registry.counter("store.write"),
+            reject: registry.counter("store.reject"),
+            load_ns: registry.histogram("store.load_ns"),
+            compile_ns: registry.histogram("store.compile_ns"),
+            bytes: registry.gauge("store.bytes"),
+            disk_bytes: registry.gauge("store.disk_bytes"),
+        }
+    }
+}
+
+/// A directory cache of compiled-table artifacts.
+///
+/// Layout: `keys/<32-hex>.frrt` (one per
+/// `(canonical graph, pattern name, model, destination)` key, hardlinked
+/// into) `objects/<16-hex>.frrt` (content-addressed by trailer checksum, so
+/// byte-identical artifacts occupy one inode no matter how many keys point at
+/// them; on filesystems without hardlinks the link degrades to a copy).
+///
+/// Every read path re-verifies checksum, structure, digest, *and* that the
+/// artifact matches the key it was found under; any failure is a typed
+/// [`ArtifactError`] and [`TableStore::get_or_compile`] falls back to a fresh
+/// compile.
+#[derive(Debug, Clone)]
+pub struct TableStore {
+    root: PathBuf,
+    metrics: StoreMetrics,
+}
+
+/// Distinguishes concurrent writers' temp files within one process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TableStore {
+    /// Opens (creating directories as needed) a store rooted at `root`,
+    /// reporting metrics to the process-global registry.
+    pub fn open(root: impl Into<PathBuf>) -> Result<TableStore, ArtifactError> {
+        Self::with_registry(root, frr_obs::global())
+    }
+
+    /// [`TableStore::open`] with an explicit metrics registry.
+    pub fn with_registry(
+        root: impl Into<PathBuf>,
+        registry: &Registry,
+    ) -> Result<TableStore, ArtifactError> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects")).map_err(io_err("create objects dir"))?;
+        fs::create_dir_all(root.join("keys")).map_err(io_err("create keys dir"))?;
+        Ok(TableStore {
+            root,
+            metrics: StoreMetrics::new(registry),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The key file an artifact for
+    /// `(g, pattern name, model, destination)` lives at (exposed so chaos
+    /// tests can corrupt it in place).
+    pub fn entry_path(
+        &self,
+        g: &Graph,
+        name: &str,
+        model: RoutingModel,
+        destination: Option<Node>,
+    ) -> PathBuf {
+        let graph_key = canonical_graph_key(&BitGraph::from_graph(g));
+        let mut h = Fnv::new();
+        for &w in graph_key.iter() {
+            h.word(w);
+        }
+        h.word(name.len() as u64);
+        for &b in name.as_bytes() {
+            h.word(u64::from(b));
+        }
+        h.word(u64::from(model_tag(model)));
+        h.word(match destination {
+            Some(t) => t.index() as u64 | 1 << 32,
+            None => u64::MAX,
+        });
+        let k1 = h.finish();
+        // Salt the accumulator to derive an independent second word: 128-bit
+        // keys make accidental collisions across the store negligible.
+        h.word(0x9e37_79b9_7f4a_7c15);
+        let k2 = h.finish();
+        self.root
+            .join("keys")
+            .join(format!("{k1:016x}{k2:016x}.frrt"))
+    }
+
+    /// Loads the table cached for `(g, name, model, destination)`.
+    ///
+    /// `Ok(None)` is a clean miss; `Err` means an artifact was present but
+    /// rejected (checksum, structure, digest, or key mismatch) — callers
+    /// should compile fresh, which [`TableStore::get_or_compile`] automates.
+    pub fn load(
+        &self,
+        g: &Graph,
+        name: &str,
+        model: RoutingModel,
+        destination: Option<Node>,
+    ) -> Result<Option<CompiledPattern>, ArtifactError> {
+        let path = self.entry_path(g, name, model, destination);
+        if !path.exists() {
+            self.metrics.miss.inc();
+            return Ok(None);
+        }
+        let span = Span::start(&self.metrics.load_ns);
+        let verified = read_file(&path).and_then(|cp| {
+            if cp.name() != name {
+                return Err(ArtifactError::KeyMismatch("pattern name"));
+            }
+            if cp.model() != model {
+                return Err(ArtifactError::KeyMismatch("routing model"));
+            }
+            if cp.destination() != destination {
+                return Err(ArtifactError::KeyMismatch("destination"));
+            }
+            if !csr_matches_graph(&cp, g) {
+                return Err(ArtifactError::KeyMismatch("graph adjacency"));
+            }
+            Ok(cp)
+        });
+        drop(span);
+        match verified {
+            Ok(cp) => {
+                self.metrics.hit.inc();
+                self.metrics.bytes.add(cp.bytes_estimate() as i64);
+                Ok(Some(cp))
+            }
+            Err(e) => {
+                self.metrics.reject.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Stores `cp` under its `(g, name, model, destination)` key.  Returns
+    /// `true` when a new object was written, `false` when a byte-identical
+    /// object already existed and was reused (dedupe).
+    pub fn store(&self, g: &Graph, cp: &CompiledPattern) -> Result<bool, ArtifactError> {
+        let words = encode_words(cp);
+        let checksum = read_u64(&words, words.len() - TRAILER_WORDS);
+        let object = self
+            .root
+            .join("objects")
+            .join(format!("{checksum:016x}.frrt"));
+        let mut bytes = Vec::with_capacity(words.len() * 4);
+        for &w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        // Reuse the pooled object only if its bytes are exactly what we
+        // would write: an object corrupted in place (through any of its key
+        // hardlinks) must be republished, or the store would re-link the rot
+        // forever and every future run would reject and recompile.
+        let reusable = fs::read(&object).is_ok_and(|existing| existing == bytes);
+        let mut newly_written = false;
+        if !reusable {
+            let tmp = self.root.join("objects").join(format!(
+                ".tmp-{}-{}",
+                std::process::id(),
+                TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            fs::write(&tmp, &bytes).map_err(io_err("write object"))?;
+            fs::rename(&tmp, &object).map_err(io_err("publish object"))?;
+            self.metrics.disk_bytes.add(bytes.len() as i64);
+            newly_written = true;
+        }
+        let key = self.entry_path(g, &cp.name(), cp.model(), cp.destination());
+        if key.exists() {
+            fs::remove_file(&key).map_err(io_err("replace key"))?;
+        }
+        if fs::hard_link(&object, &key).is_err() {
+            // Filesystems without hardlink support still get a correct,
+            // merely un-deduped, store.
+            fs::copy(&object, &key).map_err(io_err("link key"))?;
+        }
+        self.metrics.write.inc();
+        Ok(newly_written)
+    }
+
+    /// The store-or-compile front door: try [`TableStore::load`]; on a miss
+    /// or a rejected artifact, compile fresh (timed into
+    /// `store.compile_ns`) and repopulate the store best-effort.  Returns
+    /// `None` only when the pattern itself refuses to compile — exactly when
+    /// the caller would have fallen back to the interpreter anyway.
+    pub fn get_or_compile<P: CompilePattern + ?Sized>(
+        &self,
+        g: &Graph,
+        pattern: &P,
+        destination: Option<Node>,
+    ) -> Option<(CompiledPattern, TableSource)> {
+        let name = pattern.name();
+        let model = pattern.model();
+        let rejected = match self.load(g, &name, model, destination) {
+            Ok(Some(cp)) => return Some((cp, TableSource::Store)),
+            Ok(None) => None,
+            Err(e) => Some(e),
+        };
+        let cp = {
+            let _span = Span::start(&self.metrics.compile_ns);
+            match destination {
+                Some(t) => pattern.compile_destination(g, t),
+                None => pattern.compile(g),
+            }?
+        };
+        // Best effort: an unwritable store must not fail the compile path.
+        let _ = self.store(g, &cp);
+        Some((
+            cp,
+            match rejected {
+                Some(e) => TableSource::CompiledAfterReject(e),
+                None => TableSource::Compiled,
+            },
+        ))
+    }
+}
+
+/// `true` if `cp`'s CSR is exactly the port view [`PortGraph::new`] builds
+/// for `g` — the load-path guard against a key collision or a stale entry
+/// serving tables for a different graph.
+fn csr_matches_graph(cp: &CompiledPattern, g: &Graph) -> bool {
+    let csr = cp.csr();
+    if csr.node_count() != g.node_count() || csr.port_count() != 2 * g.edge_count() {
+        return false;
+    }
+    g.nodes().all(|v| {
+        let row = csr.ports_of(v.index());
+        let mut i = 0;
+        for u in g.neighbors(v) {
+            if i >= row.len() || row[i] as usize != u.index() {
+                return false;
+            }
+            i += 1;
+        }
+        i == row.len()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiled::{tabulate, CompiledSim};
+    use crate::failure::failure_set_from_mask;
+    use crate::model::LocalContext;
+    use crate::pattern::{FnPattern, ForwardingPattern, RotorPattern, ShortestPathPattern};
+    use crate::simulator::state_space_bound;
+    use frr_graph::generators;
+
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        static DIRS: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "frr-artifact-{tag}-{}-{}",
+            std::process::id(),
+            DIRS.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn sample_patterns(g: &Graph) -> Vec<CompiledPattern> {
+        let sp = ShortestPathPattern::new(g);
+        let touring = RotorPattern::clockwise(g);
+        let sd = FnPattern::new(
+            RoutingModel::SourceDestination,
+            "first-alive-sd",
+            |ctx: &LocalContext<'_>| ctx.alive_neighbors().first().copied(),
+        );
+        vec![
+            sp.compile(g).expect("compiles"),
+            sp.compile_destination(g, Node(1)).expect("compiles"),
+            tabulate(g, &touring).expect("within budget"),
+            tabulate(g, &sd).expect("within budget"),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_digest_and_routing() {
+        for g in [generators::cycle(6), generators::petersen()] {
+            for cp in sample_patterns(&g) {
+                let loaded = decode(&encode_bytes(&cp)).expect("round-trips");
+                assert_eq!(loaded.digest(), cp.digest());
+                assert_eq!(loaded.name(), cp.name());
+                assert_eq!(loaded.model(), cp.model());
+                assert_eq!(loaded.destination(), cp.destination());
+                assert_eq!(loaded.bytes_estimate(), cp.bytes_estimate());
+                // Route differentially on a handful of failure sets.
+                let max_hops = state_space_bound(&g);
+                let mut sim_a = CompiledSim::new(&cp);
+                let mut sim_b = CompiledSim::new(&loaded);
+                for mask in [0u64, 1, 3, 0b101] {
+                    let failures = failure_set_from_mask(&g.edges(), &mask);
+                    sim_a.load_failures(&cp, &failures);
+                    sim_b.load_failures(&loaded, &failures);
+                    let t = cp.destination().unwrap_or(Node(0));
+                    for s in g.nodes() {
+                        assert_eq!(
+                            sim_a.route(&cp, s, t, max_hops),
+                            sim_b.route(&loaded, s, t, max_hops),
+                            "{} {s}->{t} mask {mask:b}",
+                            cp.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_every_corruption_mode_with_a_typed_error() {
+        let g = generators::petersen();
+        let cp = ShortestPathPattern::new(&g)
+            .compile_destination(&g, Node(2))
+            .expect("compiles");
+        let bytes = encode_bytes(&cp);
+
+        assert!(matches!(decode(&[]), Err(ArtifactError::Truncated { .. })));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 5]),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(matches!(
+            decode(&bad_magic),
+            Err(ArtifactError::BadMagic { .. })
+        ));
+        // A flipped bit in the header or name trips the trailer checksum.
+        let mut header_flip = bytes.clone();
+        header_flip[HEADER_WORDS * 4 + 1] ^= 0x10; // first name word
+        assert!(matches!(
+            decode(&header_flip),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // Every single-bit flip anywhere in the body is a typed reject —
+        // caught by the checksum (header/name), a structural invariant, or
+        // the digest recomputation — never a panic, never an `Ok`.
+        for at in (0..bytes.len()).step_by(7) {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x10;
+            assert!(decode(&flipped).is_err(), "flip at byte {at} accepted");
+        }
+        // A flipped rule word specifically (deep in the last block, past any
+        // structural check that could fire first) reaches the digest gate.
+        let mut words = encode_words(&cp);
+        let end = words.len() - TRAILER_WORDS;
+        words[end - 1] = match words[end - 1] {
+            0 => 1,
+            _ => words[end - 1] - 1,
+        };
+        let rebytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        assert!(matches!(
+            decode(&rebytes),
+            Err(ArtifactError::DigestMismatch { .. }
+                | ArtifactError::Malformed(_)
+                | ArtifactError::Truncated { .. })
+        ));
+        let fix_checksum = |words: &mut Vec<u32>| {
+            let name_words = cp.name().len().div_ceil(4);
+            let end = words.len() - TRAILER_WORDS;
+            let fixed = trailer_checksum(&words[..HEADER_WORDS + name_words]);
+            words[end] = fixed as u32;
+            words[end + 1] = (fixed >> 32) as u32;
+        };
+        // A version bump with a recomputed checksum is still refused.
+        let mut words = encode_words(&cp);
+        words[2] = FORMAT_VERSION + 1;
+        fix_checksum(&mut words);
+        let rebytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        assert!(matches!(
+            decode(&rebytes),
+            Err(ArtifactError::VersionMismatch { found, .. }) if found == FORMAT_VERSION + 1
+        ));
+        // A forged header digest (checksum made consistent) trips the digest
+        // recomputation — the last line of defence.
+        let mut words = encode_words(&cp);
+        words[8] ^= 1;
+        fix_checksum(&mut words);
+        let rebytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        assert!(matches!(
+            decode(&rebytes),
+            Err(ArtifactError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_hits_after_store_and_dedupes_identical_objects() {
+        let dir = temp_store_dir("dedupe");
+        let registry = Registry::new();
+        let store = TableStore::with_registry(&dir, &registry).expect("opens");
+        let g = generators::cycle(6);
+        let cp = ShortestPathPattern::new(&g).compile(&g).expect("compiles");
+
+        assert!(store.store(&g, &cp).expect("stores"), "first store writes");
+        assert!(
+            !store.store(&g, &cp).expect("stores"),
+            "second store reuses the object"
+        );
+        let loaded = store
+            .load(&g, &cp.name(), cp.model(), None)
+            .expect("verifies")
+            .expect("present");
+        assert_eq!(loaded.digest(), cp.digest());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.hit"), Some(1));
+        assert_eq!(snap.counter("store.write"), Some(2));
+        assert_eq!(
+            fs::read_dir(dir.join("objects")).expect("dir").count(),
+            1,
+            "one content-addressed object"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_or_compile_miss_then_hit_then_reject_fallback() {
+        let dir = temp_store_dir("fallback");
+        let registry = Registry::new();
+        let store = TableStore::with_registry(&dir, &registry).expect("opens");
+        let g = generators::petersen();
+        let pattern = ShortestPathPattern::new(&g);
+
+        let (fresh, src) = store
+            .get_or_compile(&g, &pattern, Some(Node(3)))
+            .expect("compiles");
+        assert_eq!(src, TableSource::Compiled);
+        let (warm, src) = store
+            .get_or_compile(&g, &pattern, Some(Node(3)))
+            .expect("loads");
+        assert_eq!(src, TableSource::Store);
+        assert_eq!(warm.digest(), fresh.digest());
+
+        // Truncate the artifact in place: the next read rejects it with a
+        // typed error and recompiles to byte-identical tables.
+        let path = store.entry_path(&g, &pattern.name(), pattern.model(), Some(Node(3)));
+        let bytes = fs::read(&path).expect("reads");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncates");
+        let (recovered, src) = store
+            .get_or_compile(&g, &pattern, Some(Node(3)))
+            .expect("falls back");
+        assert!(matches!(src, TableSource::CompiledAfterReject(_)));
+        assert_eq!(recovered.digest(), fresh.digest());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.reject"), Some(1));
+        assert!(snap.counter("store.hit") >= Some(1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_an_artifact_found_under_the_wrong_key() {
+        let dir = temp_store_dir("keymix");
+        let registry = Registry::new();
+        let store = TableStore::with_registry(&dir, &registry).expect("opens");
+        let g = generators::cycle(6);
+        let rotor = RotorPattern::clockwise_with_shortcut(&g);
+        let cp = rotor.compile(&g).expect("compiles");
+        store.store(&g, &cp).expect("stores");
+
+        // Splice the rotor artifact under the shortest-path key.
+        let sp_key = store.entry_path(
+            &g,
+            "shortest-path+rotor-fallback",
+            RoutingModel::DestinationOnly,
+            None,
+        );
+        let rotor_key = store.entry_path(&g, &cp.name(), cp.model(), None);
+        fs::copy(&rotor_key, &sp_key).expect("splices");
+        let err = store
+            .load(
+                &g,
+                "shortest-path+rotor-fallback",
+                RoutingModel::DestinationOnly,
+                None,
+            )
+            .expect_err("rejected");
+        assert_eq!(err, ArtifactError::KeyMismatch("pattern name"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn canonical_graph_key_is_label_sensitive() {
+        let a = canonical_graph_key(&BitGraph::from_graph(&generators::path(3)));
+        let b = canonical_graph_key(&BitGraph::from_graph(&generators::cycle(3)));
+        assert_ne!(a, b);
+        let again = canonical_graph_key(&BitGraph::from_graph(&generators::path(3)));
+        assert_eq!(a, again);
+    }
+}

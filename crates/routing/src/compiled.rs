@@ -80,10 +80,36 @@ impl Fnv {
     }
 
     /// Folds a `u32` slice (length-prefixed, so `[1][]` ≠ `[][1]`).
+    ///
+    /// The bulk is folded over eight independent lanes (one xor-multiply per
+    /// word per lane) that are combined into the accumulator at the end: a
+    /// single FNV chain is a serial multiply dependency at ~4 cycles/word,
+    /// which made digest verification of multi-megabyte artifacts as slow
+    /// as recompiling them.  The lanes keep every bit of every word in the
+    /// digest; only the mixing order differs from byte-serial FNV-1a.
     pub fn words_u32(&mut self, words: &[u32]) {
         self.word(words.len() as u64);
-        for &w in words {
-            self.word(u64::from(w));
+        let mut lanes = [
+            Self::OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+            Self::OFFSET ^ 0xc2b2_ae3d_27d4_eb4f,
+            Self::OFFSET ^ 0x1656_67b1_9e37_79f9,
+            Self::OFFSET ^ 0x2545_f491_4f6c_dd1d,
+            Self::OFFSET ^ 0x27d4_eb2f_1656_67c5,
+            Self::OFFSET ^ 0x9e37_79f9_2545_f493,
+            Self::OFFSET ^ 0x7f4a_7c15_c2b2_ae3f,
+            Self::OFFSET ^ 0x4f6c_dd1d_27d4_eb4f,
+        ];
+        let mut chunks = words.chunks_exact(8);
+        for octet in &mut chunks {
+            for (lane, &w) in lanes.iter_mut().zip(octet) {
+                *lane = (*lane ^ u64::from(w)).wrapping_mul(Self::PRIME);
+            }
+        }
+        for (lane, &w) in lanes.iter_mut().zip(chunks.remainder()) {
+            *lane = (*lane ^ u64::from(w)).wrapping_mul(Self::PRIME);
+        }
+        for lane in lanes {
+            self.word(lane);
         }
     }
 
@@ -95,9 +121,68 @@ impl Fnv {
 
 /// Marker word: the state's rule slice is a dense failed-mask-indexed map
 /// (`2^deg` entries follow) instead of a priority list.
-const DENSE: u32 = u32::MAX;
+pub(crate) const DENSE: u32 = u32::MAX;
 /// Dense-map entry (and internal tabulation value) for "drop the packet".
-const DROP: u32 = u32::MAX - 1;
+pub(crate) const DROP: u32 = u32::MAX - 1;
+
+/// An immutable `u32` array that is either its own allocation or a zero-copy
+/// view into a shared buffer (one loaded artifact file backs every array of
+/// the pattern it decodes to — see [`crate::artifact`]).
+///
+/// Dereferences to `&[u32]`, so all read paths treat it exactly like the
+/// `Vec<u32>` it replaced; cloning is `O(1)` (an `Arc` bump plus two words),
+/// which also makes [`CompiledPattern`] clones cheap.
+#[derive(Clone)]
+pub(crate) struct Words {
+    buf: std::sync::Arc<[u32]>,
+    start: usize,
+    len: usize,
+}
+
+impl Words {
+    /// A zero-copy view of `buf[start..start + len]`.
+    pub(crate) fn view(buf: std::sync::Arc<[u32]>, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= buf.len());
+        Words { buf, start, len }
+    }
+}
+
+impl std::ops::Deref for Words {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        &self.buf[self.start..self.start + self.len]
+    }
+}
+
+impl From<Vec<u32>> for Words {
+    fn from(v: Vec<u32>) -> Self {
+        let buf: std::sync::Arc<[u32]> = v.into();
+        let len = buf.len();
+        Words { buf, start: 0, len }
+    }
+}
+
+impl Default for Words {
+    fn default() -> Self {
+        Words::from(Vec::new())
+    }
+}
+
+impl PartialEq for Words {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Words {}
+
+impl std::fmt::Debug for Words {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
 
 /// Total local contexts the generic tabulator may enumerate before refusing
 /// to compile (`Σ_states 2^deg` summed over all tables).  Keeps compilation
@@ -115,12 +200,12 @@ pub const TABULATE_CONTEXT_BUDGET: u64 = 1 << 22;
 pub struct PortGraph {
     n: usize,
     /// `n + 1` offsets into `ports`.
-    port_offset: Vec<u32>,
+    port_offset: Words,
     /// Concatenated ascending neighbor lists (`2m` entries).
-    ports: Vec<u32>,
+    ports: Words,
     /// For global port `p` carrying a hop `v → u`: the in-port index of `v`
     /// at `u` (the state the packet lands in).
-    reverse_port: Vec<u32>,
+    reverse_port: Words,
 }
 
 impl PortGraph {
@@ -129,25 +214,61 @@ impl PortGraph {
         let n = g.node_count();
         let mut port_offset = Vec::with_capacity(n + 1);
         let mut ports = Vec::with_capacity(2 * g.edge_count());
-        port_offset.push(0);
+        port_offset.push(0u32);
         for v in g.nodes() {
             ports.extend(g.neighbors(v).map(|u| u.index() as u32));
             port_offset.push(ports.len() as u32);
         }
-        let mut pg = PortGraph {
+        let slice_of = |v: usize| &ports[port_offset[v] as usize..port_offset[v + 1] as usize];
+        let mut reverse_port = Vec::with_capacity(ports.len());
+        for v in 0..n {
+            for &u in slice_of(v) {
+                let back = slice_of(u as usize)
+                    .binary_search(&(v as u32))
+                    .expect("symmetric adjacency");
+                reverse_port.push(back as u32);
+            }
+        }
+        PortGraph {
+            n,
+            port_offset: port_offset.into(),
+            ports: ports.into(),
+            reverse_port: reverse_port.into(),
+        }
+    }
+
+    /// Reassembles a CSR view from its raw arrays (the artifact decoder);
+    /// the caller is responsible for structural validity.
+    pub(crate) fn from_raw_parts(
+        n: usize,
+        port_offset: Words,
+        ports: Words,
+        reverse_port: Words,
+    ) -> Self {
+        PortGraph {
             n,
             port_offset,
             ports,
-            reverse_port: Vec::new(),
-        };
-        let mut reverse_port = Vec::with_capacity(pg.ports.len());
-        for v in 0..pg.n {
-            for &u in pg.ports_of(v) {
-                reverse_port.push(pg.port_of(u as usize, v).expect("symmetric adjacency"));
-            }
+            reverse_port,
         }
-        pg.reverse_port = reverse_port;
-        pg
+    }
+
+    /// The raw `n + 1` CSR offset array (artifact serialization).
+    #[inline]
+    pub(crate) fn port_offsets(&self) -> &[u32] {
+        &self.port_offset
+    }
+
+    /// The raw concatenated neighbor array (artifact serialization).
+    #[inline]
+    pub(crate) fn ports_raw(&self) -> &[u32] {
+        &self.ports
+    }
+
+    /// The raw reverse-port array (artifact serialization).
+    #[inline]
+    pub(crate) fn reverse_ports_raw(&self) -> &[u32] {
+        &self.reverse_port
     }
 
     /// Number of nodes.
@@ -216,13 +337,31 @@ impl PortGraph {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub(crate) struct RuleTable {
     /// `state_count + 1` offsets into `rules`.
-    offsets: Vec<u32>,
+    offsets: Words,
     /// Flat arena: priority lists of local out-port indices, or
     /// `DENSE`-marked failed-mask-indexed maps.
-    rules: Vec<u32>,
+    rules: Words,
 }
 
 impl RuleTable {
+    /// Reassembles a table from its raw arrays (the artifact decoder); the
+    /// caller is responsible for structural validity.
+    pub(crate) fn from_raw_parts(offsets: Words, rules: Words) -> Self {
+        RuleTable { offsets, rules }
+    }
+
+    /// The raw `state_count + 1` offset array (artifact serialization).
+    #[inline]
+    pub(crate) fn offsets_raw(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw rule arena (artifact serialization).
+    #[inline]
+    pub(crate) fn rules_raw(&self) -> &[u32] {
+        &self.rules
+    }
+
     /// Resolves the decision for `state` under the node's failed-port mask:
     /// the chosen local out-port, or `None` to drop.
     #[inline]
@@ -244,7 +383,7 @@ impl RuleTable {
 
 /// How a compiled pattern's tables are keyed by the packet header.
 #[derive(Debug, Clone)]
-enum Tables {
+pub(crate) enum Tables {
     /// Touring model: one header-independent table.
     Uniform(RuleTable),
     /// Destination-only model: `tables[t]`.
@@ -296,6 +435,47 @@ impl CompiledPattern {
             }
             Tables::SingleDestination { table, .. } => table.rules.len(),
         }
+    }
+
+    /// In-memory footprint of every flat array in bytes: the CSR arrays
+    /// (`port_offset`, `ports`, `reverse_port`) plus each table's offset
+    /// array *and* rule arena.  [`CompiledPattern::rule_words`] counts only
+    /// the rule arenas; this is the honest size the store gauges and metrics
+    /// tables report.
+    pub fn bytes_estimate(&self) -> usize {
+        let word = std::mem::size_of::<u32>();
+        let table_words = |t: &RuleTable| t.offsets.len() + t.rules.len();
+        let tables = match &self.tables {
+            Tables::Uniform(t) => table_words(t),
+            Tables::PerDestination(ts) | Tables::PerPair(ts) => ts.iter().map(table_words).sum(),
+            Tables::SingleDestination { table, .. } => table_words(table),
+        };
+        word * (self.csr.port_offset.len()
+            + self.csr.ports.len()
+            + self.csr.reverse_port.len()
+            + tables)
+    }
+
+    /// Reassembles a pattern from decoded parts (the artifact decoder); the
+    /// caller must have validated structure and digest.
+    pub(crate) fn from_raw_parts(
+        model: RoutingModel,
+        name: Cow<'static, str>,
+        csr: PortGraph,
+        tables: Tables,
+    ) -> Self {
+        CompiledPattern {
+            model,
+            name,
+            csr,
+            tables,
+        }
+    }
+
+    /// The header-keyed table family (artifact serialization).
+    #[inline]
+    pub(crate) fn tables(&self) -> &Tables {
+        &self.tables
     }
 
     /// For a single-destination compile
@@ -634,10 +814,8 @@ fn tabulate_table<P: ForwardingPattern + ?Sized>(
     failed_buf: &mut Vec<Node>,
 ) -> RuleTable {
     let n = csr.n;
-    let mut table = RuleTable {
-        offsets: vec![0],
-        rules: Vec::new(),
-    };
+    let mut offsets: Vec<u32> = vec![0];
+    let mut rules: Vec<u32> = Vec::new();
     for v in 0..n {
         let neighbors = csr.ports_of(v).to_vec();
         let deg = neighbors.len() as u32;
@@ -681,15 +859,15 @@ fn tabulate_table<P: ForwardingPattern + ?Sized>(
                 decisions.push(decision);
             }
             push_state_rules(
-                &mut table.rules,
+                &mut rules,
                 decisions,
                 deg,
                 (inport_idx < deg).then_some(inport_idx),
             );
-            table.offsets.push(table.rules.len() as u32);
+            offsets.push(rules.len() as u32);
         }
     }
-    table
+    RuleTable::from_raw_parts(offsets.into(), rules.into())
 }
 
 /// Appends one state's rules to the arena: a verified priority list if the
@@ -831,10 +1009,8 @@ fn lists_table<F>(
 where
     F: FnMut(Node, Node, Node, Option<Node>, &mut Vec<Node>),
 {
-    let mut table = RuleTable {
-        offsets: vec![0],
-        rules: Vec::new(),
-    };
+    let mut offsets: Vec<u32> = vec![0];
+    let mut rules: Vec<u32> = Vec::new();
     for v in 0..csr.n {
         let deg = csr.degree(v);
         for inport_idx in 0..=deg {
@@ -847,14 +1023,14 @@ where
                 if let Some(p) = csr.port_of(v, u.index()) {
                     if seen & (1u64 << p) == 0 {
                         seen |= 1u64 << p;
-                        table.rules.push(p);
+                        rules.push(p);
                     }
                 }
             }
-            table.offsets.push(table.rules.len() as u32);
+            offsets.push(rules.len() as u32);
         }
     }
-    table
+    RuleTable::from_raw_parts(offsets.into(), rules.into())
 }
 
 /// Reusable scratch for simulating compiled patterns against materialized

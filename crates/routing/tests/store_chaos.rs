@@ -1,0 +1,153 @@
+//! Store corruption chaos: every way an on-disk artifact can rot —
+//! truncation, zero length, bit flips, smashed magic, raw garbage — must
+//! land in a typed [`ArtifactError`], fall back to a fresh compile with
+//! byte-identical routing, and heal the store so the *next* run hits again.
+//! A corrupt store costs time, never correctness.
+
+use frr_routing::artifact::{ArtifactError, TableSource, TableStore};
+use frr_routing::compiled::{CompilePattern, CompiledPattern, CompiledSim};
+use frr_routing::failure::failure_set_from_mask;
+use frr_routing::pattern::{ForwardingPattern, ShortestPathPattern};
+use frr_routing::simulator::state_space_bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_store_dir(tag: &str) -> PathBuf {
+    static DIRS: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "frr-store-chaos-{tag}-{}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Routes every source to `dest` under a few masks on both tables — the
+/// fallback compile must agree with the reference move for move.
+fn assert_same_routing(g: &frr_graph::Graph, a: &CompiledPattern, b: &CompiledPattern) {
+    let max_hops = state_space_bound(g);
+    let mut sim_a = CompiledSim::new(a);
+    let mut sim_b = CompiledSim::new(b);
+    for mask in [0u64, 1, 0b110] {
+        let failures = failure_set_from_mask(&g.edges(), &mask);
+        sim_a.load_failures(a, &failures);
+        sim_b.load_failures(b, &failures);
+        let dest = frr_graph::Node(0);
+        for s in g.nodes() {
+            assert_eq!(
+                sim_a.route(a, s, dest, max_hops),
+                sim_b.route(b, s, dest, max_hops),
+                "{s}->{dest:?} diverged (mask {mask:b})"
+            );
+        }
+    }
+}
+
+/// An in-place mutation of the artifact bytes.
+type Corruption = fn(&mut Vec<u8>);
+
+/// The corruption menu: name + an in-place mutation of the artifact bytes.
+fn corruptions() -> Vec<(&'static str, Corruption)> {
+    vec![
+        ("truncated", |b: &mut Vec<u8>| b.truncate(b.len() / 2)),
+        ("zero_length", |b: &mut Vec<u8>| b.clear()),
+        ("ragged_tail", |b: &mut Vec<u8>| b.truncate(b.len() - 3)),
+        ("bit_flip_body", |b: &mut Vec<u8>| {
+            let at = b.len() * 2 / 3;
+            b[at] ^= 0x10;
+        }),
+        ("smashed_magic", |b: &mut Vec<u8>| {
+            b[0] ^= 0xFF;
+        }),
+        ("garbage", |b: &mut Vec<u8>| {
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = (i % 251) as u8;
+            }
+        }),
+    ]
+}
+
+fn corrupt_in_place(path: &Path, mutate: Corruption) {
+    let mut bytes = std::fs::read(path).expect("artifact readable");
+    mutate(&mut bytes);
+    // `fs::write` truncates the existing inode, so corruption flows through
+    // the key hardlink into the shared object — the nastiest on-disk case.
+    std::fs::write(path, &bytes).expect("corruption lands");
+}
+
+#[test]
+fn every_corruption_rejects_typed_falls_back_and_heals() {
+    let g = frr_graph::generators::petersen();
+    let pattern = ShortestPathPattern::new(&g);
+    let reference = pattern.compile(&g).expect("compiles");
+
+    for (tag, mutate) in corruptions() {
+        let dir = temp_store_dir(tag);
+        let registry = frr_obs::Registry::new();
+        let store = TableStore::with_registry(&dir, &registry).expect("store opens");
+
+        let (_, source) = store.get_or_compile(&g, &pattern, None).expect("compiles");
+        assert_eq!(source, TableSource::Compiled, "{tag}: store not empty?");
+        let path = store.entry_path(&g, &pattern.name(), pattern.model(), None);
+        corrupt_in_place(&path, mutate);
+
+        // The explicit load surfaces the typed error...
+        let err = store
+            .load(&g, &pattern.name(), pattern.model(), None)
+            .expect_err("corrupt artifact must not load");
+        assert!(
+            !matches!(err, ArtifactError::Io { .. }),
+            "{tag}: corruption must be detected by verification, got {err}"
+        );
+
+        // ...and the front door falls back to a fresh, identical compile.
+        let (recovered, source) = store
+            .get_or_compile(&g, &pattern, None)
+            .expect("falls back");
+        let TableSource::CompiledAfterReject(rejected) = source else {
+            panic!("{tag}: expected a reject fallback, got {source:?}");
+        };
+        assert_eq!(rejected, err, "{tag}: load and fallback disagree");
+        assert_eq!(recovered.digest(), reference.digest(), "{tag}");
+        assert_same_routing(&g, &reference, &recovered);
+
+        // The fallback republished the artifact: the store has healed and
+        // the next run is a clean hit again.
+        let (healed, source) = store.get_or_compile(&g, &pattern, None).expect("loads");
+        assert_eq!(source, TableSource::Store, "{tag}: store did not heal");
+        assert_eq!(healed.digest(), reference.digest(), "{tag}");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("store.reject"), Some(2), "{tag}"); // load + fallback
+        assert_eq!(snap.counter("store.miss"), Some(1), "{tag}"); // the first compile
+        assert_eq!(snap.counter("store.hit"), Some(1), "{tag}"); // the healed run
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A key whose file vanishes mid-run (operator `rm`, tmpwatch) is a clean
+/// miss, not an error — and repopulates on the way through.
+#[test]
+fn deleted_entry_is_a_clean_miss_and_repopulates() {
+    let g = frr_graph::generators::cycle(8);
+    let pattern = ShortestPathPattern::new(&g);
+    let dir = temp_store_dir("deleted");
+    let registry = frr_obs::Registry::new();
+    let store = TableStore::with_registry(&dir, &registry).expect("store opens");
+
+    store.get_or_compile(&g, &pattern, None).expect("compiles");
+    let path = store.entry_path(&g, &pattern.name(), pattern.model(), None);
+    std::fs::remove_file(&path).expect("removes key");
+
+    assert!(matches!(
+        store.load(&g, &pattern.name(), pattern.model(), None),
+        Ok(None)
+    ));
+    let (_, source) = store
+        .get_or_compile(&g, &pattern, None)
+        .expect("recompiles");
+    assert_eq!(source, TableSource::Compiled);
+    let (_, source) = store.get_or_compile(&g, &pattern, None).expect("loads");
+    assert_eq!(source, TableSource::Store);
+    assert_eq!(registry.snapshot().counter("store.reject"), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

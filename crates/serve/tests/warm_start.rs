@@ -1,0 +1,110 @@
+//! Warm restart through the persistent table store: replaying the same
+//! seeded trace twice against one `--table-cache` directory must produce a
+//! byte-identical epoch-digest sequence, reach an all-`Fresh` final
+//! snapshot, and perform **zero** compile attempts on the second run —
+//! every rebuild is served from the store, counted by `store.hit`.
+
+use frr_obs::MetricsSnapshot;
+use frr_serve::event::HostileKind;
+use frr_serve::replay::{replay, ReplayConfig, ReplayOutcome};
+use frr_serve::service::PatternSpec;
+use frr_topologies::builtin_topologies;
+
+fn delta(after: &MetricsSnapshot, before: &MetricsSnapshot, key: &str) -> u64 {
+    after.counter(key).unwrap_or(0) - before.counter(key).unwrap_or(0)
+}
+
+fn run_cached(dir: &std::path::Path) -> (MetricsSnapshot, ReplayOutcome) {
+    let cfg = ReplayConfig {
+        topology: "Abilene".to_string(),
+        events: 24,
+        batch: 3,
+        seed: 11,
+        threads: 2,
+        metrics: true,
+        table_cache: Some(dir.to_path_buf()),
+        ..ReplayConfig::default()
+    };
+    // The registry is process-wide and cumulative, so every assertion below
+    // is on the delta across one run.
+    let before = frr_obs::global().snapshot();
+    let outcome = replay(&builtin_topologies(), &cfg).expect("known topology");
+    (before, outcome)
+}
+
+#[test]
+fn warm_restart_is_all_hits_zero_compile_attempts_and_digest_identical() {
+    let dir = std::env::temp_dir().join(format!("frr-serve-warm-start-{}", std::process::id()));
+
+    let (before1, run1) = run_cached(&dir);
+    let m1 = run1.metrics.as_ref().expect("wired run attaches metrics");
+    assert!(
+        delta(m1, &before1, "store.miss") > 0,
+        "cold run must miss the empty store"
+    );
+    assert!(
+        delta(m1, &before1, "store.write") > 0,
+        "cold run must populate the store"
+    );
+    assert!(
+        delta(m1, &before1, "serve.rebuild.attempts") > 0,
+        "cold run must compile"
+    );
+
+    let (before2, run2) = run_cached(&dir);
+    let m2 = run2.metrics.as_ref().expect("wired run attaches metrics");
+    assert_eq!(
+        run2.digests, run1.digests,
+        "warm restart must republish the identical epoch-digest sequence"
+    );
+    assert!(
+        run2.degraded_final.is_empty(),
+        "warm restart must end all-Fresh, got degraded {:?}",
+        run2.degraded_final
+    );
+    assert_eq!(
+        delta(m2, &before2, "serve.rebuild.attempts"),
+        0,
+        "warm restart must not compile anything"
+    );
+    assert_eq!(delta(m2, &before2, "store.miss"), 0);
+    assert_eq!(delta(m2, &before2, "store.write"), 0);
+    assert_eq!(delta(m2, &before2, "store.reject"), 0);
+    let hits = delta(m2, &before2, "store.hit");
+    assert!(hits > 0, "warm restart must be served from the store");
+    assert_eq!(
+        hits,
+        delta(m1, &before1, "store.miss") + delta(m1, &before1, "store.hit"),
+        "every rebuild of the identical trace must come back as a hit"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The warm path looks tables up by `cache_identity()` without constructing
+/// the pattern — pin that the constant key matches what the constructed
+/// pattern actually stores under.
+#[test]
+fn cache_identity_matches_the_constructed_pattern() {
+    let g = frr_graph::generators::cycle(6);
+    for spec in [
+        PatternSpec::ShortestPath,
+        PatternSpec::Rotor,
+        PatternSpec::Hostile(HostileKind::WellBehaved),
+    ] {
+        let (name, model) = spec.cache_identity().expect("cacheable spec");
+        let pattern = spec.pattern(&g);
+        assert_eq!(pattern.name(), name, "{spec:?}");
+        assert_eq!(pattern.model(), model, "{spec:?}");
+    }
+    for kind in [
+        HostileKind::PanicOnCompile,
+        HostileKind::RefuseCompile,
+        HostileKind::Nondeterministic,
+    ] {
+        assert!(
+            PatternSpec::Hostile(kind).cache_identity().is_none(),
+            "{kind:?} tables must never be cached"
+        );
+    }
+}
